@@ -1,0 +1,76 @@
+//! **Ablation A2 — centralized admission control as a bottleneck.**
+//!
+//! §3 argues a centralized AC/LB is acceptable because "the computation
+//! time of the schedulability analysis is significantly lower than task
+//! execution times". This bench probes where that breaks: admission
+//! decision cost as the deployment grows in processors and in current
+//! tasks (the AUB test is `O(current tasks × stages)` per decision).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rtcm_core::admission::AdmissionController;
+use rtcm_core::strategy::ServiceConfig;
+use rtcm_core::task::{ProcessorId, TaskBuilder, TaskId, TaskSpec};
+use rtcm_core::time::{Duration, Time};
+
+fn chain(id: u32, stages: u16, procs: u16) -> TaskSpec {
+    let mut b = TaskBuilder::aperiodic(TaskId(id)).deadline(Duration::from_secs(10));
+    for j in 0..stages {
+        b = b.subtask(
+            Duration::from_micros(500),
+            ProcessorId((id as u16 + j) % procs),
+            [ProcessorId((id as u16 + j + 1) % procs)],
+        );
+    }
+    b.build().expect("valid")
+}
+
+fn controller(procs: u16, current: u32) -> AdmissionController {
+    let cfg: ServiceConfig = "J_N_T".parse().unwrap();
+    let mut ac = AdmissionController::new(cfg, procs as usize).unwrap();
+    for i in 0..current {
+        let _ = ac.handle_arrival(&chain(i, 3, procs), 0, Time::ZERO).unwrap();
+    }
+    ac
+}
+
+fn bench_scaling_processors(c: &mut Criterion) {
+    // Cloned controller per measured decision: admitted probes must not
+    // accumulate, or the labeled current-set size would silently grow.
+    let mut group = c.benchmark_group("ac_scaling_processors");
+    for procs in [5u16, 20, 80] {
+        group.bench_with_input(BenchmarkId::from_parameter(procs), &procs, |b, &procs| {
+            let ac = controller(procs, 64);
+            let probe = chain(100_000, 3, procs);
+            b.iter_batched(
+                || ac.clone(),
+                |mut ac| black_box(ac.handle_arrival(&probe, 0, Time::ZERO).unwrap()),
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_scaling_current_tasks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ac_scaling_current_tasks");
+    for current in [16u32, 64, 256, 1024] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(current),
+            &current,
+            |b, &current| {
+                let ac = controller(10, current);
+                let probe = chain(100_000, 3, 10);
+                b.iter_batched(
+                    || ac.clone(),
+                    |mut ac| black_box(ac.handle_arrival(&probe, 0, Time::ZERO).unwrap()),
+                    criterion::BatchSize::SmallInput,
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling_processors, bench_scaling_current_tasks);
+criterion_main!(benches);

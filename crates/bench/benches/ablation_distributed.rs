@@ -1,0 +1,121 @@
+//! **Ablation A7 — centralized vs. distributed admission control (§3).**
+//!
+//! The paper adopts a centralized task manager "with less complexity and
+//! overhead" and notes a distributed architecture would need AC components
+//! to "coordinate and synchronize with each other in order to make correct
+//! decisions". This bench runs both architectures on the same workloads
+//! (`J_N_N`, the combination both support):
+//!
+//! * **centralized** — every admission pays the manager round-trip
+//!   (~2 communication delays), but decisions are made on exact state;
+//! * **distributed** — each processor's controller decides immediately on
+//!   a view synchronized with one network delay; concurrent admissions can
+//!   race past the AUB bound, so admitted jobs *can* miss deadlines.
+//!
+//! The trade: distributed saves ~1 ms of release latency per job, at the
+//! cost of admissions decided on views up to one network delay stale. At
+//! paper-scale arrival rates the race window is rarely hit, and when it
+//! is, AUB's pessimism usually absorbs the over-admission — the races
+//! show up as slightly *higher* acceptance rather than misses. The
+//! experiment thus sharpens §3's argument: centralized is chosen for
+//! simplicity and exactness, not because distribution fails outright.
+
+use rtcm_core::time::Duration;
+use rtcm_sim::{simulate, simulate_distributed, OverheadModel, SimConfig};
+use rtcm_workload::{ArrivalConfig, ArrivalTrace, RandomWorkload};
+
+fn main() {
+    let quick = std::env::var("RTCM_QUICK").is_ok_and(|v| v != "0");
+    let seeds: u64 = if quick { 3 } else { 10 };
+    let horizon = Duration::from_secs(if quick { 30 } else { 300 });
+
+    println!(
+        "== Ablation A7: centralized vs distributed admission (J_N_N, {seeds} seeds, {horizon} horizon) =="
+    );
+    println!(
+        "{:<14} {:>8} {:>8} {:>14} {:>12}",
+        "architecture", "ratio", "misses", "mean-response", "max-response"
+    );
+
+    let mut rows = vec![("centralized", 0.0, 0u64, 0u128, Duration::ZERO); 2];
+    rows[1].0 = "distributed";
+
+    for seed in 0..seeds {
+        let tasks = RandomWorkload::default().generate(seed).expect("satisfiable");
+        let trace = ArrivalTrace::generate(
+            &tasks,
+            &ArrivalConfig { horizon, ..ArrivalConfig::default() },
+            seed,
+        );
+        let cfg = SimConfig {
+            services: "J_N_N".parse().expect("valid"),
+            overheads: OverheadModel::paper_calibrated(),
+            seed,
+        };
+        let central = simulate(&tasks, &trace, &cfg).expect("valid combo");
+        let distributed = simulate_distributed(&tasks, &trace, &cfg).expect("supported combo");
+        for (row, report) in rows.iter_mut().zip([central, distributed]) {
+            row.1 += report.ratio.ratio();
+            row.2 += report.deadline_misses;
+            row.3 += u128::from(report.response.mean().as_nanos());
+            row.4 = row.4.max(report.response.max());
+        }
+    }
+
+    for (name, ratio_sum, misses, mean_ns_sum, max_resp) in rows {
+        let mean_response =
+            Duration::from_nanos(u64::try_from(mean_ns_sum / u128::from(seeds)).unwrap_or(0));
+        println!(
+            "{:<14} {:>8.3} {:>8} {:>12}us {:>10}us",
+            name,
+            ratio_sum / seeds as f64,
+            misses,
+            mean_response.as_micros(),
+            max_resp.as_micros()
+        );
+    }
+    println!(
+        "\ndistributed decisions avoid the ~1 ms manager round-trip; at paper-scale\n\
+         arrival rates the stale-view race window (~1 comm delay) is rarely hit.\n"
+    );
+
+    // Stress section: short deadlines and dense aperiodic arrivals push
+    // concurrent admissions into the synchronization window, surfacing the
+    // over-admission race the paper's centralized design rules out.
+    println!("-- stress: deadlines 50-500 ms, interarrival 0.3 x deadline, U = 0.6 --");
+    println!(
+        "{:<14} {:>8} {:>10} {:>10}",
+        "architecture", "ratio", "admitted", "misses"
+    );
+    let stress = RandomWorkload {
+        deadline: (Duration::from_millis(50), Duration::from_millis(500)),
+        target_utilization: 0.6,
+        ..RandomWorkload::default()
+    };
+    let mut totals = [(0.0f64, 0u64, 0u64), (0.0, 0, 0)];
+    for seed in 0..seeds {
+        let tasks = stress.generate(seed).expect("satisfiable");
+        let trace = ArrivalTrace::generate(
+            &tasks,
+            &ArrivalConfig { horizon, poisson_factor: 0.3, ..ArrivalConfig::default() },
+            seed,
+        );
+        let cfg = SimConfig {
+            services: "J_N_N".parse().expect("valid"),
+            overheads: OverheadModel::paper_calibrated(),
+            seed,
+        };
+        let central = simulate(&tasks, &trace, &cfg).expect("valid combo");
+        let distributed = simulate_distributed(&tasks, &trace, &cfg).expect("supported combo");
+        for (t, r) in totals.iter_mut().zip([central, distributed]) {
+            t.0 += r.ratio.ratio();
+            t.1 += r.ratio.released_jobs();
+            t.2 += r.deadline_misses;
+        }
+    }
+    for (name, (ratio, admitted, misses)) in
+        ["centralized", "distributed"].iter().zip(totals)
+    {
+        println!("{name:<14} {:>8.3} {admitted:>10} {misses:>10}", ratio / seeds as f64);
+    }
+}

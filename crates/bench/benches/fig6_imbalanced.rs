@@ -1,0 +1,54 @@
+//! **Figure 6 — LB Strategy Comparison (imbalanced workloads, §7.2).**
+//!
+//! Like Figure 5 but with all primaries packed on 3 processors at synthetic
+//! utilization 0.7 each and all replicas on 2 separate processors
+//! (1–3 subtasks/task) — a dynamic CPS where part of the system runs hot.
+//!
+//! Expected shape (paper): within each (AC, IR) group of three bars,
+//! LB-per-task (`*_*_T`) is a large improvement over no LB (`*_*_N`), and
+//! LB-per-job (`*_*_J`) adds little over per-task.
+//!
+//! Run with `cargo bench -p rtcm-bench --bench fig6_imbalanced`; set
+//! `RTCM_QUICK=1` for a fast smoke run.
+
+use rtcm_bench::{format_ratio_table, instances, run_combo_experiment, to_json, BenchParams};
+use rtcm_sim::OverheadModel;
+use rtcm_workload::ImbalancedWorkload;
+
+fn main() {
+    let params = BenchParams::from_env();
+    let insts = instances(&params.seed_list(), &params.arrival_config(), |seed| {
+        ImbalancedWorkload::default().generate(seed).expect("paper parameters are satisfiable")
+    });
+    let results = run_combo_experiment(&insts, OverheadModel::paper_calibrated());
+    println!(
+        "{}",
+        format_ratio_table(
+            &format!(
+                "Figure 6: LB strategy comparison, imbalanced workloads \
+                 ({} seeds, {} horizon)",
+                params.seeds, params.horizon
+            ),
+            &results
+        )
+    );
+
+    // The paper's reading of the figure: group by (AC, IR) and compare the
+    // three LB settings.
+    println!("LB gain within each (AC, IR) group:");
+    for group in results.chunks(3) {
+        let labels: Vec<_> = group.iter().map(|r| r.config.label()).collect();
+        let ratios: Vec<f64> = group.iter().map(rtcm_bench::ComboResult::mean_ratio).collect();
+        println!(
+            "  {:18}  N={:.3}  T={:.3}  J={:.3}  (T-N delta {:+.3})",
+            labels.join("/"),
+            ratios[0],
+            ratios[1],
+            ratios[2],
+            ratios[1] - ratios[0],
+        );
+    }
+    if std::env::var("RTCM_JSON").is_ok() {
+        println!("{}", to_json(&results));
+    }
+}

@@ -1,0 +1,239 @@
+//! Shared experiment harness for the evaluation benches: runs the §7
+//! experiments and formats the paper's tables/figures as text.
+//!
+//! Every figure/table bench (`cargo bench -p rtcm-bench`) funnels through
+//! [`run_combo_experiment`], which replays identical task sets and arrival
+//! traces across strategy combinations — the paper's methodology of running
+//! the same ten task sets under each of the 15 valid configurations.
+//!
+//! Environment knobs (read by the bench binaries, not this library):
+//!
+//! * `RTCM_QUICK=1` — shrink horizons/seed counts for smoke runs.
+//! * `RTCM_SEEDS=n` — override the number of task sets.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use rtcm_core::strategy::ServiceConfig;
+use rtcm_core::task::TaskSet;
+use rtcm_core::time::Duration;
+use rtcm_sim::{simulate, OverheadModel, SimConfig, SimReport};
+use rtcm_workload::{ArrivalConfig, ArrivalTrace};
+
+/// Result of one strategy combination averaged over all seeds.
+#[derive(Debug, Clone)]
+pub struct ComboResult {
+    /// The combination, e.g. `J_J_T`.
+    pub config: ServiceConfig,
+    /// Per-seed accepted utilization ratios.
+    pub ratios: Vec<f64>,
+    /// Per-seed deadline misses (sanity: should be zero or tiny).
+    pub misses: Vec<u64>,
+    /// Per-seed re-allocation counts.
+    pub reallocations: Vec<u64>,
+    /// Per-seed worst consecutive-skip runs (C1 demand).
+    pub skip_depths: Vec<u32>,
+}
+
+impl ComboResult {
+    /// Mean accepted utilization ratio over seeds.
+    #[must_use]
+    pub fn mean_ratio(&self) -> f64 {
+        mean(&self.ratios)
+    }
+
+    /// Total deadline misses over seeds.
+    #[must_use]
+    pub fn total_misses(&self) -> u64 {
+        self.misses.iter().sum()
+    }
+
+    /// Mean re-allocations per run.
+    #[must_use]
+    pub fn mean_reallocations(&self) -> f64 {
+        if self.reallocations.is_empty() {
+            0.0
+        } else {
+            self.reallocations.iter().sum::<u64>() as f64 / self.reallocations.len() as f64
+        }
+    }
+
+    /// Worst consecutive-skip run over all seeds.
+    #[must_use]
+    pub fn max_skip_depth(&self) -> u32 {
+        self.skip_depths.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Arithmetic mean; 0 for empty input.
+#[must_use]
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// A generated experiment instance: one task set plus its arrival trace.
+#[derive(Debug, Clone)]
+pub struct Instance {
+    /// The task set.
+    pub tasks: TaskSet,
+    /// Its replayable arrival trace.
+    pub trace: ArrivalTrace,
+}
+
+/// Generates `seeds.len()` instances via `gen`, pairing each task set with
+/// a trace derived from the same seed.
+pub fn instances(
+    seeds: &[u64],
+    arrival: &ArrivalConfig,
+    gen: impl Fn(u64) -> TaskSet,
+) -> Vec<Instance> {
+    seeds
+        .iter()
+        .map(|&seed| {
+            let tasks = gen(seed);
+            let trace = ArrivalTrace::generate(&tasks, arrival, seed);
+            Instance { tasks, trace }
+        })
+        .collect()
+}
+
+/// Runs every valid strategy combination over all instances.
+pub fn run_combo_experiment(
+    instances: &[Instance],
+    overheads: OverheadModel,
+) -> Vec<ComboResult> {
+    ServiceConfig::all_valid()
+        .into_iter()
+        .map(|config| {
+            let mut ratios = Vec::with_capacity(instances.len());
+            let mut misses = Vec::with_capacity(instances.len());
+            let mut reallocations = Vec::with_capacity(instances.len());
+            let mut skip_depths = Vec::with_capacity(instances.len());
+            for (i, inst) in instances.iter().enumerate() {
+                let sim_cfg = SimConfig { services: config, overheads, seed: i as u64 };
+                let report: SimReport = simulate(&inst.tasks, &inst.trace, &sim_cfg)
+                    .expect("valid combos over generated workloads");
+                ratios.push(report.ratio.ratio());
+                misses.push(report.deadline_misses);
+                reallocations.push(report.reallocations);
+                skip_depths.push(report.max_consecutive_skips);
+            }
+            ComboResult { config, ratios, misses, reallocations, skip_depths }
+        })
+        .collect()
+}
+
+/// Renders a figure-5/6 style table plus an ASCII bar per combination.
+#[must_use]
+pub fn format_ratio_table(title: &str, results: &[ComboResult]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("== {title} ==\n"));
+    out.push_str(
+        "combo   mean-ratio  bar (0..1)                                misses  reallocs  maxskip\n",
+    );
+    for r in results {
+        let ratio = r.mean_ratio();
+        let bar_len = (ratio * 40.0).round().clamp(0.0, 40.0) as usize;
+        out.push_str(&format!(
+            "{:6}  {:>10.3}  {:<40}  {:>6}  {:>8.1}  {:>7}\n",
+            r.config.label(),
+            ratio,
+            "#".repeat(bar_len),
+            r.total_misses(),
+            r.mean_reallocations(),
+            r.max_skip_depth(),
+        ));
+    }
+    out
+}
+
+/// Serializes results as JSON lines for downstream analysis.
+#[must_use]
+pub fn to_json(results: &[ComboResult]) -> String {
+    let rows: Vec<serde_json::Value> = results
+        .iter()
+        .map(|r| {
+            serde_json::json!({
+                "combo": r.config.label(),
+                "mean_ratio": r.mean_ratio(),
+                "ratios": r.ratios,
+                "misses": r.misses,
+            })
+        })
+        .collect();
+    serde_json::to_string_pretty(&rows).expect("json of plain data")
+}
+
+/// Shared CLI/env parameters for the bench binaries.
+#[derive(Debug, Clone)]
+pub struct BenchParams {
+    /// Number of task-set seeds (paper: 10).
+    pub seeds: usize,
+    /// Virtual horizon per run (paper: 5 minutes).
+    pub horizon: Duration,
+}
+
+impl BenchParams {
+    /// Reads `RTCM_QUICK` / `RTCM_SEEDS` / `RTCM_HORIZON_SECS` from the
+    /// environment; defaults to the paper's 10 seeds × 300 s.
+    #[must_use]
+    pub fn from_env() -> Self {
+        let quick = std::env::var("RTCM_QUICK").is_ok_and(|v| v != "0");
+        let seeds = std::env::var("RTCM_SEEDS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(if quick { 3 } else { 10 });
+        let horizon_secs = std::env::var("RTCM_HORIZON_SECS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(if quick { 30 } else { 300 });
+        BenchParams { seeds, horizon: Duration::from_secs(horizon_secs) }
+    }
+
+    /// The seed list `0..seeds`.
+    #[must_use]
+    pub fn seed_list(&self) -> Vec<u64> {
+        (0..self.seeds as u64).collect()
+    }
+
+    /// Arrival configuration at this horizon (defaults elsewhere).
+    #[must_use]
+    pub fn arrival_config(&self) -> ArrivalConfig {
+        ArrivalConfig { horizon: self.horizon, ..ArrivalConfig::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtcm_workload::RandomWorkload;
+
+    #[test]
+    fn mean_handles_empty_and_values() {
+        assert_eq!(mean(&[]), 0.0);
+        assert!((mean(&[0.2, 0.4]) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn combo_experiment_covers_all_fifteen() {
+        let params = BenchParams { seeds: 1, horizon: Duration::from_secs(5) };
+        let inst = instances(&params.seed_list(), &params.arrival_config(), |s| {
+            RandomWorkload::default().generate(s).unwrap()
+        });
+        let results = run_combo_experiment(&inst, OverheadModel::zero());
+        assert_eq!(results.len(), 15);
+        for r in &results {
+            assert_eq!(r.ratios.len(), 1);
+            let ratio = r.mean_ratio();
+            assert!((0.0..=1.0 + 1e-9).contains(&ratio), "{}: {ratio}", r.config.label());
+        }
+        let table = format_ratio_table("smoke", &results);
+        assert!(table.contains("J_J_J"));
+        let json = to_json(&results);
+        assert!(json.contains("mean_ratio"));
+    }
+}

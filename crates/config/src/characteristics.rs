@@ -1,0 +1,227 @@
+//! The CPS characteristics questionnaire (§4.1, §6) and its Table-1
+//! mapping onto middleware strategies.
+//!
+//! The front-end configuration engine asks the application developer four
+//! questions:
+//!
+//! 1. Does your application allow job skipping? (criterion **C1**)
+//! 2. Does your application have replicated components? (criterion **C3**)
+//! 3. Does your application require state persistence? (criterion **C2**)
+//! 4. How much extra overhead can you accept as it potentially improves
+//!    schedulability? — none (N), some per task (PT), some per job (PJ)
+//!
+//! and maps the answers to strategies per Table 1:
+//!
+//! | criterion | No | Yes |
+//! |---|---|---|
+//! | C1 job skipping | AC per task | AC per job |
+//! | C2 state persistency | LB per job | LB per task |
+//! | C3 component replication | no LB | LB |
+//!
+//! with the overhead answer selecting the idle-resetting strategy. The
+//! mapping never emits an invalid combination: a per-job overhead budget
+//! combined with no-job-skipping (AC per task) is downgraded to IR per
+//! task, and the adjustment is reported.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use rtcm_core::strategy::{AcStrategy, IrStrategy, LbStrategy, ServiceConfig};
+
+/// Answer to question 4: tolerable overhead for improved schedulability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum OverheadTolerance {
+    /// No extra overhead (N) — idle resetting disabled.
+    None,
+    /// Some overhead per task (PT) — the paper's default.
+    #[default]
+    PerTask,
+    /// Some overhead per job (PJ).
+    PerJob,
+}
+
+impl fmt::Display for OverheadTolerance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            OverheadTolerance::None => "N",
+            OverheadTolerance::PerTask => "PT",
+            OverheadTolerance::PerJob => "PJ",
+        })
+    }
+}
+
+/// The developer's answers to the four questions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CpsCharacteristics {
+    /// C1: may individual jobs of an admitted task be skipped?
+    pub job_skipping: bool,
+    /// C3: are application components replicated across processors?
+    pub component_replication: bool,
+    /// C2: must state persist between jobs of the same task?
+    pub state_persistency: bool,
+    /// Question 4: tolerable overhead.
+    pub overhead_tolerance: OverheadTolerance,
+}
+
+impl Default for CpsCharacteristics {
+    /// The paper's default configuration settings: "per task admission
+    /// control, idle resetting and load balancing" (§6) — i.e. no job
+    /// skipping, replicated stateful components, PT overhead.
+    fn default() -> Self {
+        CpsCharacteristics {
+            job_skipping: false,
+            component_replication: true,
+            state_persistency: true,
+            overhead_tolerance: OverheadTolerance::PerTask,
+        }
+    }
+}
+
+/// A strategy mapping plus any adjustments made to keep it valid.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MappedConfig {
+    /// The selected (always valid) combination.
+    pub services: ServiceConfig,
+    /// Human-readable notes about downgrades applied by the engine.
+    pub adjustments: Vec<String>,
+}
+
+impl CpsCharacteristics {
+    /// Applies the Table-1 mapping, downgrading contradictions (§4.5) and
+    /// reporting every adjustment.
+    #[must_use]
+    pub fn map(&self) -> MappedConfig {
+        let mut adjustments = Vec::new();
+
+        let ac = if self.job_skipping { AcStrategy::PerJob } else { AcStrategy::PerTask };
+
+        let lb = if !self.component_replication {
+            LbStrategy::None
+        } else if self.state_persistency {
+            LbStrategy::PerTask
+        } else {
+            LbStrategy::PerJob
+        };
+
+        let mut ir = match self.overhead_tolerance {
+            OverheadTolerance::None => IrStrategy::None,
+            OverheadTolerance::PerTask => IrStrategy::PerTask,
+            OverheadTolerance::PerJob => IrStrategy::PerJob,
+        };
+        if ac == AcStrategy::PerTask && ir == IrStrategy::PerJob {
+            ir = IrStrategy::PerTask;
+            adjustments.push(
+                "per-job idle resetting contradicts per-task admission control \
+                 (no job skipping); downgraded idle resetting to per-task"
+                    .to_owned(),
+            );
+        }
+
+        let services = ServiceConfig::new(ac, ir, lb);
+        debug_assert!(services.is_valid());
+        MappedConfig { services, adjustments }
+    }
+
+    /// The four questions as the engine presents them (§6).
+    #[must_use]
+    pub fn questions() -> [&'static str; 4] {
+        [
+            "Does your application allow job skipping?",
+            "Does your application have replicated components?",
+            "Does your application require state persistence?",
+            "How much extra overhead can you accept as it potentially improves \
+             schedulability? [none (N), some per task (PT), some per job (PJ)]",
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chars(
+        job_skipping: bool,
+        replication: bool,
+        persistency: bool,
+        overhead: OverheadTolerance,
+    ) -> CpsCharacteristics {
+        CpsCharacteristics {
+            job_skipping,
+            component_replication: replication,
+            state_persistency: persistency,
+            overhead_tolerance: overhead,
+        }
+    }
+
+    #[test]
+    fn paper_example_maps_to_all_per_task() {
+        // Figure 4's example answers: 1. N, 2. Y, 3. Y, 4. PT -> all PT.
+        let m = chars(false, true, true, OverheadTolerance::PerTask).map();
+        assert_eq!(m.services.label(), "T_T_T");
+        assert!(m.adjustments.is_empty());
+    }
+
+    #[test]
+    fn table1_c1_drives_ac() {
+        assert_eq!(chars(false, true, true, OverheadTolerance::None).map().services.ac, AcStrategy::PerTask);
+        assert_eq!(chars(true, true, true, OverheadTolerance::None).map().services.ac, AcStrategy::PerJob);
+    }
+
+    #[test]
+    fn table1_c3_gates_lb_and_c2_selects_granularity() {
+        assert_eq!(chars(true, false, false, OverheadTolerance::None).map().services.lb, LbStrategy::None);
+        assert_eq!(chars(true, true, true, OverheadTolerance::None).map().services.lb, LbStrategy::PerTask);
+        assert_eq!(chars(true, true, false, OverheadTolerance::None).map().services.lb, LbStrategy::PerJob);
+    }
+
+    #[test]
+    fn overhead_selects_ir() {
+        assert_eq!(chars(true, true, true, OverheadTolerance::None).map().services.ir, IrStrategy::None);
+        assert_eq!(chars(true, true, true, OverheadTolerance::PerTask).map().services.ir, IrStrategy::PerTask);
+        assert_eq!(chars(true, true, true, OverheadTolerance::PerJob).map().services.ir, IrStrategy::PerJob);
+    }
+
+    #[test]
+    fn contradiction_is_downgraded_and_reported() {
+        let m = chars(false, true, true, OverheadTolerance::PerJob).map();
+        assert_eq!(m.services.label(), "T_T_T");
+        assert_eq!(m.adjustments.len(), 1);
+        assert!(m.adjustments[0].contains("downgraded"));
+    }
+
+    #[test]
+    fn every_answer_combination_maps_to_a_valid_config() {
+        for skipping in [false, true] {
+            for replication in [false, true] {
+                for persistency in [false, true] {
+                    for overhead in [
+                        OverheadTolerance::None,
+                        OverheadTolerance::PerTask,
+                        OverheadTolerance::PerJob,
+                    ] {
+                        let m = chars(skipping, replication, persistency, overhead).map();
+                        assert!(
+                            m.services.is_valid(),
+                            "answers ({skipping},{replication},{persistency},{overhead}) \
+                             produced invalid {}",
+                            m.services
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn default_is_paper_default() {
+        let m = CpsCharacteristics::default().map();
+        assert_eq!(m.services, ServiceConfig::default_per_task());
+    }
+
+    #[test]
+    fn questions_are_four() {
+        assert_eq!(CpsCharacteristics::questions().len(), 4);
+        assert!(CpsCharacteristics::questions()[3].contains("PT"));
+    }
+}

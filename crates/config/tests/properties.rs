@@ -1,0 +1,151 @@
+//! Property-based tests for the configuration engine: spec round-trips,
+//! questionnaire mapping totality, and plan structural soundness.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use rtcm_config::{
+    configure, configure_with, CpsCharacteristics, OverheadTolerance, SpecKind, SubtaskEntry,
+    TaskEntry, WorkloadSpec,
+};
+use rtcm_core::strategy::ServiceConfig;
+use rtcm_core::time::Duration;
+
+const PROCS: u16 = 4;
+
+fn arb_subtask() -> impl Strategy<Value = SubtaskEntry> {
+    (1u64..50, 0..PROCS, proptest::option::of(0..PROCS)).prop_map(|(exec, proc, replica)| {
+        SubtaskEntry {
+            execution: Duration::from_millis(exec),
+            processor: proc,
+            replicas: replica.into_iter().collect(),
+        }
+    })
+}
+
+fn arb_task(i: usize) -> impl Strategy<Value = TaskEntry> {
+    (vec(arb_subtask(), 1..4), 300u64..2_000, any::<bool>()).prop_map(
+        move |(subtasks, deadline_ms, periodic)| {
+            let deadline = Duration::from_millis(deadline_ms);
+            TaskEntry {
+                name: format!("task-{i}"),
+                kind: if periodic {
+                    SpecKind::Periodic { period: deadline }
+                } else {
+                    SpecKind::Aperiodic
+                },
+                deadline,
+                subtasks,
+            }
+        },
+    )
+}
+
+fn arb_spec() -> impl Strategy<Value = WorkloadSpec> {
+    vec((0..8usize).prop_flat_map(arb_task), 1..6).prop_map(|mut tasks| {
+        // Names must be unique; re-index deterministically.
+        for (i, t) in tasks.iter_mut().enumerate() {
+            t.name = format!("task-{i}");
+        }
+        WorkloadSpec { name: "prop".into(), processors: PROCS, tasks }
+    })
+}
+
+fn arb_answers() -> impl Strategy<Value = CpsCharacteristics> {
+    (any::<bool>(), any::<bool>(), any::<bool>(), 0usize..3).prop_map(
+        |(skip, repl, persist, overhead)| CpsCharacteristics {
+            job_skipping: skip,
+            component_replication: repl,
+            state_persistency: persist,
+            overhead_tolerance: [
+                OverheadTolerance::None,
+                OverheadTolerance::PerTask,
+                OverheadTolerance::PerJob,
+            ][overhead],
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Text rendering parses back to the identical spec.
+    #[test]
+    fn text_round_trip(spec in arb_spec()) {
+        let text = spec.to_text();
+        let back = WorkloadSpec::parse(&text).unwrap();
+        prop_assert_eq!(back, spec);
+    }
+
+    /// JSON round-trips too.
+    #[test]
+    fn json_round_trip(spec in arb_spec()) {
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: WorkloadSpec = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(back, spec);
+    }
+
+    /// Every answer vector maps to a deployable, valid configuration whose
+    /// plan passes structural validation and covers the expected instances.
+    #[test]
+    fn questionnaire_always_deploys(spec in arb_spec(), answers in arb_answers()) {
+        let deployment = configure(&spec, &answers).unwrap();
+        prop_assert!(deployment.services.is_valid());
+        deployment.plan.validate().unwrap();
+        // One TE and one IR per processor plus the two central services.
+        let te_count = deployment
+            .plan
+            .instances
+            .iter()
+            .filter(|i| matches!(i.component, rtcm_config::ComponentType::TaskEffector))
+            .count();
+        prop_assert_eq!(te_count, PROCS as usize);
+        prop_assert!(deployment.plan.instance("Central-AC").is_some());
+        prop_assert!(deployment.plan.instance("Central-LB").is_some());
+        // Subtask instances: one per (subtask, candidate processor).
+        let expected: usize = deployment
+            .tasks
+            .iter()
+            .flat_map(|t| t.subtasks())
+            .map(|s| s.candidates().count())
+            .sum();
+        let actual = deployment
+            .plan
+            .instances
+            .iter()
+            .filter(|i| {
+                matches!(
+                    i.component,
+                    rtcm_config::ComponentType::FiSubtask
+                        | rtcm_config::ComponentType::LastSubtask
+                )
+            })
+            .count();
+        prop_assert_eq!(actual, expected);
+    }
+
+    /// Explicit combinations: valid ones deploy, invalid ones error.
+    #[test]
+    fn explicit_combo_gate(spec in arb_spec(), idx in 0usize..18) {
+        let services = ServiceConfig::all()[idx];
+        let result = configure_with(&spec, services);
+        prop_assert_eq!(result.is_ok(), services.is_valid());
+    }
+
+    /// The XML emitter always produces parseable-shaped output: balanced
+    /// root element, every instance id present, and escaped labels.
+    #[test]
+    fn xml_is_well_formed_enough(spec in arb_spec()) {
+        let deployment = configure(&spec, &CpsCharacteristics::default()).unwrap();
+        let xml = deployment.plan.to_xml();
+        prop_assert!(xml.starts_with("<?xml"));
+        prop_assert!(xml.trim_end().ends_with("</Deployment:DeploymentPlan>"));
+        prop_assert_eq!(xml.matches("<instance ").count(), deployment.plan.instances.len());
+        prop_assert_eq!(xml.matches("</instance>").count(), deployment.plan.instances.len());
+        for inst in &deployment.plan.instances {
+            let needle = format!("<instance id=\"{}\">", inst.id);
+            let present = xml.contains(&needle);
+            prop_assert!(present, "missing instance element for {}", inst.id);
+        }
+    }
+}

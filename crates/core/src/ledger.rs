@@ -1,0 +1,428 @@
+//! The synthetic-utilization ledger: the admission controller's bookkeeping
+//! of per-processor contributions `C_{i,j} / D_i` of current jobs and
+//! reserved tasks.
+//!
+//! A *contribution* is one subtask's share of one job (or of a per-task
+//! reservation). Contributions live until:
+//!
+//! * their job's end-to-end deadline passes ([`Lifetime::UntilDeadline`],
+//!   removed by [`UtilizationLedger::expire_until`]),
+//! * the idle-resetting service reports them complete and the AC removes
+//!   them early ([`UtilizationLedger::remove`]), or
+//! * the owning task departs (per-task reservations,
+//!   [`Lifetime::Reserved`], also removed via `remove`).
+//!
+//! # Examples
+//!
+//! ```
+//! use rtcm_core::ledger::{ContributionKey, Lifetime, UtilizationLedger};
+//! use rtcm_core::task::{JobId, ProcessorId, TaskId};
+//! use rtcm_core::time::{Duration, Time};
+//!
+//! let mut ledger = UtilizationLedger::new(2);
+//! let key = ContributionKey::new(JobId::new(TaskId(0), 0), 0);
+//! let deadline = Time::ZERO + Duration::from_millis(500);
+//! ledger.add(ProcessorId(0), key, 0.25, Lifetime::UntilDeadline(deadline))?;
+//! assert_eq!(ledger.utilization(ProcessorId(0)), 0.25);
+//!
+//! ledger.expire_until(deadline);
+//! assert_eq!(ledger.utilization(ProcessorId(0)), 0.0);
+//! # Ok::<(), rtcm_core::ledger::LedgerError>(())
+//! ```
+
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::task::{JobId, ProcessorId};
+use crate::time::Time;
+
+/// Identifies one subtask's contribution of one job.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct ContributionKey {
+    /// The owning job.
+    pub job: JobId,
+    /// Index of the subtask within the task's chain.
+    pub subtask: usize,
+}
+
+impl ContributionKey {
+    /// Creates a key for `subtask` of `job`.
+    #[must_use]
+    pub fn new(job: JobId, subtask: usize) -> Self {
+        ContributionKey { job, subtask }
+    }
+}
+
+impl fmt::Display for ContributionKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.job, self.subtask)
+    }
+}
+
+/// How long a contribution stays in the ledger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Lifetime {
+    /// Until the job's absolute end-to-end deadline (per-job admission).
+    UntilDeadline(Time),
+    /// Until explicitly removed (per-task reservation: the AC "must reserve
+    /// the synthetic utilization of the task throughout its lifetime",
+    /// §4.2).
+    Reserved,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    utilization: f64,
+    lifetime: Lifetime,
+}
+
+#[derive(Debug, Clone, Default)]
+struct ProcLedger {
+    total: f64,
+    entries: HashMap<ContributionKey, Entry>,
+}
+
+impl ProcLedger {
+    fn utilization(&self) -> f64 {
+        if self.entries.is_empty() {
+            0.0
+        } else {
+            self.total.max(0.0)
+        }
+    }
+}
+
+/// Per-processor synthetic utilization accounting.
+///
+/// Processor ids must be dense indices `0..processor_count`. All mutating
+/// operations keep the per-processor running totals exact at emptiness (a
+/// processor with no contributions reads exactly `0.0`), bounding
+/// floating-point drift over long runs.
+#[derive(Debug, Clone)]
+pub struct UtilizationLedger {
+    procs: Vec<ProcLedger>,
+    expiry: BTreeSet<(Time, ProcessorId, ContributionKey)>,
+}
+
+impl UtilizationLedger {
+    /// Creates a ledger for `processor_count` processors, all idle.
+    #[must_use]
+    pub fn new(processor_count: usize) -> Self {
+        UtilizationLedger {
+            procs: (0..processor_count).map(|_| ProcLedger::default()).collect(),
+            expiry: BTreeSet::new(),
+        }
+    }
+
+    /// Number of processors tracked.
+    #[must_use]
+    pub fn processor_count(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// Current synthetic utilization of `processor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `processor` is out of range.
+    #[must_use]
+    pub fn utilization(&self, processor: ProcessorId) -> f64 {
+        self.procs[processor.index()].utilization()
+    }
+
+    /// Synthetic utilizations of all processors, indexed by processor id.
+    #[must_use]
+    pub fn utilizations(&self) -> Vec<f64> {
+        self.procs.iter().map(ProcLedger::utilization).collect()
+    }
+
+    /// Number of live contributions on `processor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `processor` is out of range.
+    #[must_use]
+    pub fn contribution_count(&self, processor: ProcessorId) -> usize {
+        self.procs[processor.index()].entries.len()
+    }
+
+    /// Total number of live contributions.
+    #[must_use]
+    pub fn total_contributions(&self) -> usize {
+        self.procs.iter().map(|p| p.entries.len()).sum()
+    }
+
+    /// Adds a contribution of `utilization` to `processor`.
+    ///
+    /// # Errors
+    ///
+    /// * [`LedgerError::UnknownProcessor`] if the processor is out of range;
+    /// * [`LedgerError::DuplicateContribution`] if `(processor, key)` is
+    ///   already present;
+    /// * [`LedgerError::InvalidUtilization`] if `utilization` is negative,
+    ///   NaN or infinite.
+    pub fn add(
+        &mut self,
+        processor: ProcessorId,
+        key: ContributionKey,
+        utilization: f64,
+        lifetime: Lifetime,
+    ) -> Result<(), LedgerError> {
+        if processor.index() >= self.procs.len() {
+            return Err(LedgerError::UnknownProcessor {
+                processor,
+                processor_count: self.procs.len(),
+            });
+        }
+        if !utilization.is_finite() || utilization < 0.0 {
+            return Err(LedgerError::InvalidUtilization { value: utilization });
+        }
+        let proc = &mut self.procs[processor.index()];
+        if proc.entries.contains_key(&key) {
+            return Err(LedgerError::DuplicateContribution { processor, key });
+        }
+        proc.entries.insert(key, Entry { utilization, lifetime });
+        proc.total += utilization;
+        if let Lifetime::UntilDeadline(deadline) = lifetime {
+            self.expiry.insert((deadline, processor, key));
+        }
+        Ok(())
+    }
+
+    /// Removes a contribution, returning the utilization freed, or `None`
+    /// if it was not present (e.g. already expired — idle-reset reports can
+    /// race with deadline expiry, so absence is not an error).
+    pub fn remove(&mut self, processor: ProcessorId, key: ContributionKey) -> Option<f64> {
+        let proc = self.procs.get_mut(processor.index())?;
+        let entry = proc.entries.remove(&key)?;
+        proc.total -= entry.utilization;
+        if proc.entries.is_empty() {
+            proc.total = 0.0;
+        }
+        if let Lifetime::UntilDeadline(deadline) = entry.lifetime {
+            self.expiry.remove(&(deadline, processor, key));
+        }
+        Some(entry.utilization)
+    }
+
+    /// Returns the utilization of a live contribution, if present.
+    #[must_use]
+    pub fn contribution(&self, processor: ProcessorId, key: ContributionKey) -> Option<f64> {
+        self.procs.get(processor.index())?.entries.get(&key).map(|e| e.utilization)
+    }
+
+    /// Removes every deadline-bound contribution whose deadline is at or
+    /// before `now` (the current-set rule `S(t) = {T_i | A_i ≤ t < A_i +
+    /// D_i}`). Returns the removed keys.
+    pub fn expire_until(&mut self, now: Time) -> Vec<(ProcessorId, ContributionKey)> {
+        let mut removed = Vec::new();
+        loop {
+            let first = match self.expiry.first() {
+                Some(&(deadline, processor, key)) if deadline <= now => (deadline, processor, key),
+                _ => break,
+            };
+            self.expiry.remove(&first);
+            let (_, processor, key) = first;
+            let proc = &mut self.procs[processor.index()];
+            if let Some(entry) = proc.entries.remove(&key) {
+                proc.total -= entry.utilization;
+                if proc.entries.is_empty() {
+                    proc.total = 0.0;
+                }
+                removed.push((processor, key));
+            }
+        }
+        removed
+    }
+
+    /// The earliest pending deadline expiry, if any — useful for simulators
+    /// that want to schedule cleanup lazily.
+    #[must_use]
+    pub fn next_expiry(&self) -> Option<Time> {
+        self.expiry.first().map(|&(t, _, _)| t)
+    }
+
+    /// Recomputes all running totals from scratch (test/diagnostic aid).
+    pub fn recompute_totals(&mut self) {
+        for proc in &mut self.procs {
+            proc.total = proc.entries.values().map(|e| e.utilization).sum();
+        }
+    }
+}
+
+/// Errors from [`UtilizationLedger`] operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LedgerError {
+    /// Processor index out of range for this ledger.
+    UnknownProcessor {
+        /// The offending processor.
+        processor: ProcessorId,
+        /// Number of processors the ledger tracks.
+        processor_count: usize,
+    },
+    /// `(processor, key)` already holds a live contribution.
+    DuplicateContribution {
+        /// The processor.
+        processor: ProcessorId,
+        /// The duplicated key.
+        key: ContributionKey,
+    },
+    /// Contribution utilizations must be finite and non-negative.
+    InvalidUtilization {
+        /// The rejected value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for LedgerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LedgerError::UnknownProcessor { processor, processor_count } => {
+                write!(f, "processor {processor} outside the ledger's 0..{processor_count} range")
+            }
+            LedgerError::DuplicateContribution { processor, key } => {
+                write!(f, "contribution {key} already present on {processor}")
+            }
+            LedgerError::InvalidUtilization { value } => {
+                write!(f, "contribution utilization {value} is not finite and non-negative")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LedgerError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::TaskId;
+    use crate::time::Duration;
+
+    fn key(task: u32, seq: u64, subtask: usize) -> ContributionKey {
+        ContributionKey::new(JobId::new(TaskId(task), seq), subtask)
+    }
+
+    fn at(ms: u64) -> Time {
+        Time::ZERO + Duration::from_millis(ms)
+    }
+
+    #[test]
+    fn add_and_read_back() {
+        let mut l = UtilizationLedger::new(2);
+        l.add(ProcessorId(0), key(0, 0, 0), 0.3, Lifetime::UntilDeadline(at(100))).unwrap();
+        l.add(ProcessorId(0), key(1, 0, 0), 0.2, Lifetime::Reserved).unwrap();
+        assert!((l.utilization(ProcessorId(0)) - 0.5).abs() < 1e-12);
+        assert_eq!(l.utilization(ProcessorId(1)), 0.0);
+        assert_eq!(l.contribution_count(ProcessorId(0)), 2);
+        assert_eq!(l.total_contributions(), 2);
+        assert_eq!(l.contribution(ProcessorId(0), key(0, 0, 0)), Some(0.3));
+    }
+
+    #[test]
+    fn duplicate_contribution_rejected() {
+        let mut l = UtilizationLedger::new(1);
+        l.add(ProcessorId(0), key(0, 0, 0), 0.1, Lifetime::Reserved).unwrap();
+        let err = l.add(ProcessorId(0), key(0, 0, 0), 0.1, Lifetime::Reserved).unwrap_err();
+        assert!(matches!(err, LedgerError::DuplicateContribution { .. }));
+    }
+
+    #[test]
+    fn same_key_on_two_processors_is_fine() {
+        // A job visiting two processors reuses the (job, subtask) key only
+        // per subtask — but the ledger itself namespaces by processor.
+        let mut l = UtilizationLedger::new(2);
+        l.add(ProcessorId(0), key(0, 0, 0), 0.1, Lifetime::Reserved).unwrap();
+        l.add(ProcessorId(1), key(0, 0, 0), 0.1, Lifetime::Reserved).unwrap();
+        assert_eq!(l.total_contributions(), 2);
+    }
+
+    #[test]
+    fn unknown_processor_rejected() {
+        let mut l = UtilizationLedger::new(1);
+        let err =
+            l.add(ProcessorId(3), key(0, 0, 0), 0.1, Lifetime::Reserved).unwrap_err();
+        assert_eq!(
+            err,
+            LedgerError::UnknownProcessor { processor: ProcessorId(3), processor_count: 1 }
+        );
+    }
+
+    #[test]
+    fn invalid_utilizations_rejected() {
+        let mut l = UtilizationLedger::new(1);
+        for bad in [-0.1, f64::NAN, f64::INFINITY] {
+            let err = l.add(ProcessorId(0), key(0, 0, 0), bad, Lifetime::Reserved).unwrap_err();
+            assert!(matches!(err, LedgerError::InvalidUtilization { .. }), "value {bad}");
+        }
+    }
+
+    #[test]
+    fn expiry_removes_at_deadline_inclusive() {
+        let mut l = UtilizationLedger::new(1);
+        l.add(ProcessorId(0), key(0, 0, 0), 0.3, Lifetime::UntilDeadline(at(100))).unwrap();
+        assert!(l.expire_until(at(99)).is_empty());
+        let removed = l.expire_until(at(100));
+        assert_eq!(removed, vec![(ProcessorId(0), key(0, 0, 0))]);
+        assert_eq!(l.utilization(ProcessorId(0)), 0.0);
+        // Idempotent.
+        assert!(l.expire_until(at(200)).is_empty());
+    }
+
+    #[test]
+    fn reserved_contributions_never_expire() {
+        let mut l = UtilizationLedger::new(1);
+        l.add(ProcessorId(0), key(0, 0, 0), 0.3, Lifetime::Reserved).unwrap();
+        assert!(l.expire_until(Time::MAX).is_empty());
+        assert!((l.utilization(ProcessorId(0)) - 0.3).abs() < 1e-12);
+        assert_eq!(l.remove(ProcessorId(0), key(0, 0, 0)), Some(0.3));
+        assert_eq!(l.utilization(ProcessorId(0)), 0.0);
+    }
+
+    #[test]
+    fn remove_missing_is_none() {
+        let mut l = UtilizationLedger::new(1);
+        assert_eq!(l.remove(ProcessorId(0), key(0, 0, 0)), None);
+        assert_eq!(l.remove(ProcessorId(9), key(0, 0, 0)), None);
+    }
+
+    #[test]
+    fn emptiness_resets_float_drift() {
+        let mut l = UtilizationLedger::new(1);
+        // Accumulate drift-prone values, then drain.
+        for seq in 0..1000 {
+            l.add(ProcessorId(0), key(0, seq, 0), 0.1 + 1e-13, Lifetime::Reserved).unwrap();
+        }
+        for seq in 0..1000 {
+            l.remove(ProcessorId(0), key(0, seq, 0));
+        }
+        assert_eq!(l.utilization(ProcessorId(0)), 0.0);
+    }
+
+    #[test]
+    fn next_expiry_tracks_earliest() {
+        let mut l = UtilizationLedger::new(2);
+        assert_eq!(l.next_expiry(), None);
+        l.add(ProcessorId(0), key(0, 0, 0), 0.1, Lifetime::UntilDeadline(at(300))).unwrap();
+        l.add(ProcessorId(1), key(1, 0, 0), 0.1, Lifetime::UntilDeadline(at(100))).unwrap();
+        assert_eq!(l.next_expiry(), Some(at(100)));
+        l.expire_until(at(100));
+        assert_eq!(l.next_expiry(), Some(at(300)));
+    }
+
+    #[test]
+    fn recompute_totals_matches_incremental() {
+        let mut l = UtilizationLedger::new(2);
+        l.add(ProcessorId(0), key(0, 0, 0), 0.25, Lifetime::Reserved).unwrap();
+        l.add(ProcessorId(1), key(0, 0, 1), 0.5, Lifetime::Reserved).unwrap();
+        let before = l.utilizations();
+        l.recompute_totals();
+        let after = l.utilizations();
+        for (b, a) in before.iter().zip(&after) {
+            assert!((b - a).abs() < 1e-12);
+        }
+    }
+}

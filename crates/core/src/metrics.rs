@@ -1,0 +1,382 @@
+//! Shared evaluation metrics: the paper's *accepted utilization ratio* and
+//! mean/max latency accounting for the overhead table (Figure 8).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::Duration;
+
+/// The paper's §7.1 performance metric: "the total utilization of jobs
+/// actually released divided by the total utilization of all jobs
+/// arriving". A job's utilization weight is `Σ_j C_{i,j} / D_i`
+/// ([`crate::task::TaskSpec::job_utilization`]).
+///
+/// # Examples
+///
+/// ```
+/// use rtcm_core::metrics::UtilizationRatio;
+///
+/// let mut r = UtilizationRatio::new();
+/// r.record_arrival(0.4);
+/// r.record_release(0.4);
+/// r.record_arrival(0.6);
+/// assert!((r.ratio() - 0.4).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct UtilizationRatio {
+    arrived: f64,
+    released: f64,
+    arrived_jobs: u64,
+    released_jobs: u64,
+}
+
+impl UtilizationRatio {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        UtilizationRatio::default()
+    }
+
+    /// Records an arriving job of the given utilization weight.
+    pub fn record_arrival(&mut self, utilization: f64) {
+        self.arrived += utilization;
+        self.arrived_jobs += 1;
+    }
+
+    /// Records a released (admitted) job of the given utilization weight.
+    pub fn record_release(&mut self, utilization: f64) {
+        self.released += utilization;
+        self.released_jobs += 1;
+    }
+
+    /// Released / arrived utilization; defined as 1 when nothing arrived.
+    #[must_use]
+    pub fn ratio(&self) -> f64 {
+        if self.arrived <= 0.0 {
+            1.0
+        } else {
+            self.released / self.arrived
+        }
+    }
+
+    /// Total utilization weight of arrived jobs.
+    #[must_use]
+    pub fn arrived_utilization(&self) -> f64 {
+        self.arrived
+    }
+
+    /// Total utilization weight of released jobs.
+    #[must_use]
+    pub fn released_utilization(&self) -> f64 {
+        self.released
+    }
+
+    /// Number of arrived jobs.
+    #[must_use]
+    pub fn arrived_jobs(&self) -> u64 {
+        self.arrived_jobs
+    }
+
+    /// Number of released jobs.
+    #[must_use]
+    pub fn released_jobs(&self) -> u64 {
+        self.released_jobs
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &UtilizationRatio) {
+        self.arrived += other.arrived;
+        self.released += other.released;
+        self.arrived_jobs += other.arrived_jobs;
+        self.released_jobs += other.released_jobs;
+    }
+}
+
+impl fmt::Display for UtilizationRatio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.3} ({}/{} jobs, {:.3}/{:.3} utilization)",
+            self.ratio(),
+            self.released_jobs,
+            self.arrived_jobs,
+            self.released,
+            self.arrived
+        )
+    }
+}
+
+/// Mean / max / min accumulation of operation delays, as reported in the
+/// paper's Figure 8 (µs rows).
+///
+/// # Examples
+///
+/// ```
+/// use rtcm_core::metrics::DelayStats;
+/// use rtcm_core::time::Duration;
+///
+/// let mut s = DelayStats::new();
+/// s.record(Duration::from_micros(100));
+/// s.record(Duration::from_micros(300));
+/// assert_eq!(s.mean(), Duration::from_micros(200));
+/// assert_eq!(s.max(), Duration::from_micros(300));
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DelayStats {
+    count: u64,
+    total_ns: u128,
+    max: Duration,
+    min: Duration,
+}
+
+impl DelayStats {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        DelayStats { count: 0, total_ns: 0, max: Duration::ZERO, min: Duration::MAX }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, sample: Duration) {
+        self.count += 1;
+        self.total_ns += u128::from(sample.as_nanos());
+        self.max = self.max.max(sample);
+        self.min = self.min.min(sample);
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean sample; zero when empty.
+    #[must_use]
+    pub fn mean(&self) -> Duration {
+        if self.count == 0 {
+            Duration::ZERO
+        } else {
+            let ns = self.total_ns / u128::from(self.count);
+            Duration::from_nanos(u64::try_from(ns).unwrap_or(u64::MAX))
+        }
+    }
+
+    /// Largest sample; zero when empty.
+    #[must_use]
+    pub fn max(&self) -> Duration {
+        if self.count == 0 {
+            Duration::ZERO
+        } else {
+            self.max
+        }
+    }
+
+    /// Smallest sample; zero when empty.
+    #[must_use]
+    pub fn min(&self) -> Duration {
+        if self.count == 0 {
+            Duration::ZERO
+        } else {
+            self.min
+        }
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &DelayStats) {
+        if other.count == 0 {
+            return;
+        }
+        self.count += other.count;
+        self.total_ns += other.total_ns;
+        self.max = self.max.max(other.max);
+        self.min = self.min.min(other.min);
+    }
+}
+
+impl fmt::Display for DelayStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "mean {}us max {}us over {} samples",
+            self.mean().as_micros(),
+            self.max().as_micros(),
+            self.count
+        )
+    }
+}
+
+/// Tracks consecutive job skips per task — quantifying *how much* job
+/// skipping (criterion C1) a configuration actually demands from the
+/// application.
+///
+/// The paper's C1 is a yes/no question, but it cites Koren & Shasha's
+/// skip-over work for applications tolerating "varying degrees" of
+/// skipping. The longest run of consecutive skipped jobs is the quantity
+/// such an application must be specified against.
+///
+/// # Examples
+///
+/// ```
+/// use rtcm_core::metrics::SkipTracker;
+/// use rtcm_core::task::TaskId;
+///
+/// let mut s = SkipTracker::new();
+/// s.record(TaskId(0), false); // skipped
+/// s.record(TaskId(0), false); // skipped again
+/// s.record(TaskId(0), true);  // released
+/// assert_eq!(s.max_consecutive(TaskId(0)), 2);
+/// assert_eq!(s.worst_case(), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SkipTracker {
+    current: std::collections::HashMap<crate::task::TaskId, u32>,
+    max: std::collections::HashMap<crate::task::TaskId, u32>,
+}
+
+impl SkipTracker {
+    /// Creates an empty tracker.
+    #[must_use]
+    pub fn new() -> Self {
+        SkipTracker::default()
+    }
+
+    /// Records one job outcome for `task`: `released = false` means the
+    /// job was skipped (rejected or dropped).
+    pub fn record(&mut self, task: crate::task::TaskId, released: bool) {
+        if released {
+            self.current.insert(task, 0);
+        } else {
+            let run = self.current.entry(task).or_insert(0);
+            *run += 1;
+            let max = self.max.entry(task).or_insert(0);
+            *max = (*max).max(*run);
+        }
+    }
+
+    /// Longest skip run observed for `task`.
+    #[must_use]
+    pub fn max_consecutive(&self, task: crate::task::TaskId) -> u32 {
+        self.max.get(&task).copied().unwrap_or(0)
+    }
+
+    /// Longest skip run observed across all tasks.
+    #[must_use]
+    pub fn worst_case(&self) -> u32 {
+        self.max.values().copied().max().unwrap_or(0)
+    }
+
+    /// `(task, longest run)` pairs for every task that skipped at least
+    /// once, sorted by task id.
+    #[must_use]
+    pub fn per_task(&self) -> Vec<(crate::task::TaskId, u32)> {
+        let mut v: Vec<_> =
+            self.max.iter().filter(|(_, m)| **m > 0).map(|(t, m)| (*t, *m)).collect();
+        v.sort();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_of_empty_is_one() {
+        assert_eq!(UtilizationRatio::new().ratio(), 1.0);
+    }
+
+    #[test]
+    fn ratio_tracks_weights_not_counts() {
+        let mut r = UtilizationRatio::new();
+        r.record_arrival(0.9);
+        r.record_arrival(0.1);
+        r.record_release(0.9);
+        // 1 of 2 jobs but 90% of the utilization.
+        assert!((r.ratio() - 0.9).abs() < 1e-12);
+        assert_eq!(r.arrived_jobs(), 2);
+        assert_eq!(r.released_jobs(), 1);
+    }
+
+    #[test]
+    fn ratio_merge_combines() {
+        let mut a = UtilizationRatio::new();
+        a.record_arrival(1.0);
+        a.record_release(1.0);
+        let mut b = UtilizationRatio::new();
+        b.record_arrival(1.0);
+        a.merge(&b);
+        assert!((a.ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delay_stats_mean_max_min() {
+        let mut s = DelayStats::new();
+        for us in [10u64, 20, 60] {
+            s.record(Duration::from_micros(us));
+        }
+        assert_eq!(s.mean(), Duration::from_micros(30));
+        assert_eq!(s.max(), Duration::from_micros(60));
+        assert_eq!(s.min(), Duration::from_micros(10));
+        assert_eq!(s.count(), 3);
+    }
+
+    #[test]
+    fn delay_stats_empty_reads_zero() {
+        let s = DelayStats::new();
+        assert_eq!(s.mean(), Duration::ZERO);
+        assert_eq!(s.max(), Duration::ZERO);
+        assert_eq!(s.min(), Duration::ZERO);
+    }
+
+    #[test]
+    fn delay_stats_merge() {
+        let mut a = DelayStats::new();
+        a.record(Duration::from_micros(10));
+        let mut b = DelayStats::new();
+        b.record(Duration::from_micros(50));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.mean(), Duration::from_micros(30));
+        assert_eq!(a.max(), Duration::from_micros(50));
+        assert_eq!(a.min(), Duration::from_micros(10));
+        let empty = DelayStats::new();
+        a.merge(&empty);
+        assert_eq!(a.count(), 2);
+    }
+
+    #[test]
+    fn skip_tracker_runs_and_resets() {
+        use crate::task::TaskId;
+        let mut s = SkipTracker::new();
+        // Run of 3, then release, then run of 1.
+        for _ in 0..3 {
+            s.record(TaskId(0), false);
+        }
+        s.record(TaskId(0), true);
+        s.record(TaskId(0), false);
+        assert_eq!(s.max_consecutive(TaskId(0)), 3);
+        // Independent task.
+        s.record(TaskId(1), true);
+        assert_eq!(s.max_consecutive(TaskId(1)), 0);
+        assert_eq!(s.worst_case(), 3);
+        assert_eq!(s.per_task(), vec![(TaskId(0), 3)]);
+    }
+
+    #[test]
+    fn skip_tracker_empty_is_zero() {
+        let s = SkipTracker::new();
+        assert_eq!(s.worst_case(), 0);
+        assert!(s.per_task().is_empty());
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let mut s = DelayStats::new();
+        s.record(Duration::from_micros(5));
+        assert!(!s.to_string().is_empty());
+        let mut r = UtilizationRatio::new();
+        r.record_arrival(0.5);
+        assert!(!r.to_string().is_empty());
+    }
+}

@@ -1,0 +1,401 @@
+//! Nanosecond-resolution time types shared by virtual (simulated) and
+//! wall-clock execution.
+//!
+//! The middleware logic in this crate is *time-source agnostic*: the
+//! discrete-event simulator advances a virtual [`Time`], while the threaded
+//! runtime converts `std::time::Instant` offsets into the same
+//! representation. Keeping a single fixed-point representation (u64
+//! nanoseconds from an arbitrary epoch) makes admission-control bookkeeping
+//! deterministic and directly comparable between the two substrates.
+//!
+//! # Examples
+//!
+//! ```
+//! use rtcm_core::time::{Duration, Time};
+//!
+//! let start = Time::ZERO;
+//! let deadline = start + Duration::from_millis(250);
+//! assert_eq!(deadline.elapsed_since(start), Duration::from_millis(250));
+//! assert!(deadline > start);
+//! ```
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// A point in time, measured in nanoseconds from an arbitrary epoch.
+///
+/// In simulation the epoch is the start of the run; in the threaded runtime
+/// it is the creation instant of the runtime clock.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Time(u64);
+
+/// A span of time, measured in nanoseconds.
+///
+/// This intentionally mirrors a subset of `std::time::Duration` while staying
+/// a plain `u64` so it can be used as a map key and serialized compactly.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Duration(u64);
+
+impl Time {
+    /// The epoch itself.
+    pub const ZERO: Time = Time(0);
+    /// The largest representable instant; used as "never" sentinel.
+    pub const MAX: Time = Time(u64::MAX);
+
+    /// Creates a time from raw nanoseconds since the epoch.
+    #[must_use]
+    pub const fn from_nanos(ns: u64) -> Self {
+        Time(ns)
+    }
+
+    /// Returns raw nanoseconds since the epoch.
+    #[must_use]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the duration elapsed since `earlier`, saturating to zero if
+    /// `earlier` is in the future.
+    #[must_use]
+    pub fn elapsed_since(self, earlier: Time) -> Duration {
+        Duration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Checked addition of a duration; `None` on overflow.
+    #[must_use]
+    pub fn checked_add(self, d: Duration) -> Option<Time> {
+        self.0.checked_add(d.0).map(Time)
+    }
+
+    /// Saturating addition of a duration.
+    #[must_use]
+    pub fn saturating_add(self, d: Duration) -> Time {
+        Time(self.0.saturating_add(d.0))
+    }
+}
+
+impl Duration {
+    /// The empty duration.
+    pub const ZERO: Duration = Duration(0);
+    /// The largest representable duration.
+    pub const MAX: Duration = Duration(u64::MAX);
+
+    /// Creates a duration from nanoseconds.
+    #[must_use]
+    pub const fn from_nanos(ns: u64) -> Self {
+        Duration(ns)
+    }
+
+    /// Creates a duration from microseconds.
+    #[must_use]
+    pub const fn from_micros(us: u64) -> Self {
+        Duration(us * 1_000)
+    }
+
+    /// Creates a duration from milliseconds.
+    #[must_use]
+    pub const fn from_millis(ms: u64) -> Self {
+        Duration(ms * 1_000_000)
+    }
+
+    /// Creates a duration from whole seconds.
+    #[must_use]
+    pub const fn from_secs(s: u64) -> Self {
+        Duration(s * 1_000_000_000)
+    }
+
+    /// Creates a duration from fractional seconds, rounding to the nearest
+    /// nanosecond and saturating at the representable range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is negative or not finite.
+    #[must_use]
+    pub fn from_secs_f64(s: f64) -> Self {
+        assert!(s.is_finite() && s >= 0.0, "duration seconds must be finite and non-negative");
+        let ns = (s * 1e9).round();
+        if ns >= u64::MAX as f64 {
+            Duration(u64::MAX)
+        } else {
+            Duration(ns as u64)
+        }
+    }
+
+    /// Returns the duration in nanoseconds.
+    #[must_use]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the duration in whole microseconds (truncating).
+    #[must_use]
+    pub const fn as_micros(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Returns the duration in whole milliseconds (truncating).
+    #[must_use]
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Returns the duration in fractional seconds.
+    #[must_use]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Returns true if this duration is zero.
+    #[must_use]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Checked subtraction; `None` if `other` is larger.
+    #[must_use]
+    pub fn checked_sub(self, other: Duration) -> Option<Duration> {
+        self.0.checked_sub(other.0).map(Duration)
+    }
+
+    /// Saturating subtraction.
+    #[must_use]
+    pub fn saturating_sub(self, other: Duration) -> Duration {
+        Duration(self.0.saturating_sub(other.0))
+    }
+
+    /// The ratio `self / other` as `f64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` is zero.
+    #[must_use]
+    pub fn ratio(self, other: Duration) -> f64 {
+        assert!(!other.is_zero(), "cannot take ratio against a zero duration");
+        self.0 as f64 / other.0 as f64
+    }
+
+    /// Multiplies by a non-negative float, rounding to the nearest
+    /// nanosecond.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or not finite.
+    #[must_use]
+    pub fn mul_f64(self, factor: f64) -> Duration {
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "duration scale factor must be finite and non-negative"
+        );
+        Duration::from_secs_f64(self.as_secs_f64() * factor)
+    }
+
+    /// Returns the smaller of two durations.
+    #[must_use]
+    pub fn min(self, other: Duration) -> Duration {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the larger of two durations.
+    #[must_use]
+    pub fn max(self, other: Duration) -> Duration {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add<Duration> for Time {
+    type Output = Time;
+    fn add(self, rhs: Duration) -> Time {
+        Time(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Duration> for Time {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<Duration> for Time {
+    type Output = Time;
+    fn sub(self, rhs: Duration) -> Time {
+        Time(self.0 - rhs.0)
+    }
+}
+
+impl Sub<Time> for Time {
+    type Output = Duration;
+    fn sub(self, rhs: Time) -> Duration {
+        Duration(self.0 - rhs.0)
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Duration {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Duration {
+    type Output = Duration;
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Duration {
+    fn sub_assign(&mut self, rhs: Duration) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Duration {
+    type Output = Duration;
+    fn mul(self, rhs: u64) -> Duration {
+        Duration(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Duration {
+    type Output = Duration;
+    fn div(self, rhs: u64) -> Duration {
+        Duration(self.0 / rhs)
+    }
+}
+
+impl Sum for Duration {
+    fn sum<I: Iterator<Item = Duration>>(iter: I) -> Duration {
+        iter.fold(Duration::ZERO, Add::add)
+    }
+}
+
+impl From<std::time::Duration> for Duration {
+    fn from(d: std::time::Duration) -> Self {
+        Duration(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX))
+    }
+}
+
+impl From<Duration> for std::time::Duration {
+    fn from(d: Duration) -> Self {
+        std::time::Duration::from_nanos(d.0)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{}", Duration(self.0))
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.0;
+        if ns == 0 {
+            write!(f, "0s")
+        } else if ns % 1_000_000_000 == 0 {
+            write!(f, "{}s", ns / 1_000_000_000)
+        } else if ns % 1_000_000 == 0 {
+            write!(f, "{}ms", ns / 1_000_000)
+        } else if ns % 1_000 == 0 {
+            write!(f, "{}us", ns / 1_000)
+        } else {
+            write!(f, "{ns}ns")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_arithmetic_round_trips() {
+        let t = Time::from_nanos(5_000);
+        let d = Duration::from_micros(3);
+        assert_eq!((t + d) - t, d);
+        assert_eq!((t + d) - d, t);
+    }
+
+    #[test]
+    fn elapsed_since_saturates() {
+        let early = Time::from_nanos(10);
+        let late = Time::from_nanos(50);
+        assert_eq!(late.elapsed_since(early), Duration::from_nanos(40));
+        assert_eq!(early.elapsed_since(late), Duration::ZERO);
+    }
+
+    #[test]
+    fn duration_constructors_agree() {
+        assert_eq!(Duration::from_secs(1), Duration::from_millis(1_000));
+        assert_eq!(Duration::from_millis(1), Duration::from_micros(1_000));
+        assert_eq!(Duration::from_micros(1), Duration::from_nanos(1_000));
+        assert_eq!(Duration::from_secs_f64(0.25), Duration::from_millis(250));
+    }
+
+    #[test]
+    fn ratio_and_mul_f64_are_inverses() {
+        let d = Duration::from_millis(400);
+        let base = Duration::from_secs(2);
+        let r = d.ratio(base);
+        assert!((r - 0.2).abs() < 1e-12);
+        assert_eq!(base.mul_f64(r), d);
+    }
+
+    #[test]
+    fn display_picks_coarsest_unit() {
+        assert_eq!(Duration::from_secs(3).to_string(), "3s");
+        assert_eq!(Duration::from_millis(250).to_string(), "250ms");
+        assert_eq!(Duration::from_micros(17).to_string(), "17us");
+        assert_eq!(Duration::from_nanos(9).to_string(), "9ns");
+        assert_eq!(Duration::ZERO.to_string(), "0s");
+    }
+
+    #[test]
+    fn std_duration_conversions() {
+        let d = Duration::from_millis(1_500);
+        let std: std::time::Duration = d.into();
+        assert_eq!(std.as_millis(), 1_500);
+        assert_eq!(Duration::from(std), d);
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let parts = [Duration::from_millis(1), Duration::from_millis(2), Duration::from_millis(3)];
+        let total: Duration = parts.iter().copied().sum();
+        assert_eq!(total, Duration::from_millis(6));
+    }
+
+    #[test]
+    fn checked_ops_detect_overflow() {
+        assert_eq!(Time::MAX.checked_add(Duration::from_nanos(1)), None);
+        assert_eq!(Time::MAX.saturating_add(Duration::from_nanos(1)), Time::MAX);
+        assert_eq!(Duration::from_nanos(1).checked_sub(Duration::from_nanos(2)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero duration")]
+    fn ratio_rejects_zero_base() {
+        let _ = Duration::from_millis(1).ratio(Duration::ZERO);
+    }
+}

@@ -1,0 +1,301 @@
+//! Property-based tests for the core scheduling machinery: ledger
+//! invariants, admission soundness and rollback, balancer validity, and
+//! strategy parsing.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use rtcm_core::admission::AdmissionController;
+use rtcm_core::aub::{aub_term, bound_lhs, BOUND_EPSILON};
+use rtcm_core::balance::{Assignment, LoadBalancer};
+use rtcm_core::ledger::{ContributionKey, Lifetime, UtilizationLedger};
+use rtcm_core::priority::assign_edms;
+use rtcm_core::strategy::ServiceConfig;
+use rtcm_core::task::{JobId, ProcessorId, TaskBuilder, TaskId, TaskSet, TaskSpec};
+use rtcm_core::time::{Duration, Time};
+
+const PROCS: u16 = 4;
+
+/// Strategy: a small single- or multi-stage task over `PROCS` processors.
+fn arb_task(id: u32) -> impl Strategy<Value = TaskSpec> {
+    let deadline_ms = 50u64..2_000;
+    let stages = vec((1u64..40, 0..PROCS, 0..PROCS), 1..5);
+    (deadline_ms, stages, any::<bool>()).prop_map(move |(deadline, stages, periodic)| {
+        let deadline = Duration::from_millis(deadline);
+        let total: u64 = stages.iter().map(|(e, _, _)| *e).sum();
+        // Scale execution times so the chain always fits in the deadline.
+        let scale = (deadline.as_millis() / 2).max(1);
+        let mut builder = if periodic {
+            TaskBuilder::periodic(TaskId(id), deadline)
+        } else {
+            TaskBuilder::aperiodic(TaskId(id)).deadline(deadline)
+        };
+        for (exec, primary, replica) in &stages {
+            let exec_ms = (exec * scale / total.max(1)).max(1);
+            builder = builder.subtask(
+                Duration::from_millis(exec_ms),
+                ProcessorId(*primary),
+                [ProcessorId(*replica)],
+            );
+        }
+        builder.build().expect("generated tasks are valid")
+    })
+}
+
+fn arb_tasks(n: usize) -> impl Strategy<Value = Vec<TaskSpec>> {
+    (0..n as u32)
+        .map(arb_task)
+        .collect::<Vec<_>>()
+        .prop_map(|tasks| tasks)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The AUB term is non-negative and monotone on [0, 1).
+    #[test]
+    fn aub_term_monotone(a in 0.0f64..0.99, b in 0.0f64..0.99) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(aub_term(lo) >= 0.0);
+        prop_assert!(aub_term(lo) <= aub_term(hi) + 1e-12);
+    }
+
+    /// Ledger add/remove round-trips leave utilization at zero, and totals
+    /// never go negative along the way.
+    #[test]
+    fn ledger_add_remove_round_trip(
+        contributions in vec((0..PROCS, 0u32..50, 0.0f64..0.5), 1..60)
+    ) {
+        let mut ledger = UtilizationLedger::new(PROCS as usize);
+        let mut added = Vec::new();
+        for (i, (proc, task, u)) in contributions.into_iter().enumerate() {
+            let key = ContributionKey::new(JobId::new(TaskId(task), i as u64), 0);
+            let p = ProcessorId(proc);
+            ledger.add(p, key, u, Lifetime::Reserved).unwrap();
+            added.push((p, key));
+        }
+        for p in 0..PROCS {
+            prop_assert!(ledger.utilization(ProcessorId(p)) >= 0.0);
+        }
+        for (p, key) in added {
+            ledger.remove(p, key);
+            prop_assert!(ledger.utilization(p) >= 0.0);
+        }
+        for p in 0..PROCS {
+            prop_assert_eq!(ledger.utilization(ProcessorId(p)), 0.0);
+        }
+    }
+
+    /// Expiry removes exactly the deadline-bound contributions at or before
+    /// `now`, never reserved ones.
+    #[test]
+    fn ledger_expiry_is_exact(
+        deadlines in vec(1u64..1_000, 1..40),
+        cut in 1u64..1_000
+    ) {
+        let mut ledger = UtilizationLedger::new(1);
+        for (i, d) in deadlines.iter().enumerate() {
+            let key = ContributionKey::new(JobId::new(TaskId(0), i as u64), 0);
+            let deadline = Time::ZERO + Duration::from_millis(*d);
+            ledger.add(ProcessorId(0), key, 0.01, Lifetime::UntilDeadline(deadline)).unwrap();
+        }
+        ledger
+            .add(
+                ProcessorId(0),
+                ContributionKey::new(JobId::new(TaskId(1), 0), 0),
+                0.01,
+                Lifetime::Reserved,
+            )
+            .unwrap();
+        let removed = ledger.expire_until(Time::ZERO + Duration::from_millis(cut));
+        let expected = deadlines.iter().filter(|d| **d <= cut).count();
+        prop_assert_eq!(removed.len(), expected);
+        prop_assert_eq!(
+            ledger.contribution_count(ProcessorId(0)),
+            deadlines.len() - expected + 1
+        );
+    }
+
+    /// Whenever the admission controller accepts, the AUB condition holds
+    /// for every processor-visit list it tracks; whenever it rejects, the
+    /// ledger is exactly as it was before the call.
+    #[test]
+    fn admission_sound_and_rollback_clean(
+        tasks in arb_tasks(12),
+        config_idx in 0usize..15
+    ) {
+        let config = ServiceConfig::all_valid()[config_idx];
+        let mut ac = AdmissionController::new(config, PROCS as usize).unwrap();
+        let mut now = Time::ZERO;
+        for (i, task) in tasks.iter().enumerate() {
+            now += Duration::from_millis(7 * (i as u64 % 5));
+            // Snapshot after expiry so rejection rollback is observable in
+            // isolation (handle_arrival expires lazily on entry).
+            ac.expire(now);
+            let before = ac.ledger().utilizations();
+            let decision = ac.handle_arrival(task, 0, now).unwrap();
+            match decision {
+                rtcm_core::admission::Decision::Accept { assignment, newly_admitted } => {
+                    prop_assert!(assignment.is_valid_for(task));
+                    if newly_admitted {
+                        // The candidate's own bound must hold.
+                        let u = ac.ledger().utilizations();
+                        let lhs = bound_lhs(
+                            assignment.as_slice().iter().map(|p| u[p.index()]),
+                        );
+                        prop_assert!(lhs <= 1.0 + BOUND_EPSILON, "lhs = {lhs}");
+                    }
+                }
+                rtcm_core::admission::Decision::Reject { .. } => {
+                    let after = ac.ledger().utilizations();
+                    for (b, a) in before.iter().zip(&after) {
+                        prop_assert!((b - a).abs() < 1e-12, "rollback must not move U");
+                    }
+                }
+            }
+        }
+    }
+
+    /// The balancer only ever places subtasks on declared candidates, for
+    /// every strategy.
+    #[test]
+    fn balancer_respects_candidates(tasks in arb_tasks(8), strat in 0usize..3) {
+        let strategy = rtcm_core::strategy::LbStrategy::all()[strat];
+        let mut lb = LoadBalancer::new(strategy);
+        let ledger = UtilizationLedger::new(PROCS as usize);
+        for task in &tasks {
+            let plan = lb.assignment_for(task, &ledger);
+            prop_assert!(plan.is_valid_for(task));
+        }
+    }
+
+    /// Greedy proposals pick a minimal-utilization candidate for the first
+    /// stage.
+    #[test]
+    fn balancer_first_stage_is_argmin(
+        task in arb_task(0),
+        loads in vec(0.0f64..0.9, PROCS as usize)
+    ) {
+        let mut ledger = UtilizationLedger::new(PROCS as usize);
+        for (p, u) in loads.iter().enumerate() {
+            ledger
+                .add(
+                    ProcessorId(p as u16),
+                    ContributionKey::new(JobId::new(TaskId(999), p as u64), 0),
+                    *u,
+                    Lifetime::Reserved,
+                )
+                .unwrap();
+        }
+        let plan = LoadBalancer::propose(&task, &ledger);
+        let chosen = plan.processor(0);
+        let best = task.subtasks()[0]
+            .candidates()
+            .map(|c| ledger.utilization(c))
+            .fold(f64::INFINITY, f64::min);
+        prop_assert!(ledger.utilization(chosen) <= best + 1e-12);
+    }
+
+    /// EDMS yields a permutation of 0..n consistent with deadline order.
+    #[test]
+    fn edms_is_deadline_consistent(tasks in arb_tasks(10)) {
+        let set = TaskSet::from_tasks(tasks.clone()).unwrap();
+        let prio = assign_edms(&set);
+        for a in &tasks {
+            for b in &tasks {
+                if a.deadline() < b.deadline() {
+                    prop_assert!(prio[&a.id()].is_higher_than(prio[&b.id()]));
+                }
+            }
+        }
+    }
+
+    /// Label parsing is the inverse of display for every combination.
+    #[test]
+    fn config_label_round_trip(idx in 0usize..18) {
+        let cfg = ServiceConfig::all()[idx];
+        let back: ServiceConfig = cfg.label().parse().unwrap();
+        prop_assert_eq!(back, cfg);
+    }
+
+    /// Assignments built from primaries are always valid and never count as
+    /// re-allocations.
+    #[test]
+    fn primary_assignment_valid(task in arb_task(0)) {
+        let plan = Assignment::primaries(&task);
+        prop_assert!(plan.is_valid_for(&task));
+        prop_assert!(!plan.is_reallocation(&task));
+    }
+
+    /// Time arithmetic: (t + d) - t == d and ordering is consistent.
+    #[test]
+    fn time_arithmetic_round_trip(t in 0u64..u64::MAX / 4, d in 0u64..u64::MAX / 4) {
+        let time = Time::from_nanos(t);
+        let dur = Duration::from_nanos(d);
+        prop_assert_eq!((time + dur) - time, dur);
+        prop_assert_eq!((time + dur).elapsed_since(time), dur);
+        prop_assert!(time + dur >= time);
+    }
+
+    /// Duration unit conversions are consistent with nanosecond math.
+    #[test]
+    fn duration_units_consistent(ms in 0u64..10_000_000) {
+        let d = Duration::from_millis(ms);
+        prop_assert_eq!(d.as_nanos(), ms * 1_000_000);
+        prop_assert_eq!(d.as_micros(), ms * 1_000);
+        prop_assert_eq!(d.as_millis(), ms);
+        let f = d.as_secs_f64();
+        prop_assert!((f - ms as f64 / 1e3).abs() < 1e-9);
+        // std round trip.
+        let std: std::time::Duration = d.into();
+        prop_assert_eq!(Duration::from(std), d);
+    }
+
+    /// DelayStats merging equals recording everything into one accumulator.
+    #[test]
+    fn delay_stats_merge_equals_combined(
+        xs in vec(0u64..1_000_000, 0..20),
+        ys in vec(0u64..1_000_000, 0..20)
+    ) {
+        use rtcm_core::metrics::DelayStats;
+        let mut a = DelayStats::new();
+        let mut b = DelayStats::new();
+        let mut combined = DelayStats::new();
+        for x in &xs {
+            a.record(Duration::from_nanos(*x));
+            combined.record(Duration::from_nanos(*x));
+        }
+        for y in &ys {
+            b.record(Duration::from_nanos(*y));
+            combined.record(Duration::from_nanos(*y));
+        }
+        a.merge(&b);
+        prop_assert_eq!(a.count(), combined.count());
+        prop_assert_eq!(a.max(), combined.max());
+        prop_assert_eq!(a.min(), combined.min());
+        prop_assert_eq!(a.mean(), combined.mean());
+    }
+
+    /// UtilizationRatio merging equals combined recording, and the ratio
+    /// stays within [0, 1] whenever releases never exceed arrivals.
+    #[test]
+    fn ratio_merge_equals_combined(weights in vec((0.01f64..2.0, any::<bool>()), 0..30)) {
+        use rtcm_core::metrics::UtilizationRatio;
+        let mut parts = [UtilizationRatio::new(), UtilizationRatio::new()];
+        let mut combined = UtilizationRatio::new();
+        for (i, (w, released)) in weights.iter().enumerate() {
+            let part = &mut parts[i % 2];
+            part.record_arrival(*w);
+            combined.record_arrival(*w);
+            if *released {
+                part.record_release(*w);
+                combined.record_release(*w);
+            }
+        }
+        let mut merged = parts[0];
+        merged.merge(&parts[1]);
+        prop_assert!((merged.ratio() - combined.ratio()).abs() < 1e-12);
+        prop_assert!(merged.ratio() <= 1.0 + 1e-12);
+        prop_assert!(merged.ratio() >= 0.0);
+    }
+}

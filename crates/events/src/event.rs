@@ -1,0 +1,118 @@
+//! Event and topic types for the federated channel.
+//!
+//! The paper's middleware rides on TAO's real-time event service: suppliers
+//! push typed events ("Task Arrive", "Accept", "Trigger", "Idle
+//! Resetting") through local event channels, and gateways federate them to
+//! consumers on other processors. This module models the unit being moved:
+//! an opaque payload tagged with a [`Topic`] and its source node.
+
+use std::fmt;
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+
+/// A node in the federation — one "processor" in the paper's architecture
+/// (application processors plus the task manager).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct NodeId(pub u16);
+
+impl NodeId {
+    /// Dense index of this node.
+    #[must_use]
+    pub fn index(self) -> usize {
+        usize::from(self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "N{}", self.0)
+    }
+}
+
+/// An event type tag. Consumers subscribe per topic; gateways forward per
+/// topic.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct Topic(pub u32);
+
+impl fmt::Display for Topic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "topic{}", self.0)
+    }
+}
+
+/// Well-known topics of the middleware (matching the ports in Figure 3).
+pub mod topics {
+    use super::Topic;
+
+    /// TE → AC: a task arrived and is being held.
+    pub const TASK_ARRIVE: Topic = Topic(1);
+    /// AC → TE: release the held task.
+    pub const ACCEPT: Topic = Topic(2);
+    /// AC → TE: drop the held task.
+    pub const REJECT: Topic = Topic(3);
+    /// F/I subtask → next subtask: start the next stage.
+    pub const TRIGGER: Topic = Topic(4);
+    /// IR → AC: completed subjobs whose contributions can be removed.
+    pub const IDLE_RESET: Topic = Topic(5);
+}
+
+/// One event in flight.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// The event type tag.
+    pub topic: Topic,
+    /// The publishing node.
+    pub source: NodeId,
+    /// Serialized payload (the runtime uses `serde_json`; the channel does
+    /// not interpret it).
+    pub payload: Bytes,
+}
+
+impl Event {
+    /// Creates an event.
+    #[must_use]
+    pub fn new(topic: Topic, source: NodeId, payload: impl Into<Bytes>) -> Self {
+        Event { topic, source, payload: payload.into() }
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} from {} ({} bytes)", self.topic, self.source, self.payload.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_construction_and_display() {
+        let e = Event::new(topics::TASK_ARRIVE, NodeId(3), vec![1, 2, 3]);
+        assert_eq!(e.topic, Topic(1));
+        assert_eq!(e.source, NodeId(3));
+        assert_eq!(e.payload.as_ref(), &[1, 2, 3]);
+        assert_eq!(e.to_string(), "topic1 from N3 (3 bytes)");
+    }
+
+    #[test]
+    fn well_known_topics_are_distinct() {
+        let all = [
+            topics::TASK_ARRIVE,
+            topics::ACCEPT,
+            topics::REJECT,
+            topics::TRIGGER,
+            topics::IDLE_RESET,
+        ];
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

@@ -1,0 +1,352 @@
+//! TCP gateways between federations — the real-network analogue of TAO's
+//! event-channel gateways.
+//!
+//! Within one process, [`crate::Federation`] moves events between nodes
+//! through the in-process network. To span *processes* (or hosts), each
+//! side dedicates one node as its **gateway** — exactly the role gateways
+//! play in TAO's federated event service — and connects it to the peer
+//! with [`listen`] / [`connect`]:
+//!
+//! * events published by any *other* local node on a forwarded topic are
+//!   sent to the peer;
+//! * events arriving from the peer are published locally from the gateway
+//!   node (so local consumers see them like any other event).
+//!
+//! Loop prevention relies on the gateway node being dedicated: events
+//! whose source is the gateway itself are not forwarded back out, so a
+//! bridged event never echoes. Wire format: 4-byte big-endian length
+//! prefix + JSON (`{topic, payload}`), chosen for debuggability at
+//! control-plane rates.
+//!
+//! # Examples
+//!
+//! ```
+//! use rtcm_events::{remote, Federation, Latency, NodeId, Topic};
+//!
+//! // Two "hosts", each a federation; node 0 is each side's gateway.
+//! let a = Federation::new(2, Latency::None, 0);
+//! let b = Federation::new(2, Latency::None, 0);
+//! let topics = vec![Topic(7)];
+//!
+//! let (addr, _server) = remote::listen(&a, NodeId(0), "127.0.0.1:0", topics.clone())?;
+//! let _client = remote::connect(&b, NodeId(0), addr, topics)?;
+//!
+//! let rx = a.handle(NodeId(1))?.subscribe(Topic(7));
+//! b.handle(NodeId(1))?.publish(Topic(7), &b"across hosts"[..]);
+//! let event = rx.recv_timeout(std::time::Duration::from_secs(5))?;
+//! assert_eq!(event.payload.as_ref(), b"across hosts");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use crate::event::{NodeId, Topic};
+use crate::federation::{ChannelHandle, Federation};
+
+#[derive(Debug, Serialize, Deserialize)]
+struct WireEvent {
+    topic: u32,
+    payload: Vec<u8>,
+}
+
+type SharedStream = Arc<Mutex<Option<TcpStream>>>;
+
+/// A running gateway link; dropping it closes the connection and joins the
+/// forwarding threads.
+pub struct BridgeHandle {
+    stream: SharedStream,
+    stop: Arc<AtomicBool>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for BridgeHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let peer = self.stream.lock().as_ref().and_then(|s| s.peer_addr().ok());
+        f.debug_struct("BridgeHandle").field("peer", &peer).finish()
+    }
+}
+
+impl BridgeHandle {
+    /// The peer's socket address, once connected.
+    #[must_use]
+    pub fn peer_addr(&self) -> Option<SocketAddr> {
+        self.stream.lock().as_ref().and_then(|s| s.peer_addr().ok())
+    }
+
+    /// Returns true once a peer connection is established.
+    #[must_use]
+    pub fn is_connected(&self) -> bool {
+        self.stream.lock().is_some()
+    }
+
+    /// Closes the link and waits for the forwarding threads.
+    pub fn shutdown(mut self) {
+        self.close();
+    }
+
+    fn close(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(stream) = self.stream.lock().as_ref() {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for BridgeHandle {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+/// Accepts one peer connection on `addr` and bridges `topics` through the
+/// gateway node. With port 0 the OS picks a free port; the bound address is
+/// returned immediately and the accept happens on a background thread, so
+/// listen-then-connect works within one process.
+///
+/// # Errors
+///
+/// I/O errors from binding. A peer never connecting just leaves the bridge
+/// idle until the handle is dropped.
+pub fn listen(
+    federation: &Federation,
+    gateway: NodeId,
+    addr: impl ToSocketAddrs,
+    topics: Vec<Topic>,
+) -> std::io::Result<(SocketAddr, BridgeHandle)> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let local = listener.local_addr()?;
+    let handle = federation
+        .handle(gateway)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e.to_string()))?;
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let stream: SharedStream = Arc::new(Mutex::new(None));
+    // Subscribe *now*, on the caller's thread: events published before the
+    // peer connects queue up and are forwarded once the link is live.
+    let subscriptions: Vec<_> =
+        topics.iter().map(|&t| (t, handle.subscribe(t))).collect();
+    let accept_stop = Arc::clone(&stop);
+    let accept_stream = Arc::clone(&stream);
+    let acceptor = std::thread::Builder::new()
+        .name("rtcm-events-accept".into())
+        .spawn(move || {
+            // Poll-accept so shutdown-before-connect cannot hang.
+            let peer = loop {
+                if accept_stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                match listener.accept() {
+                    Ok((s, _)) => break s,
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(std::time::Duration::from_millis(5));
+                    }
+                    Err(_) => return,
+                }
+            };
+            if peer.set_nonblocking(false).is_err() {
+                return;
+            }
+            if let Ok(clone) = peer.try_clone() {
+                *accept_stream.lock() = Some(clone);
+            }
+            run_bridge(&handle, gateway, peer, subscriptions, &accept_stop);
+        })
+        .expect("spawn acceptor");
+
+    Ok((local, BridgeHandle { stream, stop, threads: vec![acceptor] }))
+}
+
+/// Connects to a listening gateway and bridges `topics` through the local
+/// gateway node.
+///
+/// # Errors
+///
+/// I/O errors from connecting.
+pub fn connect(
+    federation: &Federation,
+    gateway: NodeId,
+    addr: impl ToSocketAddrs,
+    topics: Vec<Topic>,
+) -> std::io::Result<BridgeHandle> {
+    let stream = TcpStream::connect(addr)?;
+    let handle = federation
+        .handle(gateway)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e.to_string()))?;
+    let stop = Arc::new(AtomicBool::new(false));
+    // Subscribe on the caller's thread so no publish can race past an
+    // unsubscribed forwarder.
+    let subscriptions: Vec<_> =
+        topics.iter().map(|&t| (t, handle.subscribe(t))).collect();
+    let bridge_stream = stream.try_clone()?;
+    let bridge_stop = Arc::clone(&stop);
+    let thread = std::thread::Builder::new()
+        .name("rtcm-events-bridge".into())
+        .spawn(move || run_bridge(&handle, gateway, bridge_stream, subscriptions, &bridge_stop))
+        .expect("spawn bridge");
+    Ok(BridgeHandle { stream: Arc::new(Mutex::new(Some(stream))), stop, threads: vec![thread] })
+}
+
+/// Runs both directions of one bridge: per-topic forwarders (local →
+/// peer) and the reader loop (peer → local).
+fn run_bridge(
+    handle: &ChannelHandle,
+    gateway: NodeId,
+    stream: TcpStream,
+    subscriptions: Vec<(Topic, crossbeam::channel::Receiver<crate::event::Event>)>,
+    stop: &Arc<AtomicBool>,
+) {
+    let writer = Arc::new(Mutex::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    }));
+    let mut forwarders = Vec::new();
+    for (topic, rx) in subscriptions {
+        let writer = Arc::clone(&writer);
+        let stop = Arc::clone(stop);
+        forwarders.push(
+            std::thread::Builder::new()
+                .name(format!("rtcm-events-fwd-{}", topic.0))
+                .spawn(move || {
+                    while !stop.load(Ordering::SeqCst) {
+                        let Ok(event) =
+                            rx.recv_timeout(std::time::Duration::from_millis(50))
+                        else {
+                            continue;
+                        };
+                        // Events the gateway itself published came from the
+                        // peer: forwarding them back would loop.
+                        if event.source == gateway {
+                            continue;
+                        }
+                        let wire =
+                            WireEvent { topic: event.topic.0, payload: event.payload.to_vec() };
+                        let frame = serde_json::to_vec(&wire).expect("plain data");
+                        let mut w = writer.lock();
+                        let len = u32::try_from(frame.len()).expect("sane frame size");
+                        if w.write_all(&len.to_be_bytes()).is_err()
+                            || w.write_all(&frame).is_err()
+                        {
+                            return;
+                        }
+                    }
+                })
+                .expect("spawn forwarder"),
+        );
+    }
+
+    // Reader loop: peer → local publish.
+    let mut reader = stream;
+    loop {
+        let mut len_buf = [0u8; 4];
+        if reader.read_exact(&mut len_buf).is_err() {
+            break;
+        }
+        let len = u32::from_be_bytes(len_buf) as usize;
+        if len > 16 * 1024 * 1024 {
+            break; // corrupt or hostile frame
+        }
+        let mut frame = vec![0u8; len];
+        if reader.read_exact(&mut frame).is_err() {
+            break;
+        }
+        let Ok(wire) = serde_json::from_slice::<WireEvent>(&frame) else { break };
+        handle.publish(Topic(wire.topic), wire.payload);
+    }
+    stop.store(true, Ordering::SeqCst);
+    for t in forwarders {
+        let _ = t.join();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::federation::Latency;
+    use std::time::Duration as StdDuration;
+
+    const RECV: StdDuration = StdDuration::from_secs(5);
+
+    fn pair(topics: Vec<Topic>) -> (Federation, Federation, BridgeHandle, BridgeHandle) {
+        let a = Federation::new(3, Latency::None, 0);
+        let b = Federation::new(3, Latency::None, 0);
+        let (addr, server) =
+            listen(&a, NodeId(0), "127.0.0.1:0", topics.clone()).expect("listen");
+        let client = connect(&b, NodeId(0), addr, topics).expect("connect");
+        (a, b, server, client)
+    }
+
+    #[test]
+    fn events_cross_the_bridge_both_ways() {
+        let (a, b, _s, _c) = pair(vec![Topic(1)]);
+        let on_a = a.handle(NodeId(1)).unwrap().subscribe(Topic(1));
+        let on_b = b.handle(NodeId(1)).unwrap().subscribe(Topic(1));
+
+        b.handle(NodeId(2)).unwrap().publish(Topic(1), &b"from-b"[..]);
+        let got = on_a.recv_timeout(RECV).unwrap();
+        assert_eq!(got.payload.as_ref(), b"from-b");
+        assert_eq!(got.source, NodeId(0), "arrives via the gateway");
+        // B's own subscriber first sees its local copy...
+        assert_eq!(on_b.recv_timeout(RECV).unwrap().payload.as_ref(), b"from-b");
+
+        a.handle(NodeId(2)).unwrap().publish(Topic(1), &b"from-a"[..]);
+        // ...then the bridged event from A.
+        let got = on_b.recv_timeout(RECV).unwrap();
+        assert_eq!(got.payload.as_ref(), b"from-a");
+        assert_eq!(got.source, NodeId(0), "arrives via the gateway");
+    }
+
+    #[test]
+    fn unforwarded_topics_stay_local() {
+        let (a, b, _s, _c) = pair(vec![Topic(1)]);
+        let on_a = a.handle(NodeId(1)).unwrap().subscribe(Topic(9));
+        b.handle(NodeId(1)).unwrap().publish(Topic(9), &b"local-only"[..]);
+        assert!(on_a.recv_timeout(StdDuration::from_millis(100)).is_err());
+    }
+
+    #[test]
+    fn bridged_events_do_not_echo() {
+        let (_a, b, _s, _c) = pair(vec![Topic(1)]);
+        let on_b = b.handle(NodeId(1)).unwrap().subscribe(Topic(1));
+        b.handle(NodeId(2)).unwrap().publish(Topic(1), &b"once"[..]);
+        // The publisher's own federation delivers exactly one copy...
+        assert!(on_b.recv_timeout(RECV).is_ok());
+        // ...and no echoed duplicate arrives from the bridge.
+        assert!(on_b.recv_timeout(StdDuration::from_millis(200)).is_err());
+    }
+
+    #[test]
+    fn many_messages_in_order() {
+        let (a, b, _s, _c) = pair(vec![Topic(1)]);
+        let on_a = a.handle(NodeId(1)).unwrap().subscribe(Topic(1));
+        let h = b.handle(NodeId(2)).unwrap();
+        for i in 0u8..100 {
+            h.publish(Topic(1), vec![i]);
+        }
+        for i in 0u8..100 {
+            let got = on_a.recv_timeout(RECV).unwrap();
+            assert_eq!(got.payload.as_ref(), &[i]);
+        }
+    }
+
+    #[test]
+    fn shutdown_is_clean() {
+        let (a, b, server, client) = pair(vec![Topic(1)]);
+        client.shutdown();
+        server.shutdown();
+        // Federations still work locally after the bridge is gone.
+        let rx = a.handle(NodeId(1)).unwrap().subscribe(Topic(2));
+        a.handle(NodeId(1)).unwrap().publish(Topic(2), &b"alive"[..]);
+        assert!(rx.try_recv().is_ok());
+        drop(b);
+    }
+}

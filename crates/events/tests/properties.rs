@@ -1,0 +1,65 @@
+//! Property-based tests of the federated event channel: delivery
+//! completeness, topic isolation and FIFO ordering under constant latency.
+
+use std::time::Duration as StdDuration;
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use rtcm_events::{Federation, Latency, NodeId, Topic};
+
+const RECV: StdDuration = StdDuration::from_secs(2);
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every published message reaches every subscriber of its topic on
+    /// every node, and only those.
+    #[test]
+    fn delivery_completeness(
+        messages in vec((0u16..3, 0u32..3), 1..40),
+        nodes in 2u16..5
+    ) {
+        let fed = Federation::new(nodes, Latency::None, 0);
+        // One subscriber per (node, topic).
+        let mut receivers = Vec::new();
+        for n in 0..nodes {
+            for t in 0..3u32 {
+                receivers.push((n, t, fed.handle(NodeId(n)).unwrap().subscribe(Topic(t))));
+            }
+        }
+        let mut expected = vec![0usize; (nodes as usize) * 3];
+        for (source, topic) in &messages {
+            let source = source % nodes;
+            fed.handle(NodeId(source)).unwrap().publish(Topic(*topic), vec![*topic as u8]);
+            for n in 0..nodes {
+                expected[(n as usize) * 3 + *topic as usize] += 1;
+            }
+        }
+        for (n, t, rx) in &receivers {
+            let want = expected[(*n as usize) * 3 + *t as usize];
+            for i in 0..want {
+                let ev = rx
+                    .recv_timeout(RECV)
+                    .unwrap_or_else(|_| panic!("node {n} topic {t}: missing message {i}"));
+                prop_assert_eq!(ev.topic, Topic(*t));
+            }
+            prop_assert!(rx.try_recv().is_err(), "node {} topic {} got extras", n, t);
+        }
+    }
+
+    /// Constant latency preserves per-publisher FIFO order across nodes.
+    #[test]
+    fn fifo_under_constant_latency(count in 1usize..60, latency_us in 0u64..500) {
+        let fed = Federation::new(2, Latency::Constant(StdDuration::from_micros(latency_us)), 1);
+        let rx = fed.handle(NodeId(1)).unwrap().subscribe(Topic(0));
+        let h = fed.handle(NodeId(0)).unwrap();
+        for i in 0..count {
+            h.publish(Topic(0), vec![(i % 256) as u8]);
+        }
+        for i in 0..count {
+            let ev = rx.recv_timeout(RECV).unwrap();
+            prop_assert_eq!(ev.payload.as_ref(), &[(i % 256) as u8]);
+        }
+    }
+}

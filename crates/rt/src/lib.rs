@@ -1,0 +1,39 @@
+//! # rtcm-rt
+//!
+//! The threaded middleware runtime of **rtcm**: real threads, real wall
+//! clocks, the federated event channel in between — the substitute for the
+//! paper's CIAO/TAO deployment on a six-machine testbed, and the substrate
+//! on which the Figure 8 overhead table is measured.
+//!
+//! * [`system::System`] — the DAnCE-style launcher: takes the configuration
+//!   engine's [`rtcm_config::Deployment`] and spins up one task-manager
+//!   node (admission control + load balancing) plus one node per
+//!   application processor (task effector, idle resetter, prioritized
+//!   subtask dispatcher);
+//! * [`node`] / [`manager`] — the node threads;
+//! * [`proto`] — the event payloads ("Task Arrive", "Accept", "Trigger",
+//!   "Idle Resetting");
+//! * [`stats`] — shared measurement, including per-operation delays
+//!   (Figure 7's ops 1–8);
+//! * [`clock`] — the shared time axis that makes one-way delays measurable.
+//!
+//! Scheduling substitution (see DESIGN.md): instead of OS real-time
+//! priorities, each node runs a single dispatcher thread executing the
+//! most urgent ready subjob in 200 µs slices — quasi-preemptive
+//! fixed-priority scheduling with bounded priority-inversion (one slice).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+pub mod clock;
+pub mod manager;
+pub mod node;
+pub mod proto;
+pub mod stats;
+pub mod system;
+
+pub use clock::Clock;
+pub use node::ExecMode;
+pub use stats::{SharedStats, SystemReport};
+pub use system::{LaunchError, RtOptions, SubmitError, System};

@@ -1,0 +1,152 @@
+//! The central task manager node: the Admission Control and Load Balancing
+//! components (§3's centralized architecture — "one AC component and one LB
+//! component on a central task manager processor").
+//!
+//! The manager consumes "Task Arrive" and "Idle Resetting" events, runs the
+//! core [`AdmissionController`] (which hosts the load balancer), and
+//! publishes "Accept"/"Reject" events back to the task effectors. Each
+//! operation is timed for the Figure 8 overhead table: op 3 (plan
+//! generation), op 4 (admission test), op 8 (utilization update), and the
+//! one-way communication delay of incoming events (op 2) measured on the
+//! shared clock.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use crossbeam::channel::Receiver;
+
+use rtcm_core::admission::{AdmissionController, Decision};
+use rtcm_core::balance::Assignment;
+use rtcm_core::ledger::ContributionKey;
+use rtcm_core::strategy::AcStrategy;
+use rtcm_core::task::{ProcessorId, TaskSet};
+use rtcm_core::time::{Duration, Time};
+use rtcm_events::{topics, ChannelHandle};
+
+use crate::clock::Clock;
+use crate::proto::{self, AcceptMsg, ArriveMsg, IdleResetMsg, RejectMsg};
+use crate::stats::SharedStats;
+
+pub(crate) struct ManagerConfig {
+    pub ac: AdmissionController,
+    pub tasks: Arc<TaskSet>,
+    pub channel: ChannelHandle,
+    pub clock: Clock,
+    pub stats: Arc<SharedStats>,
+    pub shutdown_rx: Receiver<()>,
+    /// Subscribed by the launcher before any thread starts (no startup
+    /// race).
+    pub arrive_rx: Receiver<rtcm_events::Event>,
+    pub reset_rx: Receiver<rtcm_events::Event>,
+}
+
+/// Runs the manager loop until shutdown. Spawned by `System::launch`.
+pub(crate) fn run_manager(cfg: ManagerConfig) {
+    let arrive_rx = cfg.arrive_rx.clone();
+    let reset_rx = cfg.reset_rx.clone();
+    let mut manager = Manager { cfg, arrive_rx, reset_rx };
+    manager.run();
+}
+
+struct Manager {
+    cfg: ManagerConfig,
+    arrive_rx: Receiver<rtcm_events::Event>,
+    reset_rx: Receiver<rtcm_events::Event>,
+}
+
+impl Manager {
+    fn run(&mut self) {
+        loop {
+            crossbeam::channel::select! {
+                recv(self.arrive_rx) -> m => {
+                    let Ok(ev) = m else { return };
+                    self.on_arrive(&proto::decode(&ev.payload));
+                }
+                recv(self.reset_rx) -> m => {
+                    let Ok(ev) = m else { return };
+                    self.on_reset(&proto::decode(&ev.payload));
+                }
+                recv(self.cfg.shutdown_rx) -> _ => return,
+            }
+        }
+    }
+
+    fn on_arrive(&mut self, msg: &ArriveMsg) {
+        let now = self.cfg.clock.now();
+        self.cfg
+            .stats
+            .with(|r| r.comm.record(now.elapsed_since(Time::from_nanos(msg.sent_ns))));
+
+        let Some(task) = self.cfg.tasks.get(msg.job.task) else { return };
+        self.cfg.ac.expire(now);
+
+        // Op 3: generate an acceptable deployment plan (the "Location"
+        // call on the LB component).
+        let lb_enabled = self.cfg.ac.config().lb.is_enabled();
+        let lb_start = Instant::now();
+        let assignment = if lb_enabled {
+            self.cfg.ac.propose_assignment(task)
+        } else {
+            Assignment::primaries(task)
+        };
+        let lb_elapsed = Duration::from(lb_start.elapsed());
+        if lb_enabled {
+            self.cfg.stats.with(|r| r.lb_plan.record(lb_elapsed));
+        }
+
+        // Op 4: the admission test against the job's true arrival-based
+        // deadline.
+        let ac_start = Instant::now();
+        let decision =
+            self.cfg.ac.admit_with(task, msg.job.seq, Time::from_nanos(msg.arrival_ns), assignment);
+        let ac_elapsed = Duration::from(ac_start.elapsed());
+        self.cfg.stats.with(|r| r.ac_test.record(ac_elapsed));
+
+        match decision {
+            Ok(Decision::Accept { assignment, newly_admitted }) => {
+                let reply = AcceptMsg {
+                    job: msg.job,
+                    release_proc: assignment.processor(0).0,
+                    assignment: assignment.as_slice().iter().map(|p| p.0).collect(),
+                    arrival_ns: msg.arrival_ns,
+                    deadline_ns: msg.arrival_ns + task.deadline().as_nanos(),
+                    newly_admitted,
+                    sent_ns: self.cfg.clock.now().as_nanos(),
+                };
+                self.cfg.channel.publish(topics::ACCEPT, proto::encode(&reply));
+            }
+            Ok(Decision::Reject { .. }) => {
+                let task_rejected =
+                    task.is_periodic() && self.cfg.ac.config().ac == AcStrategy::PerTask;
+                let reply = RejectMsg { job: msg.job, arrival_proc: msg.arrival_proc, task_rejected };
+                self.cfg.channel.publish(topics::REJECT, proto::encode(&reply));
+            }
+            Err(_duplicate_or_misroute) => {
+                // Duplicate submissions (same task, same sequence) are
+                // caller mistakes; reject the extra copy so the arrival TE
+                // releases its bookkeeping and the system stays live.
+                let reply =
+                    RejectMsg { job: msg.job, arrival_proc: msg.arrival_proc, task_rejected: false };
+                self.cfg.channel.publish(topics::REJECT, proto::encode(&reply));
+            }
+        }
+    }
+
+    fn on_reset(&mut self, msg: &IdleResetMsg) {
+        let now = self.cfg.clock.now();
+        let keys: Vec<ContributionKey> = msg
+            .completed
+            .iter()
+            .map(|(job, subtask)| ContributionKey::new(*job, *subtask as usize))
+            .collect();
+        // Op 8: remove the contributions from the synthetic utilization.
+        let update_start = Instant::now();
+        self.cfg.ac.apply_idle_reset(ProcessorId(msg.processor), &keys);
+        let update = Duration::from(update_start.elapsed());
+        self.cfg.stats.with(|r| {
+            r.ir_update.record(update);
+            r.ir_path.record(now.elapsed_since(Time::from_nanos(msg.started_ns)));
+            r.ir_reports += 1;
+        });
+    }
+}

@@ -1,0 +1,470 @@
+//! An application-processor node: one thread hosting the task effector,
+//! the idle resetter, and the prioritized subtask dispatcher (the F/I and
+//! Last Subtask components of Figure 3).
+//!
+//! Subjobs execute in **time slices** (default 200 µs): the dispatcher
+//! checks for more-urgent ready work at every slice boundary, giving
+//! quasi-preemptive EDMS scheduling without relying on OS real-time
+//! priorities (see DESIGN.md for this substitution). Execution itself is
+//! simulated by sleeping or spinning for the subtask's execution time
+//! ([`ExecMode`]).
+
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+use std::time::{Duration as StdDuration, Instant};
+
+use crossbeam::channel::{Receiver, Sender};
+
+use rtcm_core::ledger::ContributionKey;
+use rtcm_core::priority::Priority;
+use rtcm_core::reset::IdleResetter;
+use rtcm_core::strategy::{AcStrategy, LbStrategy, ServiceConfig};
+use rtcm_core::task::{JobId, ProcessorId, TaskId, TaskSet};
+use rtcm_core::time::{Duration, Time};
+use rtcm_events::{topics, ChannelHandle};
+
+use crate::clock::Clock;
+use crate::proto::{self, AcceptMsg, ArriveMsg, IdleResetMsg, RejectMsg, TriggerMsg};
+use crate::stats::SharedStats;
+
+/// How subtask execution consumes time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Sleep for the execution time (cooperative; default).
+    #[default]
+    Sleep,
+    /// Busy-spin for the execution time (burns CPU; closest to real work).
+    Spin,
+    /// Complete instantly (control-plane tests).
+    Noop,
+}
+
+/// An arrival injected at this node's task effector.
+#[derive(Debug, Clone, Copy)]
+pub struct Injected {
+    /// The task arriving.
+    pub task: TaskId,
+    /// Job sequence number.
+    pub seq: u64,
+}
+
+/// Control messages from the launcher to a node thread.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum NodeCtl {
+    /// Stop the node loop.
+    Shutdown,
+    /// Hot-swap the idle-resetting strategy (§5: attributes "may be
+    /// modified at run-time"). Validity against the AC strategy is checked
+    /// by `System::reconfigure_ir` before sending.
+    SetIr(rtcm_core::strategy::IrStrategy),
+}
+
+#[derive(Debug, Clone)]
+enum TeDecision {
+    Admitted(Vec<u16>),
+    Rejected,
+}
+
+#[derive(Debug)]
+struct ReadySubjob {
+    priority: Priority,
+    enqueue_seq: u64,
+    job: JobId,
+    subtask: usize,
+    remaining: StdDuration,
+    assignment: Vec<u16>,
+    arrival_ns: u64,
+    deadline_ns: u64,
+}
+
+impl PartialEq for ReadySubjob {
+    fn eq(&self, other: &Self) -> bool {
+        self.enqueue_seq == other.enqueue_seq
+    }
+}
+impl Eq for ReadySubjob {}
+impl PartialOrd for ReadySubjob {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for ReadySubjob {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.priority
+            .cmp_urgency(other.priority)
+            .then_with(|| other.enqueue_seq.cmp(&self.enqueue_seq))
+    }
+}
+
+/// Everything a node thread needs at spawn time.
+///
+/// The event subscriptions are created by the *launcher* before any thread
+/// starts, so no publication can race past an unsubscribed consumer.
+pub(crate) struct NodeConfig {
+    pub processor: u16,
+    pub services: ServiceConfig,
+    pub tasks: Arc<TaskSet>,
+    pub priorities: Arc<std::collections::HashMap<TaskId, Priority>>,
+    pub channel: ChannelHandle,
+    pub clock: Clock,
+    pub stats: Arc<SharedStats>,
+    pub exec: ExecMode,
+    pub slice: StdDuration,
+    pub inject_rx: Receiver<Injected>,
+    pub ctl_rx: Receiver<NodeCtl>,
+    pub accept_rx: Receiver<rtcm_events::Event>,
+    pub reject_rx: Receiver<rtcm_events::Event>,
+    pub trigger_rx: Receiver<rtcm_events::Event>,
+}
+
+/// Runs the node loop until shutdown. Spawned by `System::launch`.
+pub(crate) fn run_node(cfg: NodeConfig) {
+    let mut node = Node::new(cfg);
+    node.run();
+}
+
+struct Node {
+    cfg: NodeConfig,
+    accept_rx: Receiver<rtcm_events::Event>,
+    reject_rx: Receiver<rtcm_events::Event>,
+    trigger_rx: Receiver<rtcm_events::Event>,
+    te_cache: std::collections::HashMap<TaskId, TeDecision>,
+    resetter: IdleResetter,
+    ready: BinaryHeap<ReadySubjob>,
+    current: Option<ReadySubjob>,
+    next_seq: u64,
+    running: bool,
+}
+
+impl Node {
+    fn new(cfg: NodeConfig) -> Self {
+        let resetter = IdleResetter::new(cfg.services.ir, ProcessorId(cfg.processor));
+        Node {
+            accept_rx: cfg.accept_rx.clone(),
+            reject_rx: cfg.reject_rx.clone(),
+            trigger_rx: cfg.trigger_rx.clone(),
+            te_cache: std::collections::HashMap::new(),
+            resetter,
+            ready: BinaryHeap::new(),
+            current: None,
+            next_seq: 0,
+            running: true,
+            cfg,
+        }
+    }
+
+    fn run(&mut self) {
+        while self.running {
+            self.drain_messages();
+            if !self.running {
+                break;
+            }
+            self.maybe_preempt();
+            if self.current.is_none() {
+                self.current = self.ready.pop();
+            }
+            match self.current.take() {
+                Some(run) => self.execute_slice(run),
+                None => self.idle(),
+            }
+        }
+    }
+
+    fn on_ctl(&mut self, ctl: NodeCtl) {
+        match ctl {
+            NodeCtl::Shutdown => self.running = false,
+            NodeCtl::SetIr(strategy) => self.resetter.set_strategy(strategy),
+        }
+    }
+
+    fn drain_messages(&mut self) {
+        loop {
+            let mut any = false;
+            while let Ok(ctl) = self.cfg.ctl_rx.try_recv() {
+                self.on_ctl(ctl);
+                if !self.running {
+                    return;
+                }
+                any = true;
+            }
+            while let Ok(inj) = self.cfg.inject_rx.try_recv() {
+                self.on_inject(inj);
+                any = true;
+            }
+            while let Ok(ev) = self.accept_rx.try_recv() {
+                self.on_accept(proto::decode(&ev.payload));
+                any = true;
+            }
+            while let Ok(ev) = self.reject_rx.try_recv() {
+                self.on_reject(&proto::decode(&ev.payload));
+                any = true;
+            }
+            while let Ok(ev) = self.trigger_rx.try_recv() {
+                self.on_trigger(proto::decode(&ev.payload));
+                any = true;
+            }
+            if !any {
+                return;
+            }
+        }
+    }
+
+    /// The TE component: record the arrival, fast-path per-task decisions,
+    /// otherwise hold and push "Task Arrive" to the AC (ops 1–2).
+    fn on_inject(&mut self, inj: Injected) {
+        // `System::submit` already counted the job in (so quiesce() sees it
+        // immediately); this thread only records the arrival weight.
+        let Some(task) = self.cfg.tasks.get(inj.task) else {
+            self.cfg.stats.job_out();
+            return;
+        };
+        self.cfg.stats.with(|r| r.ratio.record_arrival(task.job_utilization()));
+
+        let per_task = self.cfg.services.ac == AcStrategy::PerTask && task.is_periodic();
+        if per_task {
+            match self.te_cache.get(&inj.task) {
+                Some(TeDecision::Admitted(assignment))
+                    if self.cfg.services.lb != LbStrategy::PerJob =>
+                {
+                    let assignment = assignment.clone();
+                    let now = self.cfg.clock.now().as_nanos();
+                    let deadline = now + task.deadline().as_nanos();
+                    let job = JobId::new(inj.task, inj.seq);
+                    self.cfg.stats.with(|r| r.ratio.record_release(task.job_utilization()));
+                    if assignment[0] == self.cfg.processor {
+                        self.enqueue(job, 0, assignment, now, deadline);
+                    } else {
+                        // Release the duplicate on its processor via a
+                        // trigger-style handoff.
+                        let msg = TriggerMsg {
+                            job,
+                            next_subtask: 0,
+                            assignment,
+                            arrival_ns: now,
+                            deadline_ns: deadline,
+                            sent_ns: now,
+                        };
+                        self.cfg.channel.publish(topics::TRIGGER, proto::encode(&msg));
+                    }
+                    return;
+                }
+                Some(TeDecision::Rejected) => {
+                    self.cfg.stats.job_out();
+                    return;
+                }
+                _ => {}
+            }
+        }
+
+        let hold_start = Instant::now();
+        let arrival_ns = self.cfg.clock.now().as_nanos();
+        let msg = ArriveMsg {
+            job: JobId::new(inj.task, inj.seq),
+            arrival_proc: self.cfg.processor,
+            arrival_ns,
+            sent_ns: self.cfg.clock.now().as_nanos(),
+        };
+        self.cfg.channel.publish(topics::TASK_ARRIVE, proto::encode(&msg));
+        let hold = Duration::from(hold_start.elapsed());
+        self.cfg.stats.with(|r| r.hold.record(hold));
+    }
+
+    /// "Accept" from the AC: the arrival TE learns the decision; the
+    /// releasing TE performs the release (op 5/6).
+    fn on_accept(&mut self, msg: AcceptMsg) {
+        let Some(task) = self.cfg.tasks.get(msg.job.task) else { return };
+        let arrival_proc = task.subtasks()[0].primary.0;
+
+        if arrival_proc == self.cfg.processor
+            && task.is_periodic()
+            && self.cfg.services.ac == AcStrategy::PerTask
+            && self.cfg.services.lb != LbStrategy::PerJob
+        {
+            self.te_cache.insert(msg.job.task, TeDecision::Admitted(msg.assignment.clone()));
+        }
+
+        if msg.release_proc != self.cfg.processor {
+            return;
+        }
+        let release_start = Instant::now();
+        let now = self.cfg.clock.now();
+        let total = now.elapsed_since(Time::from_nanos(msg.arrival_ns));
+        self.cfg.stats.with(|r| {
+            r.ratio.record_release(task.job_utilization());
+            if msg.release_proc == arrival_proc {
+                r.total_no_realloc.record(total);
+            } else {
+                r.total_realloc.record(total);
+            }
+            if msg.assignment.iter().zip(task.subtasks()).any(|(c, s)| *c != s.primary.0) {
+                r.reallocations += 1;
+            }
+        });
+        self.enqueue(msg.job, 0, msg.assignment, msg.arrival_ns, msg.deadline_ns);
+        let release = Duration::from(release_start.elapsed());
+        self.cfg.stats.with(|r| r.release.record(release));
+    }
+
+    fn on_reject(&mut self, msg: &RejectMsg) {
+        if msg.arrival_proc != self.cfg.processor {
+            return;
+        }
+        if msg.task_rejected {
+            self.te_cache.insert(msg.job.task, TeDecision::Rejected);
+        }
+        self.cfg.stats.job_out();
+    }
+
+    fn on_trigger(&mut self, msg: TriggerMsg) {
+        let subtask = msg.next_subtask as usize;
+        if msg.assignment.get(subtask).copied() != Some(self.cfg.processor) {
+            return;
+        }
+        self.enqueue(msg.job, subtask, msg.assignment, msg.arrival_ns, msg.deadline_ns);
+    }
+
+    fn enqueue(
+        &mut self,
+        job: JobId,
+        subtask: usize,
+        assignment: Vec<u16>,
+        arrival_ns: u64,
+        deadline_ns: u64,
+    ) {
+        let Some(task) = self.cfg.tasks.get(job.task) else { return };
+        let exec: StdDuration = task.subtasks()[subtask].execution_time.into();
+        let remaining = match self.cfg.exec {
+            ExecMode::Noop => StdDuration::ZERO,
+            ExecMode::Sleep | ExecMode::Spin => exec,
+        };
+        let priority = self.cfg.priorities[&job.task];
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.ready.push(ReadySubjob {
+            priority,
+            enqueue_seq: seq,
+            job,
+            subtask,
+            remaining,
+            assignment,
+            arrival_ns,
+            deadline_ns,
+        });
+    }
+
+    /// At slice boundaries, a more urgent ready subjob preempts the current
+    /// one.
+    fn maybe_preempt(&mut self) {
+        let preempt = match (&self.current, self.ready.peek()) {
+            (Some(cur), Some(head)) => head.priority.is_higher_than(cur.priority),
+            _ => false,
+        };
+        if preempt {
+            let cur = self.current.take().expect("checked above");
+            self.ready.push(cur);
+        }
+    }
+
+    fn execute_slice(&mut self, mut run: ReadySubjob) {
+        if !run.remaining.is_zero() {
+            let slice = run.remaining.min(self.cfg.slice);
+            let started = Instant::now();
+            match self.cfg.exec {
+                ExecMode::Sleep => std::thread::sleep(slice),
+                ExecMode::Spin => {
+                    let until = started + slice;
+                    while Instant::now() < until {
+                        std::hint::spin_loop();
+                    }
+                }
+                ExecMode::Noop => {}
+            }
+            // Charge the subjob for the time that actually passed: on
+            // kernels with coarse timers a 200 µs sleep can take over a
+            // millisecond, and without this compensation total execution
+            // would silently exceed the declared C and break deadlines the
+            // admission test guaranteed.
+            let consumed = match self.cfg.exec {
+                ExecMode::Noop => slice,
+                _ => started.elapsed().max(slice),
+            };
+            run.remaining = run.remaining.saturating_sub(consumed);
+        }
+        if run.remaining.is_zero() {
+            self.complete(run);
+        } else {
+            self.current = Some(run);
+        }
+    }
+
+    fn complete(&mut self, run: ReadySubjob) {
+        let Some(task) = self.cfg.tasks.get(run.job.task) else { return };
+        let now = self.cfg.clock.now();
+        self.resetter.record_completion(
+            ContributionKey::new(run.job, run.subtask),
+            Time::from_nanos(run.deadline_ns),
+            task.is_periodic(),
+        );
+        if run.subtask + 1 == task.subtasks().len() {
+            let response = now.elapsed_since(Time::from_nanos(run.arrival_ns));
+            self.cfg.stats.with(|r| {
+                r.response.record(response);
+                r.jobs_completed += 1;
+                if now.as_nanos() > run.deadline_ns {
+                    r.deadline_misses += 1;
+                }
+            });
+            self.cfg.stats.job_out();
+        } else {
+            let msg = TriggerMsg {
+                job: run.job,
+                next_subtask: (run.subtask + 1) as u32,
+                assignment: run.assignment,
+                arrival_ns: run.arrival_ns,
+                deadline_ns: run.deadline_ns,
+                sent_ns: now.as_nanos(),
+            };
+            self.cfg.channel.publish(topics::TRIGGER, proto::encode(&msg));
+        }
+    }
+
+    /// Idle: run the idle detector (op 7), then wait briefly for input.
+    fn idle(&mut self) {
+        if let Some(report) = self.resetter.on_idle(self.cfg.clock.now()) {
+            let started_ns = self.cfg.clock.now().as_nanos();
+            let msg = IdleResetMsg {
+                processor: self.cfg.processor,
+                completed: report
+                    .completed
+                    .iter()
+                    .map(|k| (k.job, k.subtask as u32))
+                    .collect(),
+                started_ns,
+            };
+            self.cfg.channel.publish(topics::IDLE_RESET, proto::encode(&msg));
+        }
+        crossbeam::channel::select! {
+            recv(self.cfg.inject_rx) -> m => {
+                if let Ok(inj) = m { self.on_inject(inj) }
+            }
+            recv(self.accept_rx) -> m => {
+                if let Ok(ev) = m { self.on_accept(proto::decode(&ev.payload)) }
+            }
+            recv(self.reject_rx) -> m => {
+                if let Ok(ev) = m { self.on_reject(&proto::decode(&ev.payload)) }
+            }
+            recv(self.trigger_rx) -> m => {
+                if let Ok(ev) = m { self.on_trigger(proto::decode(&ev.payload)) }
+            }
+            recv(self.cfg.ctl_rx) -> m => {
+                if let Ok(ctl) = m { self.on_ctl(ctl) }
+            }
+            default(StdDuration::from_micros(500)) => {}
+        }
+    }
+}
+
+/// Sends one injected arrival into a node (used by `System::submit`).
+pub(crate) fn inject(tx: &Sender<Injected>, task: TaskId, seq: u64) -> bool {
+    tx.send(Injected { task, seq }).is_ok()
+}

@@ -1,0 +1,166 @@
+//! Wire messages exchanged over the federated event channel, mirroring the
+//! event payloads of Figure 3 ("Task Arrive", "Accept", "Trigger", "Idle
+//! Resetting").
+//!
+//! Payloads are serialized with `serde_json`: human-readable in traces and
+//! cheap at the message rates of a control plane (admission decisions, not
+//! data). Timestamps ride along as nanoseconds on the shared
+//! [`crate::clock::Clock`] axis so receivers can measure one-way delays.
+
+use serde::{Deserialize, Serialize};
+
+use rtcm_core::task::{JobId, TaskId};
+
+/// TE → AC: a held task awaiting an admission decision (op 1 → op 2).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArriveMsg {
+    /// The arriving job.
+    pub job: JobId,
+    /// Processor the job arrived on (where its TE holds it).
+    pub arrival_proc: u16,
+    /// Arrival instant (clock ns).
+    pub arrival_ns: u64,
+    /// When the TE finished holding and published this event (clock ns).
+    pub sent_ns: u64,
+}
+
+/// AC → TE: release the job under the given placement.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AcceptMsg {
+    /// The admitted job.
+    pub job: JobId,
+    /// Placement: processor per subtask.
+    pub assignment: Vec<u16>,
+    /// Processor whose TE must perform the release (first stage).
+    pub release_proc: u16,
+    /// Original arrival instant (clock ns), for end-to-end accounting.
+    pub arrival_ns: u64,
+    /// Absolute deadline (clock ns).
+    pub deadline_ns: u64,
+    /// True if this decision came from a fresh admission test (as opposed
+    /// to a per-task reservation pass-through).
+    pub newly_admitted: bool,
+    /// When the AC published this event (clock ns).
+    pub sent_ns: u64,
+}
+
+/// AC → TE: drop the held job.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RejectMsg {
+    /// The rejected job.
+    pub job: JobId,
+    /// Processor whose TE holds the job.
+    pub arrival_proc: u16,
+    /// True if the whole (periodic, per-task) task is now rejected.
+    pub task_rejected: bool,
+}
+
+/// F/I subtask → next subtask component: start the next stage.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TriggerMsg {
+    /// The in-flight job.
+    pub job: JobId,
+    /// Index of the stage to start.
+    pub next_subtask: u32,
+    /// Full placement, so downstream stages can route further triggers.
+    pub assignment: Vec<u16>,
+    /// Original arrival instant (clock ns).
+    pub arrival_ns: u64,
+    /// Absolute deadline (clock ns).
+    pub deadline_ns: u64,
+    /// When the previous stage published this event (clock ns).
+    pub sent_ns: u64,
+}
+
+/// IR → AC: completed subjobs whose contributions may be removed (op 7).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IdleResetMsg {
+    /// The idle processor.
+    pub processor: u16,
+    /// Completed subjobs as `(job, subtask index)` pairs.
+    pub completed: Vec<(JobId, u32)>,
+    /// When the idle detector started assembling the report (clock ns).
+    pub started_ns: u64,
+}
+
+/// Serializes a message for the event channel.
+///
+/// # Panics
+///
+/// Never for the message types in this module (plain data).
+#[must_use]
+pub fn encode<T: Serialize>(msg: &T) -> Vec<u8> {
+    serde_json::to_vec(msg).expect("protocol messages are plain data")
+}
+
+/// Deserializes a message from an event payload.
+///
+/// # Panics
+///
+/// Panics on malformed payloads — within one process, a decode failure is a
+/// programming error, not an I/O condition.
+#[must_use]
+pub fn decode<T: for<'de> Deserialize<'de>>(payload: &[u8]) -> T {
+    serde_json::from_slice(payload).expect("event payloads are produced by this crate")
+}
+
+/// Convenience: `JobId` for a `(task, seq)` pair.
+#[must_use]
+pub fn job(task: u32, seq: u64) -> JobId {
+    JobId::new(TaskId(task), seq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrive_round_trip() {
+        let msg = ArriveMsg { job: job(3, 7), arrival_proc: 2, arrival_ns: 10, sent_ns: 12 };
+        let back: ArriveMsg = decode(&encode(&msg));
+        assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn accept_round_trip() {
+        let msg = AcceptMsg {
+            job: job(1, 0),
+            assignment: vec![0, 2, 1],
+            release_proc: 0,
+            arrival_ns: 5,
+            deadline_ns: 500,
+            newly_admitted: true,
+            sent_ns: 9,
+        };
+        let back: AcceptMsg = decode(&encode(&msg));
+        assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn trigger_and_reset_round_trip() {
+        let t = TriggerMsg {
+            job: job(0, 1),
+            next_subtask: 2,
+            assignment: vec![0, 1, 2],
+            arrival_ns: 1,
+            deadline_ns: 2,
+            sent_ns: 3,
+        };
+        let back: TriggerMsg = decode(&encode(&t));
+        assert_eq!(back, t);
+
+        let r = IdleResetMsg {
+            processor: 1,
+            completed: vec![(job(0, 1), 0), (job(2, 0), 1)],
+            started_ns: 42,
+        };
+        let back: IdleResetMsg = decode(&encode(&r));
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    #[should_panic(expected = "produced by this crate")]
+    fn decode_rejects_garbage() {
+        let _: ArriveMsg = decode(b"not json");
+    }
+}

@@ -1,0 +1,126 @@
+//! Shared runtime statistics, including the per-operation delay
+//! accounting behind the paper's Figure 8.
+
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use rtcm_core::metrics::{DelayStats, UtilizationRatio};
+
+/// Snapshot of everything the runtime measured.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SystemReport {
+    /// Accepted utilization ratio (arrivals weighted by `Σ C/D`).
+    pub ratio: UtilizationRatio,
+    /// End-to-end response times of completed jobs.
+    pub response: DelayStats,
+    /// Jobs that completed their last subtask.
+    pub jobs_completed: u64,
+    /// Completed jobs that missed their end-to-end deadline.
+    pub deadline_misses: u64,
+    /// Accepted jobs released on a non-primary placement.
+    pub reallocations: u64,
+    /// Idle-reset reports applied by the manager.
+    pub ir_reports: u64,
+
+    /// Op 1: TE hold + "Task Arrive" publish cost.
+    pub hold: DelayStats,
+    /// Op 2: one-way event-channel delay (TE → AC), measured directly on
+    /// the shared clock.
+    pub comm: DelayStats,
+    /// Op 3: LB plan generation.
+    pub lb_plan: DelayStats,
+    /// Op 4: admission test.
+    pub ac_test: DelayStats,
+    /// Op 5/6: release of the first subjob at the TE.
+    pub release: DelayStats,
+    /// Op 7 + comm: idle-report assembly and delivery (app side; runs in
+    /// idle time).
+    pub ir_path: DelayStats,
+    /// Op 8: synthetic-utilization update at the AC.
+    pub ir_update: DelayStats,
+    /// Total arrival→release delay when the job ran on its arrival
+    /// processor (AC path without re-allocation).
+    pub total_no_realloc: DelayStats,
+    /// Total arrival→release delay when the first stage was re-allocated to
+    /// a duplicate on another processor.
+    pub total_realloc: DelayStats,
+}
+
+/// Thread-shared accumulator handed to every node.
+#[derive(Debug, Default)]
+pub struct SharedStats {
+    report: Mutex<SystemReport>,
+    in_flight: AtomicI64,
+}
+
+impl SharedStats {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Arc<Self> {
+        Arc::new(SharedStats::default())
+    }
+
+    /// Runs `f` with exclusive access to the report.
+    pub fn with<R>(&self, f: impl FnOnce(&mut SystemReport) -> R) -> R {
+        f(&mut self.report.lock())
+    }
+
+    /// Clones the current snapshot.
+    #[must_use]
+    pub fn snapshot(&self) -> SystemReport {
+        self.report.lock().clone()
+    }
+
+    /// A job entered the system (arrived at a TE).
+    pub fn job_in(&self) {
+        self.in_flight.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// A job left the system (completed, rejected or dropped).
+    pub fn job_out(&self) {
+        self.in_flight.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Jobs currently somewhere between arrival and completion.
+    #[must_use]
+    pub fn in_flight(&self) -> i64 {
+        self.in_flight.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtcm_core::time::Duration;
+
+    #[test]
+    fn with_and_snapshot() {
+        let stats = SharedStats::new();
+        stats.with(|r| {
+            r.jobs_completed = 3;
+            r.comm.record(Duration::from_micros(100));
+        });
+        let snap = stats.snapshot();
+        assert_eq!(snap.jobs_completed, 3);
+        assert_eq!(snap.comm.count(), 1);
+    }
+
+    #[test]
+    fn in_flight_counts() {
+        let stats = SharedStats::new();
+        stats.job_in();
+        stats.job_in();
+        stats.job_out();
+        assert_eq!(stats.in_flight(), 1);
+    }
+
+    #[test]
+    fn report_serializes() {
+        let stats = SharedStats::new();
+        let json = serde_json::to_string(&stats.snapshot()).unwrap();
+        assert!(json.contains("jobs_completed"));
+    }
+}

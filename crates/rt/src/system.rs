@@ -1,0 +1,388 @@
+//! The runtime system: the DAnCE-style launcher that turns a
+//! [`Deployment`] into running threads — one task-manager node plus one
+//! node per application processor, wired by the federated event channel.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+use std::time::{Duration as StdDuration, Instant};
+
+use crossbeam::channel::{unbounded, Sender};
+
+use rtcm_config::Deployment;
+use rtcm_core::admission::AdmissionController;
+use rtcm_core::priority::Priority;
+use rtcm_core::strategy::{InvalidConfigError, ServiceConfig};
+use rtcm_core::task::{TaskId, TaskSet};
+use rtcm_events::{Federation, Latency, NodeId};
+
+use crate::clock::Clock;
+use crate::manager::{run_manager, ManagerConfig};
+use crate::node::{inject, run_node, ExecMode, Injected, NodeConfig, NodeCtl};
+use crate::stats::{SharedStats, SystemReport};
+
+/// Runtime options.
+#[derive(Debug, Clone, Copy)]
+pub struct RtOptions {
+    /// One-way network latency between nodes. Defaults to the paper's
+    /// measured 283–361 µs band.
+    pub latency: Latency,
+    /// How subtask execution consumes time.
+    pub exec: ExecMode,
+    /// Dispatcher slice length (preemption granularity).
+    pub slice: StdDuration,
+    /// Seed for latency jitter.
+    pub seed: u64,
+}
+
+impl Default for RtOptions {
+    fn default() -> Self {
+        RtOptions {
+            latency: Latency::Uniform {
+                lo: StdDuration::from_micros(283),
+                hi: StdDuration::from_micros(361),
+            },
+            exec: ExecMode::Sleep,
+            slice: StdDuration::from_micros(200),
+            seed: 0,
+        }
+    }
+}
+
+impl RtOptions {
+    /// Options for control-plane tests: no network latency, instant
+    /// execution.
+    #[must_use]
+    pub fn fast() -> Self {
+        RtOptions { latency: Latency::None, exec: ExecMode::Noop, ..RtOptions::default() }
+    }
+}
+
+/// Errors from [`System::launch`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LaunchError {
+    /// The deployment carries an invalid strategy combination (cannot occur
+    /// for engine-built deployments).
+    InvalidConfig(InvalidConfigError),
+}
+
+impl fmt::Display for LaunchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LaunchError::InvalidConfig(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for LaunchError {}
+
+/// Errors from [`System::submit`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The task is not part of the deployment.
+    UnknownTask {
+        /// The offending id.
+        task: TaskId,
+    },
+    /// The system is shutting down.
+    Closed,
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::UnknownTask { task } => write!(f, "unknown task {task}"),
+            SubmitError::Closed => f.write_str("system is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// A running middleware system.
+///
+/// # Examples
+///
+/// ```
+/// use rtcm_config::{configure, CpsCharacteristics, WorkloadSpec};
+/// use rtcm_rt::{RtOptions, System};
+/// use rtcm_core::task::TaskId;
+///
+/// let spec = WorkloadSpec::parse(
+///     "workload demo\nprocessors 2\n\
+///      task scan periodic period=50ms\n  subtask exec=1ms proc=0 replicas=1\n",
+/// )?;
+/// let deployment = configure(&spec, &CpsCharacteristics::default())?;
+/// let system = System::launch(&deployment, RtOptions::fast())?;
+///
+/// system.submit(TaskId(0), 0)?;
+/// assert!(system.quiesce(std::time::Duration::from_secs(5)));
+/// let report = system.shutdown();
+/// assert_eq!(report.jobs_completed, 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct System {
+    tasks: Arc<TaskSet>,
+    services: parking_lot::Mutex<ServiceConfig>,
+    stats: Arc<SharedStats>,
+    clock: Clock,
+    _federation: Federation,
+    injectors: Vec<Sender<Injected>>,
+    mgr_shutdown: Sender<()>,
+    node_ctls: Vec<Sender<NodeCtl>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl fmt::Debug for System {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("System")
+            .field("services", &self.services.lock().label())
+            .field("processors", &self.injectors.len())
+            .finish()
+    }
+}
+
+impl System {
+    /// Launches all nodes of `deployment` (the runtime half of DAnCE's
+    /// plan-launcher → node-application pipeline).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LaunchError::InvalidConfig`] if the deployment's strategy
+    /// combination is invalid — impossible for deployments built by
+    /// `rtcm-config`, which validates first.
+    pub fn launch(deployment: &Deployment, options: RtOptions) -> Result<Self, LaunchError> {
+        let procs = deployment.processors;
+        let tasks = Arc::new(deployment.tasks.clone());
+        let priorities: Arc<HashMap<TaskId, Priority>> = Arc::new(deployment.priorities.clone());
+        let services = deployment.services;
+        let ac = AdmissionController::new(services, procs as usize)
+            .map_err(LaunchError::InvalidConfig)?;
+
+        let clock = Clock::new();
+        let stats = SharedStats::new();
+        // Node 0 is the task manager; app processor p is node p + 1.
+        let federation = Federation::new(procs + 1, options.latency, options.seed);
+
+        let mut node_ctls = Vec::with_capacity(procs as usize);
+        let mut handles = Vec::with_capacity(procs as usize + 1);
+
+        let (mgr_shutdown_tx, mgr_shutdown_rx) = unbounded();
+        // Subscribe every consumer on this thread, before any node runs, so
+        // no early publication can be dropped for lack of subscribers.
+        let mgr_channel = federation.handle(NodeId(0)).expect("node 0 exists");
+        let mgr_arrive_rx = mgr_channel.subscribe(rtcm_events::topics::TASK_ARRIVE);
+        let mgr_reset_rx = mgr_channel.subscribe(rtcm_events::topics::IDLE_RESET);
+        let mgr_cfg = ManagerConfig {
+            ac,
+            tasks: Arc::clone(&tasks),
+            channel: mgr_channel,
+            clock,
+            stats: Arc::clone(&stats),
+            shutdown_rx: mgr_shutdown_rx,
+            arrive_rx: mgr_arrive_rx,
+            reset_rx: mgr_reset_rx,
+        };
+        handles.push(
+            std::thread::Builder::new()
+                .name("rtcm-manager".into())
+                .spawn(move || run_manager(mgr_cfg))
+                .expect("spawn manager thread"),
+        );
+
+        let mut injectors = Vec::with_capacity(procs as usize);
+        for p in 0..procs {
+            let (inject_tx, inject_rx) = unbounded();
+            let (ctl_tx, ctl_rx) = unbounded();
+            injectors.push(inject_tx);
+            node_ctls.push(ctl_tx);
+            let channel = federation.handle(NodeId(p + 1)).expect("app nodes exist");
+            let accept_rx = channel.subscribe(rtcm_events::topics::ACCEPT);
+            let reject_rx = channel.subscribe(rtcm_events::topics::REJECT);
+            let trigger_rx = channel.subscribe(rtcm_events::topics::TRIGGER);
+            let cfg = NodeConfig {
+                processor: p,
+                services,
+                tasks: Arc::clone(&tasks),
+                priorities: Arc::clone(&priorities),
+                channel,
+                clock,
+                stats: Arc::clone(&stats),
+                exec: options.exec,
+                slice: options.slice,
+                inject_rx,
+                ctl_rx,
+                accept_rx,
+                reject_rx,
+                trigger_rx,
+            };
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("rtcm-app-{p}"))
+                    .spawn(move || run_node(cfg))
+                    .expect("spawn node thread"),
+            );
+        }
+
+        Ok(System {
+            tasks,
+            services: parking_lot::Mutex::new(services),
+            stats,
+            clock,
+            _federation: federation,
+            injectors,
+            mgr_shutdown: mgr_shutdown_tx,
+            node_ctls,
+            handles,
+        })
+    }
+
+    /// The active strategy combination (reflects runtime reconfiguration).
+    #[must_use]
+    pub fn services(&self) -> ServiceConfig {
+        *self.services.lock()
+    }
+
+    /// Hot-swaps the idle-resetting strategy on every application
+    /// processor — the paper's run-time attribute modification (§5). The
+    /// §4.5 validity rule still applies: switching to IR-per-job under
+    /// per-task admission control is refused.
+    ///
+    /// Note: the admission controller's ledger semantics are unaffected —
+    /// IR only changes *which completions are reported*, so a swap is safe
+    /// mid-flight; completions recorded under the old strategy may still be
+    /// reported once.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidConfigError`] if the resulting combination would be
+    /// invalid.
+    pub fn reconfigure_ir(
+        &self,
+        ir: rtcm_core::strategy::IrStrategy,
+    ) -> Result<ServiceConfig, InvalidConfigError> {
+        let mut services = self.services.lock();
+        let candidate = ServiceConfig::new(services.ac, ir, services.lb);
+        candidate.validate()?;
+        for ctl in &self.node_ctls {
+            let _ = ctl.send(NodeCtl::SetIr(ir));
+        }
+        *services = candidate;
+        Ok(candidate)
+    }
+
+    /// The deployed task set.
+    #[must_use]
+    pub fn tasks(&self) -> &TaskSet {
+        &self.tasks
+    }
+
+    /// The shared runtime clock.
+    #[must_use]
+    pub fn clock(&self) -> Clock {
+        self.clock
+    }
+
+    /// Injects job `seq` of `task` at the task effector of its arrival
+    /// processor (its first subtask's primary).
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::UnknownTask`] if the task is not deployed;
+    /// [`SubmitError::Closed`] after shutdown began.
+    pub fn submit(&self, task: TaskId, seq: u64) -> Result<(), SubmitError> {
+        let spec = self.tasks.get(task).ok_or(SubmitError::UnknownTask { task })?;
+        let proc = spec.subtasks()[0].primary.index();
+        let tx = self.injectors.get(proc).ok_or(SubmitError::Closed)?;
+        // Count the job in *before* handing it to the node thread so that
+        // quiesce() cannot observe a spuriously empty system.
+        self.stats.job_in();
+        if inject(tx, task, seq) {
+            Ok(())
+        } else {
+            self.stats.job_out();
+            Err(SubmitError::Closed)
+        }
+    }
+
+    /// Replays an arrival trace against wall-clock time, sped up by
+    /// `speed` (1.0 = real time, 10.0 = ten times faster). Blocks until the
+    /// last arrival has been submitted; call [`System::quiesce`] afterwards
+    /// to wait for completions.
+    ///
+    /// Note that speeding up a trace compresses interarrival gaps but not
+    /// execution times or deadlines, so high speed factors overload the
+    /// system — useful deliberately, e.g. for stress tests.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`SubmitError`]; already-submitted arrivals
+    /// keep running.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `speed` is not finite and positive.
+    pub fn replay(&self, trace: &rtcm_workload::ArrivalTrace, speed: f64) -> Result<(), SubmitError> {
+        assert!(speed.is_finite() && speed > 0.0, "replay speed must be positive");
+        let start = Instant::now();
+        for arrival in trace.iter() {
+            let due = StdDuration::from_nanos(
+                (arrival.time.as_nanos() as f64 / speed).round() as u64,
+            );
+            if let Some(wait) = due.checked_sub(start.elapsed()) {
+                std::thread::sleep(wait);
+            }
+            self.submit(arrival.task, arrival.seq)?;
+        }
+        Ok(())
+    }
+
+    /// Jobs currently between arrival and completion/rejection.
+    #[must_use]
+    pub fn in_flight(&self) -> i64 {
+        self.stats.in_flight()
+    }
+
+    /// Waits until no jobs are in flight, polling every millisecond.
+    /// Returns false on timeout.
+    #[must_use]
+    pub fn quiesce(&self, timeout: StdDuration) -> bool {
+        let deadline = Instant::now() + timeout;
+        while self.stats.in_flight() > 0 {
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(StdDuration::from_millis(1));
+        }
+        true
+    }
+
+    /// Snapshot of the statistics so far.
+    #[must_use]
+    pub fn stats(&self) -> SystemReport {
+        self.stats.snapshot()
+    }
+
+    /// Stops all node threads and returns the final report.
+    #[must_use]
+    pub fn shutdown(mut self) -> SystemReport {
+        self.stop_threads();
+        self.stats.snapshot()
+    }
+
+    fn stop_threads(&mut self) {
+        let _ = self.mgr_shutdown.send(());
+        for ctl in &self.node_ctls {
+            let _ = ctl.send(NodeCtl::Shutdown);
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for System {
+    fn drop(&mut self) {
+        self.stop_threads();
+    }
+}

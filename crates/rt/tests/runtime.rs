@@ -1,0 +1,368 @@
+//! End-to-end tests of the threaded runtime: configuration engine →
+//! launcher → running system → report.
+
+use std::time::Duration as StdDuration;
+
+use rtcm_config::{configure_with, WorkloadSpec};
+use rtcm_core::task::TaskId;
+use rtcm_rt::{ExecMode, RtOptions, System};
+
+const QUIESCE: StdDuration = StdDuration::from_secs(20);
+
+fn spec(text: &str) -> WorkloadSpec {
+    WorkloadSpec::parse(text).expect("test specs are valid")
+}
+
+fn launch(spec_text: &str, services: &str) -> System {
+    let deployment =
+        configure_with(&spec(spec_text), services.parse().expect("valid combo")).unwrap();
+    System::launch(&deployment, RtOptions::fast()).unwrap()
+}
+
+#[test]
+fn single_job_completes_end_to_end() {
+    let system = launch(
+        "workload w\nprocessors 2\n\
+         task chain aperiodic deadline=500ms\n  subtask exec=1ms proc=0\n  subtask exec=1ms proc=1\n",
+        "J_N_N",
+    );
+    system.submit(TaskId(0), 0).unwrap();
+    assert!(system.quiesce(QUIESCE), "job should drain");
+    let report = system.shutdown();
+    assert_eq!(report.jobs_completed, 1);
+    assert_eq!(report.ratio.released_jobs(), 1);
+    assert!((report.ratio.ratio() - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn submit_unknown_task_errors() {
+    let system = launch(
+        "workload w\nprocessors 1\ntask t aperiodic deadline=100ms\n  subtask exec=1ms proc=0\n",
+        "J_N_N",
+    );
+    assert!(system.submit(TaskId(9), 0).is_err());
+    let _ = system.shutdown();
+}
+
+#[test]
+fn per_task_ac_tests_only_once_then_fast_paths() {
+    let system = launch(
+        "workload w\nprocessors 1\ntask t periodic period=100ms\n  subtask exec=1ms proc=0\n",
+        "T_N_N",
+    );
+    for seq in 0..5 {
+        system.submit(TaskId(0), seq).unwrap();
+        assert!(system.quiesce(QUIESCE));
+    }
+    let report = system.shutdown();
+    assert_eq!(report.jobs_completed, 5);
+    // Only the first job took the AC round-trip.
+    assert_eq!(report.ac_test.count(), 1, "one admission test");
+    assert_eq!(report.hold.count(), 1, "one hold");
+}
+
+#[test]
+fn per_job_ac_tests_every_job() {
+    let system = launch(
+        "workload w\nprocessors 1\ntask t periodic period=100ms\n  subtask exec=1ms proc=0\n",
+        "J_N_N",
+    );
+    for seq in 0..5 {
+        system.submit(TaskId(0), seq).unwrap();
+        assert!(system.quiesce(QUIESCE));
+    }
+    let report = system.shutdown();
+    assert_eq!(report.ac_test.count(), 5);
+    assert_eq!(report.jobs_completed, 5);
+}
+
+#[test]
+fn overload_rejects_and_drops() {
+    // Two heavy tasks on one processor: the second must be rejected, and
+    // under per-task AC its later jobs are dropped locally.
+    let system = launch(
+        "workload w\nprocessors 1\n\
+         task a periodic period=100ms\n  subtask exec=45ms proc=0\n\
+         task b periodic period=100ms\n  subtask exec=45ms proc=0\n",
+        "T_N_N",
+    );
+    system.submit(TaskId(0), 0).unwrap();
+    assert!(system.quiesce(QUIESCE));
+    system.submit(TaskId(1), 0).unwrap();
+    assert!(system.quiesce(QUIESCE));
+    system.submit(TaskId(1), 1).unwrap(); // dropped at the TE, no AC trip
+    assert!(system.quiesce(QUIESCE));
+    let report = system.shutdown();
+    assert_eq!(report.jobs_completed, 1);
+    assert_eq!(report.ac_test.count(), 2, "third job never reached the AC");
+    assert_eq!(report.ratio.arrived_jobs(), 3);
+    assert_eq!(report.ratio.released_jobs(), 1);
+}
+
+#[test]
+fn load_balancing_reallocates_to_replica() {
+    // P0 is occupied by a heavy reserved task; a replicated arrival should
+    // release on its duplicate processor.
+    let system = launch(
+        "workload w\nprocessors 2\n\
+         task hog periodic period=100ms\n  subtask exec=40ms proc=0\n\
+         task flex periodic period=100ms\n  subtask exec=40ms proc=0 replicas=1\n",
+        "T_N_T",
+    );
+    system.submit(TaskId(0), 0).unwrap();
+    assert!(system.quiesce(QUIESCE));
+    system.submit(TaskId(1), 0).unwrap();
+    assert!(system.quiesce(QUIESCE));
+    let report = system.shutdown();
+    assert_eq!(report.jobs_completed, 2);
+    assert_eq!(report.reallocations, 1);
+    assert_eq!(report.total_realloc.count(), 1);
+}
+
+#[test]
+fn idle_resetting_reports_flow_to_manager() {
+    let system = launch(
+        "workload w\nprocessors 1\ntask t aperiodic deadline=500ms\n  subtask exec=1ms proc=0\n",
+        "J_J_N",
+    );
+    for seq in 0..3 {
+        system.submit(TaskId(0), seq).unwrap();
+        assert!(system.quiesce(QUIESCE));
+    }
+    // Give idle reports a moment to cross the channel.
+    std::thread::sleep(StdDuration::from_millis(100));
+    let report = system.shutdown();
+    assert!(report.ir_reports > 0, "idle resets must reach the AC");
+    assert!(report.ir_update.count() > 0);
+}
+
+#[test]
+fn no_ir_configuration_sends_no_reports() {
+    let system = launch(
+        "workload w\nprocessors 1\ntask t aperiodic deadline=500ms\n  subtask exec=1ms proc=0\n",
+        "J_N_N",
+    );
+    for seq in 0..3 {
+        system.submit(TaskId(0), seq).unwrap();
+        assert!(system.quiesce(QUIESCE));
+    }
+    std::thread::sleep(StdDuration::from_millis(50));
+    let report = system.shutdown();
+    assert_eq!(report.ir_reports, 0);
+}
+
+#[test]
+fn sleep_execution_takes_real_time_and_meets_deadlines() {
+    let deployment = configure_with(
+        &spec(
+            "workload w\nprocessors 2\n\
+             task chain aperiodic deadline=400ms\n  subtask exec=20ms proc=0\n  subtask exec=20ms proc=1\n",
+        ),
+        "J_N_N".parse().unwrap(),
+    )
+    .unwrap();
+    let system = System::launch(
+        &deployment,
+        RtOptions { exec: ExecMode::Sleep, ..RtOptions::default() },
+    )
+    .unwrap();
+    system.submit(TaskId(0), 0).unwrap();
+    assert!(system.quiesce(QUIESCE));
+    let report = system.shutdown();
+    assert_eq!(report.jobs_completed, 1);
+    assert_eq!(report.deadline_misses, 0);
+    // Response covers both stages plus the AC round-trip.
+    let resp = report.response.mean();
+    assert!(resp.as_millis() >= 40, "response {resp}");
+    assert!(resp.as_millis() < 400, "response {resp}");
+    // Communication delay was measured in the paper's band.
+    assert!(report.comm.count() >= 1);
+    let comm = report.comm.mean();
+    assert!(comm.as_micros() >= 280, "comm {comm}");
+    assert!(comm.as_micros() < 3_000, "comm {comm}");
+}
+
+#[test]
+fn edms_priority_preempts_lower_priority_work() {
+    // A long low-priority job and a short urgent one on the same CPU: the
+    // urgent one must finish first even though it arrives second.
+    let deployment = configure_with(
+        &spec(
+            "workload w\nprocessors 1\n\
+             task slow aperiodic deadline=2s\n  subtask exec=100ms proc=0\n\
+             task urgent aperiodic deadline=200ms\n  subtask exec=5ms proc=0\n",
+        ),
+        "J_N_N".parse().unwrap(),
+    )
+    .unwrap();
+    let system = System::launch(
+        &deployment,
+        RtOptions { exec: ExecMode::Sleep, ..RtOptions::default() },
+    )
+    .unwrap();
+    system.submit(TaskId(0), 0).unwrap();
+    std::thread::sleep(StdDuration::from_millis(20));
+    system.submit(TaskId(1), 0).unwrap();
+    assert!(system.quiesce(QUIESCE));
+    let report = system.shutdown();
+    assert_eq!(report.jobs_completed, 2);
+    assert_eq!(report.deadline_misses, 0, "urgent job preempted the slow one");
+}
+
+#[test]
+fn replay_submits_a_whole_trace() {
+    use rtcm_core::time::Duration as CoreDuration;
+    use rtcm_workload::{ArrivalConfig, ArrivalTrace, Phasing};
+
+    let system = launch(
+        "workload w\nprocessors 1\ntask t periodic period=50ms\n  subtask exec=1ms proc=0\n",
+        "J_N_N",
+    );
+    let trace = ArrivalTrace::generate(
+        system.tasks(),
+        &ArrivalConfig {
+            horizon: CoreDuration::from_millis(500),
+            poisson_factor: 2.0,
+            phasing: Phasing::Simultaneous,
+        },
+        1,
+    );
+    system.replay(&trace, 10.0).unwrap();
+    assert!(system.quiesce(QUIESCE));
+    let report = system.shutdown();
+    assert_eq!(report.ratio.arrived_jobs() as usize, trace.len());
+    assert_eq!(report.jobs_completed as usize, trace.len());
+}
+
+#[test]
+fn duplicate_submission_is_rejected_not_fatal() {
+    let system = launch(
+        "workload w\nprocessors 1\ntask t aperiodic deadline=200ms\n  subtask exec=1ms proc=0\n",
+        "J_N_N",
+    );
+    system.submit(TaskId(0), 0).unwrap();
+    system.submit(TaskId(0), 0).unwrap(); // same job twice: caller mistake
+    assert!(system.quiesce(QUIESCE), "the duplicate must not wedge the system");
+    let report = system.shutdown();
+    assert_eq!(report.jobs_completed, 1, "only one copy runs");
+    assert_eq!(report.ratio.arrived_jobs(), 2);
+}
+
+#[test]
+fn lb_per_job_consults_manager_every_job_even_with_per_task_ac() {
+    // T_N_J: per-task AC admits once, but per-job load balancing means the
+    // TE cannot fast-path — every job needs a (possibly relocated) plan.
+    let system = launch(
+        "workload w\nprocessors 2\n\
+         task t periodic period=100ms\n  subtask exec=1ms proc=0 replicas=1\n",
+        "T_N_J",
+    );
+    for seq in 0..4 {
+        system.submit(TaskId(0), seq).unwrap();
+        assert!(system.quiesce(QUIESCE));
+    }
+    let report = system.shutdown();
+    assert_eq!(report.jobs_completed, 4);
+    // One fresh admission + three pass-through relocations, all at the
+    // manager: the TE held every job.
+    assert_eq!(report.hold.count(), 4);
+    assert_eq!(report.ac_test.count(), 4);
+}
+
+#[test]
+fn ir_per_task_reports_only_aperiodic_completions() {
+    // Periodic-only workload + IR per task: nothing to report.
+    let periodic_only = launch(
+        "workload w\nprocessors 1\ntask t periodic period=100ms\n  subtask exec=1ms proc=0\n",
+        "J_T_N",
+    );
+    for seq in 0..3 {
+        periodic_only.submit(TaskId(0), seq).unwrap();
+        assert!(periodic_only.quiesce(QUIESCE));
+    }
+    std::thread::sleep(StdDuration::from_millis(50));
+    let report = periodic_only.shutdown();
+    assert_eq!(report.ir_reports, 0, "periodic completions are not reported per task");
+
+    // The same configuration with an aperiodic task does report.
+    let with_aperiodic = launch(
+        "workload w\nprocessors 1\ntask t aperiodic deadline=400ms\n  subtask exec=1ms proc=0\n",
+        "J_T_N",
+    );
+    for seq in 0..3 {
+        with_aperiodic.submit(TaskId(0), seq).unwrap();
+        assert!(with_aperiodic.quiesce(QUIESCE));
+    }
+    std::thread::sleep(StdDuration::from_millis(100));
+    let report = with_aperiodic.shutdown();
+    assert!(report.ir_reports > 0, "aperiodic completions are reported per task");
+}
+
+#[test]
+fn ir_strategy_reconfigures_at_runtime() {
+    use rtcm_core::strategy::IrStrategy;
+    let system = launch(
+        "workload w\nprocessors 1\ntask t aperiodic deadline=400ms\n  subtask exec=1ms proc=0\n",
+        "J_N_N",
+    );
+    // Phase 1: no IR — no reports.
+    for seq in 0..3 {
+        system.submit(TaskId(0), seq).unwrap();
+        assert!(system.quiesce(QUIESCE));
+    }
+    std::thread::sleep(StdDuration::from_millis(50));
+    assert_eq!(system.stats().ir_reports, 0);
+
+    // Hot-swap to IR per job.
+    let new = system.reconfigure_ir(IrStrategy::PerJob).unwrap();
+    assert_eq!(new.label(), "J_J_N");
+    assert_eq!(system.services().ir, IrStrategy::PerJob);
+    std::thread::sleep(StdDuration::from_millis(20)); // let nodes apply it
+
+    // Phase 2: reports flow.
+    for seq in 3..6 {
+        system.submit(TaskId(0), seq).unwrap();
+        assert!(system.quiesce(QUIESCE));
+    }
+    std::thread::sleep(StdDuration::from_millis(100));
+    let report = system.shutdown();
+    assert!(report.ir_reports > 0, "reports after reconfiguration");
+}
+
+#[test]
+fn ir_reconfiguration_respects_validity_rule() {
+    use rtcm_core::strategy::IrStrategy;
+    let system = launch(
+        "workload w\nprocessors 1\ntask t periodic period=100ms\n  subtask exec=1ms proc=0\n",
+        "T_T_T",
+    );
+    // AC per task + IR per job is the §4.5 contradiction.
+    assert!(system.reconfigure_ir(IrStrategy::PerJob).is_err());
+    assert_eq!(system.services().label(), "T_T_T", "unchanged after refusal");
+    // Downgrading to no IR is fine.
+    assert!(system.reconfigure_ir(IrStrategy::None).is_ok());
+    assert_eq!(system.services().label(), "T_N_T");
+    let _ = system.shutdown();
+}
+
+#[test]
+fn report_counts_are_consistent() {
+    let system = launch(
+        "workload w\nprocessors 2\n\
+         task a periodic period=50ms\n  subtask exec=1ms proc=0 replicas=1\n\
+         task b aperiodic deadline=100ms\n  subtask exec=1ms proc=1\n",
+        "J_J_T",
+    );
+    for seq in 0..10 {
+        system.submit(TaskId(0), seq).unwrap();
+        system.submit(TaskId(1), seq).unwrap();
+    }
+    assert!(system.quiesce(QUIESCE));
+    let report = system.shutdown();
+    assert_eq!(report.ratio.arrived_jobs(), 20);
+    assert_eq!(
+        report.jobs_completed,
+        report.ratio.released_jobs(),
+        "every released job completes"
+    );
+}

@@ -1,0 +1,1235 @@
+//! The end-to-end middleware simulation: task effectors, the central task
+//! manager (admission control + load balancing), idle resetters and
+//! prioritized subtask execution, all in virtual time.
+//!
+//! The event flow mirrors the paper's Figure 7:
+//!
+//! 1. a job arrives at the task effector (TE) of its first subtask's
+//!    primary processor; the TE holds it and pushes a "Task Arrive" event
+//!    to the task manager (op 1 + comm delay, op 2);
+//! 2. the manager — a single FIFO server — runs the load balancer (op 3)
+//!    and the admission test (op 4), then pushes "Accept" to the releasing
+//!    TE (comm delay), which releases the first subjob (op 5/6);
+//! 3. subjobs execute under preemptive EDMS priorities; completions trigger
+//!    the next stage (comm delay when crossing processors);
+//! 4. when a processor idles, its idle resetter reports completed subjobs
+//!    (op 7 + comm delay) and the manager removes their contributions
+//!    (op 8).
+//!
+//! Task effectors honor the per-task strategy: once a periodic task is
+//! admitted under AC-per-task (and load balancing is not per-job), later
+//! jobs release locally without any manager round-trip — and once rejected,
+//! later jobs are dropped locally.
+
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use rtcm_core::admission::{AcStats, AdmissionController, Decision};
+use rtcm_core::balance::Assignment;
+use rtcm_core::ledger::ContributionKey;
+use rtcm_core::metrics::{DelayStats, UtilizationRatio};
+use rtcm_core::priority::{assign_edms, Priority};
+use rtcm_core::reset::{IdleResetReport, IdleResetter};
+use rtcm_core::strategy::{AcStrategy, InvalidConfigError, LbStrategy, ServiceConfig};
+use rtcm_core::task::{JobId, TaskId, TaskSet};
+use rtcm_core::time::{Duration, Time};
+use rtcm_workload::ArrivalTrace;
+
+use crate::cpu::{Completion, Cpu};
+use crate::overhead::OverheadModel;
+
+/// Simulation parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// The middleware strategy combination under test.
+    pub services: ServiceConfig,
+    /// Where virtual time goes besides subtask execution.
+    pub overheads: OverheadModel,
+    /// Seed for overhead jitter (workload randomness lives in the trace).
+    pub seed: u64,
+}
+
+impl SimConfig {
+    /// A configuration with paper-calibrated overheads.
+    #[must_use]
+    pub fn new(services: ServiceConfig) -> Self {
+        SimConfig { services, overheads: OverheadModel::paper_calibrated(), seed: 0 }
+    }
+
+    /// A configuration with all overheads at zero (AUB's idealized world).
+    #[must_use]
+    pub fn ideal(services: ServiceConfig) -> Self {
+        SimConfig { services, overheads: OverheadModel::zero(), seed: 0 }
+    }
+}
+
+/// Everything measured by one simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// The paper's accepted utilization ratio.
+    pub ratio: UtilizationRatio,
+    /// Jobs that finished their last subtask.
+    pub jobs_completed: u64,
+    /// Completed jobs that finished after their end-to-end deadline.
+    pub deadline_misses: u64,
+    /// End-to-end response times of completed jobs.
+    pub response: DelayStats,
+    /// Accepted jobs whose placement differed from the primary placement.
+    pub reallocations: u64,
+    /// Idle-reset reports received by the manager.
+    pub ir_reports: u64,
+    /// Admission-controller counters.
+    pub ac: AcStats,
+    /// Largest backlog observed in the manager's FIFO queue.
+    pub max_manager_queue: usize,
+    /// Per-processor busy time.
+    pub cpu_busy: Vec<Duration>,
+    /// Longest run of consecutively skipped jobs per task (tasks that never
+    /// skipped are omitted) — how much C1 tolerance the configuration
+    /// actually demanded.
+    pub skip_runs: Vec<(TaskId, u32)>,
+    /// Longest skip run across all tasks.
+    pub max_consecutive_skips: u32,
+    /// Virtual time when the last event fired.
+    pub end: Time,
+}
+
+/// Errors preventing a simulation from starting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The strategy combination is one of the 3 invalid ones.
+    InvalidConfig(InvalidConfigError),
+    /// The trace references a task missing from the set.
+    UnknownTask {
+        /// The offending task id.
+        task: TaskId,
+    },
+    /// The distributed admission architecture only supports per-job
+    /// admission control without idle resetting (see
+    /// [`simulate_distributed`]).
+    UnsupportedDistributed {
+        /// The offending combination.
+        services: ServiceConfig,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidConfig(e) => write!(f, "{e}"),
+            SimError::UnknownTask { task } => {
+                write!(f, "arrival trace references unknown task {task}")
+            }
+            SimError::UnsupportedDistributed { services } => write!(
+                f,
+                "distributed admission control supports only J_N_* combinations, got {services}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<InvalidConfigError> for SimError {
+    fn from(e: InvalidConfigError) -> Self {
+        SimError::InvalidConfig(e)
+    }
+}
+
+#[derive(Debug)]
+enum Ev {
+    Arrival(usize),
+    ManagerRecv(ManagerReq),
+    ManagerDone,
+    Release { job: JobId, subtask: usize, is_job_release: bool },
+    CpuComplete { proc: usize, gen: u64 },
+    /// Distributed mode: a peer's admission commit reaches `node`.
+    CommitSync { node: usize, job: JobId, arrival: Time, assignment: Assignment },
+}
+
+#[derive(Debug)]
+enum ManagerReq {
+    TaskArrive { task: TaskId, seq: u64, te_arrival: Time },
+    IdleReset(IdleResetReport),
+}
+
+struct Scheduled {
+    time: Time,
+    seq: u64,
+    ev: Ev,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed for the max-heap: earliest (time, seq) first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+#[derive(Debug, Clone)]
+struct JobState {
+    te_arrival: Time,
+    abs_deadline: Time,
+    assignment: Assignment,
+}
+
+#[derive(Debug, Clone)]
+enum TeDecision {
+    Admitted(Assignment),
+    Rejected,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct SubjobCtx {
+    job: JobId,
+    subtask: usize,
+}
+
+/// Per-job outcome, for experiments that need finer grain than the
+/// aggregate report (e.g. in-burst acceptance ratios).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobRecord {
+    /// The job.
+    pub job: JobId,
+    /// Arrival at its task effector.
+    pub arrival: Time,
+    /// True if the job was released (admitted).
+    pub released: bool,
+    /// Completion instant of the last subtask, if it completed.
+    pub completed: Option<Time>,
+    /// True if it completed after its end-to-end deadline.
+    pub missed: bool,
+    /// Utilization weight `Σ C/D` (the accepted-ratio metric's unit).
+    pub utilization: f64,
+}
+
+/// Runs one simulation of `trace` over `tasks` under `config`.
+///
+/// # Errors
+///
+/// Returns [`SimError`] for invalid strategy combinations or traces
+/// referencing unknown tasks. Panics never occur for workloads produced by
+/// `rtcm-workload` against their own task sets.
+pub fn simulate(
+    tasks: &TaskSet,
+    trace: &ArrivalTrace,
+    config: &SimConfig,
+) -> Result<SimReport, SimError> {
+    Simulation::new(tasks, trace, config, false)?.run().map(|(report, _)| report)
+}
+
+/// Like [`simulate`], additionally returning one [`JobRecord`] per trace
+/// arrival (in arrival order).
+///
+/// # Errors
+///
+/// As [`simulate`].
+pub fn simulate_recorded(
+    tasks: &TaskSet,
+    trace: &ArrivalTrace,
+    config: &SimConfig,
+) -> Result<(SimReport, Vec<JobRecord>), SimError> {
+    let (report, records) = Simulation::new(tasks, trace, config, true)?.run()?;
+    Ok((report, records.expect("recording was enabled")))
+}
+
+/// One contiguous stretch of a subjob executing on a processor —
+/// Gantt-chart material from [`simulate_traced`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExecSpan {
+    /// The processor.
+    pub processor: u16,
+    /// The executing job.
+    pub job: JobId,
+    /// The stage index.
+    pub subtask: usize,
+    /// Segment start.
+    pub start: Time,
+    /// Segment end (preemption or completion).
+    pub end: Time,
+    /// True if this segment finished the subjob; false if it was preempted.
+    pub completed: bool,
+}
+
+/// Like [`simulate`], additionally returning the full execution trace
+/// (every start/preempt/finish segment on every processor), for Gantt
+/// rendering and schedule inspection.
+///
+/// # Errors
+///
+/// As [`simulate`].
+pub fn simulate_traced(
+    tasks: &TaskSet,
+    trace: &ArrivalTrace,
+    config: &SimConfig,
+) -> Result<(SimReport, Vec<ExecSpan>), SimError> {
+    let mut sim = Simulation::new(tasks, trace, config, false)?;
+    for cpu in &mut sim.cpus {
+        cpu.set_tracing(true);
+    }
+    sim.run_traced()
+}
+
+/// Runs the **distributed** admission architecture the paper's §3 weighs
+/// against its centralized design: one admission controller per
+/// application processor decides *locally and immediately* (no manager
+/// round-trip), and commits are synchronized to peers with one network
+/// delay. The stale views let concurrent admissions race past the bound,
+/// so — unlike the centralized architecture — admitted jobs **can** miss
+/// deadlines; the `ablation_distributed` bench quantifies that trade
+/// against the saved round-trip.
+///
+/// Only `J_N_*` combinations are supported: per-task reservations and
+/// idle-reset fan-out would each need their own synchronization protocol,
+/// which is exactly the complexity §3 cites for preferring the
+/// centralized design.
+///
+/// # Errors
+///
+/// As [`simulate`], plus [`SimError::UnsupportedDistributed`] for
+/// combinations other than `J_N_*`.
+pub fn simulate_distributed(
+    tasks: &TaskSet,
+    trace: &ArrivalTrace,
+    config: &SimConfig,
+) -> Result<SimReport, SimError> {
+    if config.services.ac != AcStrategy::PerJob
+        || config.services.ir != rtcm_core::strategy::IrStrategy::None
+    {
+        return Err(SimError::UnsupportedDistributed { services: config.services });
+    }
+    let mut sim = Simulation::new(tasks, trace, config, false)?;
+    sim.distributed = true;
+    let procs = tasks.processor_count();
+    sim.node_acs = (0..procs)
+        .map(|_| {
+            AdmissionController::new(config.services, procs)
+                .expect("J_N_* combinations are valid")
+        })
+        .collect();
+    sim.run().map(|(report, _)| report)
+}
+
+struct Simulation<'a> {
+    tasks: &'a TaskSet,
+    trace: &'a ArrivalTrace,
+    services: ServiceConfig,
+    overheads: OverheadModel,
+    priorities: HashMap<TaskId, Priority>,
+    ac: AdmissionController,
+    cpus: Vec<Cpu<SubjobCtx>>,
+    resetters: Vec<IdleResetter>,
+    te_cache: HashMap<TaskId, TeDecision>,
+    jobs: HashMap<JobId, JobState>,
+    manager_current: Option<ManagerReq>,
+    manager_queue: VecDeque<ManagerReq>,
+    heap: BinaryHeap<Scheduled>,
+    next_seq: u64,
+    now: Time,
+    rng: StdRng,
+    report: SimReport,
+    records: Option<(Vec<JobRecord>, HashMap<JobId, usize>)>,
+    skips: rtcm_core::metrics::SkipTracker,
+    /// Distributed-architecture state (empty in centralized mode).
+    distributed: bool,
+    node_acs: Vec<AdmissionController>,
+}
+
+impl<'a> Simulation<'a> {
+    fn new(
+        tasks: &'a TaskSet,
+        trace: &'a ArrivalTrace,
+        config: &SimConfig,
+        record_jobs: bool,
+    ) -> Result<Self, SimError> {
+        for arrival in trace.iter() {
+            if tasks.get(arrival.task).is_none() {
+                return Err(SimError::UnknownTask { task: arrival.task });
+            }
+        }
+        let procs = tasks.processor_count();
+        let ac = AdmissionController::new(config.services, procs)?;
+        Ok(Simulation {
+            tasks,
+            trace,
+            services: config.services,
+            overheads: config.overheads,
+            priorities: assign_edms(tasks),
+            ac,
+            cpus: (0..procs).map(|_| Cpu::new()).collect(),
+            resetters: (0..procs)
+                .map(|p| IdleResetter::new(config.services.ir, rtcm_core::task::ProcessorId(p as u16)))
+                .collect(),
+            te_cache: HashMap::new(),
+            jobs: HashMap::new(),
+            manager_current: None,
+            manager_queue: VecDeque::new(),
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: Time::ZERO,
+            rng: StdRng::seed_from_u64(config.seed),
+            report: SimReport {
+                ratio: UtilizationRatio::new(),
+                jobs_completed: 0,
+                deadline_misses: 0,
+                response: DelayStats::new(),
+                reallocations: 0,
+                ir_reports: 0,
+                ac: AcStats::default(),
+                max_manager_queue: 0,
+                cpu_busy: vec![Duration::ZERO; procs],
+                skip_runs: Vec::new(),
+                max_consecutive_skips: 0,
+                end: Time::ZERO,
+            },
+            records: if record_jobs { Some((Vec::new(), HashMap::new())) } else { None },
+            skips: rtcm_core::metrics::SkipTracker::new(),
+            distributed: false,
+            node_acs: Vec::new(),
+        })
+    }
+
+    fn run(mut self) -> Result<(SimReport, Option<Vec<JobRecord>>), SimError> {
+        if !self.trace.is_empty() {
+            let t = self.trace.arrivals()[0].time;
+            self.schedule(t, Ev::Arrival(0));
+        }
+        while let Some(Scheduled { time, ev, .. }) = self.heap.pop() {
+            debug_assert!(time >= self.now, "virtual time must be monotone");
+            self.now = time;
+            self.dispatch(ev);
+        }
+        self.report.end = self.now;
+        self.report.ac = if self.distributed {
+            let mut total = AcStats::default();
+            for ac in &self.node_acs {
+                let s = ac.stats();
+                total.tested += s.tested;
+                total.admitted += s.admitted;
+                total.rejected += s.rejected;
+                total.pass_throughs += s.pass_throughs;
+                total.reset_reports += s.reset_reports;
+                total.reset_utilization += s.reset_utilization;
+            }
+            total
+        } else {
+            self.ac.stats()
+        };
+        for (p, cpu) in self.cpus.iter().enumerate() {
+            self.report.cpu_busy[p] = cpu.busy_time();
+        }
+        self.report.skip_runs = self.skips.per_task();
+        self.report.max_consecutive_skips = self.skips.worst_case();
+        Ok((self.report, self.records.map(|(records, _)| records)))
+    }
+
+    /// [`run`](Self::run) plus execution-span extraction from the CPUs'
+    /// transition logs.
+    fn run_traced(mut self) -> Result<(SimReport, Vec<ExecSpan>), SimError> {
+        if !self.trace.is_empty() {
+            let t = self.trace.arrivals()[0].time;
+            self.schedule(t, Ev::Arrival(0));
+        }
+        while let Some(Scheduled { time, ev, .. }) = self.heap.pop() {
+            self.now = time;
+            self.dispatch(ev);
+        }
+        let mut spans = Vec::new();
+        for (p, cpu) in self.cpus.iter_mut().enumerate() {
+            let mut open: Option<(SubjobCtx, Time)> = None;
+            for transition in cpu.drain_transitions() {
+                match transition {
+                    crate::cpu::Transition::Start { at, payload } => {
+                        debug_assert!(open.is_none(), "start while running");
+                        open = Some((payload, at));
+                    }
+                    crate::cpu::Transition::Preempt { at, payload }
+                    | crate::cpu::Transition::Finish { at, payload } => {
+                        let completed =
+                            matches!(transition, crate::cpu::Transition::Finish { .. });
+                        if let Some((ctx, start)) = open.take() {
+                            debug_assert_eq!(ctx.job, payload.job, "span pairing");
+                            spans.push(ExecSpan {
+                                processor: p as u16,
+                                job: ctx.job,
+                                subtask: ctx.subtask,
+                                start,
+                                end: at,
+                                completed,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        spans.sort_by_key(|s| (s.start, s.processor));
+        self.report.end = self.now;
+        self.report.ac = self.ac.stats();
+        for (p, cpu) in self.cpus.iter().enumerate() {
+            self.report.cpu_busy[p] = cpu.busy_time();
+        }
+        self.report.skip_runs = self.skips.per_task();
+        self.report.max_consecutive_skips = self.skips.worst_case();
+        Ok((self.report, spans))
+    }
+
+    fn record_arrival(&mut self, job: JobId, arrival: Time, utilization: f64) {
+        if let Some((records, index)) = &mut self.records {
+            index.insert(job, records.len());
+            records.push(JobRecord {
+                job,
+                arrival,
+                released: false,
+                completed: None,
+                missed: false,
+                utilization,
+            });
+        }
+    }
+
+    fn record_release_of(&mut self, job: JobId) {
+        if let Some((records, index)) = &mut self.records {
+            if let Some(&i) = index.get(&job) {
+                records[i].released = true;
+            }
+        }
+    }
+
+    fn record_completion_of(&mut self, job: JobId, completed: Time, missed: bool) {
+        if let Some((records, index)) = &mut self.records {
+            if let Some(&i) = index.get(&job) {
+                records[i].completed = Some(completed);
+                records[i].missed = missed;
+            }
+        }
+    }
+
+    fn schedule(&mut self, time: Time, ev: Ev) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { time, seq, ev });
+    }
+
+    fn comm(&mut self) -> Duration {
+        self.overheads.comm.sample(&mut self.rng)
+    }
+
+    fn dispatch(&mut self, ev: Ev) {
+        match ev {
+            Ev::Arrival(idx) => self.on_arrival(idx),
+            Ev::ManagerRecv(req) => self.on_manager_recv(req),
+            Ev::ManagerDone => self.on_manager_done(),
+            Ev::Release { job, subtask, is_job_release } => {
+                self.on_release(job, subtask, is_job_release);
+            }
+            Ev::CpuComplete { proc, gen } => self.on_cpu_complete(proc, gen),
+            Ev::CommitSync { node, job, arrival, assignment } => {
+                let task = self.tasks.get(job.task).expect("validated in new()");
+                let ac = &mut self.node_acs[node];
+                ac.expire(self.now);
+                ac.apply_remote_commit(task, job.seq, arrival, &assignment)
+                    .expect("peers commit validated assignments");
+            }
+        }
+    }
+
+    fn on_arrival(&mut self, idx: usize) {
+        // Chain the next trace arrival to keep the heap small.
+        if idx + 1 < self.trace.len() {
+            let next = self.trace.arrivals()[idx + 1];
+            self.schedule(next.time, Ev::Arrival(idx + 1));
+        }
+        let arrival = self.trace.arrivals()[idx];
+        let task = self.tasks.get(arrival.task).expect("validated in new()");
+        self.report.ratio.record_arrival(task.job_utilization());
+        self.record_arrival(
+            JobId::new(arrival.task, arrival.seq),
+            arrival.time,
+            task.job_utilization(),
+        );
+
+        if self.distributed {
+            self.distributed_arrival(arrival.task, arrival.seq, arrival.time);
+            return;
+        }
+
+        // The TE's per-task fast path: release or drop locally when the
+        // periodic task's fate is already known and no per-job relocation is
+        // configured.
+        let per_task_te = self.services.ac == AcStrategy::PerTask && task.is_periodic();
+        if per_task_te {
+            match self.te_cache.get(&arrival.task) {
+                Some(TeDecision::Admitted(assignment)) if self.services.lb != LbStrategy::PerJob => {
+                    self.skips.record(arrival.task, true);
+                    let assignment = assignment.clone();
+                    let job = JobId::new(arrival.task, arrival.seq);
+                    self.jobs.insert(
+                        job,
+                        JobState {
+                            te_arrival: arrival.time,
+                            abs_deadline: arrival.time + task.deadline(),
+                            assignment: assignment.clone(),
+                        },
+                    );
+                    let arrival_proc = task.subtasks()[0].primary;
+                    let mut t = self.now + self.overheads.te_release;
+                    if assignment.processor(0) != arrival_proc {
+                        t += self.comm();
+                    }
+                    self.schedule(t, Ev::Release { job, subtask: 0, is_job_release: true });
+                    return;
+                }
+                Some(TeDecision::Rejected) => {
+                    self.skips.record(arrival.task, false);
+                    return;
+                }
+                _ => {}
+            }
+        }
+
+        let t = self.now + self.overheads.te_hold + self.comm();
+        self.schedule(
+            t,
+            Ev::ManagerRecv(ManagerReq::TaskArrive {
+                task: arrival.task,
+                seq: arrival.seq,
+                te_arrival: arrival.time,
+            }),
+        );
+    }
+
+    /// Distributed mode: the arrival processor's own controller decides
+    /// immediately on its (possibly stale) view, releases locally, and
+    /// broadcasts the commit to every peer with one network delay.
+    fn distributed_arrival(&mut self, task_id: TaskId, seq: u64, arrival: Time) {
+        let task = self.tasks.get(task_id).expect("validated in new()");
+        let arrival_proc = task.subtasks()[0].primary.index();
+        let ac = &mut self.node_acs[arrival_proc];
+        ac.expire(self.now);
+        let decision = ac
+            .handle_arrival(task, seq, arrival)
+            .expect("trace arrivals are unique and tasks fit the deployment");
+        match decision {
+            Decision::Accept { assignment, .. } => {
+                self.skips.record(task_id, true);
+                if assignment.is_reallocation(task) {
+                    self.report.reallocations += 1;
+                }
+                let job = JobId::new(task_id, seq);
+                self.jobs.insert(
+                    job,
+                    JobState {
+                        te_arrival: arrival,
+                        abs_deadline: arrival + task.deadline(),
+                        assignment: assignment.clone(),
+                    },
+                );
+                let release_at = self.now + self.overheads.te_release;
+                self.schedule(release_at, Ev::Release { job, subtask: 0, is_job_release: true });
+                for node in 0..self.node_acs.len() {
+                    if node == arrival_proc {
+                        continue;
+                    }
+                    let delay = self.comm();
+                    self.schedule(
+                        self.now + delay,
+                        Ev::CommitSync { node, job, arrival, assignment: assignment.clone() },
+                    );
+                }
+            }
+            Decision::Reject { .. } => {
+                self.skips.record(task_id, false);
+            }
+        }
+    }
+
+    fn manager_service_time(&self, req: &ManagerReq) -> Duration {
+        match req {
+            ManagerReq::TaskArrive { .. } => {
+                let lb = if self.services.lb.is_enabled() {
+                    self.overheads.lb_plan
+                } else {
+                    Duration::ZERO
+                };
+                self.overheads.ac_test + lb
+            }
+            ManagerReq::IdleReset(_) => self.overheads.ir_update,
+        }
+    }
+
+    fn on_manager_recv(&mut self, req: ManagerReq) {
+        if self.manager_current.is_none() {
+            let svc = self.manager_service_time(&req);
+            self.manager_current = Some(req);
+            self.schedule(self.now + svc, Ev::ManagerDone);
+        } else {
+            self.manager_queue.push_back(req);
+            self.report.max_manager_queue =
+                self.report.max_manager_queue.max(self.manager_queue.len());
+        }
+    }
+
+    fn on_manager_done(&mut self) {
+        let req = self.manager_current.take().expect("ManagerDone with no request in service");
+        match req {
+            ManagerReq::TaskArrive { task, seq, te_arrival } => {
+                self.decide(task, seq, te_arrival);
+            }
+            ManagerReq::IdleReset(report) => {
+                self.ac.apply_idle_reset(report.processor, &report.completed);
+                self.report.ir_reports += 1;
+            }
+        }
+        if let Some(next) = self.manager_queue.pop_front() {
+            let svc = self.manager_service_time(&next);
+            self.manager_current = Some(next);
+            self.schedule(self.now + svc, Ev::ManagerDone);
+        }
+    }
+
+    fn decide(&mut self, task_id: TaskId, seq: u64, te_arrival: Time) {
+        let task = self.tasks.get(task_id).expect("validated in new()");
+        // Clean the current set up to manager time, then test against the
+        // job's true (arrival-based) deadline.
+        self.ac.expire(self.now);
+        let decision = self
+            .ac
+            .handle_arrival(task, seq, te_arrival)
+            .expect("trace arrivals are unique and tasks fit the deployment");
+        match decision {
+            Decision::Accept { assignment, .. } => {
+                self.skips.record(task_id, true);
+                if assignment.is_reallocation(task) {
+                    self.report.reallocations += 1;
+                }
+                let job = JobId::new(task_id, seq);
+                self.jobs.insert(
+                    job,
+                    JobState {
+                        te_arrival,
+                        abs_deadline: te_arrival + task.deadline(),
+                        assignment: assignment.clone(),
+                    },
+                );
+                if task.is_periodic()
+                    && self.services.ac == AcStrategy::PerTask
+                    && self.services.lb != LbStrategy::PerJob
+                {
+                    self.te_cache.insert(task_id, TeDecision::Admitted(assignment.clone()));
+                }
+                let t = self.now + self.comm() + self.overheads.te_release;
+                self.schedule(t, Ev::Release { job, subtask: 0, is_job_release: true });
+            }
+            Decision::Reject { .. } => {
+                self.skips.record(task_id, false);
+                if task.is_periodic() && self.services.ac == AcStrategy::PerTask {
+                    self.te_cache.insert(task_id, TeDecision::Rejected);
+                }
+            }
+        }
+    }
+
+    fn on_release(&mut self, job: JobId, subtask: usize, is_job_release: bool) {
+        let task = self.tasks.get(job.task).expect("validated in new()");
+        if is_job_release {
+            self.report.ratio.record_release(task.job_utilization());
+            self.record_release_of(job);
+        }
+        let state = self.jobs.get(&job).expect("release of unknown job");
+        let proc = state.assignment.processor(subtask).index();
+        let priority = self.priorities[&job.task];
+        let exec = task.subtasks()[subtask].execution_time;
+        if let Some(started) =
+            self.cpus[proc].enqueue(self.now, priority, exec, SubjobCtx { job, subtask })
+        {
+            self.schedule(started.completes_at, Ev::CpuComplete { proc, gen: started.gen });
+        }
+    }
+
+    fn on_cpu_complete(&mut self, proc: usize, gen: u64) {
+        let outcome = self.cpus[proc].complete(self.now, gen);
+        let (ctx, next) = match outcome {
+            Completion::Stale => return,
+            Completion::Done { payload, next } => (payload, next),
+        };
+        if let Some(started) = next {
+            self.schedule(started.completes_at, Ev::CpuComplete { proc, gen: started.gen });
+        }
+
+        let task = self.tasks.get(ctx.job.task).expect("validated in new()");
+        let state = self.jobs.get(&ctx.job).expect("completion of unknown job").clone();
+
+        // Report to the local idle resetter (strategy-filtered inside).
+        self.resetters[proc].record_completion(
+            ContributionKey::new(ctx.job, ctx.subtask),
+            state.abs_deadline,
+            task.is_periodic(),
+        );
+
+        if ctx.subtask + 1 == task.subtasks().len() {
+            let response = self.now.elapsed_since(state.te_arrival);
+            self.report.response.record(response);
+            self.report.jobs_completed += 1;
+            let missed = self.now > state.abs_deadline;
+            if missed {
+                self.report.deadline_misses += 1;
+            }
+            self.record_completion_of(ctx.job, self.now, missed);
+            self.jobs.remove(&ctx.job);
+        } else {
+            let next_proc = state.assignment.processor(ctx.subtask + 1);
+            let delay =
+                if next_proc.index() == proc { Duration::ZERO } else { self.comm() };
+            self.schedule(
+                self.now + delay,
+                Ev::Release { job: ctx.job, subtask: ctx.subtask + 1, is_job_release: false },
+            );
+        }
+
+        if self.cpus[proc].is_idle() {
+            if let Some(report) = self.resetters[proc].on_idle(self.now) {
+                let t = self.now + self.overheads.ir_report + self.comm();
+                self.schedule(t, Ev::ManagerRecv(ManagerReq::IdleReset(report)));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtcm_core::task::{ProcessorId, TaskBuilder};
+    use rtcm_workload::{ArrivalConfig, Phasing};
+
+    fn one_task_set() -> TaskSet {
+        let t = TaskBuilder::periodic(TaskId(0), Duration::from_millis(100))
+            .subtask(Duration::from_millis(10), ProcessorId(0), [ProcessorId(1)])
+            .build()
+            .unwrap();
+        TaskSet::from_tasks([t]).unwrap()
+    }
+
+    fn trace_for(tasks: &TaskSet, horizon_ms: u64) -> ArrivalTrace {
+        ArrivalTrace::generate(
+            tasks,
+            &ArrivalConfig {
+                horizon: Duration::from_millis(horizon_ms),
+                poisson_factor: 2.0,
+                phasing: Phasing::Simultaneous,
+            },
+            1,
+        )
+    }
+
+    #[test]
+    fn single_periodic_task_all_jobs_released() {
+        let tasks = one_task_set();
+        let trace = trace_for(&tasks, 1_000);
+        let cfg = SimConfig::ideal("T_N_N".parse().unwrap());
+        let report = simulate(&tasks, &trace, &cfg).unwrap();
+        assert_eq!(report.ratio.ratio(), 1.0);
+        assert_eq!(report.jobs_completed, 10);
+        assert_eq!(report.deadline_misses, 0);
+        // 10 jobs × 10 ms on P0.
+        assert_eq!(report.cpu_busy[0], Duration::from_millis(100));
+    }
+
+    #[test]
+    fn per_task_uses_one_admission_test() {
+        let tasks = one_task_set();
+        let trace = trace_for(&tasks, 1_000);
+        let cfg = SimConfig::ideal("T_N_N".parse().unwrap());
+        let report = simulate(&tasks, &trace, &cfg).unwrap();
+        assert_eq!(report.ac.tested, 1, "only the first job is tested");
+        assert_eq!(report.ac.admitted, 1);
+    }
+
+    #[test]
+    fn per_job_tests_every_job() {
+        let tasks = one_task_set();
+        let trace = trace_for(&tasks, 1_000);
+        let cfg = SimConfig::ideal("J_N_N".parse().unwrap());
+        let report = simulate(&tasks, &trace, &cfg).unwrap();
+        assert_eq!(report.ac.tested, 10);
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let tasks = one_task_set();
+        let trace = trace_for(&tasks, 100);
+        let cfg = SimConfig::ideal("T_J_N".parse().unwrap());
+        assert!(matches!(
+            simulate(&tasks, &trace, &cfg),
+            Err(SimError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_task_in_trace_is_rejected() {
+        let tasks = one_task_set();
+        let other = {
+            let t = TaskBuilder::periodic(TaskId(9), Duration::from_millis(100))
+                .subtask(Duration::from_millis(1), ProcessorId(0), [])
+                .build()
+                .unwrap();
+            TaskSet::from_tasks([t]).unwrap()
+        };
+        let trace = trace_for(&other, 200);
+        let cfg = SimConfig::ideal("J_N_N".parse().unwrap());
+        assert_eq!(
+            simulate(&tasks, &trace, &cfg).unwrap_err(),
+            SimError::UnknownTask { task: TaskId(9) }
+        );
+    }
+
+    #[test]
+    fn overloaded_processor_skips_jobs_per_job_ac() {
+        // Two identical heavy tasks on one processor: each alone passes
+        // (f(0.45) < 1) but together f(0.9) > 1, so one is locked out.
+        let t0 = TaskBuilder::periodic(TaskId(0), Duration::from_millis(100))
+            .subtask(Duration::from_millis(45), ProcessorId(0), [])
+            .build()
+            .unwrap();
+        let t1 = TaskBuilder::periodic(TaskId(1), Duration::from_millis(100))
+            .subtask(Duration::from_millis(45), ProcessorId(0), [])
+            .build()
+            .unwrap();
+        let tasks = TaskSet::from_tasks([t0, t1]).unwrap();
+        let trace = trace_for(&tasks, 1_000);
+        let cfg = SimConfig::ideal("J_N_N".parse().unwrap());
+        let report = simulate(&tasks, &trace, &cfg).unwrap();
+        assert!(report.ratio.ratio() < 1.0);
+        assert!(report.ac.rejected > 0);
+        assert_eq!(report.deadline_misses, 0, "admitted jobs still meet deadlines");
+    }
+
+    #[test]
+    fn idle_resetting_admits_more() {
+        // With period = deadline and *simultaneous* phases, deadline expiry
+        // alone frees utilization exactly at each arrival and IR is a
+        // no-op. Staggered phases create mid-period arrivals that only the
+        // resetting rule can admit — the very effect of §4.3.
+        let mk = |id: u32, proc: u16| {
+            TaskBuilder::periodic(TaskId(id), Duration::from_millis(100))
+                .subtask(Duration::from_millis(30), ProcessorId(proc), [])
+                .build()
+                .unwrap()
+        };
+        let tasks = TaskSet::from_tasks([mk(0, 0), mk(1, 0), mk(2, 0)]).unwrap();
+        let trace = ArrivalTrace::generate(
+            &tasks,
+            &ArrivalConfig {
+                horizon: Duration::from_millis(2_000),
+                poisson_factor: 2.0,
+                phasing: Phasing::RandomPhase,
+            },
+            3,
+        );
+        let no_ir = simulate(&tasks, &trace, &SimConfig::ideal("J_N_N".parse().unwrap()))
+            .unwrap();
+        let with_ir = simulate(&tasks, &trace, &SimConfig::ideal("J_J_N".parse().unwrap()))
+            .unwrap();
+        assert!(
+            with_ir.ratio.ratio() > no_ir.ratio.ratio(),
+            "IR per job ({}) must beat no IR ({})",
+            with_ir.ratio.ratio(),
+            no_ir.ratio.ratio()
+        );
+        assert!(with_ir.ir_reports > 0);
+        assert_eq!(with_ir.deadline_misses, 0);
+    }
+
+    #[test]
+    fn load_balancing_uses_replicas() {
+        // Two heavy replicated tasks: without LB they fight over P0;
+        // with LB one moves to P1.
+        let mk = |id: u32| {
+            TaskBuilder::periodic(TaskId(id), Duration::from_millis(100))
+                .subtask(Duration::from_millis(45), ProcessorId(0), [ProcessorId(1)])
+                .build()
+                .unwrap()
+        };
+        let tasks = TaskSet::from_tasks([mk(0), mk(1)]).unwrap();
+        let trace = trace_for(&tasks, 1_000);
+        let no_lb = simulate(&tasks, &trace, &SimConfig::ideal("J_N_N".parse().unwrap()))
+            .unwrap();
+        let lb = simulate(&tasks, &trace, &SimConfig::ideal("J_N_T".parse().unwrap()))
+            .unwrap();
+        assert!(lb.ratio.ratio() > no_lb.ratio.ratio());
+        assert!(lb.reallocations > 0);
+        assert!(lb.cpu_busy[1] > Duration::ZERO, "P1 actually executed work");
+    }
+
+    #[test]
+    fn distributed_rejects_unsupported_configs() {
+        let tasks = one_task_set();
+        let trace = trace_for(&tasks, 200);
+        for bad in ["T_N_N", "J_J_N", "J_T_T"] {
+            let cfg = SimConfig::ideal(bad.parse().unwrap());
+            assert!(
+                matches!(
+                    super::simulate_distributed(&tasks, &trace, &cfg),
+                    Err(SimError::UnsupportedDistributed { .. })
+                ),
+                "combo {bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn distributed_matches_centralized_on_one_processor() {
+        // With a single application processor there are no peers to race:
+        // under zero overheads both architectures admit identically.
+        let t0 = TaskBuilder::periodic(TaskId(0), Duration::from_millis(100))
+            .subtask(Duration::from_millis(45), ProcessorId(0), [])
+            .build()
+            .unwrap();
+        let t1 = TaskBuilder::periodic(TaskId(1), Duration::from_millis(100))
+            .subtask(Duration::from_millis(45), ProcessorId(0), [])
+            .build()
+            .unwrap();
+        let tasks = TaskSet::from_tasks([t0, t1]).unwrap();
+        let trace = trace_for(&tasks, 1_000);
+        let cfg = SimConfig::ideal("J_N_N".parse().unwrap());
+        let central = simulate(&tasks, &trace, &cfg).unwrap();
+        let distributed = super::simulate_distributed(&tasks, &trace, &cfg).unwrap();
+        assert_eq!(central.ratio, distributed.ratio);
+        assert_eq!(central.deadline_misses, distributed.deadline_misses);
+    }
+
+    #[test]
+    fn distributed_decides_without_manager_round_trip() {
+        let tasks = one_task_set();
+        let trace = trace_for(&tasks, 1_000);
+        // Full overheads: centralized pays ~1 ms of admission path per job;
+        // distributed releases locally after te_release only.
+        let cfg = SimConfig::new("J_N_N".parse().unwrap());
+        let central = simulate(&tasks, &trace, &cfg).unwrap();
+        let distributed = super::simulate_distributed(&tasks, &trace, &cfg).unwrap();
+        assert!(
+            distributed.response.mean() + Duration::from_micros(500)
+                < central.response.mean(),
+            "distributed {} vs centralized {}",
+            distributed.response.mean(),
+            central.response.mean()
+        );
+        assert_eq!(distributed.ir_reports, 0);
+    }
+
+    #[test]
+    fn job_records_match_aggregates() {
+        let t0 = TaskBuilder::periodic(TaskId(0), Duration::from_millis(100))
+            .subtask(Duration::from_millis(45), ProcessorId(0), [])
+            .build()
+            .unwrap();
+        let t1 = TaskBuilder::periodic(TaskId(1), Duration::from_millis(100))
+            .subtask(Duration::from_millis(45), ProcessorId(0), [])
+            .build()
+            .unwrap();
+        let tasks = TaskSet::from_tasks([t0, t1]).unwrap();
+        let trace = trace_for(&tasks, 1_000);
+        let cfg = SimConfig::ideal("J_N_N".parse().unwrap());
+        let (report, records) = super::simulate_recorded(&tasks, &trace, &cfg).unwrap();
+        assert_eq!(records.len(), trace.len());
+        let released = records.iter().filter(|r| r.released).count() as u64;
+        assert_eq!(released, report.ratio.released_jobs());
+        let completed = records.iter().filter(|r| r.completed.is_some()).count() as u64;
+        assert_eq!(completed, report.jobs_completed);
+        let missed = records.iter().filter(|r| r.missed).count() as u64;
+        assert_eq!(missed, report.deadline_misses);
+        // Rejected jobs never complete.
+        for r in &records {
+            if !r.released {
+                assert!(r.completed.is_none());
+            }
+        }
+        // Recording does not change the aggregate outcome.
+        let plain = simulate(&tasks, &trace, &cfg).unwrap();
+        assert_eq!(plain, report);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let tasks = one_task_set();
+        let trace = trace_for(&tasks, 2_000);
+        let cfg = SimConfig::new("J_J_J".parse().unwrap());
+        let a = simulate(&tasks, &trace, &cfg).unwrap();
+        let b = simulate(&tasks, &trace, &cfg).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn execution_spans_account_for_every_cycle() {
+        // Two tasks with different priorities on one CPU: the trace must
+        // show preemption, spans must not overlap, and per-subjob span time
+        // must equal the declared execution time.
+        let urgent = TaskBuilder::periodic(TaskId(0), Duration::from_millis(50))
+            .subtask(Duration::from_millis(5), ProcessorId(0), [])
+            .build()
+            .unwrap();
+        let slow = TaskBuilder::periodic(TaskId(1), Duration::from_millis(200))
+            .subtask(Duration::from_millis(60), ProcessorId(0), [])
+            .build()
+            .unwrap();
+        let tasks = TaskSet::from_tasks([urgent, slow]).unwrap();
+        let trace = trace_for(&tasks, 400);
+        let (report, spans) = super::simulate_traced(
+            &tasks,
+            &trace,
+            &SimConfig::ideal("J_N_N".parse().unwrap()),
+        )
+        .unwrap();
+        assert!(!spans.is_empty());
+        // Non-overlap on the single CPU.
+        let mut sorted = spans.clone();
+        sorted.sort_by_key(|s| s.start);
+        for pair in sorted.windows(2) {
+            assert!(pair[0].end <= pair[1].start, "{:?} overlaps {:?}", pair[0], pair[1]);
+        }
+        // The slow task must have been preempted at least once.
+        assert!(
+            spans.iter().any(|s| s.job.task == TaskId(1) && !s.completed),
+            "expected a preempted segment of the slow task"
+        );
+        // Per-subjob execution adds up exactly.
+        use std::collections::HashMap;
+        let mut per_job: HashMap<(rtcm_core::task::JobId, usize), Duration> = HashMap::new();
+        for s in &spans {
+            *per_job.entry((s.job, s.subtask)).or_insert(Duration::ZERO) +=
+                s.end.elapsed_since(s.start);
+        }
+        for ((job, subtask), total) in per_job {
+            let expected = tasks.get(job.task).unwrap().subtasks()[subtask].execution_time;
+            assert_eq!(total, expected, "job {job} stage {subtask}");
+        }
+        // Total span time equals reported busy time.
+        let span_total: Duration =
+            spans.iter().map(|s| s.end.elapsed_since(s.start)).sum();
+        assert_eq!(span_total, report.cpu_busy[0]);
+    }
+
+    #[test]
+    fn skip_runs_are_tracked() {
+        // Two heavy tasks on one CPU: the loser skips in runs.
+        let t0 = TaskBuilder::periodic(TaskId(0), Duration::from_millis(100))
+            .subtask(Duration::from_millis(45), ProcessorId(0), [])
+            .build()
+            .unwrap();
+        let t1 = TaskBuilder::periodic(TaskId(1), Duration::from_millis(100))
+            .subtask(Duration::from_millis(45), ProcessorId(0), [])
+            .build()
+            .unwrap();
+        let tasks = TaskSet::from_tasks([t0, t1]).unwrap();
+        let trace = trace_for(&tasks, 1_000);
+        let report =
+            simulate(&tasks, &trace, &SimConfig::ideal("J_N_N".parse().unwrap())).unwrap();
+        assert!(report.max_consecutive_skips > 0);
+        assert!(!report.skip_runs.is_empty());
+        // A drained single-task system skips nothing.
+        let solo = TaskSet::from_tasks([TaskBuilder::periodic(
+            TaskId(0),
+            Duration::from_millis(100),
+        )
+        .subtask(Duration::from_millis(10), ProcessorId(0), [])
+        .build()
+        .unwrap()])
+        .unwrap();
+        let trace = trace_for(&solo, 1_000);
+        let report =
+            simulate(&solo, &trace, &SimConfig::ideal("J_N_N".parse().unwrap())).unwrap();
+        assert_eq!(report.max_consecutive_skips, 0);
+        assert!(report.skip_runs.is_empty());
+    }
+
+    #[test]
+    fn endurance_hour_long_horizon_stays_bounded() {
+        // A full virtual hour: the current set and ledger must stay
+        // bounded (expiry works), determinism must hold, and nothing
+        // leaks into pathological slowdowns.
+        let mk = |id: u32, proc: u16| {
+            TaskBuilder::periodic(TaskId(id), Duration::from_millis(250))
+                .subtask(Duration::from_millis(40), ProcessorId(proc), [])
+                .build()
+                .unwrap()
+        };
+        let tasks = TaskSet::from_tasks([mk(0, 0), mk(1, 1), mk(2, 0)]).unwrap();
+        let trace = ArrivalTrace::generate(
+            &tasks,
+            &ArrivalConfig {
+                horizon: Duration::from_secs(3_600),
+                poisson_factor: 2.0,
+                phasing: Phasing::RandomPhase,
+            },
+            1,
+        );
+        let cfg = SimConfig::new("J_J_T".parse().unwrap());
+        let report = simulate(&tasks, &trace, &cfg).unwrap();
+        // 3 tasks × 14400 periods each ≈ 43200 arrivals.
+        assert!(report.ratio.arrived_jobs() > 40_000);
+        assert_eq!(report.deadline_misses, 0);
+        assert!(report.ratio.ratio() > 0.5);
+        let again = simulate(&tasks, &trace, &cfg).unwrap();
+        assert_eq!(report, again);
+    }
+
+    #[test]
+    fn scale_many_processors_and_tasks() {
+        // 40 processors, 80 tasks: a deployment an order of magnitude
+        // beyond the paper's testbed still simulates correctly.
+        let mut tasks = Vec::new();
+        for i in 0..80u32 {
+            let p = (i % 40) as u16;
+            tasks.push(
+                TaskBuilder::periodic(TaskId(i), Duration::from_millis(200 + 10 * u64::from(i)))
+                    .subtask(
+                        Duration::from_millis(10),
+                        ProcessorId(p),
+                        [ProcessorId((p + 1) % 40)],
+                    )
+                    .subtask(Duration::from_millis(5), ProcessorId((p + 7) % 40), [])
+                    .build()
+                    .unwrap(),
+            );
+        }
+        let tasks = TaskSet::from_tasks(tasks).unwrap();
+        let trace = trace_for(&tasks, 10_000);
+        let report =
+            simulate(&tasks, &trace, &SimConfig::new("J_J_J".parse().unwrap())).unwrap();
+        assert!(report.ratio.ratio() > 0.5, "ratio {}", report.ratio.ratio());
+        assert_eq!(report.deadline_misses, 0);
+        assert_eq!(report.cpu_busy.len(), 40);
+    }
+
+    #[test]
+    fn overheads_delay_but_do_not_starve() {
+        let tasks = one_task_set();
+        let trace = trace_for(&tasks, 1_000);
+        let ideal = simulate(&tasks, &trace, &SimConfig::ideal("J_N_N".parse().unwrap()))
+            .unwrap();
+        let real = simulate(&tasks, &trace, &SimConfig::new("J_N_N".parse().unwrap()))
+            .unwrap();
+        assert_eq!(real.jobs_completed, ideal.jobs_completed);
+        assert!(real.response.mean() > ideal.response.mean());
+        // The AC round-trip adds ≈ 1 ms to every response.
+        let delta = real.response.mean() - ideal.response.mean();
+        assert!(
+            delta > Duration::from_micros(700) && delta < Duration::from_micros(2_000),
+            "AC path delta {delta}"
+        );
+    }
+}

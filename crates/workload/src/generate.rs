@@ -1,0 +1,522 @@
+//! Seeded task-set generators reproducing the paper's experimental
+//! workloads.
+//!
+//! * [`RandomWorkload`] — §7.1: 9 tasks (4 aperiodic + 5 periodic),
+//!   subtasks/task ~ U{1..5} placed uniformly over 5 application
+//!   processors, deadlines ~ U[250 ms, 10 s], period = deadline, one
+//!   replica per subtask on a random *other* processor, and execution times
+//!   scaled so every processor's synthetic utilization is exactly the
+//!   target (0.5) if all tasks arrive simultaneously.
+//! * [`ImbalancedWorkload`] — §7.2: primaries confined to a "loaded" group
+//!   (3 processors at 0.7 each), replicas confined to a separate group
+//!   (2 processors), subtasks/task ~ U{1..3}.
+//!
+//! Generation is deterministic per seed; the evaluation harness runs the
+//! *same* ten seeds across all 15 strategy combinations, exactly as the
+//! paper runs its ten task sets per combination.
+
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use rtcm_core::task::{ProcessorId, SubtaskSpec, TaskId, TaskKind, TaskSet, TaskSpec};
+use rtcm_core::time::Duration;
+
+/// Maximum whole-set regeneration attempts before giving up (a draw can
+/// produce a task whose scaled demand exceeds its deadline; the paper's
+/// parameters make this rare).
+const MAX_ATTEMPTS: u64 = 100;
+
+/// Parameters for the §7.1 random workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RandomWorkload {
+    /// Number of periodic tasks (paper: 5).
+    pub periodic_tasks: usize,
+    /// Number of aperiodic tasks (paper: 4).
+    pub aperiodic_tasks: usize,
+    /// Inclusive range of subtasks per task (paper: 1..=5).
+    pub subtasks: (usize, usize),
+    /// Inclusive range of end-to-end deadlines (paper: 250 ms ..= 10 s).
+    pub deadline: (Duration, Duration),
+    /// Number of application processors (paper: 5).
+    pub processors: u16,
+    /// Target per-processor synthetic utilization when all tasks are
+    /// simultaneously current (paper: 0.5).
+    pub target_utilization: f64,
+    /// Replicas per subtask, each on a distinct random other processor
+    /// (paper: 1).
+    pub replicas_per_subtask: usize,
+}
+
+impl Default for RandomWorkload {
+    fn default() -> Self {
+        RandomWorkload {
+            periodic_tasks: 5,
+            aperiodic_tasks: 4,
+            subtasks: (1, 5),
+            deadline: (Duration::from_millis(250), Duration::from_secs(10)),
+            processors: 5,
+            target_utilization: 0.5,
+            replicas_per_subtask: 1,
+        }
+    }
+}
+
+impl RandomWorkload {
+    /// Generates one task set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError`] if the parameters are inconsistent (no
+    /// processors, empty ranges, utilization outside (0, 1]) or if no valid
+    /// set could be drawn within the retry budget.
+    pub fn generate(&self, seed: u64) -> Result<TaskSet, WorkloadError> {
+        self.validate()?;
+        let all: Vec<ProcessorId> = (0..self.processors).map(ProcessorId).collect();
+        generate_scaled(
+            &GeneratorShape {
+                periodic_tasks: self.periodic_tasks,
+                aperiodic_tasks: self.aperiodic_tasks,
+                subtasks: self.subtasks,
+                deadline: self.deadline,
+                primary_pool: all.clone(),
+                replica_pool: all,
+                replicas_per_subtask: self.replicas_per_subtask,
+                target_utilization: self.target_utilization,
+                exclude_primary_from_replicas: true,
+            },
+            seed,
+        )
+    }
+
+    fn validate(&self) -> Result<(), WorkloadError> {
+        check_common(
+            self.processors as usize,
+            self.periodic_tasks + self.aperiodic_tasks,
+            self.subtasks,
+            self.deadline,
+            self.target_utilization,
+        )?;
+        if self.replicas_per_subtask >= self.processors as usize {
+            return Err(WorkloadError::Parameters(format!(
+                "{} replicas per subtask cannot fit on {} processors with a distinct primary",
+                self.replicas_per_subtask, self.processors
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Parameters for the §7.2 imbalanced workload: all primaries on a loaded
+/// group, all replicas on a separate duplicate group.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ImbalancedWorkload {
+    /// Number of periodic tasks (paper: 5).
+    pub periodic_tasks: usize,
+    /// Number of aperiodic tasks (paper: 4).
+    pub aperiodic_tasks: usize,
+    /// Inclusive range of subtasks per task (paper: 1..=3).
+    pub subtasks: (usize, usize),
+    /// Inclusive range of end-to-end deadlines (paper: 250 ms ..= 10 s).
+    pub deadline: (Duration, Duration),
+    /// Processors hosting all primaries (paper: 3), ids `0..loaded`.
+    pub loaded_processors: u16,
+    /// Processors hosting all replicas (paper: 2), ids
+    /// `loaded..loaded+replica`.
+    pub replica_processors: u16,
+    /// Target synthetic utilization of each *loaded* processor (paper: 0.7).
+    pub target_utilization: f64,
+    /// Replicas per subtask, drawn from the replica group (paper: 1).
+    pub replicas_per_subtask: usize,
+}
+
+impl Default for ImbalancedWorkload {
+    fn default() -> Self {
+        ImbalancedWorkload {
+            periodic_tasks: 5,
+            aperiodic_tasks: 4,
+            subtasks: (1, 3),
+            deadline: (Duration::from_millis(250), Duration::from_secs(10)),
+            loaded_processors: 3,
+            replica_processors: 2,
+            target_utilization: 0.7,
+            replicas_per_subtask: 1,
+        }
+    }
+}
+
+impl ImbalancedWorkload {
+    /// Total processors (loaded + replica groups).
+    #[must_use]
+    pub fn processors(&self) -> u16 {
+        self.loaded_processors + self.replica_processors
+    }
+
+    /// Generates one task set.
+    ///
+    /// # Errors
+    ///
+    /// As [`RandomWorkload::generate`].
+    pub fn generate(&self, seed: u64) -> Result<TaskSet, WorkloadError> {
+        self.validate()?;
+        let primaries: Vec<ProcessorId> = (0..self.loaded_processors).map(ProcessorId).collect();
+        let replicas: Vec<ProcessorId> =
+            (self.loaded_processors..self.processors()).map(ProcessorId).collect();
+        generate_scaled(
+            &GeneratorShape {
+                periodic_tasks: self.periodic_tasks,
+                aperiodic_tasks: self.aperiodic_tasks,
+                subtasks: self.subtasks,
+                deadline: self.deadline,
+                primary_pool: primaries,
+                replica_pool: replicas,
+                replicas_per_subtask: self.replicas_per_subtask,
+                target_utilization: self.target_utilization,
+                exclude_primary_from_replicas: false,
+            },
+            seed,
+        )
+    }
+
+    fn validate(&self) -> Result<(), WorkloadError> {
+        check_common(
+            self.loaded_processors as usize,
+            self.periodic_tasks + self.aperiodic_tasks,
+            self.subtasks,
+            self.deadline,
+            self.target_utilization,
+        )?;
+        if self.replicas_per_subtask > self.replica_processors as usize {
+            return Err(WorkloadError::Parameters(format!(
+                "{} replicas per subtask cannot fit in a {}-processor replica group",
+                self.replicas_per_subtask, self.replica_processors
+            )));
+        }
+        Ok(())
+    }
+}
+
+fn check_common(
+    processors: usize,
+    tasks: usize,
+    subtasks: (usize, usize),
+    deadline: (Duration, Duration),
+    target_utilization: f64,
+) -> Result<(), WorkloadError> {
+    if processors == 0 {
+        return Err(WorkloadError::Parameters("at least one processor is required".into()));
+    }
+    if tasks == 0 {
+        return Err(WorkloadError::Parameters("at least one task is required".into()));
+    }
+    if subtasks.0 == 0 || subtasks.0 > subtasks.1 {
+        return Err(WorkloadError::Parameters(format!(
+            "invalid subtask range {}..={}",
+            subtasks.0, subtasks.1
+        )));
+    }
+    if deadline.0.is_zero() || deadline.0 > deadline.1 {
+        return Err(WorkloadError::Parameters(format!(
+            "invalid deadline range {}..={}",
+            deadline.0, deadline.1
+        )));
+    }
+    if !(target_utilization > 0.0 && target_utilization <= 1.0) {
+        return Err(WorkloadError::Parameters(format!(
+            "target utilization {target_utilization} outside (0, 1]"
+        )));
+    }
+    Ok(())
+}
+
+/// Shared structural parameters for both generators.
+struct GeneratorShape {
+    periodic_tasks: usize,
+    aperiodic_tasks: usize,
+    subtasks: (usize, usize),
+    deadline: (Duration, Duration),
+    primary_pool: Vec<ProcessorId>,
+    replica_pool: Vec<ProcessorId>,
+    replicas_per_subtask: usize,
+    target_utilization: f64,
+    exclude_primary_from_replicas: bool,
+}
+
+struct DraftSubtask {
+    primary: ProcessorId,
+    replicas: Vec<ProcessorId>,
+    weight: f64,
+}
+
+struct DraftTask {
+    kind: TaskKind,
+    deadline: Duration,
+    subtasks: Vec<DraftSubtask>,
+}
+
+fn generate_scaled(shape: &GeneratorShape, seed: u64) -> Result<TaskSet, WorkloadError> {
+    for attempt in 0..MAX_ATTEMPTS {
+        // Derive a fresh, deterministic stream per attempt.
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+        if let Some(set) = try_generate(shape, &mut rng) {
+            return Ok(set);
+        }
+    }
+    Err(WorkloadError::Unsatisfiable { seed, attempts: MAX_ATTEMPTS })
+}
+
+fn try_generate(shape: &GeneratorShape, rng: &mut StdRng) -> Option<TaskSet> {
+    let total = shape.periodic_tasks + shape.aperiodic_tasks;
+    let mut drafts = Vec::with_capacity(total);
+    for i in 0..total {
+        let deadline = Duration::from_nanos(
+            rng.gen_range(shape.deadline.0.as_nanos()..=shape.deadline.1.as_nanos()),
+        );
+        let kind = if i < shape.periodic_tasks {
+            TaskKind::Periodic { period: deadline }
+        } else {
+            TaskKind::Aperiodic
+        };
+        let n_sub = rng.gen_range(shape.subtasks.0..=shape.subtasks.1);
+        let mut subtasks = Vec::with_capacity(n_sub);
+        for _ in 0..n_sub {
+            let primary = shape.primary_pool[rng.gen_range(0..shape.primary_pool.len())];
+            let mut replicas = Vec::with_capacity(shape.replicas_per_subtask);
+            let mut pool: Vec<ProcessorId> = shape
+                .replica_pool
+                .iter()
+                .copied()
+                .filter(|p| !shape.exclude_primary_from_replicas || *p != primary)
+                .collect();
+            for _ in 0..shape.replicas_per_subtask {
+                if pool.is_empty() {
+                    break;
+                }
+                let idx = rng.gen_range(0..pool.len());
+                replicas.push(pool.swap_remove(idx));
+            }
+            // Weights in [0.5, 1.5) avoid degenerate near-zero subtasks while
+            // keeping per-subtask variety.
+            let weight = rng.gen_range(0.5..1.5);
+            subtasks.push(DraftSubtask { primary, replicas, weight });
+        }
+        drafts.push(DraftTask { kind, deadline, subtasks });
+    }
+
+    // Per-processor weighted demand S_p = Σ w/D over primaries, then scale
+    // each subtask's utilization so the processor lands exactly on target:
+    // u = target · (w/D) / S_p, hence C = u · D = target · w / S_p.
+    let max_proc = shape
+        .primary_pool
+        .iter()
+        .chain(shape.replica_pool.iter())
+        .map(|p| p.index() + 1)
+        .max()
+        .unwrap_or(0);
+    let mut demand = vec![0.0f64; max_proc];
+    for task in &drafts {
+        for sub in &task.subtasks {
+            demand[sub.primary.index()] += sub.weight / task.deadline.as_secs_f64();
+        }
+    }
+
+    let mut specs = Vec::with_capacity(drafts.len());
+    for (i, task) in drafts.iter().enumerate() {
+        let mut subs = Vec::with_capacity(task.subtasks.len());
+        for sub in &task.subtasks {
+            let s_p = demand[sub.primary.index()];
+            debug_assert!(s_p > 0.0);
+            let exec_secs = shape.target_utilization * sub.weight / s_p;
+            let exec = Duration::from_secs_f64(exec_secs)
+                .max(Duration::from_micros(1));
+            subs.push(SubtaskSpec::with_replicas(exec, sub.primary, sub.replicas.clone()));
+        }
+        let name = match task.kind {
+            TaskKind::Periodic { .. } => format!("periodic-{i}"),
+            TaskKind::Aperiodic => format!("aperiodic-{i}"),
+        };
+        // A draw whose scaled demand exceeds its deadline invalidates the
+        // whole set; the caller retries with a derived seed.
+        let spec =
+            TaskSpec::new(TaskId(i as u32), name, task.kind, task.deadline, subs).ok()?;
+        specs.push(spec);
+    }
+    TaskSet::from_tasks(specs).ok()
+}
+
+/// Errors from workload generation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkloadError {
+    /// The parameters are internally inconsistent.
+    Parameters(String),
+    /// No valid set could be drawn (pathological parameters).
+    Unsatisfiable {
+        /// The seed given.
+        seed: u64,
+        /// Attempts made.
+        attempts: u64,
+    },
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::Parameters(msg) => write!(f, "invalid workload parameters: {msg}"),
+            WorkloadError::Unsatisfiable { seed, attempts } => write!(
+                f,
+                "no valid task set found for seed {seed} after {attempts} attempts"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_workload_is_deterministic() {
+        let w = RandomWorkload::default();
+        let a = w.generate(42).unwrap();
+        let b = w.generate(42).unwrap();
+        assert_eq!(a.tasks(), b.tasks());
+        let c = w.generate(43).unwrap();
+        assert_ne!(a.tasks(), c.tasks());
+    }
+
+    #[test]
+    fn random_workload_matches_paper_shape() {
+        let w = RandomWorkload::default();
+        for seed in 0..10 {
+            let set = w.generate(seed).unwrap();
+            assert_eq!(set.len(), 9);
+            let periodic = set.iter().filter(|t| t.is_periodic()).count();
+            assert_eq!(periodic, 5);
+            for task in set.iter() {
+                let n = task.subtasks().len();
+                assert!((1..=5).contains(&n), "subtask count {n}");
+                assert!(task.deadline() >= Duration::from_millis(250));
+                assert!(task.deadline() <= Duration::from_secs(10));
+                if let TaskKind::Periodic { period } = task.kind() {
+                    assert_eq!(period, task.deadline(), "period = deadline in §7.1");
+                }
+                for sub in task.subtasks() {
+                    assert_eq!(sub.replicas.len(), 1);
+                    assert_ne!(sub.replicas[0], sub.primary, "duplicate on another processor");
+                    assert!(sub.primary.0 < 5);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn random_workload_hits_target_utilization() {
+        let w = RandomWorkload::default();
+        for seed in 0..10 {
+            let set = w.generate(seed).unwrap();
+            for (p, u) in set.simultaneous_utilization().iter().enumerate() {
+                // Exact by construction, up to nanosecond rounding; empty
+                // processors are possible only in tiny configs, not 9×3 avg
+                // subtasks over 5 processors — but tolerate them.
+                if *u > 0.0 {
+                    assert!(
+                        (u - 0.5).abs() < 1e-3,
+                        "seed {seed} processor {p}: utilization {u}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn imbalanced_workload_separates_groups() {
+        let w = ImbalancedWorkload::default();
+        for seed in 0..10 {
+            let set = w.generate(seed).unwrap();
+            for task in set.iter() {
+                let n = task.subtasks().len();
+                assert!((1..=3).contains(&n));
+                for sub in task.subtasks() {
+                    assert!(sub.primary.0 < 3, "primaries on the loaded group");
+                    assert_eq!(sub.replicas.len(), 1);
+                    assert!(
+                        (3..5).contains(&sub.replicas[0].0),
+                        "replicas on the duplicate group"
+                    );
+                }
+            }
+            let u = set.simultaneous_utilization();
+            for p in 0..3 {
+                if u[p] > 0.0 {
+                    assert!((u[p] - 0.7).abs() < 1e-3, "loaded {p}: {}", u[p]);
+                }
+            }
+            for p in 3..u.len() {
+                assert_eq!(u[p], 0.0, "replica group carries no primaries");
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        let mut w = RandomWorkload::default();
+        w.target_utilization = 0.0;
+        assert!(matches!(w.generate(0), Err(WorkloadError::Parameters(_))));
+
+        let mut w = RandomWorkload::default();
+        w.processors = 0;
+        assert!(w.generate(0).is_err());
+
+        let mut w = RandomWorkload::default();
+        w.subtasks = (3, 2);
+        assert!(w.generate(0).is_err());
+
+        let mut w = RandomWorkload::default();
+        w.deadline = (Duration::from_secs(2), Duration::from_secs(1));
+        assert!(w.generate(0).is_err());
+
+        let mut w = RandomWorkload::default();
+        w.replicas_per_subtask = 5;
+        assert!(w.generate(0).is_err());
+
+        let mut w = ImbalancedWorkload::default();
+        w.replicas_per_subtask = 3;
+        assert!(w.generate(0).is_err());
+    }
+
+    #[test]
+    fn single_processor_workload_has_no_replicas_available() {
+        let w = RandomWorkload {
+            processors: 1,
+            replicas_per_subtask: 0,
+            target_utilization: 0.4,
+            ..RandomWorkload::default()
+        };
+        let set = w.generate(7).unwrap();
+        for task in set.iter() {
+            for sub in task.subtasks() {
+                assert_eq!(sub.primary, ProcessorId(0));
+                assert!(sub.replicas.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn generated_tasks_always_validate() {
+        // TaskSpec::new re-validates inside the generator; this exercises
+        // many seeds to shake out scaling violations.
+        let w = RandomWorkload::default();
+        for seed in 0..50 {
+            let set = w.generate(seed).unwrap();
+            for task in set.iter() {
+                let demand: Duration =
+                    task.subtasks().iter().map(|s| s.execution_time).sum();
+                assert!(demand <= task.deadline());
+            }
+        }
+    }
+}

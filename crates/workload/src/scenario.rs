@@ -1,0 +1,290 @@
+//! Domain scenarios beyond the paper's two workloads — most importantly
+//! the **aperiodic burst**, the situation the paper's introduction and
+//! §7.2 motivate: "a blockage in a fluid flow valve may cause a sharp
+//! increase in the load on the processors immediately connected to it, as
+//! aperiodic alert and diagnostic tasks are launched."
+//!
+//! [`BurstScenario`] generates a §7.1-style task set plus an arrival trace
+//! whose aperiodic arrival rate is multiplied by `intensity` inside a
+//! burst window — a piecewise-constant non-homogeneous Poisson process
+//! (sampled exactly: exponential memorylessness lets the sampler restart
+//! at each rate boundary).
+//!
+//! # Examples
+//!
+//! ```
+//! use rtcm_core::time::Duration;
+//! use rtcm_workload::scenario::BurstScenario;
+//!
+//! let scenario = BurstScenario::default();
+//! let (tasks, trace) = scenario.generate(1)?;
+//! assert_eq!(tasks.len(), 9);
+//! assert!(!trace.is_empty());
+//! # let _ = Duration::ZERO;
+//! # Ok::<(), rtcm_workload::WorkloadError>(())
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use rtcm_core::task::TaskSet;
+use rtcm_core::time::{Duration, Time};
+
+use crate::arrivals::{Arrival, ArrivalTrace, Phasing};
+use crate::generate::{RandomWorkload, WorkloadError};
+
+/// A transient aperiodic overload on top of a random workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BurstScenario {
+    /// The underlying task-set shape.
+    pub workload: RandomWorkload,
+    /// Total trace horizon.
+    pub horizon: Duration,
+    /// Nominal mean aperiodic interarrival = `poisson_factor × deadline`.
+    pub poisson_factor: f64,
+    /// Periodic phasing.
+    pub phasing: Phasing,
+    /// Burst window start.
+    pub burst_start: Duration,
+    /// Burst window length.
+    pub burst_duration: Duration,
+    /// Arrival-rate multiplier inside the window (≥ 1).
+    pub intensity: f64,
+}
+
+impl Default for BurstScenario {
+    fn default() -> Self {
+        BurstScenario {
+            workload: RandomWorkload::default(),
+            horizon: Duration::from_secs(120),
+            poisson_factor: 2.0,
+            phasing: Phasing::RandomPhase,
+            burst_start: Duration::from_secs(40),
+            burst_duration: Duration::from_secs(20),
+            intensity: 8.0,
+        }
+    }
+}
+
+impl BurstScenario {
+    /// End of the burst window.
+    #[must_use]
+    pub fn burst_end(&self) -> Duration {
+        self.burst_start + self.burst_duration
+    }
+
+    /// Returns true if `t` lies inside the burst window.
+    #[must_use]
+    pub fn in_burst(&self, t: Time) -> bool {
+        let offset = t.elapsed_since(Time::ZERO);
+        offset >= self.burst_start && offset < self.burst_end()
+    }
+
+    /// Generates the task set and its burst-shaped arrival trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError`] for inconsistent parameters (zero/negative
+    /// intensity or factor, burst outside the horizon) or unsatisfiable
+    /// workload shapes.
+    pub fn generate(&self, seed: u64) -> Result<(TaskSet, ArrivalTrace), WorkloadError> {
+        if !(self.intensity.is_finite() && self.intensity >= 1.0) {
+            return Err(WorkloadError::Parameters(format!(
+                "burst intensity {} must be finite and >= 1",
+                self.intensity
+            )));
+        }
+        if !(self.poisson_factor.is_finite() && self.poisson_factor > 0.0) {
+            return Err(WorkloadError::Parameters(format!(
+                "poisson factor {} must be positive and finite",
+                self.poisson_factor
+            )));
+        }
+        if self.burst_end() > self.horizon {
+            return Err(WorkloadError::Parameters(format!(
+                "burst window [{}, {}) extends beyond the horizon {}",
+                self.burst_start,
+                self.burst_end(),
+                self.horizon
+            )));
+        }
+        let tasks = self.workload.generate(seed)?;
+        let mut arrivals = Vec::new();
+        for task in tasks.iter() {
+            let mut rng = StdRng::seed_from_u64(
+                seed ^ (0x9E37_79B9_7F4A_7C15_u64.wrapping_mul(u64::from(task.id().0) + 1)),
+            );
+            match task.kind().period() {
+                Some(period) => {
+                    let phase = match self.phasing {
+                        Phasing::Simultaneous => Duration::ZERO,
+                        Phasing::RandomPhase => {
+                            Duration::from_nanos(rng.gen_range(0..period.as_nanos().max(1)))
+                        }
+                    };
+                    let mut t = Time::ZERO + phase;
+                    let mut seq = 0;
+                    while t.elapsed_since(Time::ZERO) < self.horizon {
+                        arrivals.push(Arrival { time: t, task: task.id(), seq });
+                        seq += 1;
+                        t += period;
+                    }
+                }
+                None => {
+                    let base_mean = task.deadline().mul_f64(self.poisson_factor);
+                    self.sample_burst_poisson(&mut rng, base_mean, task.id(), &mut arrivals);
+                }
+            }
+        }
+        Ok((tasks, ArrivalTrace::from_arrivals(arrivals)))
+    }
+
+    /// Piecewise-constant non-homogeneous Poisson sampling: advance with
+    /// the current window's rate; a jump crossing a window boundary is
+    /// clamped to the boundary and resampled (exact, by memorylessness).
+    fn sample_burst_poisson(
+        &self,
+        rng: &mut StdRng,
+        base_mean: Duration,
+        task: rtcm_core::task::TaskId,
+        out: &mut Vec<Arrival>,
+    ) {
+        let burst_mean = base_mean.mul_f64(1.0 / self.intensity);
+        let mut t = Duration::ZERO;
+        let mut seq = 0;
+        loop {
+            let (mean, window_end) = if t < self.burst_start {
+                (base_mean, self.burst_start)
+            } else if t < self.burst_end() {
+                (burst_mean, self.burst_end())
+            } else {
+                (base_mean, self.horizon)
+            };
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let step = mean.mul_f64(-u.ln());
+            let next = t + step;
+            if next >= self.horizon {
+                if window_end >= self.horizon {
+                    break;
+                }
+                // The jump crossed into the next window before the horizon:
+                // clamp and resample from the boundary.
+                t = window_end;
+                continue;
+            }
+            if next >= window_end && window_end < self.horizon {
+                t = window_end;
+                continue;
+            }
+            t = next;
+            out.push(Arrival { time: Time::ZERO + t, task, seq });
+            seq += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtcm_core::task::TaskId;
+
+    fn scenario() -> BurstScenario {
+        BurstScenario {
+            horizon: Duration::from_secs(90),
+            burst_start: Duration::from_secs(30),
+            burst_duration: Duration::from_secs(30),
+            intensity: 10.0,
+            ..BurstScenario::default()
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let s = scenario();
+        let (t1, a1) = s.generate(5).unwrap();
+        let (t2, a2) = s.generate(5).unwrap();
+        assert_eq!(t1.tasks(), t2.tasks());
+        assert_eq!(a1, a2);
+    }
+
+    #[test]
+    fn burst_window_is_denser() {
+        let s = scenario();
+        let (tasks, trace) = s.generate(3).unwrap();
+        let aperiodic: Vec<TaskId> =
+            tasks.iter().filter(|t| !t.is_periodic()).map(|t| t.id()).collect();
+        let thirds = |lo: u64, hi: u64| {
+            trace
+                .iter()
+                .filter(|a| {
+                    aperiodic.contains(&a.task)
+                        && a.time >= Time::ZERO + Duration::from_secs(lo)
+                        && a.time < Time::ZERO + Duration::from_secs(hi)
+                })
+                .count()
+        };
+        let before = thirds(0, 30);
+        let during = thirds(30, 60);
+        let after = thirds(60, 90);
+        assert!(
+            during > 3 * before.max(1),
+            "burst ({during}) must be much denser than before ({before})"
+        );
+        assert!(
+            during > 3 * after.max(1),
+            "burst ({during}) must be much denser than after ({after})"
+        );
+    }
+
+    #[test]
+    fn periodic_tasks_are_unaffected_by_the_burst() {
+        let s = scenario();
+        let (tasks, trace) = s.generate(4).unwrap();
+        for task in tasks.iter().filter(|t| t.is_periodic()) {
+            let times: Vec<Time> =
+                trace.iter().filter(|a| a.task == task.id()).map(|a| a.time).collect();
+            let period = task.kind().period().unwrap();
+            for pair in times.windows(2) {
+                assert_eq!(pair[1] - pair[0], period);
+            }
+        }
+    }
+
+    #[test]
+    fn in_burst_predicate() {
+        let s = scenario();
+        assert!(!s.in_burst(Time::ZERO + Duration::from_secs(29)));
+        assert!(s.in_burst(Time::ZERO + Duration::from_secs(30)));
+        assert!(s.in_burst(Time::ZERO + Duration::from_secs(59)));
+        assert!(!s.in_burst(Time::ZERO + Duration::from_secs(60)));
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        let mut s = scenario();
+        s.intensity = 0.5;
+        assert!(s.generate(0).is_err());
+
+        let mut s = scenario();
+        s.burst_start = Duration::from_secs(80);
+        s.burst_duration = Duration::from_secs(30);
+        assert!(s.generate(0).is_err());
+
+        let mut s = scenario();
+        s.poisson_factor = 0.0;
+        assert!(s.generate(0).is_err());
+    }
+
+    #[test]
+    fn arrivals_stay_inside_horizon_and_sorted() {
+        let s = scenario();
+        let (_, trace) = s.generate(9).unwrap();
+        for pair in trace.arrivals().windows(2) {
+            assert!(pair[0].time <= pair[1].time);
+        }
+        for a in trace.iter() {
+            assert!(a.time.elapsed_since(Time::ZERO) < s.horizon);
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Property-based tests for the workload generators: structural
+//! invariants, exact utilization scaling, and trace discipline across
+//! random parameter draws.
+
+use proptest::prelude::*;
+
+use rtcm_core::time::{Duration, Time};
+use rtcm_workload::{
+    ArrivalConfig, ArrivalTrace, BurstScenario, ImbalancedWorkload, Phasing, RandomWorkload,
+};
+
+fn arb_random_workload() -> impl Strategy<Value = RandomWorkload> {
+    (1usize..6, 1usize..6, 1usize..4, 2u16..7, 1u32..9).prop_map(
+        |(periodic, aperiodic, max_sub, procs, util_tenths)| RandomWorkload {
+            periodic_tasks: periodic,
+            aperiodic_tasks: aperiodic,
+            subtasks: (1, max_sub),
+            deadline: (Duration::from_millis(100), Duration::from_secs(2)),
+            processors: procs,
+            target_utilization: f64::from(util_tenths) / 10.0,
+            replicas_per_subtask: 1,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Generated sets respect every declared constraint and land exactly on
+    /// the per-processor utilization target (for processors that host any
+    /// primaries).
+    #[test]
+    fn random_workload_invariants(w in arb_random_workload(), seed in 0u64..500) {
+        let set = w.generate(seed).unwrap();
+        prop_assert_eq!(set.len(), w.periodic_tasks + w.aperiodic_tasks);
+        prop_assert_eq!(
+            set.iter().filter(|t| t.is_periodic()).count(),
+            w.periodic_tasks
+        );
+        for task in set.iter() {
+            prop_assert!((w.subtasks.0..=w.subtasks.1).contains(&task.subtasks().len()));
+            prop_assert!(task.deadline() >= w.deadline.0);
+            prop_assert!(task.deadline() <= w.deadline.1);
+            let demand: Duration = task.subtasks().iter().map(|s| s.execution_time).sum();
+            prop_assert!(demand <= task.deadline());
+            for sub in task.subtasks() {
+                prop_assert!(sub.primary.0 < w.processors);
+                for r in &sub.replicas {
+                    prop_assert!(r.0 < w.processors);
+                    prop_assert_ne!(*r, sub.primary);
+                }
+            }
+        }
+        for u in set.simultaneous_utilization() {
+            if u > 0.0 {
+                prop_assert!(
+                    (u - w.target_utilization).abs() < 1e-3,
+                    "utilization {u} vs target {}",
+                    w.target_utilization
+                );
+            }
+        }
+    }
+
+    /// Same seed, same set; different seed, (almost surely) different set.
+    #[test]
+    fn generation_is_deterministic(w in arb_random_workload(), seed in 0u64..500) {
+        let a = w.generate(seed).unwrap();
+        let b = w.generate(seed).unwrap();
+        prop_assert_eq!(a.tasks(), b.tasks());
+    }
+
+    /// Imbalanced workloads keep the group separation for any sizing.
+    #[test]
+    fn imbalanced_group_separation(
+        loaded in 1u16..5,
+        replica in 1u16..4,
+        seed in 0u64..200
+    ) {
+        let w = ImbalancedWorkload {
+            loaded_processors: loaded,
+            replica_processors: replica,
+            ..ImbalancedWorkload::default()
+        };
+        let set = w.generate(seed).unwrap();
+        for task in set.iter() {
+            for sub in task.subtasks() {
+                prop_assert!(sub.primary.0 < loaded);
+                for r in &sub.replicas {
+                    prop_assert!((loaded..loaded + replica).contains(&r.0));
+                }
+            }
+        }
+    }
+
+    /// Traces are sorted, in-horizon, with dense per-task sequence numbers.
+    #[test]
+    fn trace_discipline(w in arb_random_workload(), seed in 0u64..200, factor in 1u32..5) {
+        let set = w.generate(seed).unwrap();
+        let cfg = ArrivalConfig {
+            horizon: Duration::from_secs(10),
+            poisson_factor: f64::from(factor),
+            phasing: Phasing::RandomPhase,
+        };
+        let trace = ArrivalTrace::generate(&set, &cfg, seed);
+        let mut prev = Time::ZERO;
+        for a in trace.iter() {
+            prop_assert!(a.time >= prev);
+            prev = a.time;
+            prop_assert!(a.time.elapsed_since(Time::ZERO) < cfg.horizon);
+        }
+        for task in set.iter() {
+            let seqs: Vec<u64> =
+                trace.iter().filter(|a| a.task == task.id()).map(|a| a.seq).collect();
+            prop_assert_eq!(seqs.len() as u64, seqs.last().map_or(0, |s| s + 1));
+        }
+    }
+
+    /// Burst scenarios inherit the workload invariants and stay in horizon.
+    #[test]
+    fn burst_scenario_invariants(seed in 0u64..200, intensity in 1u32..16) {
+        let scenario = BurstScenario {
+            horizon: Duration::from_secs(30),
+            burst_start: Duration::from_secs(10),
+            burst_duration: Duration::from_secs(10),
+            intensity: f64::from(intensity),
+            ..BurstScenario::default()
+        };
+        let (set, trace) = scenario.generate(seed).unwrap();
+        prop_assert_eq!(set.len(), 9);
+        for a in trace.iter() {
+            prop_assert!(a.time.elapsed_since(Time::ZERO) < scenario.horizon);
+        }
+    }
+}

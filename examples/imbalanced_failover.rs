@@ -1,0 +1,52 @@
+//! The paper's §7.2 situation as a story: three production-line
+//! processors run hot while two standby processors hold component
+//! duplicates. Without load balancing the hot group drops most of its
+//! work; per-task load balancing moves tasks to the duplicates.
+//!
+//! ```sh
+//! cargo run --release --example imbalanced_failover
+//! ```
+
+use rtcm::core::time::Duration;
+use rtcm::sim::{simulate, SimConfig};
+use rtcm::workload::{ArrivalConfig, ArrivalTrace, ImbalancedWorkload};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let workload = ImbalancedWorkload::default(); // 3 loaded @0.7 + 2 standby
+    let tasks = workload.generate(17)?;
+    let trace = ArrivalTrace::generate(
+        &tasks,
+        &ArrivalConfig { horizon: Duration::from_secs(120), ..ArrivalConfig::default() },
+        17,
+    );
+    println!(
+        "{} tasks, primaries on P0-P2 at 0.7 synthetic utilization, duplicates on P3-P4\n",
+        tasks.len()
+    );
+
+    println!(
+        "{:<22} {:>8} {:>10} {:>18}",
+        "configuration", "ratio", "reallocs", "standby busy time"
+    );
+    for (label, description) in [
+        ("J_T_N", "no load balancing"),
+        ("J_T_T", "LB per task"),
+        ("J_T_J", "LB per job"),
+    ] {
+        let report = simulate(&tasks, &trace, &SimConfig::new(label.parse()?))?;
+        let standby_busy: f64 =
+            report.cpu_busy[3..].iter().map(|d| d.as_secs_f64()).sum();
+        println!(
+            "{:<22} {:>8.3} {:>10} {:>16.1}s",
+            format!("{label} ({description})"),
+            report.ratio.ratio(),
+            report.reallocations,
+            standby_busy
+        );
+    }
+    println!(
+        "\nload balancing raises acceptance by moving work onto the duplicates; the\n\
+         standby processors go from idle to carrying real execution time."
+    );
+    Ok(())
+}

@@ -1,0 +1,94 @@
+//! The paper's motivating scenario (§1): an industrial plant monitoring
+//! system where periodic sensor scans coexist with aperiodic hazard alerts
+//! that must reach the fail-safe actuator within an end-to-end deadline —
+//! run on the *threaded* runtime with real clocks and the federated event
+//! channel.
+//!
+//! ```sh
+//! cargo run --example plant_monitoring
+//! ```
+
+use std::time::Duration as StdDuration;
+
+use rtcm::config::{configure_with, WorkloadSpec};
+use rtcm::core::task::TaskId;
+use rtcm::rt::{RtOptions, System};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let spec = WorkloadSpec::parse(
+        "\
+workload plant-monitor
+processors 3
+
+# Periodic pressure scans on the sensor processor, analyzed on P1.
+task pressure-scan periodic period=200ms
+  subtask exec=10ms proc=0 replicas=2
+  subtask exec=10ms proc=1
+
+# Periodic temperature scans.
+task temperature-scan periodic period=300ms
+  subtask exec=10ms proc=1 replicas=2
+
+# The aperiodic hazard alert: detected on P0, cross-checked on P1,
+# fail-safe actuation on P2 — all within 250 ms end to end.
+task hazard-alert aperiodic deadline=250ms
+  subtask exec=5ms proc=0
+  subtask exec=5ms proc=1
+  subtask exec=5ms proc=2
+",
+    )?;
+
+    // Critical control: no job skipping -> per-task AC; stateful -> LB per
+    // task; idle resetting per task keeps aperiodic headroom available.
+    let deployment = configure_with(&spec, "T_T_T".parse()?)?;
+    println!("strategies: {}  (hazard alerts always admitted per arrival)", deployment.services);
+    let alert_prio = deployment.priorities[&TaskId(2)];
+    println!("EDMS: hazard-alert runs at {alert_prio} (most urgent deadline)\n");
+
+    let system = System::launch(&deployment, RtOptions::default())?;
+
+    // Drive two seconds of plant operation: scans every period, plus a
+    // burst of hazard alerts when the "valve blocks" at t = 1 s.
+    let mut scan_seq = 0;
+    let mut temp_seq = 0;
+    let mut alert_seq = 0;
+    for tick_ms in (0..2_000).step_by(100) {
+        if tick_ms % 200 == 0 {
+            system.submit(TaskId(0), scan_seq)?;
+            scan_seq += 1;
+        }
+        if tick_ms % 300 == 0 {
+            system.submit(TaskId(1), temp_seq)?;
+            temp_seq += 1;
+        }
+        if (1_000..1_400).contains(&tick_ms) {
+            system.submit(TaskId(2), alert_seq)?;
+            alert_seq += 1;
+            println!("t={tick_ms}ms  !! hazard alert #{alert_seq} raised");
+        }
+        std::thread::sleep(StdDuration::from_millis(100));
+    }
+
+    assert!(system.quiesce(StdDuration::from_secs(10)), "plant drains");
+    let report = system.shutdown();
+
+    println!("\nafter 2 s of operation:");
+    println!("  jobs completed:           {}", report.jobs_completed);
+    println!("  deadline misses:          {}", report.deadline_misses);
+    println!(
+        "  mean end-to-end response: {:.2} ms",
+        report.response.mean().as_secs_f64() * 1e3
+    );
+    println!(
+        "  max  end-to-end response: {:.2} ms",
+        report.response.max().as_secs_f64() * 1e3
+    );
+    println!(
+        "  admission round-trip:     mean {:.2} ms (hold + 2 x comm + test + release)",
+        report.total_no_realloc.mean().as_secs_f64() * 1e3
+    );
+    if report.deadline_misses == 0 {
+        println!("\nevery hazard alert reached the fail-safe actuator in time.");
+    }
+    Ok(())
+}

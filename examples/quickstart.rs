@@ -1,0 +1,62 @@
+//! Quickstart: describe a workload, answer the four questions, simulate.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use rtcm::config::{configure, CpsCharacteristics, OverheadTolerance, WorkloadSpec};
+use rtcm::core::time::Duration;
+use rtcm::sim::{simulate, SimConfig};
+use rtcm::workload::{ArrivalConfig, ArrivalTrace};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Describe the end-to-end tasks and where their subtasks run.
+    let spec = WorkloadSpec::parse(
+        "\
+workload quickstart
+processors 3
+
+# A periodic control loop: sense on P0, actuate on P2.
+task control-loop periodic period=500ms
+  subtask exec=20ms proc=0 replicas=1
+  subtask exec=10ms proc=2
+
+# An aperiodic operator command with a 300 ms end-to-end deadline.
+task operator-command aperiodic deadline=300ms
+  subtask exec=5ms proc=1 replicas=0
+  subtask exec=5ms proc=2
+",
+    )?;
+
+    // 2. Answer the configuration engine's four questions (§6).
+    let answers = CpsCharacteristics {
+        job_skipping: true,            // C1: losing one job is tolerable
+        component_replication: true,   // C3: components have duplicates
+        state_persistency: false,      // C2: stateless (proportional control)
+        overhead_tolerance: OverheadTolerance::PerJob,
+    };
+    for (i, q) in CpsCharacteristics::questions().iter().enumerate() {
+        println!("Q{}: {q}", i + 1);
+    }
+    let deployment = configure(&spec, &answers)?;
+    println!("\nselected strategies: {}   (J = per job, T = per task, N = off)", deployment.services);
+
+    // 3. Replay a deterministic arrival trace through the simulator.
+    let trace = ArrivalTrace::generate(
+        &deployment.tasks,
+        &ArrivalConfig { horizon: Duration::from_secs(60), ..ArrivalConfig::default() },
+        42,
+    );
+    let report = simulate(&deployment.tasks, &trace, &SimConfig::new(deployment.services))?;
+
+    println!("\n60 virtual seconds later:");
+    println!("  accepted utilization ratio: {:.3}", report.ratio.ratio());
+    println!("  jobs completed:             {}", report.jobs_completed);
+    println!("  deadline misses:            {}", report.deadline_misses);
+    println!(
+        "  mean end-to-end response:   {:.2} ms",
+        report.response.mean().as_secs_f64() * 1e3
+    );
+    println!("  idle-reset reports:         {}", report.ir_reports);
+    Ok(())
+}

@@ -1,0 +1,12 @@
+//! The `rtcm` command-line tool. See `rtcm help`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match rtcm::cli::run(&args) {
+        Ok(output) => println!("{output}"),
+        Err(err) => {
+            eprintln!("{err}");
+            std::process::exit(1);
+        }
+    }
+}

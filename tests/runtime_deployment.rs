@@ -1,0 +1,114 @@
+//! Integration tests of the configuration-engine → threaded-runtime path:
+//! the Figure 4 pipeline under test, including strategy semantics observed
+//! through the runtime's reports.
+
+use std::time::Duration as StdDuration;
+
+use rtcm::config::{configure, configure_with, CpsCharacteristics, OverheadTolerance, WorkloadSpec};
+use rtcm::core::task::TaskId;
+use rtcm::rt::{RtOptions, System};
+
+const QUIESCE: StdDuration = StdDuration::from_secs(20);
+
+fn plant_spec() -> WorkloadSpec {
+    WorkloadSpec::parse(
+        "\
+workload plant
+processors 3
+task scan periodic period=100ms
+  subtask exec=2ms proc=0 replicas=1
+  subtask exec=2ms proc=1
+task alert aperiodic deadline=150ms
+  subtask exec=1ms proc=0
+  subtask exec=1ms proc=2
+",
+    )
+    .unwrap()
+}
+
+#[test]
+fn questionnaire_to_running_system() {
+    let answers = CpsCharacteristics {
+        job_skipping: true,
+        component_replication: true,
+        state_persistency: false,
+        overhead_tolerance: OverheadTolerance::PerJob,
+    };
+    let deployment = configure(&plant_spec(), &answers).unwrap();
+    assert_eq!(deployment.services.label(), "J_J_J");
+
+    let system = System::launch(&deployment, RtOptions::fast()).unwrap();
+    for seq in 0..5 {
+        system.submit(TaskId(0), seq).unwrap();
+        system.submit(TaskId(1), seq).unwrap();
+    }
+    assert!(system.quiesce(QUIESCE));
+    let report = system.shutdown();
+    assert_eq!(report.jobs_completed, 10);
+    assert_eq!(report.deadline_misses, 0);
+    assert_eq!(report.ac_test.count(), 10, "per-job AC tests each of the 10 jobs");
+}
+
+#[test]
+fn every_valid_combo_launches_and_completes_work() {
+    for services in rtcm::core::strategy::ServiceConfig::all_valid() {
+        let deployment = configure_with(&plant_spec(), services).unwrap();
+        let system = System::launch(&deployment, RtOptions::fast()).unwrap();
+        system.submit(TaskId(0), 0).unwrap();
+        system.submit(TaskId(1), 0).unwrap();
+        assert!(system.quiesce(QUIESCE), "{services} drains");
+        let report = system.shutdown();
+        assert_eq!(report.jobs_completed, 2, "{services} completes both jobs");
+    }
+}
+
+#[test]
+fn xml_plan_matches_launched_topology() {
+    let deployment = configure(&plant_spec(), &CpsCharacteristics::default()).unwrap();
+    let xml = deployment.plan.to_xml();
+    // Central services plus per-processor TE/IR for 3 processors.
+    assert!(xml.contains("Central-AC"));
+    assert!(xml.contains("Central-LB"));
+    for p in 0..3 {
+        assert!(xml.contains(&format!("TE-{p}")));
+        assert!(xml.contains(&format!("IR-{p}")));
+    }
+    // The replica duplicate of scan's first subtask exists on app-1.
+    assert!(xml.contains("task0-sub0@app1"));
+
+    // And the plan actually launches.
+    let system = System::launch(&deployment, RtOptions::fast()).unwrap();
+    let _ = system.shutdown();
+}
+
+#[test]
+fn per_task_reports_match_sim_semantics() {
+    // Per-task AC: one admission test, then local fast-path releases.
+    let deployment = configure_with(&plant_spec(), "T_T_T".parse().unwrap()).unwrap();
+    let system = System::launch(&deployment, RtOptions::fast()).unwrap();
+    for seq in 0..4 {
+        system.submit(TaskId(0), seq).unwrap();
+        assert!(system.quiesce(QUIESCE));
+    }
+    let report = system.shutdown();
+    assert_eq!(report.ac_test.count(), 1);
+    assert_eq!(report.jobs_completed, 4);
+}
+
+#[test]
+fn engine_adjustment_surfaces_in_deployment_and_still_runs() {
+    // Contradictory answers: no job skipping + per-job overhead tolerance.
+    let answers = CpsCharacteristics {
+        job_skipping: false,
+        component_replication: false,
+        state_persistency: true,
+        overhead_tolerance: OverheadTolerance::PerJob,
+    };
+    let deployment = configure(&plant_spec(), &answers).unwrap();
+    assert_eq!(deployment.services.label(), "T_T_N");
+    assert!(!deployment.adjustments.is_empty());
+    let system = System::launch(&deployment, RtOptions::fast()).unwrap();
+    system.submit(TaskId(1), 0).unwrap();
+    assert!(system.quiesce(QUIESCE));
+    assert_eq!(system.shutdown().jobs_completed, 1);
+}
