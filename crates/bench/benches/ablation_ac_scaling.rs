@@ -55,19 +55,15 @@ fn bench_scaling_processors(c: &mut Criterion) {
 fn bench_scaling_current_tasks(c: &mut Criterion) {
     let mut group = c.benchmark_group("ac_scaling_current_tasks");
     for current in [16u32, 64, 256, 1024] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(current),
-            &current,
-            |b, &current| {
-                let ac = controller(10, current);
-                let probe = chain(100_000, 3, 10);
-                b.iter_batched(
-                    || ac.clone(),
-                    |mut ac| black_box(ac.handle_arrival(&probe, 0, Time::ZERO).unwrap()),
-                    criterion::BatchSize::SmallInput,
-                );
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(current), &current, |b, &current| {
+            let ac = controller(10, current);
+            let probe = chain(100_000, 3, 10);
+            b.iter_batched(
+                || ac.clone(),
+                |mut ac| black_box(ac.handle_arrival(&probe, 0, Time::ZERO).unwrap()),
+                criterion::BatchSize::SmallInput,
+            );
+        });
     }
     group.finish();
 }

@@ -22,11 +22,7 @@ use rtcm_workload::{ArrivalConfig, ArrivalTrace, RandomWorkload};
 
 /// Analysis-level replay: every arrival is offered to the DS controller in
 /// time order; released weight is accumulated per the paper's metric.
-fn ds_ratio(
-    tasks: &rtcm_core::task::TaskSet,
-    trace: &ArrivalTrace,
-    params: ServerParams,
-) -> f64 {
+fn ds_ratio(tasks: &rtcm_core::task::TaskSet, trace: &ArrivalTrace, params: ServerParams) -> f64 {
     let mut ds = DeferrableServerAc::new(params, tasks.processor_count());
     let mut ratio = UtilizationRatio::new();
     let mut seen_periodic: std::collections::HashSet<rtcm_core::task::TaskId> =

@@ -38,10 +38,7 @@ fn main() {
         scenario.horizon,
         seeds
     );
-    println!(
-        "{:<8} {:>10} {:>10} {:>8}",
-        "combo", "in-burst", "baseline", "misses"
-    );
+    println!("{:<8} {:>10} {:>10} {:>8}", "combo", "in-burst", "baseline", "misses");
 
     for combo in &combos {
         let mut in_burst_arr = 0.0;
@@ -54,11 +51,7 @@ fn main() {
             let (report, records) = simulate_recorded(
                 &tasks,
                 &trace,
-                &SimConfig {
-                    services: *combo,
-                    overheads: OverheadModel::paper_calibrated(),
-                    seed,
-                },
+                &SimConfig { services: *combo, overheads: OverheadModel::paper_calibrated(), seed },
             )
             .expect("valid combos");
             misses += report.deadline_misses;

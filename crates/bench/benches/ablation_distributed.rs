@@ -83,10 +83,7 @@ fn main() {
     // concurrent admissions into the synchronization window, surfacing the
     // over-admission race the paper's centralized design rules out.
     println!("-- stress: deadlines 50-500 ms, interarrival 0.3 x deadline, U = 0.6 --");
-    println!(
-        "{:<14} {:>8} {:>10} {:>10}",
-        "architecture", "ratio", "admitted", "misses"
-    );
+    println!("{:<14} {:>8} {:>10} {:>10}", "architecture", "ratio", "admitted", "misses");
     let stress = RandomWorkload {
         deadline: (Duration::from_millis(50), Duration::from_millis(500)),
         target_utilization: 0.6,
@@ -113,9 +110,7 @@ fn main() {
             t.2 += r.deadline_misses;
         }
     }
-    for (name, (ratio, admitted, misses)) in
-        ["centralized", "distributed"].iter().zip(totals)
-    {
+    for (name, (ratio, admitted, misses)) in ["centralized", "distributed"].iter().zip(totals) {
         println!("{name:<14} {:>8.3} {admitted:>10} {misses:>10}", ratio / seeds as f64);
     }
 }

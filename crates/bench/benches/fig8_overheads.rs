@@ -34,10 +34,11 @@ use rtcm_workload::{ArrivalConfig, ArrivalTrace, RandomWorkload};
 
 fn scenario_seconds() -> u64 {
     let quick = std::env::var("RTCM_QUICK").is_ok_and(|v| v != "0");
-    std::env::var("RTCM_RT_SECS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(if quick { 3 } else { 15 })
+    std::env::var("RTCM_RT_SECS").ok().and_then(|v| v.parse().ok()).unwrap_or(if quick {
+        3
+    } else {
+        15
+    })
 }
 
 /// Runs one strategy combination on the runtime for `secs` wall-clock
@@ -85,10 +86,7 @@ fn ping_pong(iterations: u32) -> DelayStats {
     const PONG: Topic = Topic(101);
     let fed = Federation::new(
         2,
-        Latency::Uniform {
-            lo: StdDuration::from_micros(283),
-            hi: StdDuration::from_micros(361),
-        },
+        Latency::Uniform { lo: StdDuration::from_micros(283), hi: StdDuration::from_micros(361) },
         7,
     );
     let a = fed.handle(NodeId(0)).expect("node 0");

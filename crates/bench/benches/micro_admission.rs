@@ -39,9 +39,7 @@ fn loaded_controller(n: u32, procs: u16) -> AdmissionController {
 fn bench_aub_math(c: &mut Criterion) {
     c.bench_function("aub_term", |b| b.iter(|| aub_term(black_box(0.42))));
     let utils = [0.3, 0.5, 0.2, 0.45, 0.1];
-    c.bench_function("aub_bound_lhs_5_stages", |b| {
-        b.iter(|| bound_lhs(black_box(utils)))
-    });
+    c.bench_function("aub_bound_lhs_5_stages", |b| b.iter(|| bound_lhs(black_box(utils))));
 }
 
 fn bench_admission_test(c: &mut Criterion) {
@@ -57,8 +55,7 @@ fn bench_admission_test(c: &mut Criterion) {
             b.iter_batched(
                 || ac.clone(),
                 |mut ac| {
-                    let d =
-                        ac.handle_arrival(black_box(&probe), 0, Time::ZERO).unwrap();
+                    let d = ac.handle_arrival(black_box(&probe), 0, Time::ZERO).unwrap();
                     black_box(d)
                 },
                 criterion::BatchSize::SmallInput,

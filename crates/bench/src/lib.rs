@@ -102,10 +102,7 @@ pub fn instances(
 }
 
 /// Runs every valid strategy combination over all instances.
-pub fn run_combo_experiment(
-    instances: &[Instance],
-    overheads: OverheadModel,
-) -> Vec<ComboResult> {
+pub fn run_combo_experiment(instances: &[Instance], overheads: OverheadModel) -> Vec<ComboResult> {
     ServiceConfig::all_valid()
         .into_iter()
         .map(|config| {

@@ -1,0 +1,58 @@
+//! Fast smoke test for the bench harness: drives [`run_combo_experiment`]
+//! through the same `RTCM_QUICK=1` environment path the bench binaries
+//! use, so `cargo test` exercises the §7 experiment plumbing without a
+//! full `cargo bench` run.
+//!
+//! Everything lives in one `#[test]`: the knobs are process-global
+//! environment variables, and a single test keeps their mutation
+//! sequential under the parallel test runner.
+
+use rtcm_bench::{format_ratio_table, instances, run_combo_experiment, to_json, BenchParams};
+use rtcm_core::time::Duration;
+use rtcm_sim::OverheadModel;
+use rtcm_workload::RandomWorkload;
+
+#[test]
+fn quick_env_drives_combo_experiment_end_to_end() {
+    // With only RTCM_QUICK set, seeds and horizon fall to smoke defaults.
+    std::env::set_var("RTCM_QUICK", "1");
+    std::env::remove_var("RTCM_SEEDS");
+    std::env::remove_var("RTCM_HORIZON_SECS");
+    let params = BenchParams::from_env();
+    assert_eq!(params.seeds, 3, "RTCM_QUICK shrinks the seed count");
+    assert_eq!(params.horizon, Duration::from_secs(30), "RTCM_QUICK shrinks the horizon");
+
+    // The explicit knobs override the quick defaults; pin them lower still
+    // so the smoke experiment stays under a second.
+    std::env::set_var("RTCM_SEEDS", "2");
+    std::env::set_var("RTCM_HORIZON_SECS", "10");
+    let params = BenchParams::from_env();
+    assert_eq!(params.seeds, 2, "RTCM_SEEDS must override the quick default");
+    assert_eq!(params.seed_list(), vec![0, 1]);
+
+    let insts = instances(&params.seed_list(), &params.arrival_config(), |seed| {
+        RandomWorkload::default().generate(seed).expect("paper parameters are satisfiable")
+    });
+    assert_eq!(insts.len(), 2);
+    for inst in &insts {
+        assert!(!inst.trace.is_empty(), "every instance carries arrivals");
+    }
+
+    // Paper-calibrated overheads: the exact path fig5/fig6 take.
+    let results = run_combo_experiment(&insts, OverheadModel::paper_calibrated());
+    assert_eq!(results.len(), 15, "all valid strategy combinations run");
+    for r in &results {
+        assert_eq!(r.ratios.len(), 2, "one ratio per seed for {}", r.config.label());
+        let ratio = r.mean_ratio();
+        assert!((0.0..=1.0 + 1e-9).contains(&ratio), "{}: ratio {ratio}", r.config.label());
+    }
+
+    // Both output formats render every combination.
+    let table = format_ratio_table("smoke", &results);
+    let json = to_json(&results);
+    for r in &results {
+        assert!(table.contains(&r.config.label()), "table row for {}", r.config.label());
+        assert!(json.contains(&r.config.label()), "json row for {}", r.config.label());
+    }
+    assert!(json.contains("mean_ratio"));
+}

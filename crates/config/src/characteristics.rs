@@ -164,22 +164,46 @@ mod tests {
 
     #[test]
     fn table1_c1_drives_ac() {
-        assert_eq!(chars(false, true, true, OverheadTolerance::None).map().services.ac, AcStrategy::PerTask);
-        assert_eq!(chars(true, true, true, OverheadTolerance::None).map().services.ac, AcStrategy::PerJob);
+        assert_eq!(
+            chars(false, true, true, OverheadTolerance::None).map().services.ac,
+            AcStrategy::PerTask
+        );
+        assert_eq!(
+            chars(true, true, true, OverheadTolerance::None).map().services.ac,
+            AcStrategy::PerJob
+        );
     }
 
     #[test]
     fn table1_c3_gates_lb_and_c2_selects_granularity() {
-        assert_eq!(chars(true, false, false, OverheadTolerance::None).map().services.lb, LbStrategy::None);
-        assert_eq!(chars(true, true, true, OverheadTolerance::None).map().services.lb, LbStrategy::PerTask);
-        assert_eq!(chars(true, true, false, OverheadTolerance::None).map().services.lb, LbStrategy::PerJob);
+        assert_eq!(
+            chars(true, false, false, OverheadTolerance::None).map().services.lb,
+            LbStrategy::None
+        );
+        assert_eq!(
+            chars(true, true, true, OverheadTolerance::None).map().services.lb,
+            LbStrategy::PerTask
+        );
+        assert_eq!(
+            chars(true, true, false, OverheadTolerance::None).map().services.lb,
+            LbStrategy::PerJob
+        );
     }
 
     #[test]
     fn overhead_selects_ir() {
-        assert_eq!(chars(true, true, true, OverheadTolerance::None).map().services.ir, IrStrategy::None);
-        assert_eq!(chars(true, true, true, OverheadTolerance::PerTask).map().services.ir, IrStrategy::PerTask);
-        assert_eq!(chars(true, true, true, OverheadTolerance::PerJob).map().services.ir, IrStrategy::PerJob);
+        assert_eq!(
+            chars(true, true, true, OverheadTolerance::None).map().services.ir,
+            IrStrategy::None
+        );
+        assert_eq!(
+            chars(true, true, true, OverheadTolerance::PerTask).map().services.ir,
+            IrStrategy::PerTask
+        );
+        assert_eq!(
+            chars(true, true, true, OverheadTolerance::PerJob).map().services.ir,
+            IrStrategy::PerJob
+        );
     }
 
     #[test]

@@ -258,10 +258,7 @@ fn build(
                     properties: vec![
                         ("TaskId".into(), PropValue::U32(i as u32)),
                         ("SubtaskIndex".into(), PropValue::U32(j as u32)),
-                        (
-                            "ExecutionTimeUs".into(),
-                            PropValue::U64(sub.execution_time.as_micros()),
-                        ),
+                        ("ExecutionTimeUs".into(), PropValue::U64(sub.execution_time.as_micros())),
                         ("Priority".into(), PropValue::U32(task_prio.0)),
                         ("IR_Mode".into(), strategy_value(ir_letter)),
                         (

@@ -142,11 +142,7 @@ impl DeploymentPlan {
     #[must_use]
     pub fn nodes(&self) -> Vec<&str> {
         let mut seen = HashSet::new();
-        self.instances
-            .iter()
-            .map(|i| i.node.as_str())
-            .filter(|n| seen.insert(*n))
-            .collect()
+        self.instances.iter().map(|i| i.node.as_str()).filter(|n| seen.insert(*n)).collect()
     }
 
     /// Structural validation: unique instance ids and connections that
@@ -194,10 +190,7 @@ impl DeploymentPlan {
                 out.push_str("    <configProperty>\n");
                 out.push_str(&format!("      <name>{}</name>\n", xml_escape(name)));
                 out.push_str("      <value>\n");
-                out.push_str(&format!(
-                    "        <type><kind>{}</kind></type>\n",
-                    value.xml_kind()
-                ));
+                out.push_str(&format!("        <type><kind>{}</kind></type>\n", value.xml_kind()));
                 out.push_str(&format!(
                     "        <value><{tag}>{}</{tag}></value>\n",
                     xml_escape(&value.to_string()),
@@ -272,10 +265,9 @@ impl fmt::Display for PlanError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PlanError::DuplicateInstance { id } => write!(f, "duplicate instance id {id:?}"),
-            PlanError::DanglingConnection { instance, from, to } => write!(
-                f,
-                "connection {from} -> {to} references missing instance {instance:?}"
-            ),
+            PlanError::DanglingConnection { instance, from, to } => {
+                write!(f, "connection {from} -> {to} references missing instance {instance:?}")
+            }
         }
     }
 }

@@ -112,18 +112,15 @@ impl WorkloadSpec {
             let mut words = line.split_whitespace();
             match words.next().expect("nonempty line has a first word") {
                 "workload" => {
-                    let n = words.next().ok_or_else(|| {
-                        SpecError::parse(line_no, "expected `workload <name>`")
-                    })?;
+                    let n = words
+                        .next()
+                        .ok_or_else(|| SpecError::parse(line_no, "expected `workload <name>`"))?;
                     name = Some(n.to_owned());
                 }
                 "processors" => {
-                    let n = words
-                        .next()
-                        .and_then(|w| w.parse::<u16>().ok())
-                        .ok_or_else(|| {
-                            SpecError::parse(line_no, "expected `processors <count>`")
-                        })?;
+                    let n = words.next().and_then(|w| w.parse::<u16>().ok()).ok_or_else(|| {
+                        SpecError::parse(line_no, "expected `processors <count>`")
+                    })?;
                     processors = Some(n);
                 }
                 "task" => {
@@ -187,9 +184,9 @@ impl WorkloadSpec {
                     tasks.push(TaskEntry { name: task_name, kind, deadline, subtasks: Vec::new() });
                 }
                 "subtask" => {
-                    let task = tasks.last_mut().ok_or_else(|| {
-                        SpecError::parse(line_no, "subtask before any task")
-                    })?;
+                    let task = tasks
+                        .last_mut()
+                        .ok_or_else(|| SpecError::parse(line_no, "subtask before any task"))?;
                     let mut execution = None;
                     let mut processor = None;
                     let mut replicas = Vec::new();
@@ -222,19 +219,14 @@ impl WorkloadSpec {
                             }
                         }
                     }
-                    let execution = execution.ok_or_else(|| {
-                        SpecError::parse(line_no, "subtask needs exec=<dur>")
-                    })?;
-                    let processor = processor.ok_or_else(|| {
-                        SpecError::parse(line_no, "subtask needs proc=<id>")
-                    })?;
+                    let execution = execution
+                        .ok_or_else(|| SpecError::parse(line_no, "subtask needs exec=<dur>"))?;
+                    let processor = processor
+                        .ok_or_else(|| SpecError::parse(line_no, "subtask needs proc=<id>"))?;
                     task.subtasks.push(SubtaskEntry { execution, processor, replicas });
                 }
                 other => {
-                    return Err(SpecError::parse(
-                        line_no,
-                        format!("unknown directive {other:?}"),
-                    ))
+                    return Err(SpecError::parse(line_no, format!("unknown directive {other:?}")))
                 }
             }
         }
@@ -277,8 +269,7 @@ impl WorkloadSpec {
             for sub in &task.subtasks {
                 out.push_str(&format!("  subtask exec={} proc={}", sub.execution, sub.processor));
                 if !sub.replicas.is_empty() {
-                    let list: Vec<String> =
-                        sub.replicas.iter().map(u16::to_string).collect();
+                    let list: Vec<String> = sub.replicas.iter().map(u16::to_string).collect();
                     out.push_str(&format!(" replicas={}", list.join(",")));
                 }
                 out.push('\n');
@@ -303,10 +294,7 @@ impl WorkloadSpec {
                 return Err(SpecError::semantic(format!("duplicate task name {:?}", task.name)));
             }
             if task.subtasks.is_empty() {
-                return Err(SpecError::semantic(format!(
-                    "task {:?} has no subtasks",
-                    task.name
-                )));
+                return Err(SpecError::semantic(format!("task {:?} has no subtasks", task.name)));
             }
             for sub in &task.subtasks {
                 if sub.processor >= self.processors {
@@ -353,14 +341,9 @@ impl WorkloadSpec {
                     )
                 })
                 .collect();
-            let spec = TaskSpec::new(
-                TaskId(i as u32),
-                task.name.clone(),
-                kind,
-                task.deadline,
-                subtasks,
-            )
-            .map_err(|e| SpecError::semantic(e.to_string()))?;
+            let spec =
+                TaskSpec::new(TaskId(i as u32), task.name.clone(), kind, task.deadline, subtasks)
+                    .map_err(|e| SpecError::semantic(e.to_string()))?;
             specs.push(spec);
         }
         TaskSet::from_tasks(specs).map_err(|e| SpecError::semantic(e.to_string()))
@@ -400,18 +383,14 @@ impl WorkloadSpec {
 /// Parses `250ms`, `10s`, `5us`, `100ns` style durations.
 fn parse_duration(s: &str, line: usize) -> Result<Duration, SpecError> {
     let (digits, unit) = s.split_at(s.find(|c: char| c.is_ascii_alphabetic()).unwrap_or(s.len()));
-    let value: u64 = digits
-        .parse()
-        .map_err(|_| SpecError::parse(line, format!("bad duration {s:?}")))?;
+    let value: u64 =
+        digits.parse().map_err(|_| SpecError::parse(line, format!("bad duration {s:?}")))?;
     match unit {
         "ns" => Ok(Duration::from_nanos(value)),
         "us" => Ok(Duration::from_micros(value)),
         "ms" => Ok(Duration::from_millis(value)),
         "s" => Ok(Duration::from_secs(value)),
-        _ => Err(SpecError::parse(
-            line,
-            format!("bad duration unit in {s:?} (use ns/us/ms/s)"),
-        )),
+        _ => Err(SpecError::parse(line, format!("bad duration unit in {s:?} (use ns/us/ms/s)"))),
     }
 }
 
@@ -532,7 +511,10 @@ task hazard-alert aperiodic deadline=300ms
     #[test]
     fn parse_errors_carry_line_numbers() {
         let err = WorkloadSpec::parse("processors 1\nbogus line\n").unwrap_err();
-        assert_eq!(err, SpecError::Parse { line: 2, message: "unknown directive \"bogus\"".into() });
+        assert_eq!(
+            err,
+            SpecError::Parse { line: 2, message: "unknown directive \"bogus\"".into() }
+        );
         assert!(err.to_string().starts_with("line 2"));
     }
 

@@ -475,9 +475,7 @@ impl AdmissionController {
         }
         if self.rejected_tasks.contains(&task.id()) {
             self.stats.rejected += 1;
-            return Ok(Some(Decision::Reject {
-                reason: RejectReason::TaskPreviouslyRejected,
-            }));
+            return Ok(Some(Decision::Reject { reason: RejectReason::TaskPreviouslyRejected }));
         }
         if let Some(&eid) = self.reserved.get(&task.id()) {
             self.stats.pass_throughs += 1;
@@ -622,10 +620,9 @@ impl AdmissionController {
         if candidate > 1.0 + BOUND_EPSILON {
             return false;
         }
-        self.entries
-            .values()
-            .filter(|entry| entry.outstanding > 0)
-            .all(|entry| bound_lhs(entry.visits.iter().map(|p| u[p.index()])) <= 1.0 + BOUND_EPSILON)
+        self.entries.values().filter(|entry| entry.outstanding > 0).all(|entry| {
+            bound_lhs(entry.visits.iter().map(|p| u[p.index()])) <= 1.0 + BOUND_EPSILON
+        })
     }
 }
 
@@ -686,10 +683,7 @@ mod tests {
     fn expired_jobs_free_capacity() {
         let mut ac = AdmissionController::new(cfg("J_N_N"), 1).unwrap();
         for id in 0..2 {
-            assert!(ac
-                .handle_arrival(&aperiodic(id, 20, 0), 0, Time::ZERO)
-                .unwrap()
-                .is_accept());
+            assert!(ac.handle_arrival(&aperiodic(id, 20, 0), 0, Time::ZERO).unwrap().is_accept());
         }
         assert!(!ac.handle_arrival(&aperiodic(2, 20, 0), 0, at(50)).unwrap().is_accept());
         // After both deadlines pass, the same task is admitted.
@@ -724,10 +718,7 @@ mod tests {
         let mut ac = AdmissionController::new(cfg("T_N_N"), 1).unwrap();
         // Fill the processor so the periodic task fails its first test.
         for id in 0..2 {
-            assert!(ac
-                .handle_arrival(&aperiodic(id, 20, 0), 0, Time::ZERO)
-                .unwrap()
-                .is_accept());
+            assert!(ac.handle_arrival(&aperiodic(id, 20, 0), 0, Time::ZERO).unwrap().is_accept());
         }
         let t = periodic(10, 25, 0);
         assert!(!ac.handle_arrival(&t, 0, Time::ZERO).unwrap().is_accept());
@@ -763,10 +754,8 @@ mod tests {
         let c = aperiodic(2, 20, 0);
         assert!(!ac.handle_arrival(&c, 0, at(1)).unwrap().is_accept());
         // a's subjob completes and the processor idles: reset.
-        let freed = ac.apply_idle_reset(
-            ProcessorId(0),
-            &[ContributionKey::new(JobId::new(TaskId(0), 0), 0)],
-        );
+        let freed = ac
+            .apply_idle_reset(ProcessorId(0), &[ContributionKey::new(JobId::new(TaskId(0), 0), 0)]);
         assert!((freed - 0.2).abs() < 1e-12);
         assert!(ac.handle_arrival(&c, 1, at(2)).unwrap().is_accept());
         assert!(ac.stats().reset_utilization > 0.0);
@@ -778,10 +767,8 @@ mod tests {
         let a = aperiodic(0, 20, 0);
         assert!(ac.handle_arrival(&a, 0, Time::ZERO).unwrap().is_accept());
         ac.expire(at(200));
-        let freed = ac.apply_idle_reset(
-            ProcessorId(0),
-            &[ContributionKey::new(JobId::new(TaskId(0), 0), 0)],
-        );
+        let freed = ac
+            .apply_idle_reset(ProcessorId(0), &[ContributionKey::new(JobId::new(TaskId(0), 0), 0)]);
         assert_eq!(freed, 0.0);
     }
 
@@ -828,9 +815,8 @@ mod tests {
     fn admit_with_validates_assignment() {
         let mut ac = AdmissionController::new(cfg("J_N_N"), 2).unwrap();
         let t = aperiodic(0, 10, 0);
-        let err = ac
-            .admit_with(&t, 0, Time::ZERO, Assignment::new(vec![ProcessorId(1)]))
-            .unwrap_err();
+        let err =
+            ac.admit_with(&t, 0, Time::ZERO, Assignment::new(vec![ProcessorId(1)])).unwrap_err();
         assert_eq!(err, AdmissionError::InvalidAssignment { task: TaskId(0) });
     }
 
@@ -907,13 +893,8 @@ mod tests {
     fn remote_commit_counts_against_local_admission() {
         let mut ac = AdmissionController::new(cfg("J_N_N"), 1).unwrap();
         let peer_job = aperiodic(0, 40, 0);
-        ac.apply_remote_commit(
-            &peer_job,
-            0,
-            Time::ZERO,
-            &Assignment::new(vec![ProcessorId(0)]),
-        )
-        .unwrap();
+        ac.apply_remote_commit(&peer_job, 0, Time::ZERO, &Assignment::new(vec![ProcessorId(0)]))
+            .unwrap();
         assert!((ac.ledger().utilization(ProcessorId(0)) - 0.4).abs() < 1e-12);
         // A local arrival that would overflow together with the remote one
         // is rejected.
@@ -940,8 +921,7 @@ mod tests {
         ac.expire(at(500));
         let t = aperiodic(0, 20, 0);
         // Deadline at 100ms is behind the expiry floor of 500ms.
-        ac.apply_remote_commit(&t, 0, Time::ZERO, &Assignment::new(vec![ProcessorId(0)]))
-            .unwrap();
+        ac.apply_remote_commit(&t, 0, Time::ZERO, &Assignment::new(vec![ProcessorId(0)])).unwrap();
         assert_eq!(ac.ledger().utilization(ProcessorId(0)), 0.0);
         assert_eq!(ac.current_entries(), 0);
     }
@@ -950,9 +930,7 @@ mod tests {
     fn remote_commit_validates_inputs() {
         let mut ac = AdmissionController::new(cfg("J_N_N"), 1).unwrap();
         let t = aperiodic(0, 20, 0);
-        let err = ac
-            .apply_remote_commit(&t, 0, Time::ZERO, &Assignment::new(vec![]))
-            .unwrap_err();
+        let err = ac.apply_remote_commit(&t, 0, Time::ZERO, &Assignment::new(vec![])).unwrap_err();
         assert_eq!(err, AdmissionError::InvalidAssignment { task: TaskId(0) });
         let far = aperiodic(1, 20, 9);
         let err = ac

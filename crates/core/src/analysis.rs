@@ -116,7 +116,11 @@ impl FeasibilityReport {
 
 impl fmt::Display for FeasibilityReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "feasibility: {}", if self.is_feasible() { "all tasks pass" } else { "contended" })?;
+        writeln!(
+            f,
+            "feasibility: {}",
+            if self.is_feasible() { "all tasks pass" } else { "contended" }
+        )?;
         for (p, u) in self.processor_utilization.iter().enumerate() {
             writeln!(f, "  P{p}: U = {u:.3}")?;
         }
@@ -152,8 +156,7 @@ pub fn analyze(tasks: &TaskSet) -> FeasibilityReport {
             for (j, sub) in task.subtasks().iter().enumerate() {
                 alone[sub.primary.index()] += task.subtask_utilization(j);
             }
-            let lhs_alone =
-                bound_lhs(task.subtasks().iter().map(|s| alone[s.primary.index()]));
+            let lhs_alone = bound_lhs(task.subtasks().iter().map(|s| alone[s.primary.index()]));
             let lhs_simultaneous =
                 bound_lhs(task.subtasks().iter().map(|s| simultaneous[s.primary.index()]));
             TaskBound { task: task.id(), lhs_alone, lhs_simultaneous }
@@ -208,11 +211,7 @@ mod tests {
 
     #[test]
     fn saturated_processor_detected() {
-        let set = TaskSet::from_tasks([
-            task(0, 60, 100, &[0]),
-            task(1, 50, 100, &[0]),
-        ])
-        .unwrap();
+        let set = TaskSet::from_tasks([task(0, 60, 100, &[0]), task(1, 50, 100, &[0])]).unwrap();
         let report = analyze(&set);
         assert_eq!(report.saturated_processors(), vec![ProcessorId(0)]);
     }

@@ -343,8 +343,7 @@ mod tests {
     #[test]
     fn unknown_processor_rejected() {
         let mut l = UtilizationLedger::new(1);
-        let err =
-            l.add(ProcessorId(3), key(0, 0, 0), 0.1, Lifetime::Reserved).unwrap_err();
+        let err = l.add(ProcessorId(3), key(0, 0, 0), 0.1, Lifetime::Reserved).unwrap_err();
         assert_eq!(
             err,
             LedgerError::UnknownProcessor { processor: ProcessorId(3), processor_count: 1 }

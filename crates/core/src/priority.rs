@@ -86,7 +86,9 @@ pub fn assign_edms(tasks: &TaskSet) -> HashMap<TaskId, Priority> {
     order
         .into_iter()
         .enumerate()
-        .map(|(level, (_, id))| (id, Priority(u32::try_from(level).expect("more than u32::MAX tasks"))))
+        .map(|(level, (_, id))| {
+            (id, Priority(u32::try_from(level).expect("more than u32::MAX tasks")))
+        })
         .collect()
 }
 

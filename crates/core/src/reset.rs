@@ -121,12 +121,8 @@ impl IdleResetter {
         if self.pending.is_empty() {
             return None;
         }
-        let completed: Vec<ContributionKey> = self
-            .pending
-            .drain(..)
-            .filter(|p| p.deadline > now)
-            .map(|p| p.key)
-            .collect();
+        let completed: Vec<ContributionKey> =
+            self.pending.drain(..).filter(|p| p.deadline > now).map(|p| p.key).collect();
         if completed.is_empty() {
             return None;
         }

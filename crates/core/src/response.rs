@@ -95,11 +95,7 @@ impl ResponseReport {
     /// True if every task's bound converged and proves its deadline.
     #[must_use]
     pub fn all_schedulable(&self, tasks: &TaskSet) -> bool {
-        self.tasks.iter().all(|r| {
-            tasks
-                .get(r.task)
-                .is_some_and(|spec| r.meets(spec.deadline()))
-        })
+        self.tasks.iter().all(|r| tasks.get(r.task).is_some_and(|spec| r.meets(spec.deadline())))
     }
 }
 
@@ -204,8 +200,7 @@ pub fn analyze_response_times(
     let mut converged: Vec<bool> = vec![true; specs.len()];
     // Guard: once a stage's completion bound crosses the task deadline the
     // constrained-deadline analysis is void (and unschedulable anyway).
-    let guards: Vec<u128> =
-        specs.iter().map(|t| u128::from(t.deadline().as_nanos())).collect();
+    let guards: Vec<u128> = specs.iter().map(|t| u128::from(t.deadline().as_nanos())).collect();
     let comm_ns = u128::from(comm.as_nanos());
 
     // Global fixpoint over jitter propagation.
@@ -252,8 +247,7 @@ pub fn analyze_response_times(
                 // Propagate jitter to the next stage (plus a comm hop when
                 // it crosses processors).
                 if j + 1 < task.subtasks().len() {
-                    let crossing =
-                        task.subtasks()[j + 1].primary != sub.primary;
+                    let crossing = task.subtasks()[j + 1].primary != sub.primary;
                     let next_j = r + if crossing { comm_ns } else { 0 };
                     if next_j != jitter[ti][j + 1] {
                         jitter[ti][j + 1] = next_j;
@@ -316,11 +310,8 @@ mod tests {
     #[test]
     fn interference_from_higher_priority() {
         // T0 (50 ms deadline, higher priority) interferes with T1.
-        let set = TaskSet::from_tasks([
-            periodic(0, 50, &[(10, 0)]),
-            periodic(1, 100, &[(20, 0)]),
-        ])
-        .unwrap();
+        let set = TaskSet::from_tasks([periodic(0, 50, &[(10, 0)]), periodic(1, 100, &[(20, 0)])])
+            .unwrap();
         let r = analyze_response_times(&set, Duration::ZERO).unwrap();
         assert_eq!(r.end_to_end(TaskId(0)), Some(Duration::from_millis(10)));
         // T1's busy window: w = 20 + ceil(w/50)·10 converges at 30.
@@ -330,11 +321,8 @@ mod tests {
 
     #[test]
     fn overload_is_reported_as_unbounded() {
-        let set = TaskSet::from_tasks([
-            periodic(0, 50, &[(30, 0)]),
-            periodic(1, 100, &[(60, 0)]),
-        ])
-        .unwrap();
+        let set = TaskSet::from_tasks([periodic(0, 50, &[(30, 0)]), periodic(1, 100, &[(60, 0)])])
+            .unwrap();
         let r = analyze_response_times(&set, Duration::ZERO).unwrap();
         // T0 fits; T1 faces 60% + 60% > 100% on P0: its busy window blows
         // through the 100 ms deadline.
@@ -350,7 +338,7 @@ mod tests {
         // T0's stage 2 on P1 suffers jitter from stage 1 delays caused by
         // T1's interference on P0.
         let set = TaskSet::from_tasks([
-            periodic(1, 80, &[(10, 0)]),          // higher prio on P0
+            periodic(1, 80, &[(10, 0)]),           // higher prio on P0
             periodic(0, 100, &[(10, 0), (10, 1)]), // chain P0 -> P1
         ])
         .unwrap();

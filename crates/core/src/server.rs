@@ -250,8 +250,10 @@ impl DeferrableServerAc {
         }
         // Commit.
         for (j, sub) in task.subtasks().iter().enumerate() {
-            let slot =
-                self.procs[sub.primary.index()].committed.entry(offsets[j]).or_insert(Duration::ZERO);
+            let slot = self.procs[sub.primary.index()]
+                .committed
+                .entry(offsets[j])
+                .or_insert(Duration::ZERO);
             *slot += sub.execution_time;
         }
         self.admitted_aperiodic += 1;

@@ -345,13 +345,12 @@ mod tests {
 
     #[test]
     fn figure_order_matches_paper() {
-        let labels: Vec<String> =
-            ServiceConfig::all_valid().iter().map(|c| c.label()).collect();
+        let labels: Vec<String> = ServiceConfig::all_valid().iter().map(|c| c.label()).collect();
         assert_eq!(
             labels,
             vec![
-                "T_N_N", "T_N_T", "T_N_J", "T_T_N", "T_T_T", "T_T_J", "J_N_N", "J_N_T",
-                "J_N_J", "J_T_N", "J_T_T", "J_T_J", "J_J_N", "J_J_T", "J_J_J",
+                "T_N_N", "T_N_T", "T_N_J", "T_T_N", "T_T_T", "T_T_J", "J_N_N", "J_N_T", "J_N_J",
+                "J_T_N", "J_T_T", "J_T_J", "J_J_N", "J_J_T", "J_J_J",
             ]
         );
     }

@@ -427,7 +427,13 @@ impl TaskBuilder {
     /// [`TaskBuilder::deadline`].
     #[must_use]
     pub fn aperiodic(id: TaskId) -> Self {
-        TaskBuilder { id, name: None, kind: TaskKind::Aperiodic, deadline: None, subtasks: Vec::new() }
+        TaskBuilder {
+            id,
+            name: None,
+            kind: TaskKind::Aperiodic,
+            deadline: None,
+            subtasks: Vec::new(),
+        }
     }
 
     /// Sets a human-readable name (defaults to `task-<id>`).

@@ -43,10 +43,7 @@ fn arb_task(id: u32) -> impl Strategy<Value = TaskSpec> {
 }
 
 fn arb_tasks(n: usize) -> impl Strategy<Value = Vec<TaskSpec>> {
-    (0..n as u32)
-        .map(arb_task)
-        .collect::<Vec<_>>()
-        .prop_map(|tasks| tasks)
+    (0..n as u32).map(arb_task).collect::<Vec<_>>().prop_map(|tasks| tasks)
 }
 
 proptest! {

@@ -443,10 +443,7 @@ mod tests {
     fn uniform_latency_stays_in_range() {
         let fed = Federation::new(
             2,
-            Latency::Uniform {
-                lo: StdDuration::from_millis(5),
-                hi: StdDuration::from_millis(15),
-            },
+            Latency::Uniform { lo: StdDuration::from_millis(5), hi: StdDuration::from_millis(15) },
             42,
         );
         let rx = fed.handle(NodeId(1)).unwrap().subscribe(Topic(1));

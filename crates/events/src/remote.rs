@@ -133,8 +133,7 @@ pub fn listen(
     let stream: SharedStream = Arc::new(Mutex::new(None));
     // Subscribe *now*, on the caller's thread: events published before the
     // peer connects queue up and are forwarded once the link is live.
-    let subscriptions: Vec<_> =
-        topics.iter().map(|&t| (t, handle.subscribe(t))).collect();
+    let subscriptions: Vec<_> = topics.iter().map(|&t| (t, handle.subscribe(t))).collect();
     let accept_stop = Arc::clone(&stop);
     let accept_stream = Arc::clone(&stream);
     let acceptor = std::thread::Builder::new()
@@ -185,8 +184,7 @@ pub fn connect(
     let stop = Arc::new(AtomicBool::new(false));
     // Subscribe on the caller's thread so no publish can race past an
     // unsubscribed forwarder.
-    let subscriptions: Vec<_> =
-        topics.iter().map(|&t| (t, handle.subscribe(t))).collect();
+    let subscriptions: Vec<_> = topics.iter().map(|&t| (t, handle.subscribe(t))).collect();
     let bridge_stream = stream.try_clone()?;
     let bridge_stop = Arc::clone(&stop);
     let thread = std::thread::Builder::new()
@@ -218,8 +216,7 @@ fn run_bridge(
                 .name(format!("rtcm-events-fwd-{}", topic.0))
                 .spawn(move || {
                     while !stop.load(Ordering::SeqCst) {
-                        let Ok(event) =
-                            rx.recv_timeout(std::time::Duration::from_millis(50))
+                        let Ok(event) = rx.recv_timeout(std::time::Duration::from_millis(50))
                         else {
                             continue;
                         };
@@ -233,8 +230,7 @@ fn run_bridge(
                         let frame = serde_json::to_vec(&wire).expect("plain data");
                         let mut w = writer.lock();
                         let len = u32::try_from(frame.len()).expect("sane frame size");
-                        if w.write_all(&len.to_be_bytes()).is_err()
-                            || w.write_all(&frame).is_err()
+                        if w.write_all(&len.to_be_bytes()).is_err() || w.write_all(&frame).is_err()
                         {
                             return;
                         }
@@ -279,8 +275,7 @@ mod tests {
     fn pair(topics: Vec<Topic>) -> (Federation, Federation, BridgeHandle, BridgeHandle) {
         let a = Federation::new(3, Latency::None, 0);
         let b = Federation::new(3, Latency::None, 0);
-        let (addr, server) =
-            listen(&a, NodeId(0), "127.0.0.1:0", topics.clone()).expect("listen");
+        let (addr, server) = listen(&a, NodeId(0), "127.0.0.1:0", topics.clone()).expect("listen");
         let client = connect(&b, NodeId(0), addr, topics).expect("connect");
         (a, b, server, client)
     }

@@ -66,16 +66,14 @@ impl Manager {
                     let Ok(ev) = m else { return };
                     self.on_reset(&proto::decode(&ev.payload));
                 }
-                recv(self.cfg.shutdown_rx) -> _ => return,
+                recv(self.cfg.shutdown_rx) -> _ => { return }
             }
         }
     }
 
     fn on_arrive(&mut self, msg: &ArriveMsg) {
         let now = self.cfg.clock.now();
-        self.cfg
-            .stats
-            .with(|r| r.comm.record(now.elapsed_since(Time::from_nanos(msg.sent_ns))));
+        self.cfg.stats.with(|r| r.comm.record(now.elapsed_since(Time::from_nanos(msg.sent_ns))));
 
         let Some(task) = self.cfg.tasks.get(msg.job.task) else { return };
         self.cfg.ac.expire(now);
@@ -118,15 +116,19 @@ impl Manager {
             Ok(Decision::Reject { .. }) => {
                 let task_rejected =
                     task.is_periodic() && self.cfg.ac.config().ac == AcStrategy::PerTask;
-                let reply = RejectMsg { job: msg.job, arrival_proc: msg.arrival_proc, task_rejected };
+                let reply =
+                    RejectMsg { job: msg.job, arrival_proc: msg.arrival_proc, task_rejected };
                 self.cfg.channel.publish(topics::REJECT, proto::encode(&reply));
             }
             Err(_duplicate_or_misroute) => {
                 // Duplicate submissions (same task, same sequence) are
                 // caller mistakes; reject the extra copy so the arrival TE
                 // releases its bookkeeping and the system stays live.
-                let reply =
-                    RejectMsg { job: msg.job, arrival_proc: msg.arrival_proc, task_rejected: false };
+                let reply = RejectMsg {
+                    job: msg.job,
+                    arrival_proc: msg.arrival_proc,
+                    task_rejected: false,
+                };
                 self.cfg.channel.publish(topics::REJECT, proto::encode(&reply));
             }
         }

@@ -434,11 +434,7 @@ impl Node {
             let started_ns = self.cfg.clock.now().as_nanos();
             let msg = IdleResetMsg {
                 processor: self.cfg.processor,
-                completed: report
-                    .completed
-                    .iter()
-                    .map(|k| (k.job, k.subtask as u32))
-                    .collect(),
+                completed: report.completed.iter().map(|k| (k.job, k.subtask as u32)).collect(),
                 started_ns,
             };
             self.cfg.channel.publish(topics::IDLE_RESET, proto::encode(&msg));

@@ -322,13 +322,16 @@ impl System {
     /// # Panics
     ///
     /// Panics if `speed` is not finite and positive.
-    pub fn replay(&self, trace: &rtcm_workload::ArrivalTrace, speed: f64) -> Result<(), SubmitError> {
+    pub fn replay(
+        &self,
+        trace: &rtcm_workload::ArrivalTrace,
+        speed: f64,
+    ) -> Result<(), SubmitError> {
         assert!(speed.is_finite() && speed > 0.0, "replay speed must be positive");
         let start = Instant::now();
         for arrival in trace.iter() {
-            let due = StdDuration::from_nanos(
-                (arrival.time.as_nanos() as f64 / speed).round() as u64,
-            );
+            let due =
+                StdDuration::from_nanos((arrival.time.as_nanos() as f64 / speed).round() as u64);
             if let Some(wait) = due.checked_sub(start.elapsed()) {
                 std::thread::sleep(wait);
             }

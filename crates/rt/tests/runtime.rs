@@ -161,11 +161,9 @@ fn sleep_execution_takes_real_time_and_meets_deadlines() {
         "J_N_N".parse().unwrap(),
     )
     .unwrap();
-    let system = System::launch(
-        &deployment,
-        RtOptions { exec: ExecMode::Sleep, ..RtOptions::default() },
-    )
-    .unwrap();
+    let system =
+        System::launch(&deployment, RtOptions { exec: ExecMode::Sleep, ..RtOptions::default() })
+            .unwrap();
     system.submit(TaskId(0), 0).unwrap();
     assert!(system.quiesce(QUIESCE));
     let report = system.shutdown();
@@ -195,11 +193,9 @@ fn edms_priority_preempts_lower_priority_work() {
         "J_N_N".parse().unwrap(),
     )
     .unwrap();
-    let system = System::launch(
-        &deployment,
-        RtOptions { exec: ExecMode::Sleep, ..RtOptions::default() },
-    )
-    .unwrap();
+    let system =
+        System::launch(&deployment, RtOptions { exec: ExecMode::Sleep, ..RtOptions::default() })
+            .unwrap();
     system.submit(TaskId(0), 0).unwrap();
     std::thread::sleep(StdDuration::from_millis(20));
     system.submit(TaskId(1), 0).unwrap();
@@ -360,9 +356,5 @@ fn report_counts_are_consistent() {
     assert!(system.quiesce(QUIESCE));
     let report = system.shutdown();
     assert_eq!(report.ratio.arrived_jobs(), 20);
-    assert_eq!(
-        report.jobs_completed,
-        report.ratio.released_jobs(),
-        "every released job completes"
-    );
+    assert_eq!(report.jobs_completed, report.ratio.released_jobs(), "every released job completes");
 }

@@ -83,9 +83,7 @@ impl<T> PartialOrd for Ready<T> {
 impl<T> Ord for Ready<T> {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         // Max-heap: more urgent first, then FIFO by enqueue sequence.
-        self.priority
-            .cmp_urgency(other.priority)
-            .then_with(|| other.seq.cmp(&self.seq))
+        self.priority.cmp_urgency(other.priority).then_with(|| other.seq.cmp(&self.seq))
     }
 }
 
@@ -195,7 +193,13 @@ impl<T: Clone> Cpu<T> {
     /// running (idle start or preemption); the caller must schedule the
     /// returned completion. Returns `None` when the subjob was queued
     /// behind the current run.
-    pub fn enqueue(&mut self, now: Time, priority: Priority, exec: Duration, payload: T) -> Option<Started> {
+    pub fn enqueue(
+        &mut self,
+        now: Time,
+        priority: Priority,
+        exec: Duration,
+        payload: T,
+    ) -> Option<Started> {
         let seq = self.next_seq;
         self.next_seq += 1;
         let incoming = Ready { priority, seq, remaining: exec, payload };
@@ -355,10 +359,7 @@ mod tests {
             match cpu.complete(now, s.gen) {
                 Completion::Done { payload, next: n } => {
                     order.push(payload);
-                    next = n.map(|n| {
-                        now = n.completes_at;
-                        n
-                    });
+                    next = n.inspect(|n| now = n.completes_at);
                 }
                 Completion::Stale => panic!(),
             }

@@ -137,10 +137,8 @@ mod tests {
     #[test]
     fn uniform_stays_in_range_and_centres() {
         let mut rng = StdRng::seed_from_u64(1);
-        let m = DelayModel::Uniform {
-            lo: Duration::from_micros(100),
-            hi: Duration::from_micros(200),
-        };
+        let m =
+            DelayModel::Uniform { lo: Duration::from_micros(100), hi: Duration::from_micros(200) };
         let mut sum = Duration::ZERO;
         const N: u64 = 4_000;
         for _ in 0..N {
@@ -159,10 +157,7 @@ mod tests {
     #[test]
     fn degenerate_uniform_returns_lo() {
         let mut rng = StdRng::seed_from_u64(2);
-        let m = DelayModel::Uniform {
-            lo: Duration::from_micros(5),
-            hi: Duration::from_micros(5),
-        };
+        let m = DelayModel::Uniform { lo: Duration::from_micros(5), hi: Duration::from_micros(5) };
         assert_eq!(m.sample(&mut rng), Duration::from_micros(5));
     }
 

@@ -145,10 +145,22 @@ enum Ev {
     Arrival(usize),
     ManagerRecv(ManagerReq),
     ManagerDone,
-    Release { job: JobId, subtask: usize, is_job_release: bool },
-    CpuComplete { proc: usize, gen: u64 },
+    Release {
+        job: JobId,
+        subtask: usize,
+        is_job_release: bool,
+    },
+    CpuComplete {
+        proc: usize,
+        gen: u64,
+    },
     /// Distributed mode: a peer's admission commit reaches `node`.
-    CommitSync { node: usize, job: JobId, arrival: Time, assignment: Assignment },
+    CommitSync {
+        node: usize,
+        job: JobId,
+        arrival: Time,
+        assignment: Assignment,
+    },
 }
 
 #[derive(Debug)]
@@ -318,8 +330,7 @@ pub fn simulate_distributed(
     let procs = tasks.processor_count();
     sim.node_acs = (0..procs)
         .map(|_| {
-            AdmissionController::new(config.services, procs)
-                .expect("J_N_* combinations are valid")
+            AdmissionController::new(config.services, procs).expect("J_N_* combinations are valid")
         })
         .collect();
     sim.run().map(|(report, _)| report)
@@ -373,7 +384,9 @@ impl<'a> Simulation<'a> {
             ac,
             cpus: (0..procs).map(|_| Cpu::new()).collect(),
             resetters: (0..procs)
-                .map(|p| IdleResetter::new(config.services.ir, rtcm_core::task::ProcessorId(p as u16)))
+                .map(|p| {
+                    IdleResetter::new(config.services.ir, rtcm_core::task::ProcessorId(p as u16))
+                })
                 .collect(),
             te_cache: HashMap::new(),
             jobs: HashMap::new(),
@@ -460,8 +473,7 @@ impl<'a> Simulation<'a> {
                     }
                     crate::cpu::Transition::Preempt { at, payload }
                     | crate::cpu::Transition::Finish { at, payload } => {
-                        let completed =
-                            matches!(transition, crate::cpu::Transition::Finish { .. });
+                        let completed = matches!(transition, crate::cpu::Transition::Finish { .. });
                         if let Some((ctx, start)) = open.take() {
                             debug_assert_eq!(ctx.job, payload.job, "span pairing");
                             spans.push(ExecSpan {
@@ -574,7 +586,9 @@ impl<'a> Simulation<'a> {
         let per_task_te = self.services.ac == AcStrategy::PerTask && task.is_periodic();
         if per_task_te {
             match self.te_cache.get(&arrival.task) {
-                Some(TeDecision::Admitted(assignment)) if self.services.lb != LbStrategy::PerJob => {
+                Some(TeDecision::Admitted(assignment))
+                    if self.services.lb != LbStrategy::PerJob =>
+                {
                     self.skips.record(arrival.task, true);
                     let assignment = assignment.clone();
                     let job = JobId::new(arrival.task, arrival.seq);
@@ -793,8 +807,7 @@ impl<'a> Simulation<'a> {
             self.jobs.remove(&ctx.job);
         } else {
             let next_proc = state.assignment.processor(ctx.subtask + 1);
-            let delay =
-                if next_proc.index() == proc { Duration::ZERO } else { self.comm() };
+            let delay = if next_proc.index() == proc { Duration::ZERO } else { self.comm() };
             self.schedule(
                 self.now + delay,
                 Ev::Release { job: ctx.job, subtask: ctx.subtask + 1, is_job_release: false },
@@ -873,10 +886,7 @@ mod tests {
         let tasks = one_task_set();
         let trace = trace_for(&tasks, 100);
         let cfg = SimConfig::ideal("T_J_N".parse().unwrap());
-        assert!(matches!(
-            simulate(&tasks, &trace, &cfg),
-            Err(SimError::InvalidConfig(_))
-        ));
+        assert!(matches!(simulate(&tasks, &trace, &cfg), Err(SimError::InvalidConfig(_))));
     }
 
     #[test]
@@ -931,27 +941,38 @@ mod tests {
                 .unwrap()
         };
         let tasks = TaskSet::from_tasks([mk(0, 0), mk(1, 0), mk(2, 0)]).unwrap();
-        let trace = ArrivalTrace::generate(
-            &tasks,
-            &ArrivalConfig {
-                horizon: Duration::from_millis(2_000),
-                poisson_factor: 2.0,
-                phasing: Phasing::RandomPhase,
-            },
-            3,
-        );
-        let no_ir = simulate(&tasks, &trace, &SimConfig::ideal("J_N_N".parse().unwrap()))
-            .unwrap();
-        let with_ir = simulate(&tasks, &trace, &SimConfig::ideal("J_J_N".parse().unwrap()))
-            .unwrap();
-        assert!(
-            with_ir.ratio.ratio() > no_ir.ratio.ratio(),
-            "IR per job ({}) must beat no IR ({})",
-            with_ir.ratio.ratio(),
-            no_ir.ratio.ratio()
-        );
-        assert!(with_ir.ir_reports > 0);
-        assert_eq!(with_ir.deadline_misses, 0);
+        // Whether the drawn phases stagger depends on the RNG stream, so
+        // no single seed is load-bearing: over several seeds IR must never
+        // lose and must strictly win on some (seeds whose phases happen to
+        // align make IR a no-op, which is fine).
+        let mut strict_wins = 0;
+        for seed in 0..8 {
+            let trace = ArrivalTrace::generate(
+                &tasks,
+                &ArrivalConfig {
+                    horizon: Duration::from_millis(2_000),
+                    poisson_factor: 2.0,
+                    phasing: Phasing::RandomPhase,
+                },
+                seed,
+            );
+            let no_ir =
+                simulate(&tasks, &trace, &SimConfig::ideal("J_N_N".parse().unwrap())).unwrap();
+            let with_ir =
+                simulate(&tasks, &trace, &SimConfig::ideal("J_J_N".parse().unwrap())).unwrap();
+            assert!(
+                with_ir.ratio.ratio() >= no_ir.ratio.ratio(),
+                "seed {seed}: IR per job ({}) must never admit less than no IR ({})",
+                with_ir.ratio.ratio(),
+                no_ir.ratio.ratio()
+            );
+            if with_ir.ratio.ratio() > no_ir.ratio.ratio() {
+                strict_wins += 1;
+            }
+            assert!(with_ir.ir_reports > 0, "seed {seed}: resetters must report");
+            assert_eq!(with_ir.deadline_misses, 0, "seed {seed}");
+        }
+        assert!(strict_wins >= 2, "IR must strictly win on staggered phases: {strict_wins}/8");
     }
 
     #[test]
@@ -966,10 +987,8 @@ mod tests {
         };
         let tasks = TaskSet::from_tasks([mk(0), mk(1)]).unwrap();
         let trace = trace_for(&tasks, 1_000);
-        let no_lb = simulate(&tasks, &trace, &SimConfig::ideal("J_N_N".parse().unwrap()))
-            .unwrap();
-        let lb = simulate(&tasks, &trace, &SimConfig::ideal("J_N_T".parse().unwrap()))
-            .unwrap();
+        let no_lb = simulate(&tasks, &trace, &SimConfig::ideal("J_N_N".parse().unwrap())).unwrap();
+        let lb = simulate(&tasks, &trace, &SimConfig::ideal("J_N_T".parse().unwrap())).unwrap();
         assert!(lb.ratio.ratio() > no_lb.ratio.ratio());
         assert!(lb.reallocations > 0);
         assert!(lb.cpu_busy[1] > Duration::ZERO, "P1 actually executed work");
@@ -1022,8 +1041,7 @@ mod tests {
         let central = simulate(&tasks, &trace, &cfg).unwrap();
         let distributed = super::simulate_distributed(&tasks, &trace, &cfg).unwrap();
         assert!(
-            distributed.response.mean() + Duration::from_micros(500)
-                < central.response.mean(),
+            distributed.response.mean() + Duration::from_micros(500) < central.response.mean(),
             "distributed {} vs centralized {}",
             distributed.response.mean(),
             central.response.mean()
@@ -1088,12 +1106,9 @@ mod tests {
             .unwrap();
         let tasks = TaskSet::from_tasks([urgent, slow]).unwrap();
         let trace = trace_for(&tasks, 400);
-        let (report, spans) = super::simulate_traced(
-            &tasks,
-            &trace,
-            &SimConfig::ideal("J_N_N".parse().unwrap()),
-        )
-        .unwrap();
+        let (report, spans) =
+            super::simulate_traced(&tasks, &trace, &SimConfig::ideal("J_N_N".parse().unwrap()))
+                .unwrap();
         assert!(!spans.is_empty());
         // Non-overlap on the single CPU.
         let mut sorted = spans.clone();
@@ -1118,8 +1133,7 @@ mod tests {
             assert_eq!(total, expected, "job {job} stage {subtask}");
         }
         // Total span time equals reported busy time.
-        let span_total: Duration =
-            spans.iter().map(|s| s.end.elapsed_since(s.start)).sum();
+        let span_total: Duration = spans.iter().map(|s| s.end.elapsed_since(s.start)).sum();
         assert_eq!(span_total, report.cpu_busy[0]);
     }
 
@@ -1136,22 +1150,18 @@ mod tests {
             .unwrap();
         let tasks = TaskSet::from_tasks([t0, t1]).unwrap();
         let trace = trace_for(&tasks, 1_000);
-        let report =
-            simulate(&tasks, &trace, &SimConfig::ideal("J_N_N".parse().unwrap())).unwrap();
+        let report = simulate(&tasks, &trace, &SimConfig::ideal("J_N_N".parse().unwrap())).unwrap();
         assert!(report.max_consecutive_skips > 0);
         assert!(!report.skip_runs.is_empty());
         // A drained single-task system skips nothing.
-        let solo = TaskSet::from_tasks([TaskBuilder::periodic(
-            TaskId(0),
-            Duration::from_millis(100),
-        )
-        .subtask(Duration::from_millis(10), ProcessorId(0), [])
-        .build()
-        .unwrap()])
-        .unwrap();
+        let solo =
+            TaskSet::from_tasks([TaskBuilder::periodic(TaskId(0), Duration::from_millis(100))
+                .subtask(Duration::from_millis(10), ProcessorId(0), [])
+                .build()
+                .unwrap()])
+            .unwrap();
         let trace = trace_for(&solo, 1_000);
-        let report =
-            simulate(&solo, &trace, &SimConfig::ideal("J_N_N".parse().unwrap())).unwrap();
+        let report = simulate(&solo, &trace, &SimConfig::ideal("J_N_N".parse().unwrap())).unwrap();
         assert_eq!(report.max_consecutive_skips, 0);
         assert!(report.skip_runs.is_empty());
     }
@@ -1196,11 +1206,7 @@ mod tests {
             let p = (i % 40) as u16;
             tasks.push(
                 TaskBuilder::periodic(TaskId(i), Duration::from_millis(200 + 10 * u64::from(i)))
-                    .subtask(
-                        Duration::from_millis(10),
-                        ProcessorId(p),
-                        [ProcessorId((p + 1) % 40)],
-                    )
+                    .subtask(Duration::from_millis(10), ProcessorId(p), [ProcessorId((p + 1) % 40)])
                     .subtask(Duration::from_millis(5), ProcessorId((p + 7) % 40), [])
                     .build()
                     .unwrap(),
@@ -1208,8 +1214,7 @@ mod tests {
         }
         let tasks = TaskSet::from_tasks(tasks).unwrap();
         let trace = trace_for(&tasks, 10_000);
-        let report =
-            simulate(&tasks, &trace, &SimConfig::new("J_J_J".parse().unwrap())).unwrap();
+        let report = simulate(&tasks, &trace, &SimConfig::new("J_J_J".parse().unwrap())).unwrap();
         assert!(report.ratio.ratio() > 0.5, "ratio {}", report.ratio.ratio());
         assert_eq!(report.deadline_misses, 0);
         assert_eq!(report.cpu_busy.len(), 40);
@@ -1219,10 +1224,8 @@ mod tests {
     fn overheads_delay_but_do_not_starve() {
         let tasks = one_task_set();
         let trace = trace_for(&tasks, 1_000);
-        let ideal = simulate(&tasks, &trace, &SimConfig::ideal("J_N_N".parse().unwrap()))
-            .unwrap();
-        let real = simulate(&tasks, &trace, &SimConfig::new("J_N_N".parse().unwrap()))
-            .unwrap();
+        let ideal = simulate(&tasks, &trace, &SimConfig::ideal("J_N_N".parse().unwrap())).unwrap();
+        let real = simulate(&tasks, &trace, &SimConfig::new("J_N_N".parse().unwrap())).unwrap();
         assert_eq!(real.jobs_completed, ideal.jobs_completed);
         assert!(real.response.mean() > ideal.response.mean());
         // The AC round-trip adds ≈ 1 ms to every response.

@@ -89,7 +89,9 @@ impl ArrivalTrace {
         // One independent deterministic stream per task, so adding a task
         // does not reshuffle the others.
         for task in tasks.iter() {
-            let mut rng = StdRng::seed_from_u64(seed ^ (0xA076_1D64_78BD_642F_u64.wrapping_mul(u64::from(task.id().0) + 1)));
+            let mut rng = StdRng::seed_from_u64(
+                seed ^ (0xA076_1D64_78BD_642F_u64.wrapping_mul(u64::from(task.id().0) + 1)),
+            );
             match task.kind().period() {
                 Some(period) => {
                     let phase = match config.phasing {
@@ -222,23 +224,16 @@ mod tests {
     #[test]
     fn periodic_arrivals_are_spaced_by_period() {
         let set = small_set();
-        let cfg = ArrivalConfig {
-            horizon: Duration::from_secs(1),
-            ..ArrivalConfig::default()
-        };
+        let cfg = ArrivalConfig { horizon: Duration::from_secs(1), ..ArrivalConfig::default() };
         let trace = ArrivalTrace::generate(&set, &cfg, 5);
-        let times: Vec<Time> = trace
-            .iter()
-            .filter(|a| a.task == TaskId(0))
-            .map(|a| a.time)
-            .collect();
+        let times: Vec<Time> =
+            trace.iter().filter(|a| a.task == TaskId(0)).map(|a| a.time).collect();
         assert!(!times.is_empty());
         for pair in times.windows(2) {
             assert_eq!(pair[1] - pair[0], Duration::from_millis(100));
         }
         // Sequence numbers are dense.
-        let seqs: Vec<u64> =
-            trace.iter().filter(|a| a.task == TaskId(0)).map(|a| a.seq).collect();
+        let seqs: Vec<u64> = trace.iter().filter(|a| a.task == TaskId(0)).map(|a| a.seq).collect();
         assert_eq!(seqs, (0..seqs.len() as u64).collect::<Vec<_>>());
     }
 
@@ -258,10 +253,7 @@ mod tests {
     #[test]
     fn random_phase_is_within_one_period() {
         let set = small_set();
-        let cfg = ArrivalConfig {
-            horizon: Duration::from_secs(1),
-            ..ArrivalConfig::default()
-        };
+        let cfg = ArrivalConfig { horizon: Duration::from_secs(1), ..ArrivalConfig::default() };
         for seed in 0..20 {
             let trace = ArrivalTrace::generate(&set, &cfg, seed);
             let first = trace.iter().find(|a| a.task == TaskId(0)).unwrap();

@@ -259,7 +259,8 @@ struct DraftTask {
 fn generate_scaled(shape: &GeneratorShape, seed: u64) -> Result<TaskSet, WorkloadError> {
     for attempt in 0..MAX_ATTEMPTS {
         // Derive a fresh, deterministic stream per attempt.
-        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+        let mut rng =
+            StdRng::seed_from_u64(seed.wrapping_add(attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
         if let Some(set) = try_generate(shape, &mut rng) {
             return Ok(set);
         }
@@ -329,8 +330,7 @@ fn try_generate(shape: &GeneratorShape, rng: &mut StdRng) -> Option<TaskSet> {
             let s_p = demand[sub.primary.index()];
             debug_assert!(s_p > 0.0);
             let exec_secs = shape.target_utilization * sub.weight / s_p;
-            let exec = Duration::from_secs_f64(exec_secs)
-                .max(Duration::from_micros(1));
+            let exec = Duration::from_secs_f64(exec_secs).max(Duration::from_micros(1));
             subs.push(SubtaskSpec::with_replicas(exec, sub.primary, sub.replicas.clone()));
         }
         let name = match task.kind {
@@ -339,8 +339,7 @@ fn try_generate(shape: &GeneratorShape, rng: &mut StdRng) -> Option<TaskSet> {
         };
         // A draw whose scaled demand exceeds its deadline invalidates the
         // whole set; the caller retries with a derived seed.
-        let spec =
-            TaskSpec::new(TaskId(i as u32), name, task.kind, task.deadline, subs).ok()?;
+        let spec = TaskSpec::new(TaskId(i as u32), name, task.kind, task.deadline, subs).ok()?;
         specs.push(spec);
     }
     TaskSet::from_tasks(specs).ok()
@@ -364,10 +363,9 @@ impl fmt::Display for WorkloadError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             WorkloadError::Parameters(msg) => write!(f, "invalid workload parameters: {msg}"),
-            WorkloadError::Unsatisfiable { seed, attempts } => write!(
-                f,
-                "no valid task set found for seed {seed} after {attempts} attempts"
-            ),
+            WorkloadError::Unsatisfiable { seed, attempts } => {
+                write!(f, "no valid task set found for seed {seed} after {attempts} attempts")
+            }
         }
     }
 }
@@ -423,10 +421,7 @@ mod tests {
                 // processors are possible only in tiny configs, not 9×3 avg
                 // subtasks over 5 processors — but tolerate them.
                 if *u > 0.0 {
-                    assert!(
-                        (u - 0.5).abs() < 1e-3,
-                        "seed {seed} processor {p}: utilization {u}"
-                    );
+                    assert!((u - 0.5).abs() < 1e-3, "seed {seed} processor {p}: utilization {u}");
                 }
             }
         }
@@ -443,48 +438,42 @@ mod tests {
                 for sub in task.subtasks() {
                     assert!(sub.primary.0 < 3, "primaries on the loaded group");
                     assert_eq!(sub.replicas.len(), 1);
-                    assert!(
-                        (3..5).contains(&sub.replicas[0].0),
-                        "replicas on the duplicate group"
-                    );
+                    assert!((3..5).contains(&sub.replicas[0].0), "replicas on the duplicate group");
                 }
             }
             let u = set.simultaneous_utilization();
-            for p in 0..3 {
-                if u[p] > 0.0 {
-                    assert!((u[p] - 0.7).abs() < 1e-3, "loaded {p}: {}", u[p]);
+            for (p, &util) in u.iter().enumerate().take(3) {
+                if util > 0.0 {
+                    assert!((util - 0.7).abs() < 1e-3, "loaded {p}: {util}");
                 }
             }
-            for p in 3..u.len() {
-                assert_eq!(u[p], 0.0, "replica group carries no primaries");
+            for &util in &u[3..] {
+                assert_eq!(util, 0.0, "replica group carries no primaries");
             }
         }
     }
 
     #[test]
     fn rejects_bad_parameters() {
-        let mut w = RandomWorkload::default();
-        w.target_utilization = 0.0;
+        let w = RandomWorkload { target_utilization: 0.0, ..RandomWorkload::default() };
         assert!(matches!(w.generate(0), Err(WorkloadError::Parameters(_))));
 
-        let mut w = RandomWorkload::default();
-        w.processors = 0;
+        let w = RandomWorkload { processors: 0, ..RandomWorkload::default() };
         assert!(w.generate(0).is_err());
 
-        let mut w = RandomWorkload::default();
-        w.subtasks = (3, 2);
+        let w = RandomWorkload { subtasks: (3, 2), ..RandomWorkload::default() };
         assert!(w.generate(0).is_err());
 
-        let mut w = RandomWorkload::default();
-        w.deadline = (Duration::from_secs(2), Duration::from_secs(1));
+        let w = RandomWorkload {
+            deadline: (Duration::from_secs(2), Duration::from_secs(1)),
+            ..RandomWorkload::default()
+        };
         assert!(w.generate(0).is_err());
 
-        let mut w = RandomWorkload::default();
-        w.replicas_per_subtask = 5;
+        let w = RandomWorkload { replicas_per_subtask: 5, ..RandomWorkload::default() };
         assert!(w.generate(0).is_err());
 
-        let mut w = ImbalancedWorkload::default();
-        w.replicas_per_subtask = 3;
+        let w = ImbalancedWorkload { replicas_per_subtask: 3, ..ImbalancedWorkload::default() };
         assert!(w.generate(0).is_err());
     }
 
@@ -513,8 +502,7 @@ mod tests {
         for seed in 0..50 {
             let set = w.generate(seed).unwrap();
             for task in set.iter() {
-                let demand: Duration =
-                    task.subtasks().iter().map(|s| s.execution_time).sum();
+                let demand: Duration = task.subtasks().iter().map(|s| s.execution_time).sum();
                 assert!(demand <= task.deadline());
             }
         }

@@ -26,9 +26,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let console = host_a.handle(NodeId(1))?.subscribe(ALERTS);
 
     // Sensors on host B raise alerts.
-    for (i, text) in ["pressure spike on line 2", "valve 7 blocked", "line 2 recovered"]
-        .iter()
-        .enumerate()
+    for (i, text) in
+        ["pressure spike on line 2", "valve 7 blocked", "line 2 recovered"].iter().enumerate()
     {
         host_b.handle(NodeId(1 + (i as u16 % 2)))?.publish(ALERTS, text.as_bytes().to_vec());
     }

@@ -34,8 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         },
         0,
     );
-    let (report, spans) =
-        simulate_traced(&tasks, &trace, &SimConfig::ideal("J_N_N".parse()?))?;
+    let (report, spans) = simulate_traced(&tasks, &trace, &SimConfig::ideal("J_N_N".parse()?))?;
 
     // Render: one row per processor, one column per millisecond.
     const HORIZON_MS: u64 = 200;

@@ -28,14 +28,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "{:<22} {:>8} {:>10} {:>18}",
         "configuration", "ratio", "reallocs", "standby busy time"
     );
-    for (label, description) in [
-        ("J_T_N", "no load balancing"),
-        ("J_T_T", "LB per task"),
-        ("J_T_J", "LB per job"),
-    ] {
+    for (label, description) in
+        [("J_T_N", "no load balancing"), ("J_T_T", "LB per task"), ("J_T_J", "LB per job")]
+    {
         let report = simulate(&tasks, &trace, &SimConfig::new(label.parse()?))?;
-        let standby_busy: f64 =
-            report.cpu_busy[3..].iter().map(|d| d.as_secs_f64()).sum();
+        let standby_busy: f64 = report.cpu_busy[3..].iter().map(|d| d.as_secs_f64()).sum();
         println!(
             "{:<22} {:>8.3} {:>10} {:>16.1}s",
             format!("{label} ({description})"),

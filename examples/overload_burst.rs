@@ -33,7 +33,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             simulate_recorded(&tasks, &trace, &SimConfig::new(services.parse()?))?;
 
         // 10-second buckets of acceptance ratio, by utilization weight.
-        println!("strategy {services}: overall ratio {:.3}, misses {}", report.ratio.ratio(), report.deadline_misses);
+        println!(
+            "strategy {services}: overall ratio {:.3}, misses {}",
+            report.ratio.ratio(),
+            report.deadline_misses
+        );
         print!("  t(s) ");
         for bucket in 0..12 {
             let lo = Time::ZERO + Duration::from_secs(bucket * 10);

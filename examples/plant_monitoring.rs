@@ -75,14 +75,8 @@ task hazard-alert aperiodic deadline=250ms
     println!("\nafter 2 s of operation:");
     println!("  jobs completed:           {}", report.jobs_completed);
     println!("  deadline misses:          {}", report.deadline_misses);
-    println!(
-        "  mean end-to-end response: {:.2} ms",
-        report.response.mean().as_secs_f64() * 1e3
-    );
-    println!(
-        "  max  end-to-end response: {:.2} ms",
-        report.response.max().as_secs_f64() * 1e3
-    );
+    println!("  mean end-to-end response: {:.2} ms", report.response.mean().as_secs_f64() * 1e3);
+    println!("  max  end-to-end response: {:.2} ms", report.response.max().as_secs_f64() * 1e3);
     println!(
         "  admission round-trip:     mean {:.2} ms (hold + 2 x comm + test + release)",
         report.total_no_realloc.mean().as_secs_f64() * 1e3

@@ -30,16 +30,19 @@ task operator-command aperiodic deadline=300ms
 
     // 2. Answer the configuration engine's four questions (§6).
     let answers = CpsCharacteristics {
-        job_skipping: true,            // C1: losing one job is tolerable
-        component_replication: true,   // C3: components have duplicates
-        state_persistency: false,      // C2: stateless (proportional control)
+        job_skipping: true,          // C1: losing one job is tolerable
+        component_replication: true, // C3: components have duplicates
+        state_persistency: false,    // C2: stateless (proportional control)
         overhead_tolerance: OverheadTolerance::PerJob,
     };
     for (i, q) in CpsCharacteristics::questions().iter().enumerate() {
         println!("Q{}: {q}", i + 1);
     }
     let deployment = configure(&spec, &answers)?;
-    println!("\nselected strategies: {}   (J = per job, T = per task, N = off)", deployment.services);
+    println!(
+        "\nselected strategies: {}   (J = per job, T = per task, N = off)",
+        deployment.services
+    );
 
     // 3. Replay a deterministic arrival trace through the simulator.
     let trace = ArrivalTrace::generate(
@@ -53,10 +56,7 @@ task operator-command aperiodic deadline=300ms
     println!("  accepted utilization ratio: {:.3}", report.ratio.ratio());
     println!("  jobs completed:             {}", report.jobs_completed);
     println!("  deadline misses:            {}", report.deadline_misses);
-    println!(
-        "  mean end-to-end response:   {:.2} ms",
-        report.response.mean().as_secs_f64() * 1e3
-    );
+    println!("  mean end-to-end response:   {:.2} ms", report.response.mean().as_secs_f64() * 1e3);
     println!("  idle-reset reports:         {}", report.ir_reports);
     Ok(())
 }

@@ -16,9 +16,7 @@
 
 use std::fmt;
 
-use rtcm_config::{
-    configure, configure_with, CpsCharacteristics, OverheadTolerance, WorkloadSpec,
-};
+use rtcm_config::{configure, configure_with, CpsCharacteristics, OverheadTolerance, WorkloadSpec};
 use rtcm_core::analysis::analyze;
 use rtcm_core::strategy::ServiceConfig;
 use rtcm_core::time::Duration;
@@ -113,8 +111,7 @@ fn combos() -> String {
 
 fn load_spec<'a>(it: &mut impl Iterator<Item = &'a str>) -> Result<WorkloadSpec, CliError> {
     let path = it.next().ok_or_else(|| CliError::Usage("missing <spec-file>".into()))?;
-    let text =
-        std::fs::read_to_string(path).map_err(|e| CliError::Io(format!("{path}: {e}")))?;
+    let text = std::fs::read_to_string(path).map_err(|e| CliError::Io(format!("{path}: {e}")))?;
     WorkloadSpec::parse(&text).map_err(|e| CliError::Failed(format!("{path}: {e}")))
 }
 
@@ -200,9 +197,9 @@ fn plan<'a>(it: &mut impl Iterator<Item = &'a str>) -> Result<String, CliError> 
         "xml" => Ok(deployment.plan.to_xml()),
         "json" => serde_json::to_string_pretty(&deployment.plan)
             .map_err(|e| CliError::Failed(e.to_string())),
-        other => Err(CliError::Usage(format!(
-            "unknown format {other:?} (use xml, json or summary)"
-        ))),
+        other => {
+            Err(CliError::Usage(format!("unknown format {other:?} (use xml, json or summary)")))
+        }
     }
 }
 

@@ -19,11 +19,7 @@ fn all_fifteen_combos_simulate_cleanly() {
     for services in ServiceConfig::all_valid() {
         let report = simulate(&tasks, &trace, &SimConfig::new(services)).unwrap();
         let ratio = report.ratio.ratio();
-        assert!(
-            (0.0..=1.0 + 1e-9).contains(&ratio),
-            "{}: ratio {ratio}",
-            services.label()
-        );
+        assert!((0.0..=1.0 + 1e-9).contains(&ratio), "{}: ratio {ratio}", services.label());
         assert_eq!(
             report.ratio.arrived_jobs() as usize,
             trace.len(),
@@ -52,12 +48,8 @@ fn admitted_jobs_never_miss_deadlines_without_overheads() {
         let tasks = RandomWorkload::default().generate(seed).unwrap();
         let trace = ArrivalTrace::generate(&tasks, &arrival_config(120), seed);
         for services in ["T_N_N", "J_N_N", "J_J_N", "J_J_J", "T_T_T"] {
-            let report = simulate(
-                &tasks,
-                &trace,
-                &SimConfig::ideal(services.parse().unwrap()),
-            )
-            .unwrap();
+            let report =
+                simulate(&tasks, &trace, &SimConfig::ideal(services.parse().unwrap())).unwrap();
             assert_eq!(
                 report.deadline_misses, 0,
                 "seed {seed} combo {services}: AUB admitted a job that missed"
@@ -78,10 +70,7 @@ fn figure5_ordering_holds_on_average() {
         let tasks = RandomWorkload::default().generate(seed).unwrap();
         let trace = ArrivalTrace::generate(&tasks, &arrival_config(120), seed);
         let run = |label: &str| {
-            simulate(&tasks, &trace, &SimConfig::new(label.parse().unwrap()))
-                .unwrap()
-                .ratio
-                .ratio()
+            simulate(&tasks, &trace, &SimConfig::new(label.parse().unwrap())).unwrap().ratio.ratio()
         };
         base += run("T_N_N");
         ir_job += run("J_J_N");
@@ -101,15 +90,15 @@ fn figure6_lb_gain_holds_on_average() {
     let mut no_lb = 0.0;
     let mut lb_task = 0.0;
     let mut lb_job = 0.0;
-    const SEEDS: u64 = 4;
+    // Figure 6 is a claim about averages; individual seeds can disagree
+    // sharply (one generated workload has per-job LB far below per-task),
+    // so average over enough seeds for the aggregate shape to dominate.
+    const SEEDS: u64 = 8;
     for seed in 0..SEEDS {
         let tasks = ImbalancedWorkload::default().generate(seed).unwrap();
         let trace = ArrivalTrace::generate(&tasks, &arrival_config(120), seed);
         let run = |label: &str| {
-            simulate(&tasks, &trace, &SimConfig::new(label.parse().unwrap()))
-                .unwrap()
-                .ratio
-                .ratio()
+            simulate(&tasks, &trace, &SimConfig::new(label.parse().unwrap())).unwrap().ratio.ratio()
         };
         no_lb += run("J_T_N");
         lb_task += run("J_T_T");
@@ -158,8 +147,7 @@ fn generated_workload_flows_through_the_engine() {
     }
 
     let trace = ArrivalTrace::generate(&deployment.tasks, &arrival_config(30), 2);
-    let report =
-        simulate(&deployment.tasks, &trace, &SimConfig::new(deployment.services)).unwrap();
+    let report = simulate(&deployment.tasks, &trace, &SimConfig::new(deployment.services)).unwrap();
     assert!(report.ratio.arrived_jobs() > 0);
 }
 
@@ -172,10 +160,8 @@ fn ac_strategy_semantics_visible_in_ratio() {
         .generate(4)
         .unwrap();
     let trace = ArrivalTrace::generate(&tasks, &arrival_config(120), 4);
-    let per_task =
-        simulate(&tasks, &trace, &SimConfig::ideal("T_N_N".parse().unwrap())).unwrap();
-    let per_job =
-        simulate(&tasks, &trace, &SimConfig::ideal("J_N_N".parse().unwrap())).unwrap();
+    let per_task = simulate(&tasks, &trace, &SimConfig::ideal("T_N_N".parse().unwrap())).unwrap();
+    let per_job = simulate(&tasks, &trace, &SimConfig::ideal("J_N_N".parse().unwrap())).unwrap();
     assert!(
         per_job.ratio.ratio() >= per_task.ratio.ratio() - 1e-9,
         "job skipping cannot do worse than whole-task rejection: {} vs {}",
@@ -215,20 +201,13 @@ fn simulated_responses_within_holistic_bounds() {
         let tasks = workload.generate(seed).unwrap();
         let analysis = analyze_response_times(&tasks, Duration::ZERO).unwrap();
         let trace = ArrivalTrace::generate(&tasks, &arrival_config(60), seed);
-        let (_, records) = simulate_recorded(
-            &tasks,
-            &trace,
-            &SimConfig::ideal("J_N_N".parse().unwrap()),
-        )
-        .unwrap();
+        let (_, records) =
+            simulate_recorded(&tasks, &trace, &SimConfig::ideal("J_N_N".parse().unwrap())).unwrap();
         for record in records.iter().filter(|r| r.completed.is_some()) {
             let Some(bound) = analysis.end_to_end(record.job.task) else {
                 continue; // analysis could not bound this task
             };
-            let response = record
-                .completed
-                .expect("filtered")
-                .elapsed_since(record.arrival);
+            let response = record.completed.expect("filtered").elapsed_since(record.arrival);
             assert!(
                 response <= bound,
                 "seed {seed} job {}: simulated {response} exceeds analytical bound {bound}",

@@ -4,7 +4,9 @@
 
 use std::time::Duration as StdDuration;
 
-use rtcm::config::{configure, configure_with, CpsCharacteristics, OverheadTolerance, WorkloadSpec};
+use rtcm::config::{
+    configure, configure_with, CpsCharacteristics, OverheadTolerance, WorkloadSpec,
+};
 use rtcm::core::task::TaskId;
 use rtcm::rt::{RtOptions, System};
 

@@ -1,0 +1,179 @@
+//! Vendored minimal stand-in for the `bytes` crate.
+//!
+//! Provides [`Bytes`]: a cheaply cloneable, immutable, reference-counted
+//! byte buffer with the subset of the real crate's API that this workspace
+//! uses. Cloning is an `Arc` bump; no slicing views are provided (the
+//! event channel only ever moves whole payloads).
+
+#![forbid(unsafe_code)]
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// A cheaply cloneable immutable byte buffer.
+#[derive(Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Bytes(Arc<Vec<u8>>);
+
+impl Bytes {
+    /// Creates an empty buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    /// Creates a buffer by copying `data`.
+    #[must_use]
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes(Arc::new(data.to_vec()))
+    }
+
+    /// Creates a buffer from a static slice (copies; the real crate
+    /// borrows, but the distinction is invisible to callers here).
+    #[must_use]
+    pub fn from_static(data: &'static [u8]) -> Self {
+        Bytes::copy_from_slice(data)
+    }
+
+    /// Length in bytes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the buffer is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The contents as a slice.
+    #[must_use]
+    pub fn as_slice(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Copies the contents into a fresh `Vec<u8>`.
+    #[must_use]
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.0.as_ref().clone()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl Borrow<[u8]> for Bytes {
+    fn borrow(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes(Arc::new(v))
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Bytes::copy_from_slice(v)
+    }
+}
+
+impl<const N: usize> From<&[u8; N]> for Bytes {
+    fn from(v: &[u8; N]) -> Self {
+        Bytes::copy_from_slice(v)
+    }
+}
+
+impl From<&str> for Bytes {
+    fn from(v: &str) -> Self {
+        Bytes::copy_from_slice(v.as_bytes())
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(v: String) -> Self {
+        Bytes(Arc::new(v.into_bytes()))
+    }
+}
+
+impl FromIterator<u8> for Bytes {
+    fn from_iter<I: IntoIterator<Item = u8>>(iter: I) -> Self {
+        Bytes(Arc::new(iter.into_iter().collect()))
+    }
+}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_slice() {
+            if (b' '..=b'~').contains(&b) && b != b'"' && b != b'\\' {
+                write!(f, "{}", b as char)?;
+            } else {
+                write!(f, "\\x{b:02x}")?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_and_clone_shares() {
+        let b = Bytes::from(vec![1, 2, 3]);
+        let c = b.clone();
+        assert_eq!(b, c);
+        assert_eq!(b.as_ref(), &[1, 2, 3][..]);
+        assert_eq!(b.len(), 3);
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn constructors() {
+        assert_eq!(Bytes::from(&b"hi"[..]).as_ref(), b"hi");
+        assert_eq!(Bytes::from("hi").as_ref(), b"hi");
+        assert_eq!(Bytes::copy_from_slice(b"xy").to_vec(), b"xy".to_vec());
+        assert!(Bytes::new().is_empty());
+    }
+
+    #[test]
+    fn debug_escapes() {
+        let b = Bytes::from(vec![b'a', 0, b'"']);
+        assert_eq!(format!("{b:?}"), "b\"a\\x00\\x22\"");
+    }
+}

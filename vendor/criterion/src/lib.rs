@@ -1,0 +1,328 @@
+//! Vendored minimal stand-in for the `criterion` crate.
+//!
+//! Implements the macro/struct surface the workspace's benches use
+//! (`criterion_group!`, `criterion_main!`, `Criterion::bench_function`,
+//! `benchmark_group`, `bench_with_input`, `Bencher::iter` /
+//! `iter_batched`, `BenchmarkId`, `BatchSize`, `black_box`) with a
+//! simple measurement loop: warm up briefly, then time batches until a
+//! fixed measurement budget elapses and report the mean ns/iteration.
+//! No statistics, plots, or baseline comparisons.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity function.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// How `iter_batched` amortizes setup cost. The stand-in runs one setup
+/// per measured call regardless, so the variants only document intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many iterations per batch upstream.
+    SmallInput,
+    /// Large inputs: few iterations per batch upstream.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// A benchmark identifier within a group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `group/function/parameter`-style id.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{}", function.into(), parameter))
+    }
+
+    /// Id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+/// Per-benchmark measurement driver.
+pub struct Bencher {
+    warm_up: Duration,
+    measure: Duration,
+    /// (iterations, total elapsed) recorded by the routine.
+    result: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    fn new(warm_up: Duration, measure: Duration) -> Self {
+        Bencher { warm_up, measure, result: None }
+    }
+
+    /// Times `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: also estimates per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().checked_div(warm_iters.max(1) as u32);
+        let batch = batch_size_for(per_iter);
+
+        let mut iters: u64 = 0;
+        let start = Instant::now();
+        while start.elapsed() < self.measure {
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            iters += batch;
+        }
+        self.result = Some((iters, start.elapsed()));
+    }
+
+    /// Times `routine` on fresh inputs built by `setup` (setup excluded
+    /// from measurement).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up {
+            let input = setup();
+            black_box(routine(input));
+        }
+
+        let mut iters: u64 = 0;
+        let mut measured = Duration::ZERO;
+        while measured < self.measure {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            measured += start.elapsed();
+            iters += 1;
+        }
+        self.result = Some((iters, measured));
+    }
+
+    /// Like `iter_batched`; the stand-in treats both identically.
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, setup: S, mut routine: R, size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        self.iter_batched(setup, move |mut input| routine(&mut input), size);
+    }
+}
+
+fn batch_size_for(per_iter: Option<Duration>) -> u64 {
+    match per_iter {
+        Some(d) if d < Duration::from_nanos(100) => 1000,
+        Some(d) if d < Duration::from_micros(10) => 100,
+        _ => 1,
+    }
+}
+
+fn report(name: &str, result: Option<(u64, Duration)>) {
+    match result {
+        Some((iters, elapsed)) if iters > 0 => {
+            let ns = elapsed.as_nanos() as f64 / iters as f64;
+            println!("{name:<50} time: {:>12}/iter  ({iters} iters)", format_ns(ns));
+        }
+        _ => println!("{name:<50} time: <no measurement>"),
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else if ns >= 1_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    warm_up: Duration,
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Short budgets: the stand-in favours fast full-suite runs over
+        // statistical power.
+        Criterion { warm_up: Duration::from_millis(20), measure: Duration::from_millis(120) }
+    }
+}
+
+impl Criterion {
+    /// Accepts (and ignores) criterion's CLI arguments, so
+    /// `cargo bench -- <args>` keeps working.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Sets the warm-up budget.
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the measurement budget.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measure = d;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.warm_up, self.measure);
+        f(&mut b);
+        report(name, b.result);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group: {name}");
+        BenchmarkGroup { criterion: self, name }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into());
+        let mut b = Bencher::new(self.criterion.warm_up, self.criterion.measure);
+        f(&mut b);
+        report(&label, b.result);
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into());
+        let mut b = Bencher::new(self.criterion.warm_up, self.criterion.measure);
+        f(&mut b, input);
+        report(&label, b.result);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default().configure_from_args();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5))
+    }
+
+    #[test]
+    fn bench_function_records_iterations() {
+        let mut c = quick();
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn groups_and_batched() {
+        let mut c = quick();
+        let mut group = c.benchmark_group("g");
+        group.bench_function("direct", |b| b.iter(|| black_box(42u64.pow(2))));
+        group.bench_with_input(BenchmarkId::from_parameter(8), &8u32, |b, &n| {
+            b.iter_batched(|| vec![0u8; n as usize], |v| v.len(), BatchSize::SmallInput);
+        });
+        group.finish();
+    }
+
+    criterion_group!(test_benches, noop_bench);
+
+    fn noop_bench(c: &mut Criterion) {
+        let mut c2 = quick();
+        c2.bench_function("macro_path", |b| b.iter(|| black_box(0)));
+        let _ = c;
+    }
+
+    #[test]
+    fn macro_expansion_runs() {
+        test_benches();
+    }
+}

@@ -1,0 +1,501 @@
+//! Vendored minimal stand-in for the `crossbeam` crate.
+//!
+//! Provides the [`channel`] module — cloneable multi-producer
+//! multi-consumer unbounded channels — and a [`select!`] macro covering
+//! the subset this workspace uses (`recv(rx) -> msg => { .. }` arms with
+//! an optional trailing `default(timeout) => { .. }`).
+//!
+//! Implementation notes: each channel is a `Mutex<VecDeque>` plus a
+//! per-channel condvar; `select!` additionally waits on a process-global
+//! generation counter that every send/disconnect bumps, so a blocking
+//! select wakes promptly without per-channel waiter registration.
+
+#![forbid(unsafe_code)]
+
+pub mod channel {
+    //! MPMC unbounded channels with crossbeam's API shape.
+
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    /// Error returned by [`Sender::send`] when all receivers are gone.
+    #[derive(PartialEq, Eq, Clone, Copy)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    impl<T> std::error::Error for SendError<T> {}
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// all senders are gone.
+    #[derive(Debug, PartialEq, Eq, Clone, Copy)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("receiving on an empty and disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, PartialEq, Eq, Clone, Copy)]
+    pub enum TryRecvError {
+        /// The channel is currently empty.
+        Empty,
+        /// The channel is empty and all senders have disconnected.
+        Disconnected,
+    }
+
+    impl fmt::Display for TryRecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TryRecvError::Empty => f.write_str("receiving on an empty channel"),
+                TryRecvError::Disconnected => {
+                    f.write_str("receiving on an empty and disconnected channel")
+                }
+            }
+        }
+    }
+
+    impl std::error::Error for TryRecvError {}
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, PartialEq, Eq, Clone, Copy)]
+    pub enum RecvTimeoutError {
+        /// No message arrived within the timeout.
+        Timeout,
+        /// The channel is empty and all senders have disconnected.
+        Disconnected,
+    }
+
+    impl fmt::Display for RecvTimeoutError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                RecvTimeoutError::Timeout => f.write_str("timed out waiting on channel"),
+                RecvTimeoutError::Disconnected => f.write_str("channel is empty and disconnected"),
+            }
+        }
+    }
+
+    impl std::error::Error for RecvTimeoutError {}
+
+    struct Inner<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Shared<T> {
+        inner: Mutex<Inner<T>>,
+        ready: Condvar,
+    }
+
+    /// Process-global select signal: a generation counter bumped by every
+    /// send and disconnect, so `select!` can block on multiple channels.
+    ///
+    /// The counter is an atomic so the send fast path costs one
+    /// `fetch_add` plus one relaxed waiter check; the mutex/condvar pair
+    /// is only touched while a `select!` is actually parked. The sender
+    /// takes the (empty) mutex before notifying, which orders the bump
+    /// against a parking waiter's re-check and rules out lost wakeups.
+    static SELECT_GEN: AtomicU64 = AtomicU64::new(0);
+    static SELECT_WAITERS: AtomicUsize = AtomicUsize::new(0);
+    static SELECT_PARK: Mutex<()> = Mutex::new(());
+    static SELECT_CV: Condvar = Condvar::new();
+
+    fn bump_select_gen() {
+        SELECT_GEN.fetch_add(1, Ordering::SeqCst);
+        if SELECT_WAITERS.load(Ordering::SeqCst) > 0 {
+            // Lock/unlock before notifying: a waiter between its gen
+            // re-check and its condvar wait holds the mutex, so this
+            // cannot slip into that window.
+            drop(SELECT_PARK.lock().unwrap_or_else(|e| e.into_inner()));
+            SELECT_CV.notify_all();
+        }
+    }
+
+    #[doc(hidden)]
+    pub fn __select_generation() -> u64 {
+        SELECT_GEN.load(Ordering::SeqCst)
+    }
+
+    /// Blocks until the global select generation moves past `seen`, or
+    /// until `timeout` elapses. Used by the `select!` macro only.
+    #[doc(hidden)]
+    pub fn __select_wait(seen: u64, timeout: Duration) {
+        let deadline = Instant::now() + timeout;
+        SELECT_WAITERS.fetch_add(1, Ordering::SeqCst);
+        let mut guard = SELECT_PARK.lock().unwrap_or_else(|e| e.into_inner());
+        while SELECT_GEN.load(Ordering::SeqCst) == seen {
+            let now = Instant::now();
+            let Some(remaining) = deadline.checked_duration_since(now).filter(|d| !d.is_zero())
+            else {
+                break;
+            };
+            let (g, _res) =
+                SELECT_CV.wait_timeout(guard, remaining).unwrap_or_else(|e| e.into_inner());
+            guard = g;
+        }
+        drop(guard);
+        SELECT_WAITERS.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// The sending half of a channel. Cloneable.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half of a channel. Cloneable; clones compete for
+    /// messages (each message is delivered to exactly one receiver).
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+
+    /// Creates an unbounded MPMC channel.
+    #[must_use]
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            inner: Mutex::new(Inner { queue: VecDeque::new(), senders: 1, receivers: 1 }),
+            ready: Condvar::new(),
+        });
+        (Sender { shared: Arc::clone(&shared) }, Receiver { shared })
+    }
+
+    /// Creates a "bounded" channel. The stand-in ignores the capacity and
+    /// never blocks senders; callers that only rely on delivery semantics
+    /// are unaffected.
+    #[must_use]
+    pub fn bounded<T>(_cap: usize) -> (Sender<T>, Receiver<T>) {
+        unbounded()
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.inner.lock().unwrap_or_else(|e| e.into_inner()).senders += 1;
+            Sender { shared: Arc::clone(&self.shared) }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let remaining = {
+                let mut inner = self.shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+                inner.senders -= 1;
+                inner.senders
+            };
+            if remaining == 0 {
+                self.shared.ready.notify_all();
+                bump_select_gen();
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared.inner.lock().unwrap_or_else(|e| e.into_inner()).receivers += 1;
+            Receiver { shared: Arc::clone(&self.shared) }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut inner = self.shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+            inner.receivers -= 1;
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends `msg`, failing only if every receiver has been dropped.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            {
+                let mut inner = self.shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+                if inner.receivers == 0 {
+                    return Err(SendError(msg));
+                }
+                inner.queue.push_back(msg);
+            }
+            self.shared.ready.notify_one();
+            bump_select_gen();
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Receives a message without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut inner = self.shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+            match inner.queue.pop_front() {
+                Some(msg) => Ok(msg),
+                None if inner.senders == 0 => Err(TryRecvError::Disconnected),
+                None => Err(TryRecvError::Empty),
+            }
+        }
+
+        /// Blocks until a message arrives or all senders disconnect.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut inner = self.shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(msg) = inner.queue.pop_front() {
+                    return Ok(msg);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvError);
+                }
+                inner = self.shared.ready.wait(inner).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+
+        /// Blocks up to `timeout` for a message.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut inner = self.shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(msg) = inner.queue.pop_front() {
+                    return Ok(msg);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                let Some(remaining) = deadline.checked_duration_since(now).filter(|d| !d.is_zero())
+                else {
+                    return Err(RecvTimeoutError::Timeout);
+                };
+                let (guard, _res) = self
+                    .shared
+                    .ready
+                    .wait_timeout(inner, remaining)
+                    .unwrap_or_else(|e| e.into_inner());
+                inner = guard;
+            }
+        }
+
+        /// Number of messages currently queued.
+        #[must_use]
+        pub fn len(&self) -> usize {
+            self.shared.inner.lock().unwrap_or_else(|e| e.into_inner()).queue.len()
+        }
+
+        /// Whether the queue is currently empty.
+        #[must_use]
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    // Re-export the macro so `crossbeam::channel::select!` paths work like
+    // the real crate's.
+    pub use crate::select;
+}
+
+/// Waits on multiple channel operations, crossbeam-style.
+///
+/// Supported subset:
+///
+/// ```ignore
+/// select! {
+///     recv(rx_a) -> msg => { ... }
+///     recv(rx_b) -> msg => { ... }
+///     default(timeout) => { ... }   // optional trailing arm
+/// }
+/// ```
+///
+/// Arm bodies must be blocks. Matching crossbeam semantics, a
+/// disconnected channel makes its `recv` arm ready with `Err(RecvError)`.
+#[macro_export]
+macro_rules! select {
+    // recv arms + trailing default(timeout).
+    ( $( recv($r:expr) -> $res:pat => $body:block $(,)? )+ default($d:expr) => $dbody:block $(,)? ) => {{
+        let __select_deadline = ::std::time::Instant::now() + $d;
+        '__select: loop {
+            let __select_seen = $crate::channel::__select_generation();
+            $(
+                // Hoist try_recv into a let so the borrow of the receiver
+                // ends before the arm body runs (bodies often need &mut
+                // access to the same struct the receiver lives in).
+                let __select_polled = $crate::channel::Receiver::try_recv(&$r);
+                if !matches!(
+                    __select_polled,
+                    ::std::result::Result::Err($crate::channel::TryRecvError::Empty)
+                ) {
+                    // A diverging arm body (e.g. `return`) makes the
+                    // generated `break` unreachable; that is expected.
+                    #[allow(unreachable_code)]
+                    {
+                        let $res = match __select_polled {
+                            ::std::result::Result::Ok(__v) => ::std::result::Result::Ok(__v),
+                            ::std::result::Result::Err(_) => {
+                                ::std::result::Result::Err($crate::channel::RecvError)
+                            }
+                        };
+                        { $body }
+                        break '__select;
+                    }
+                }
+            )+
+            let __select_now = ::std::time::Instant::now();
+            if __select_now >= __select_deadline {
+                { $dbody }
+                break '__select;
+            }
+            let __select_wait = ::std::cmp::min(
+                __select_deadline - __select_now,
+                ::std::time::Duration::from_millis(5),
+            );
+            $crate::channel::__select_wait(__select_seen, __select_wait);
+        }
+    }};
+    // recv arms only: block until one is ready.
+    ( $( recv($r:expr) -> $res:pat => $body:block $(,)? )+ ) => {{
+        '__select: loop {
+            let __select_seen = $crate::channel::__select_generation();
+            $(
+                let __select_polled = $crate::channel::Receiver::try_recv(&$r);
+                if !matches!(
+                    __select_polled,
+                    ::std::result::Result::Err($crate::channel::TryRecvError::Empty)
+                ) {
+                    // A diverging arm body (e.g. `return`) makes the
+                    // generated `break` unreachable; that is expected.
+                    #[allow(unreachable_code)]
+                    {
+                        let $res = match __select_polled {
+                            ::std::result::Result::Ok(__v) => ::std::result::Result::Ok(__v),
+                            ::std::result::Result::Err(_) => {
+                                ::std::result::Result::Err($crate::channel::RecvError)
+                            }
+                        };
+                        { $body }
+                        break '__select;
+                    }
+                }
+            )+
+            $crate::channel::__select_wait(
+                __select_seen,
+                ::std::time::Duration::from_millis(5),
+            );
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{unbounded, RecvTimeoutError, TryRecvError};
+    use std::time::{Duration, Instant};
+
+    #[test]
+    fn send_recv_fifo() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.try_recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn disconnect_semantics() {
+        let (tx, rx) = unbounded::<u8>();
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+
+        let (tx, rx) = unbounded::<u8>();
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn clones_compete() {
+        let (tx, rx1) = unbounded();
+        let rx2 = rx1.clone();
+        tx.send(7).unwrap();
+        let got = rx1.try_recv().ok().or_else(|| rx2.try_recv().ok());
+        assert_eq!(got, Some(7));
+        assert!(rx1.try_recv().is_err() && rx2.try_recv().is_err());
+    }
+
+    #[test]
+    fn recv_timeout_times_out() {
+        let (_tx, rx) = unbounded::<u8>();
+        let start = Instant::now();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(30)), Err(RecvTimeoutError::Timeout));
+        assert!(start.elapsed() >= Duration::from_millis(25));
+    }
+
+    #[test]
+    fn recv_wakes_across_threads() {
+        let (tx, rx) = unbounded();
+        let h = std::thread::spawn(move || rx.recv().unwrap());
+        std::thread::sleep(Duration::from_millis(10));
+        tx.send(99u32).unwrap();
+        assert_eq!(h.join().unwrap(), 99);
+    }
+
+    #[test]
+    fn select_picks_ready_arm_and_default() {
+        let (tx_a, rx_a) = unbounded::<u8>();
+        let (_tx_b, rx_b) = unbounded::<u8>();
+        tx_a.send(5).unwrap();
+        select! {
+            recv(rx_a) -> m => { assert_eq!(m, Ok(5)); }
+            recv(rx_b) -> _m => { panic!("rx_b has no message"); }
+        }
+
+        // With nothing pending, the default arm must fire.
+        select! {
+            recv(rx_a) -> _m => { panic!("no message pending") }
+            default(Duration::from_millis(20)) => {}
+        }
+    }
+
+    #[test]
+    fn select_blocks_until_cross_thread_send() {
+        let (tx, rx) = unbounded::<u8>();
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            tx.send(1).unwrap();
+        });
+        let start = Instant::now();
+        select! {
+            recv(rx) -> m => { assert_eq!(m.ok(), Some(1)); }
+        }
+        assert!(start.elapsed() >= Duration::from_millis(10));
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn select_sees_disconnect() {
+        let (tx, rx) = unbounded::<u8>();
+        drop(tx);
+        select! {
+            recv(rx) -> m => { assert!(m.is_err()); }
+        }
+    }
+}

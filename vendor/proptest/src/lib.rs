@@ -1,0 +1,500 @@
+//! Vendored minimal stand-in for the `proptest` crate.
+//!
+//! Deterministic, seeded random property testing with proptest's surface
+//! syntax: the [`proptest!`] macro (`fn name(arg in strategy, ..) { .. }`
+//! with an optional `#![proptest_config(..)]`), the [`strategy::Strategy`]
+//! trait (`prop_map`, `prop_flat_map`), range / tuple / `Vec` strategies,
+//! [`collection::vec`], [`option::of`], [`any`], and the `prop_assert*`
+//! macros.
+//!
+//! Differences from real proptest, deliberately accepted for an offline
+//! build: no shrinking (failures print the full generated inputs instead),
+//! no persisted failure seeds (runs are deterministic per test), and
+//! strategies sample uniformly rather than with proptest's bias toward
+//! edge cases.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Debug;
+
+#[doc(hidden)]
+pub use rand as __rand;
+
+/// Runner configuration; only `cases` is honored.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use super::Debug;
+    use rand::rngs::StdRng;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value: Debug;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U: Debug, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Generates a value, then generates from the strategy `f`
+        /// produces for it.
+        fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Filters generated values; retries until `pred` passes (caps at
+        /// 1000 attempts, then panics — mirror real proptest's rejection
+        /// cap by keeping filters loose).
+        fn prop_filter<F: Fn(&Self::Value) -> bool>(
+            self,
+            whence: &'static str,
+            pred: F,
+        ) -> Filter<Self, F>
+        where
+            Self: Sized,
+        {
+            Filter { inner: self, whence, pred }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U: Debug, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+
+        fn generate(&self, rng: &mut StdRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+
+        fn generate(&self, rng: &mut StdRng) -> S2::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_filter`].
+    pub struct Filter<S, F> {
+        inner: S,
+        whence: &'static str,
+        pred: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut StdRng) -> S::Value {
+            for _ in 0..1000 {
+                let v = self.inner.generate(rng);
+                if (self.pred)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter `{}` rejected 1000 consecutive samples", self.whence);
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone + Debug>(pub T);
+
+    impl<T: Clone + Debug> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for ::std::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rand::Rng::gen_range(rng, self.clone())
+                }
+            }
+
+            impl Strategy for ::std::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rand::Rng::gen_range(rng, self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident : $idx:tt),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A: 0)
+        (A: 0, B: 1)
+        (A: 0, B: 1, C: 2)
+        (A: 0, B: 1, C: 2, D: 3)
+        (A: 0, B: 1, C: 2, D: 3, E: 4)
+        (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+    }
+
+    impl<S: Strategy> Strategy for Vec<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            self.iter().map(|s| s.generate(rng)).collect()
+        }
+    }
+
+    impl<S: Strategy, const N: usize> Strategy for [S; N] {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            self.iter().map(|s| s.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A size specification: an exact length or a range of lengths.
+    pub trait SizeRange {
+        /// Draws a length.
+        fn sample_len(&self, rng: &mut StdRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn sample_len(&self, _rng: &mut StdRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for std::ops::Range<usize> {
+        fn sample_len(&self, rng: &mut StdRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl SizeRange for std::ops::RangeInclusive<usize> {
+        fn sample_len(&self, rng: &mut StdRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// Strategy for `Vec`s whose elements come from `element` and whose
+    /// length comes from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl SizeRange + 'static) -> VecStrategy<S> {
+        VecStrategy { element, size: Box::new(size) }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Box<dyn SizeRange>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let len = self.size.sample_len(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    //! `Option` strategies.
+
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::RngCore;
+
+    /// Strategy for `Option<T>`: `None` about a quarter of the time.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    /// Strategy returned by [`of`].
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            if rng.next_u64().is_multiple_of(4) {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+/// Types with a canonical strategy, for [`any`].
+pub trait Arbitrary: Debug + Sized {
+    /// The canonical strategy for the type.
+    type Strategy: strategy::Strategy<Value = Self>;
+
+    /// Returns the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Strategy yielding uniformly random values of a primitive type.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+macro_rules! impl_arbitrary_uniform {
+    ($($t:ty => |$rng:ident| $body:expr;)*) => {$(
+        impl strategy::Strategy for AnyStrategy<$t> {
+            type Value = $t;
+
+            fn generate(&self, $rng: &mut rand::rngs::StdRng) -> $t {
+                $body
+            }
+        }
+
+        impl Arbitrary for $t {
+            type Strategy = AnyStrategy<$t>;
+
+            fn arbitrary() -> Self::Strategy {
+                AnyStrategy(std::marker::PhantomData)
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_uniform! {
+    bool => |rng| rand::RngCore::next_u64(rng) & 1 == 1;
+    u8 => |rng| rand::RngCore::next_u64(rng) as u8;
+    u16 => |rng| rand::RngCore::next_u64(rng) as u16;
+    u32 => |rng| rand::RngCore::next_u64(rng) as u32;
+    u64 => |rng| rand::RngCore::next_u64(rng);
+    i32 => |rng| rand::RngCore::next_u64(rng) as i32;
+    i64 => |rng| rand::RngCore::next_u64(rng) as i64;
+}
+
+/// The canonical strategy for `T` (proptest's `any::<T>()`).
+#[must_use]
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Everything a property-test module normally imports.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::option;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{any, Arbitrary, ProptestConfig};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Asserts a condition inside a property (failure aborts the case and
+/// reports the generated inputs).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// `assert_eq!` inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// `assert_ne!` inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Declares property tests. Each `fn name(arg in strategy, ..) { body }`
+/// becomes a test running `cases` random cases; on failure the generated
+/// inputs are printed (no shrinking).
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $(
+          $(#[$meta:meta])*
+          fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                // Deterministic per-test seed: tests are reproducible
+                // without a persistence file.
+                let mut __rng =
+                    <$crate::__rand::rngs::StdRng as $crate::__rand::SeedableRng>::seed_from_u64(
+                        0x5274_434d_0001_u64,
+                    );
+                for __case in 0..__config.cases {
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::generate(&($strat), &mut __rng);
+                    )+
+                    let __inputs = {
+                        let mut __s = ::std::string::String::new();
+                        $(
+                            __s.push_str(::std::stringify!($arg));
+                            __s.push_str(" = ");
+                            __s.push_str(&::std::format!("{:?}", &$arg));
+                            __s.push_str("; ");
+                        )+
+                        __s
+                    };
+                    let __outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(move || { $body }),
+                    );
+                    if let ::std::result::Result::Err(__panic) = __outcome {
+                        ::std::eprintln!(
+                            "proptest case {}/{} of `{}` failed with inputs: {}",
+                            __case + 1,
+                            __config.cases,
+                            ::std::stringify!($name),
+                            __inputs
+                        );
+                        ::std::panic::resume_unwind(__panic);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        use crate::strategy::Strategy;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let s = (1u64..10, 0u16..3, any::<bool>());
+        for _ in 0..200 {
+            let (a, b, _c) = s.generate(&mut rng);
+            assert!((1..10).contains(&a));
+            assert!(b < 3);
+        }
+    }
+
+    #[test]
+    fn collection_vec_respects_size() {
+        use crate::strategy::Strategy;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let s = collection::vec(0u32..5, 2..6usize);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((2..6).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+
+    #[test]
+    fn option_of_yields_both_arms() {
+        use crate::strategy::Strategy;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let s = option::of(0u32..5);
+        let samples: Vec<_> = (0..100).map(|_| s.generate(&mut rng)).collect();
+        assert!(samples.iter().any(Option::is_some));
+        assert!(samples.iter().any(Option::is_none));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_end_to_end(a in 0u64..100, items in collection::vec(0u8..10, 1..4)) {
+            prop_assert!(a < 100);
+            prop_assert_eq!(items.len(), items.len());
+            prop_assert_ne!(items.len(), 0, "vec size starts at 1");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn flat_map_and_map_compose(n in (1usize..4).prop_flat_map(|k| {
+            crate::collection::vec(0u32..10, k..k + 1)
+        }).prop_map(|v| v.len())) {
+            prop_assert!((1..4).contains(&n));
+        }
+    }
+}

@@ -1,0 +1,551 @@
+//! Vendored minimal stand-in for the `serde` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! ships a small, fully functional serialization framework with serde's
+//! surface names: `#[derive(Serialize, Deserialize)]`, the
+//! `Serialize` / `Deserialize` traits, and (in the sibling `serde_json`
+//! stand-in) JSON emit/parse. Internally everything round-trips through a
+//! self-describing [`Value`] tree rather than serde's visitor machinery —
+//! dramatically simpler, and sufficient for the workspace's needs
+//! (config files, wire messages, results dumps).
+//!
+//! Supported derive shapes: named-field structs, tuple structs (newtypes
+//! serialize transparently), and enums with unit / tuple / struct
+//! variants (externally tagged, like real serde). Field attributes
+//! `#[serde(default)]` and `#[serde(skip)]` are honored.
+
+#![forbid(unsafe_code)]
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::hash::Hash;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing serialized value (the JSON data model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Seq(Vec<Value>),
+    /// Object, order-preserving.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up `key` in a [`Value::Map`].
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// A short name for the value's kind, for error messages.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::U64(_) | Value::I64(_) => "integer",
+            Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "array",
+            Value::Map(_) => "object",
+        }
+    }
+}
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error with the given message.
+    #[must_use]
+    pub fn msg(message: impl Into<String>) -> Self {
+        Error(message.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A type that can be serialized into a [`Value`].
+pub trait Serialize {
+    /// Converts `self` into the serialized value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// A type that can be reconstructed from a [`Value`].
+///
+/// The lifetime parameter mirrors real serde's signature so existing
+/// bounds like `for<'de> Deserialize<'de>` keep compiling; this stand-in
+/// never borrows from the input.
+pub trait Deserialize<'de>: Sized {
+    /// Reconstructs `Self` from the serialized value tree.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------------
+// Helpers used by derive-generated code.
+// ---------------------------------------------------------------------------
+
+/// Fetches required field `name` from an object value (derive helper).
+pub fn get_field<T: for<'de> Deserialize<'de>>(
+    value: &Value,
+    name: &str,
+    type_name: &str,
+) -> Result<T, Error> {
+    match value.get(name) {
+        Some(v) => T::from_value(v),
+        None => Err(Error::msg(format!("missing field `{name}` for {type_name}"))),
+    }
+}
+
+/// Fetches field `name`, falling back to `Default` when absent or null
+/// (derive helper for `#[serde(default)]`).
+pub fn get_field_or_default<T: for<'de> Deserialize<'de> + Default>(
+    value: &Value,
+    name: &str,
+) -> Result<T, Error> {
+    match value.get(name) {
+        Some(Value::Null) | None => Ok(T::default()),
+        Some(v) => T::from_value(v),
+    }
+}
+
+/// Fetches element `index` of an array value (derive helper for tuple
+/// structs / variants).
+pub fn seq_elem<T: for<'de> Deserialize<'de>>(
+    value: &Value,
+    index: usize,
+    type_name: &str,
+) -> Result<T, Error> {
+    match value {
+        Value::Seq(items) => match items.get(index) {
+            Some(v) => T::from_value(v),
+            None => Err(Error::msg(format!("array too short for {type_name}: no element {index}"))),
+        },
+        other => Err(Error::msg(format!("expected array for {type_name}, found {}", other.kind()))),
+    }
+}
+
+fn type_error<T>(expected: &str, found: &Value) -> Result<T, Error> {
+    Err(Error::msg(format!("expected {expected}, found {}", found.kind())))
+}
+
+// ---------------------------------------------------------------------------
+// Impls for std types.
+// ---------------------------------------------------------------------------
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => type_error("bool", other),
+        }
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let n = match value {
+                    Value::U64(n) => *n,
+                    Value::I64(n) if *n >= 0 => *n as u64,
+                    other => return type_error("unsigned integer", other),
+                };
+                <$t>::try_from(n).map_err(|_| {
+                    Error::msg(format!(
+                        "integer {n} out of range for {}", stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 { Value::U64(v as u64) } else { Value::I64(v) }
+            }
+        }
+
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let n: i64 = match value {
+                    Value::I64(n) => *n,
+                    Value::U64(n) => i64::try_from(*n).map_err(|_| {
+                        Error::msg(format!("integer {n} out of range for i64"))
+                    })?,
+                    other => return type_error("integer", other),
+                };
+                <$t>::try_from(n).map_err(|_| {
+                    Error::msg(format!(
+                        "integer {n} out of range for {}", stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for u128 {
+    fn to_value(&self) -> Value {
+        // Values beyond u64 don't fit JSON numbers losslessly; fall back
+        // to a decimal string (accepted back by Deserialize below).
+        match u64::try_from(*self) {
+            Ok(n) => Value::U64(n),
+            Err(_) => Value::Str(self.to_string()),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for u128 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::U64(n) => Ok(u128::from(*n)),
+            Value::I64(n) if *n >= 0 => Ok(*n as u128),
+            Value::Str(s) => {
+                s.parse::<u128>().map_err(|_| Error::msg(format!("invalid u128 string `{s}`")))
+            }
+            other => type_error("unsigned integer", other),
+        }
+    }
+}
+
+impl Serialize for i128 {
+    fn to_value(&self) -> Value {
+        if let Ok(n) = i64::try_from(*self) {
+            n.to_value()
+        } else {
+            Value::Str(self.to_string())
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for i128 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::U64(n) => Ok(i128::from(*n)),
+            Value::I64(n) => Ok(i128::from(*n)),
+            Value::Str(s) => {
+                s.parse::<i128>().map_err(|_| Error::msg(format!("invalid i128 string `{s}`")))
+            }
+            other => type_error("integer", other),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::F64(x) => Ok(*x),
+            Value::U64(n) => Ok(*n as f64),
+            Value::I64(n) => Ok(*n as f64),
+            other => type_error("number", other),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        f64::from_value(value).map(|x| x as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => type_error("string", other),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => type_error("single-character string", other),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        T::from_value(value).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => type_error("array", other),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::Seq(items) => {
+                        const ARITY: usize = 0 $( + { let _ = $idx; 1 } )+;
+                        if items.len() != ARITY {
+                            return Err(Error::msg(format!(
+                                "expected array of {} elements, found {}",
+                                ARITY,
+                                items.len()
+                            )));
+                        }
+                        Ok(($($name::from_value(&items[$idx])?,)+))
+                    }
+                    other => type_error("array (tuple)", other),
+                }
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        // Serialized as an array of [key, value] pairs: round-trips any
+        // key type without requiring string keys.
+        Value::Seq(self.iter().map(|(k, v)| Value::Seq(vec![k.to_value(), v.to_value()])).collect())
+    }
+}
+
+impl<'de, K, V, S> Deserialize<'de> for HashMap<K, V, S>
+where
+    K: Deserialize<'de> + Eq + Hash,
+    V: Deserialize<'de>,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Seq(items) => items.iter().map(<(K, V)>::from_value).collect(),
+            other => type_error("array of pairs (map)", other),
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(|(k, v)| Value::Seq(vec![k.to_value(), v.to_value()])).collect())
+    }
+}
+
+impl<'de, K, V> Deserialize<'de> for BTreeMap<K, V>
+where
+    K: Deserialize<'de> + Ord,
+    V: Deserialize<'de>,
+{
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Seq(items) => items.iter().map(<(K, V)>::from_value).collect(),
+            other => type_error("array of pairs (map)", other),
+        }
+    }
+}
+
+impl Serialize for std::time::Duration {
+    fn to_value(&self) -> Value {
+        Value::Seq(vec![Value::U64(self.as_secs()), Value::U64(u64::from(self.subsec_nanos()))])
+    }
+}
+
+impl<'de> Deserialize<'de> for std::time::Duration {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let (secs, nanos) = <(u64, u32)>::from_value(value)?;
+        Ok(std::time::Duration::new(secs, nanos))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u16::from_value(&42u16.to_value()), Ok(42));
+        assert_eq!(i32::from_value(&(-7i32).to_value()), Ok(-7));
+        assert_eq!(f64::from_value(&1.5f64.to_value()), Ok(1.5));
+        assert_eq!(bool::from_value(&true.to_value()), Ok(true));
+        assert_eq!(String::from_value(&"hi".to_string().to_value()), Ok("hi".to_string()));
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![1u32, 2, 3];
+        assert_eq!(Vec::<u32>::from_value(&v.to_value()), Ok(v));
+
+        let opt: Option<u8> = None;
+        assert_eq!(Option::<u8>::from_value(&opt.to_value()), Ok(None));
+        assert_eq!(Option::<u8>::from_value(&Some(3u8).to_value()), Ok(Some(3)));
+
+        let pair = (7u64, "x".to_string());
+        assert_eq!(<(u64, String)>::from_value(&pair.to_value()), Ok(pair));
+
+        let mut m = HashMap::new();
+        m.insert(1u32, "one".to_string());
+        assert_eq!(HashMap::<u32, String>::from_value(&m.to_value()), Ok(m));
+    }
+
+    #[test]
+    fn out_of_range_integers_error() {
+        assert!(u8::from_value(&Value::U64(300)).is_err());
+        assert!(u64::from_value(&Value::I64(-1)).is_err());
+    }
+
+    #[test]
+    fn get_field_reports_missing() {
+        let v = Value::Map(vec![("a".into(), Value::U64(1))]);
+        assert_eq!(get_field::<u64>(&v, "a", "T"), Ok(1));
+        assert!(get_field::<u64>(&v, "b", "T").is_err());
+        assert_eq!(get_field_or_default::<u64>(&v, "b"), Ok(0));
+    }
+}

@@ -1,0 +1,549 @@
+//! Vendored minimal stand-in for `serde_derive`.
+//!
+//! Hand-rolled over `proc_macro` tokens (the build environment has no
+//! crates.io access, so `syn`/`quote` are unavailable). Parses the derive
+//! input into a tiny item model and emits `Serialize` / `Deserialize`
+//! impls targeting the Value-based serde stand-in in `vendor/serde`.
+//!
+//! Supported shapes — exactly what this workspace derives on:
+//!
+//! * named-field structs (field attrs `#[serde(default)]`, `#[serde(skip)]`);
+//! * tuple structs — single-field newtypes serialize transparently,
+//!   wider ones as arrays;
+//! * enums with unit, tuple, and struct variants (externally tagged).
+//!
+//! Generics, lifetimes, and other serde attributes are rejected with a
+//! compile error naming the limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Field of a named struct or struct variant.
+struct Field {
+    name: String,
+    skip: bool,
+    default: bool,
+}
+
+/// Body shape of a struct or enum variant.
+enum Fields {
+    Named(Vec<Field>),
+    /// Tuple fields; the payload is the arity.
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// Consumes leading attributes (`#[...]`), returning any `serde(...)`
+/// flags seen (`skip`, `default`).
+fn skip_attributes(tokens: &[TokenTree], mut i: usize) -> (usize, bool, bool) {
+    let mut skip = false;
+    let mut default = false;
+    while i < tokens.len() {
+        let TokenTree::Punct(p) = &tokens[i] else { break };
+        if p.as_char() != '#' {
+            break;
+        }
+        // `#` then a bracketed group: `[serde(default)]`, `[doc = ".."]`, ...
+        if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+            if g.delimiter() == Delimiter::Bracket {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                if let Some(TokenTree::Ident(id)) = inner.first() {
+                    if id.to_string() == "serde" {
+                        if let Some(TokenTree::Group(args)) = inner.get(1) {
+                            for t in args.stream() {
+                                if let TokenTree::Ident(flag) = t {
+                                    match flag.to_string().as_str() {
+                                        "skip" => skip = true,
+                                        "default" => default = true,
+                                        other => panic!(
+                                            "serde stand-in derive: unsupported attribute \
+                                             `#[serde({other})]` (only `skip` and `default` \
+                                             are implemented)"
+                                        ),
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                i += 2;
+                continue;
+            }
+        }
+        break;
+    }
+    (i, skip, default)
+}
+
+/// Consumes an optional visibility (`pub`, `pub(crate)`, ...).
+fn skip_visibility(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Counts top-level comma-separated items in a token sequence (tuple
+/// struct / tuple variant arity). Angle-bracket depth is tracked because
+/// `<` / `>` are bare puncts; (), [], {} arrive as atomic groups.
+fn count_top_level_fields(tokens: &[TokenTree]) -> usize {
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut depth: i32 = 0;
+    let mut count = 1;
+    let mut saw_tokens_since_comma = false;
+    for t in tokens {
+        match t {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => {
+                    depth += 1;
+                    saw_tokens_since_comma = true;
+                }
+                '>' => {
+                    depth -= 1;
+                    saw_tokens_since_comma = true;
+                }
+                ',' if depth == 0 => {
+                    count += 1;
+                    saw_tokens_since_comma = false;
+                }
+                _ => saw_tokens_since_comma = true,
+            },
+            _ => saw_tokens_since_comma = true,
+        }
+    }
+    // A trailing comma does not open a new field.
+    if !saw_tokens_since_comma {
+        count -= 1;
+    }
+    count
+}
+
+/// Parses `{ field: Type, ... }` contents into the field list, honoring
+/// per-field visibility and serde attributes. Field types are skipped
+/// entirely — generated code lets type inference recover them from the
+/// struct definition itself.
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (next, skip, default) = skip_attributes(&tokens, i);
+        i = skip_visibility(&tokens, next);
+        let TokenTree::Ident(name) = &tokens[i] else {
+            panic!("serde stand-in derive: expected field name, found {:?}", tokens[i]);
+        };
+        fields.push(Field { name: name.to_string(), skip, default });
+        i += 1;
+        // Expect `:`, then consume the type up to a top-level comma.
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("serde stand-in derive: expected `:` after field, found {other:?}"),
+        }
+        let mut depth: i32 = 0;
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+fn parse_enum_variants(group: &proc_macro::Group) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (next, _, _) = skip_attributes(&tokens, i);
+        i = next;
+        let TokenTree::Ident(name) = &tokens[i] else {
+            panic!("serde stand-in derive: expected variant name, found {:?}", tokens[i]);
+        };
+        let name = name.to_string();
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                i += 1;
+                Fields::Tuple(count_top_level_fields(&inner))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g);
+                i += 1;
+                Fields::Named(fields)
+            }
+            _ => Fields::Unit,
+        };
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == '=' {
+                panic!("serde stand-in derive: explicit discriminants are not supported");
+            }
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let (mut i, _, _) = skip_attributes(&tokens, 0);
+    i = skip_visibility(&tokens, i);
+
+    let TokenTree::Ident(keyword) = &tokens[i] else {
+        panic!("serde stand-in derive: expected `struct` or `enum`, found {:?}", tokens[i]);
+    };
+    let keyword = keyword.to_string();
+    i += 1;
+    let TokenTree::Ident(name) = &tokens[i] else {
+        panic!("serde stand-in derive: expected item name, found {:?}", tokens[i]);
+    };
+    let name = name.to_string();
+    i += 1;
+
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!(
+                "serde stand-in derive: generic type `{name}` is not supported \
+                 (write the impls by hand or monomorphize)"
+            );
+        }
+    }
+
+    match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item::Struct { name, fields: Fields::Named(parse_named_fields(g)) }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Item::Struct { name, fields: Fields::Tuple(count_top_level_fields(&inner)) }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                Item::Struct { name, fields: Fields::Unit }
+            }
+            other => panic!("serde stand-in derive: unsupported struct body {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item::Enum { name, variants: parse_enum_variants(g) }
+            }
+            other => panic!("serde stand-in derive: unsupported enum body {other:?}"),
+        },
+        other => panic!("serde stand-in derive: cannot derive for `{other}` items"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let mut out = String::new();
+    match item {
+        Item::Struct { name, fields } => {
+            out.push_str(&format!(
+                "#[automatically_derived]\nimpl ::serde::Serialize for {name} {{\n    \
+                 fn to_value(&self) -> ::serde::Value {{\n"
+            ));
+            match fields {
+                Fields::Named(fields) => {
+                    let live: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+                    if live.is_empty() {
+                        out.push_str("        ::serde::Value::Map(::std::vec::Vec::new())\n");
+                    } else {
+                        out.push_str(
+                            "        let mut m: ::std::vec::Vec<(::std::string::String, \
+                             ::serde::Value)> = ::std::vec::Vec::new();\n",
+                        );
+                        for f in live {
+                            out.push_str(&format!(
+                                "        m.push((::std::string::String::from(\"{0}\"), \
+                                 ::serde::Serialize::to_value(&self.{0})));\n",
+                                f.name
+                            ));
+                        }
+                        out.push_str("        ::serde::Value::Map(m)\n");
+                    }
+                }
+                Fields::Tuple(1) => {
+                    out.push_str("        ::serde::Serialize::to_value(&self.0)\n");
+                }
+                Fields::Tuple(n) => {
+                    out.push_str("        ::serde::Value::Seq(::std::vec![\n");
+                    for idx in 0..*n {
+                        out.push_str(&format!(
+                            "            ::serde::Serialize::to_value(&self.{idx}),\n"
+                        ));
+                    }
+                    out.push_str("        ])\n");
+                }
+                Fields::Unit => {
+                    out.push_str("        ::serde::Value::Null\n");
+                }
+            }
+            out.push_str("    }\n}\n");
+        }
+        Item::Enum { name, variants } => {
+            out.push_str(&format!(
+                "#[automatically_derived]\nimpl ::serde::Serialize for {name} {{\n    \
+                 fn to_value(&self) -> ::serde::Value {{\n        match self {{\n"
+            ));
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => out.push_str(&format!(
+                        "            {name}::{vn} => \
+                         ::serde::Value::Str(::std::string::String::from(\"{vn}\")),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                        let payload = if *n == 1 {
+                            "::serde::Serialize::to_value(x0)".to_string()
+                        } else {
+                            format!(
+                                "::serde::Value::Seq(::std::vec![{}])",
+                                binds
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                    .collect::<Vec<_>>()
+                                    .join(", ")
+                            )
+                        };
+                        out.push_str(&format!(
+                            "            {name}::{vn}({binds_pat}) => \
+                             ::serde::Value::Map(::std::vec![\
+                             (::std::string::String::from(\"{vn}\"), {payload})]),\n",
+                            binds_pat = binds.join(", ")
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let pat =
+                            fields.iter().map(|f| f.name.clone()).collect::<Vec<_>>().join(", ");
+                        let live: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+                        let entries = live
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{0}\"), \
+                                     ::serde::Serialize::to_value({0}))",
+                                    f.name
+                                )
+                            })
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        let skipped = fields
+                            .iter()
+                            .filter(|f| f.skip)
+                            .map(|f| format!("let _ = {};\n                ", f.name))
+                            .collect::<String>();
+                        out.push_str(&format!(
+                            "            {name}::{vn} {{ {pat} }} => {{\n                \
+                             {skipped}::serde::Value::Map(::std::vec![\
+                             (::std::string::String::from(\"{vn}\"), \
+                             ::serde::Value::Map(::std::vec![{entries}]))])\n            }}\n"
+                        ));
+                    }
+                }
+            }
+            out.push_str("        }\n    }\n}\n");
+        }
+    }
+    out
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let mut out = String::new();
+    match item {
+        Item::Struct { name, fields } => {
+            out.push_str(&format!(
+                "#[automatically_derived]\nimpl<'de> ::serde::Deserialize<'de> for {name} {{\n    \
+                 fn from_value(value: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::serde::Error> {{\n"
+            ));
+            match fields {
+                Fields::Named(fields) => {
+                    out.push_str(&format!("        ::std::result::Result::Ok({name} {{\n"));
+                    for f in fields {
+                        if f.skip {
+                            out.push_str(&format!(
+                                "            {}: ::std::default::Default::default(),\n",
+                                f.name
+                            ));
+                        } else if f.default {
+                            out.push_str(&format!(
+                                "            {0}: ::serde::get_field_or_default(value, \
+                                 \"{0}\")?,\n",
+                                f.name
+                            ));
+                        } else {
+                            out.push_str(&format!(
+                                "            {0}: ::serde::get_field(value, \"{0}\", \
+                                 \"{name}\")?,\n",
+                                f.name
+                            ));
+                        }
+                    }
+                    out.push_str("        })\n");
+                }
+                Fields::Tuple(1) => {
+                    out.push_str(&format!(
+                        "        ::std::result::Result::Ok({name}(\
+                         ::serde::Deserialize::from_value(value)?))\n"
+                    ));
+                }
+                Fields::Tuple(n) => {
+                    let elems = (0..*n)
+                        .map(|i| format!("::serde::seq_elem(value, {i}, \"{name}\")?"))
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    out.push_str(&format!("        ::std::result::Result::Ok({name}({elems}))\n"));
+                }
+                Fields::Unit => {
+                    out.push_str(&format!("        ::std::result::Result::Ok({name})\n"));
+                }
+            }
+            out.push_str("    }\n}\n");
+        }
+        Item::Enum { name, variants } => {
+            out.push_str(&format!(
+                "#[automatically_derived]\nimpl<'de> ::serde::Deserialize<'de> for {name} {{\n    \
+                 fn from_value(value: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::serde::Error> {{\n"
+            ));
+            let unit: Vec<&Variant> =
+                variants.iter().filter(|v| matches!(v.fields, Fields::Unit)).collect();
+            let data: Vec<&Variant> =
+                variants.iter().filter(|v| !matches!(v.fields, Fields::Unit)).collect();
+            if !unit.is_empty() {
+                out.push_str("        if let ::serde::Value::Str(s) = value {\n");
+                out.push_str("            match s.as_str() {\n");
+                for v in &unit {
+                    out.push_str(&format!(
+                        "                \"{0}\" => return ::std::result::Result::Ok(\
+                         {name}::{0}),\n",
+                        v.name
+                    ));
+                }
+                out.push_str("                _ => {}\n            }\n        }\n");
+            }
+            if !data.is_empty() {
+                out.push_str(
+                    "        if let ::serde::Value::Map(entries) = value {\n            \
+                     if entries.len() == 1 {\n                \
+                     let (tag, inner) = (&entries[0].0, &entries[0].1);\n                \
+                     match tag.as_str() {\n",
+                );
+                for v in &data {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Tuple(1) => out.push_str(&format!(
+                            "                    \"{vn}\" => return \
+                             ::std::result::Result::Ok({name}::{vn}(\
+                             ::serde::Deserialize::from_value(inner)?)),\n"
+                        )),
+                        Fields::Tuple(n) => {
+                            let elems = (0..*n)
+                                .map(|i| {
+                                    format!("::serde::seq_elem(inner, {i}, \"{name}::{vn}\")?")
+                                })
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            out.push_str(&format!(
+                                "                    \"{vn}\" => return \
+                                 ::std::result::Result::Ok({name}::{vn}({elems})),\n"
+                            ));
+                        }
+                        Fields::Named(fields) => {
+                            let inits = fields
+                                .iter()
+                                .map(|f| {
+                                    if f.skip {
+                                        format!("{}: ::std::default::Default::default()", f.name)
+                                    } else if f.default {
+                                        format!(
+                                            "{0}: ::serde::get_field_or_default(inner, \
+                                             \"{0}\")?",
+                                            f.name
+                                        )
+                                    } else {
+                                        format!(
+                                            "{0}: ::serde::get_field(inner, \"{0}\", \
+                                             \"{name}::{vn}\")?",
+                                            f.name
+                                        )
+                                    }
+                                })
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            out.push_str(&format!(
+                                "                    \"{vn}\" => return \
+                                 ::std::result::Result::Ok({name}::{vn} {{ {inits} }}),\n"
+                            ));
+                        }
+                        Fields::Unit => unreachable!(),
+                    }
+                }
+                out.push_str(
+                    "                    _ => {}\n                }\n            }\n        }\n",
+                );
+            }
+            out.push_str(&format!(
+                "        ::std::result::Result::Err(::serde::Error::msg(format!(\
+                 \"unknown {name} variant encoding: {{value:?}}\")))\n    }}\n}}\n"
+            ));
+        }
+    }
+    out
+}
+
+/// Derives `Serialize` for the Value-based serde stand-in.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde stand-in derive: generated Serialize impl failed to tokenize")
+}
+
+/// Derives `Deserialize` for the Value-based serde stand-in.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde stand-in derive: generated Deserialize impl failed to tokenize")
+}

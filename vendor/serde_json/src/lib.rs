@@ -1,0 +1,543 @@
+//! Vendored minimal stand-in for the `serde_json` crate.
+//!
+//! JSON emission and parsing over the Value-based serde stand-in in
+//! `vendor/serde`. Covers the workspace's surface: `to_string`,
+//! `to_string_pretty`, `to_vec`, `from_str`, `from_slice`, [`Value`], and
+//! the [`json!`] macro (object/array literals with expression values).
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+pub use serde::Value;
+
+use serde::{Deserialize, Serialize};
+
+/// JSON serialization / parse error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    fn msg(message: impl Into<String>) -> Self {
+        Error(message.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Self {
+        Error(e.to_string())
+    }
+}
+
+/// Converts any serializable value into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Serializes `value` to a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serializes `value` to an indented JSON string.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+/// Serializes `value` to compact JSON bytes.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Deserializes a value from a JSON string.
+pub fn from_str<T: for<'de> Deserialize<'de>>(s: &str) -> Result<T, Error> {
+    let value = parse(s)?;
+    Ok(T::from_value(&value)?)
+}
+
+/// Deserializes a value from JSON bytes.
+pub fn from_slice<T: for<'de> Deserialize<'de>>(bytes: &[u8]) -> Result<T, Error> {
+    let s = std::str::from_utf8(bytes).map_err(|e| Error::msg(format!("invalid UTF-8: {e}")))?;
+    from_str(s)
+}
+
+/// Builds a [`Value`] from a JSON-ish literal. Keys must be string
+/// literals; values are nested literals or serializable expressions.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({}) => { $crate::Value::Map(::std::vec::Vec::new()) };
+    ([]) => { $crate::Value::Seq(::std::vec::Vec::new()) };
+    ({ $($rest:tt)+ }) => {
+        $crate::Value::Map($crate::__json_object!([] $($rest)+))
+    };
+    ([ $($rest:tt)+ ]) => {
+        $crate::Value::Seq($crate::__json_array!([] [] $($rest)+))
+    };
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+/// Munches one object body: `"key": <value tokens> , ...`. Value tokens
+/// are accumulated until a top-level comma (nested literals arrive as
+/// single token trees, so their commas don't split); completed entries
+/// accumulate as expressions and emerge as one `vec![..]`.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __json_object {
+    ([$($acc:expr,)*]) => { ::std::vec![$($acc,)*] };
+    ([$($acc:expr,)*] $key:literal : $($rest:tt)+) => {
+        $crate::__json_object_value!([$($acc,)*] $key [] $($rest)+)
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __json_object_value {
+    ([$($acc:expr,)*] $key:literal [$($val:tt)+] , $($rest:tt)+) => {
+        $crate::__json_object!(
+            [$($acc,)* (::std::string::String::from($key), $crate::json!($($val)+)),]
+            $($rest)+
+        )
+    };
+    ([$($acc:expr,)*] $key:literal [$($val:tt)+] $(,)?) => {
+        ::std::vec![
+            $($acc,)*
+            (::std::string::String::from($key), $crate::json!($($val)+)),
+        ]
+    };
+    ([$($acc:expr,)*] $key:literal [$($val:tt)*] $next:tt $($rest:tt)*) => {
+        $crate::__json_object_value!([$($acc,)*] $key [$($val)* $next] $($rest)*)
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __json_array {
+    ([$($acc:expr,)*] [$($val:tt)+] , $($rest:tt)+) => {
+        $crate::__json_array!([$($acc,)* $crate::json!($($val)+),] [] $($rest)+)
+    };
+    ([$($acc:expr,)*] [$($val:tt)+] $(,)?) => {
+        ::std::vec![$($acc,)* $crate::json!($($val)+),]
+    };
+    ([$($acc:expr,)*] [$($val:tt)*] $next:tt $($rest:tt)*) => {
+        $crate::__json_array!([$($acc,)*] [$($val)* $next] $($rest)*)
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Emitter
+// ---------------------------------------------------------------------------
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, level: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::F64(x) => {
+            if x.is_finite() {
+                // `{:?}` prints the shortest representation that
+                // round-trips, and always includes a `.` or exponent.
+                out.push_str(&format!("{x:?}"));
+            } else {
+                // JSON has no NaN/Infinity; emit null like serde_json.
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_json_string(out, s),
+        Value::Seq(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_value(out, item, indent, level + 1);
+            }
+            newline_indent(out, indent, level);
+            out.push(']');
+        }
+        Value::Map(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_json_string(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, level + 1);
+            }
+            newline_indent(out, indent, level);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, level: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(width * level));
+    }
+}
+
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+/// Maximum container nesting accepted by the parser, mirroring real
+/// serde_json's recursion limit: `value()` recurses per nesting level, so
+/// an unbounded depth would let a corrupt or hostile input (e.g. a frame
+/// of a million `[`s through the event-channel bridge) overflow the stack
+/// and abort the process instead of returning an error.
+const MAX_DEPTH: usize = 128;
+
+fn parse(s: &str) -> Result<Value, Error> {
+    let mut p = Parser { bytes: s.as_bytes(), pos: 0, depth: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::msg(format!("trailing characters at byte {}", p.pos)));
+    }
+    Ok(v)
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::msg(format!(
+                "expected `{}` at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char)
+            )))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        if matches!(self.peek(), Some(b'[') | Some(b'{')) {
+            self.depth += 1;
+            if self.depth > MAX_DEPTH {
+                return Err(Error::msg(format!(
+                    "recursion limit exceeded: more than {MAX_DEPTH} nested containers"
+                )));
+            }
+        }
+        let value = self.value_inner();
+        if matches!(value, Ok(Value::Seq(_)) | Ok(Value::Map(_))) {
+            self.depth -= 1;
+        }
+        value
+    }
+
+    fn value_inner(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') if self.eat_keyword("null") => Ok(Value::Null),
+            Some(b't') if self.eat_keyword("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                loop {
+                    self.skip_ws();
+                    items.push(self.value()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Value::Seq(items));
+                        }
+                        _ => {
+                            return Err(Error::msg(format!(
+                                "expected `,` or `]` at byte {}",
+                                self.pos
+                            )))
+                        }
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut entries = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Value::Map(entries));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    self.skip_ws();
+                    let val = self.value()?;
+                    entries.push((key, val));
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Value::Map(entries));
+                        }
+                        _ => {
+                            return Err(Error::msg(format!(
+                                "expected `,` or `}}` at byte {}",
+                                self.pos
+                            )))
+                        }
+                    }
+                }
+            }
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            other => Err(Error::msg(format!(
+                "unexpected character {:?} at byte {}",
+                other.map(|c| c as char),
+                self.pos
+            ))),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: run of plain bytes.
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|e| Error::msg(format!("invalid UTF-8 in string: {e}")))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| Error::msg("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| Error::msg("truncated \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| Error::msg("non-ASCII \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| Error::msg("bad \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not produced by our
+                            // emitter; reject rather than mis-decode.
+                            let c = char::from_u32(code)
+                                .ok_or_else(|| Error::msg("invalid \\u code point"))?;
+                            out.push(c);
+                        }
+                        other => {
+                            return Err(Error::msg(format!("invalid escape `\\{}`", other as char)))
+                        }
+                    }
+                }
+                _ => return Err(Error::msg("unterminated string")),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
+        if !is_float {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::U64(n));
+            }
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(Value::I64(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| Error::msg(format!("invalid number `{text}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trips() {
+        for json in ["null", "true", "false", "0", "42", "-7", "1.5", "\"hi\"", "1e3"] {
+            let v: Value = parse(json).unwrap();
+            let back = parse(&to_string(&v).unwrap()).unwrap();
+            assert_eq!(v, back, "{json}");
+        }
+    }
+
+    #[test]
+    fn nested_round_trip() {
+        let v = json!({
+            "name": "combo",
+            "ratios": [0.25, 0.5, 1.0],
+            "count": 3u32,
+            "nested": { "deep": [1u8, 2u8] },
+            "missing": null
+        });
+        let compact = to_string(&v).unwrap();
+        assert_eq!(parse(&compact).unwrap(), v);
+        let pretty = to_string_pretty(&v).unwrap();
+        assert_eq!(parse(&pretty).unwrap(), v);
+        assert!(pretty.contains("\n"));
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let v = Value::Str("a\"b\\c\nd\te\u{1}".to_string());
+        let s = to_string(&v).unwrap();
+        assert_eq!(parse(&s).unwrap(), v);
+    }
+
+    #[test]
+    fn f64_precision_survives() {
+        let x = 0.123_456_789_012_345_68_f64;
+        let v = Value::F64(x);
+        match parse(&to_string(&v).unwrap()).unwrap() {
+            Value::F64(y) => assert_eq!(x, y),
+            other => panic!("expected float, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deep_nesting_is_rejected_not_overflowed() {
+        // Under the limit: parses fine.
+        let ok = format!("{}0{}", "[".repeat(100), "]".repeat(100));
+        assert!(parse(&ok).is_ok());
+        // A hostile megabyte of '[' returns an error instead of
+        // overflowing the stack.
+        let hostile = "[".repeat(1_000_000);
+        let err = parse(&hostile).unwrap_err();
+        assert!(err.to_string().contains("recursion limit"), "{err}");
+    }
+
+    #[test]
+    fn garbage_is_rejected() {
+        assert!(parse("not json").is_err());
+        assert!(parse("{\"a\":}").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("\"unterminated").is_err());
+        assert!(from_slice::<u64>(b"\xff\xfe").is_err());
+    }
+
+    #[test]
+    fn typed_round_trip() {
+        let v: Vec<u32> = from_str(&to_string(&vec![1u32, 2, 3]).unwrap()).unwrap();
+        assert_eq!(v, vec![1, 2, 3]);
+    }
+}
