@@ -3,11 +3,16 @@
 //! Supports §4.2's claim that "the AUB test is highly efficient when used
 //! for AC": measures the AUB term, a full admission test at a realistic
 //! current-set size, the greedy load-balancing proposal, and ledger
-//! add/expire churn.
+//! add/expire churn — plus the incremental-vs-brute-force scaling arms
+//! (`admission_scaling/*`) at 1k/10k-task current sets, the ablation
+//! behind the indexed-ledger admission path (see `rtcm_bench::scaling`).
+//!
+//! `RTCM_QUICK=1` drops the 10240-entry arms so smoke runs stay fast.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
-use rtcm_core::admission::AdmissionController;
+use rtcm_bench::scaling::{probe_once, scaling_controller, scaling_probes};
+use rtcm_core::admission::{AdmissionController, AdmissionMode};
 use rtcm_core::aub::{aub_term, bound_lhs};
 use rtcm_core::balance::LoadBalancer;
 use rtcm_core::ledger::{ContributionKey, Lifetime, UtilizationLedger};
@@ -65,6 +70,40 @@ fn bench_admission_test(c: &mut Criterion) {
     group.finish();
 }
 
+/// The scaling ablation: one steady-state admission decision (arrival +
+/// expiry churn) against current sets far beyond the paper's 9-task scale,
+/// incremental vs. brute-force. Each iteration advances virtual time so
+/// the previous probe expires and the next is admitted — state stays
+/// bounded without cloning the controller into the measured region.
+fn bench_admission_scaling(c: &mut Criterion) {
+    let quick = std::env::var("RTCM_QUICK").is_ok();
+    let sizes: &[(u32, u16)] =
+        if quick { &[(128, 8), (1024, 64)] } else { &[(128, 8), (1024, 64), (10240, 64)] };
+    let mut group = c.benchmark_group("admission_scaling");
+    for &(n, procs) in sizes {
+        for (label, mode) in
+            [("incremental", AdmissionMode::Incremental), ("brute", AdmissionMode::BruteForce)]
+        {
+            group.bench_function(format!("{label}_{n}_p{procs}"), |b| {
+                let mut ac = scaling_controller(n, procs, mode);
+                // Alternate two probe sizes so consecutive expire+admit
+                // rounds never net a processor back to exactly its prior
+                // utilization (which would skip the delta work).
+                let probes = scaling_probes(procs);
+                let mut now = Time::ZERO;
+                let mut seq = 0u64;
+                b.iter(|| {
+                    seq += 1;
+                    now = now.saturating_add(Duration::from_millis(2));
+                    let probe = &probes[(seq % 2) as usize];
+                    black_box(probe_once(&mut ac, black_box(probe), seq, now))
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
 fn bench_lb_proposal(c: &mut Criterion) {
     let ac = loaded_controller(32, 5);
     let probe = task(10_001, 3, 5);
@@ -116,6 +155,7 @@ criterion_group!(
     benches,
     bench_aub_math,
     bench_admission_test,
+    bench_admission_scaling,
     bench_lb_proposal,
     bench_ledger_churn
 );

@@ -14,6 +14,8 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod scaling;
+
 use rtcm_core::strategy::ServiceConfig;
 use rtcm_core::task::TaskSet;
 use rtcm_core::time::Duration;

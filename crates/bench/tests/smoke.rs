@@ -1,14 +1,21 @@
 //! Fast smoke test for the bench harness: drives [`run_combo_experiment`]
 //! through the same `RTCM_QUICK=1` environment path the bench binaries
 //! use, so `cargo test` exercises the §7 experiment plumbing without a
-//! full `cargo bench` run.
+//! full `cargo bench` run — plus a smoke pass over the `micro_admission`
+//! scaling arms' shared fixture (`rtcm_bench::scaling`).
 //!
-//! Everything lives in one `#[test]`: the knobs are process-global
-//! environment variables, and a single test keeps their mutation
-//! sequential under the parallel test runner.
+//! The combo experiment lives in one `#[test]`: its knobs are
+//! process-global environment variables, and a single test keeps their
+//! mutation sequential under the parallel test runner. The scaling smoke
+//! test reads no environment variables, so it may run in parallel.
 
+use rtcm_bench::scaling::{
+    probe_once, scaling_controller, scaling_probes, TARGET_PROC_UTILIZATION,
+};
 use rtcm_bench::{format_ratio_table, instances, run_combo_experiment, to_json, BenchParams};
-use rtcm_core::time::Duration;
+use rtcm_core::admission::AdmissionMode;
+use rtcm_core::analysis::audit_controller;
+use rtcm_core::time::{Duration, Time};
 use rtcm_sim::OverheadModel;
 use rtcm_workload::RandomWorkload;
 
@@ -55,4 +62,41 @@ fn quick_env_drives_combo_experiment_end_to_end() {
         assert!(json.contains(&r.config.label()), "json row for {}", r.config.label());
     }
     assert!(json.contains("mean_ratio"));
+}
+
+/// Smoke coverage of the `admission_scaling` bench arms at the
+/// `RTCM_QUICK` sizes: the incremental and brute-force controllers built
+/// from the shared fixture must agree on every steady-state probe
+/// decision, keep their cached AUB sums consistent with fresh
+/// recomputation, and stay inside the fixture's load envelope.
+#[test]
+fn scaling_fixture_arms_agree_at_quick_sizes() {
+    for (n, procs) in [(128u32, 8u16), (1024, 64)] {
+        let mut inc = scaling_controller(n, procs, AdmissionMode::Incremental);
+        let mut brute = scaling_controller(n, procs, AdmissionMode::BruteForce);
+        let probes = scaling_probes(procs);
+        let mut now = Time::ZERO;
+        for seq in 0..64u64 {
+            now = now.saturating_add(Duration::from_millis(2));
+            let probe = &probes[(seq % 2) as usize];
+            let a = probe_once(&mut inc, probe, seq, now);
+            let b = probe_once(&mut brute, probe, seq, now);
+            assert_eq!(a, b, "n={n}: probe {seq} diverged across admission modes");
+            assert!(a.is_accept(), "n={n}: steady-state probe {seq} rejected");
+        }
+        for (label, ac) in [("incremental", &inc), ("brute", &brute)] {
+            let audit = audit_controller(ac);
+            assert!(
+                audit.is_consistent(1e-9),
+                "n={n} {label}: cached sums drifted {}",
+                audit.max_cached_drift
+            );
+            assert_eq!(audit.violating_entries, 0, "n={n} {label}");
+            assert!(
+                audit.processor_utilization.iter().all(|&u| u < 2.0 * TARGET_PROC_UTILIZATION),
+                "n={n} {label}: load out of envelope"
+            );
+        }
+        assert_eq!(inc.current_entries(), brute.current_entries());
+    }
 }

@@ -22,6 +22,21 @@
 //!   is "an independent aperiodic task with one release" (§5) — regardless
 //!   of the AC strategy.
 //!
+//! # Incremental bound maintenance
+//!
+//! The naive test is O(current set × visits) per arrival. This controller
+//! instead caches each current entry's AUB sum `Σ_j f(U_{V_ij})` and keeps
+//! a per-processor inverted index of the entries visiting it: every ledger
+//! mutation flows through one funnel that delta-applies `f(U_new) −
+//! f(U_old)` to exactly the entries listed under the *touched* processors.
+//! `f` depends only on a processor's synthetic utilization, so an entry
+//! visiting no touched processor has a provably unchanged sum — the
+//! decision then costs O(candidate visits + touched entries). The original
+//! scan survives as [`AdmissionController::system_schedulable_brute`] (see
+//! [`AdmissionMode`]), serving as the differential-testing oracle
+//! (`crates/core/tests/differential.rs`) and the ablation baseline
+//! (`micro_admission` bench).
+//!
 //! # Examples
 //!
 //! ```
@@ -45,12 +60,13 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
-use std::collections::{BTreeSet, HashMap, HashSet};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
-use crate::aub::{bound_lhs, BOUND_EPSILON};
+use crate::aub::{aub_delta, aub_term, bound_lhs, BOUND_EPSILON};
 use crate::balance::{Assignment, LoadBalancer};
 use crate::ledger::{ContributionKey, Lifetime, UtilizationLedger};
 use crate::strategy::{AcStrategy, InvalidConfigError, ServiceConfig};
@@ -60,6 +76,37 @@ use crate::time::Time;
 /// Sentinel job sequence number used for per-task reservations, so reserved
 /// contribution keys can never collide with real job keys.
 pub const RESERVED_SEQ: u64 = u64::MAX;
+
+/// How the controller evaluates the system-wide AUB condition per decision.
+///
+/// Both modes keep the same bookkeeping (inverted index + cached per-entry
+/// sums), so switching modes mid-flight is free; the mode only selects the
+/// decision procedure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum AdmissionMode {
+    /// Maintain each current entry's AUB sum `Σ_j f(U_{V_ij})` incrementally
+    /// through the per-processor inverted index: a ledger mutation touching
+    /// processor `p` delta-applies `f(U_new) − f(U_old)` to exactly the
+    /// entries visiting `p`; every other entry's sum is provably unchanged.
+    /// A decision then costs O(candidate visits + touched entries) instead
+    /// of O(current set × visits).
+    #[default]
+    Incremental,
+    /// Re-evaluate every current entry's bound per decision — the original
+    /// O(current set × visits) scan, kept alive as the differential-testing
+    /// oracle and the ablation baseline (see
+    /// [`AdmissionController::system_schedulable_brute`]).
+    BruteForce,
+}
+
+impl fmt::Display for AdmissionMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AdmissionMode::Incremental => "incremental",
+            AdmissionMode::BruteForce => "brute-force",
+        })
+    }
+}
 
 /// Outcome of an admission test.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -183,44 +230,142 @@ struct CurrentEntry {
     outstanding: usize,
 }
 
-type EntryId = u64;
+/// The per-entry state the delta-application inner loop touches, kept in a
+/// dense parallel array (16 bytes per slot) so a funnel pass stays cache
+/// resident even with ten-thousand-entry current sets.
+#[derive(Debug, Clone, Copy)]
+struct HotEntry {
+    /// Cached left-hand side of eq. 1 for this entry under the *current*
+    /// ledger utilizations: `Σ_j f(U_{V_ij})` over the entry's visits.
+    /// Maintained incrementally — when a ledger mutation moves processor
+    /// `p` from `U_old` to `U_new`, every entry visiting `p` receives
+    /// `multiplicity × (f(U_new) − f(U_old))`; entries not visiting any
+    /// touched processor keep a bound sum that is exactly unchanged.
+    cached_lhs: f64,
+    /// True while `counted` and `cached_lhs` exceeds the bound; mirrored
+    /// into the controller's `violating_count` so the incremental
+    /// admission condition is a single integer comparison.
+    violating: bool,
+    /// Mirror of `outstanding > 0`: entries fully idle-reset are excluded
+    /// from the admission condition.
+    counted: bool,
+}
+
+impl HotEntry {
+    fn is_violating(&self) -> bool {
+        self.counted && self.cached_lhs > 1.0 + BOUND_EPSILON
+    }
+}
+
+/// Index into the controller's entry slab. Slots are recycled through a
+/// free list; this is safe for the lazy registry-expiry heap because every
+/// heap entry is popped exactly when its entry expires (the only other
+/// unregistration path, `withdraw_task`, touches reservations, which are
+/// never queued in the heap), so a recycled id can never alias a stale
+/// heap entry.
+type EntryId = usize;
+
+/// A read-only view of one current entry's AUB bookkeeping, exposed for
+/// the design-time auditor (`rtcm_core::analysis::audit_controller`) and
+/// the differential test harness.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EntryBound {
+    /// The owning job (for reservations, the task's first admitted job).
+    pub job: JobId,
+    /// The incrementally maintained sum `Σ_j f(U_{V_ij})`.
+    pub cached_lhs: f64,
+    /// The same sum recomputed from scratch against the live ledger.
+    pub fresh_lhs: f64,
+    /// Subtask contributions not yet idle-reset; entries at zero are
+    /// excluded from the admission condition.
+    pub outstanding: usize,
+}
 
 /// The configurable admission-control component (with its co-located load
 /// balancer, mirroring the paper's central Task Manager processor).
 #[derive(Debug, Clone)]
 pub struct AdmissionController {
     config: ServiceConfig,
+    mode: AdmissionMode,
     ledger: UtilizationLedger,
     balancer: LoadBalancer,
-    entries: HashMap<EntryId, CurrentEntry>,
+    /// Slab of current entries, indexed by [`EntryId`]; `None` slots are
+    /// recycled through `free_entries`. Dense storage keeps the
+    /// delta-application inner loop free of hashing.
+    entries: Vec<Option<CurrentEntry>>,
+    /// Parallel hot array for `entries` (same indices); free slots hold
+    /// stale values that are re-seeded on registration.
+    hot: Vec<HotEntry>,
+    free_entries: Vec<EntryId>,
+    live_entries: usize,
     by_job: HashMap<JobId, EntryId>,
-    entry_expiry: BTreeSet<(Time, EntryId)>,
+    /// Min-heap of (deadline, entry) registry expiries. Entries leave the
+    /// registry early only via [`AdmissionController::withdraw_task`], which
+    /// touches reservations alone (never queued here), so every heap entry
+    /// is live until popped.
+    entry_expiry: BinaryHeap<Reverse<(Time, EntryId)>>,
     reserved: HashMap<TaskId, EntryId>,
     rejected_tasks: HashSet<TaskId>,
-    next_entry: EntryId,
+    /// Inverted index: processor → entries visiting it, one record per
+    /// visit (an entry visiting a processor twice appears twice, which
+    /// makes a per-record delta application equivalent to multiplying by
+    /// the visit multiplicity). The touched-set of any ledger mutation is
+    /// read from here instead of scanning the whole current set; dense
+    /// buckets keep that inner loop hash-free.
+    proc_index: Vec<Vec<EntryId>>,
+    /// Number of entries with `outstanding > 0` whose cached AUB sum
+    /// exceeds `1 + BOUND_EPSILON`. The incremental admission condition is
+    /// `violating_count == 0` (plus the candidate's own bound) — remote
+    /// commits can legitimately push current entries over the bound, so
+    /// this is not always zero.
+    violating_count: usize,
+    /// Reusable buffer for the funnel's touched-processor record (avoids a
+    /// per-decision allocation on the hot path).
+    scratch_touched: Vec<(usize, f64)>,
     last_expire: Time,
     stats: AcStats,
 }
 
 impl AdmissionController {
-    /// Creates a controller for `processor_count` processors.
+    /// Creates a controller for `processor_count` processors in the default
+    /// [`AdmissionMode::Incremental`].
     ///
     /// # Errors
     ///
     /// Returns [`InvalidConfigError`] for the contradictory AC-per-task +
     /// IR-per-job combinations (§4.5).
     pub fn new(config: ServiceConfig, processor_count: usize) -> Result<Self, InvalidConfigError> {
+        Self::with_mode(config, processor_count, AdmissionMode::default())
+    }
+
+    /// Creates a controller with an explicit [`AdmissionMode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidConfigError`] for the contradictory AC-per-task +
+    /// IR-per-job combinations (§4.5).
+    pub fn with_mode(
+        config: ServiceConfig,
+        processor_count: usize,
+        mode: AdmissionMode,
+    ) -> Result<Self, InvalidConfigError> {
         config.validate()?;
         Ok(AdmissionController {
             config,
+            mode,
             ledger: UtilizationLedger::new(processor_count),
             balancer: LoadBalancer::new(config.lb),
-            entries: HashMap::new(),
+            entries: Vec::new(),
+            hot: Vec::new(),
+            free_entries: Vec::new(),
+            live_entries: 0,
             by_job: HashMap::new(),
-            entry_expiry: BTreeSet::new(),
+            entry_expiry: BinaryHeap::new(),
             reserved: HashMap::new(),
             rejected_tasks: HashSet::new(),
-            next_entry: 0,
+            proc_index: vec![Vec::new(); processor_count],
+            violating_count: 0,
+            scratch_touched: Vec::new(),
             last_expire: Time::ZERO,
             stats: AcStats::default(),
         })
@@ -230,6 +375,19 @@ impl AdmissionController {
     #[must_use]
     pub fn config(&self) -> ServiceConfig {
         self.config
+    }
+
+    /// The active admission mode.
+    #[must_use]
+    pub fn mode(&self) -> AdmissionMode {
+        self.mode
+    }
+
+    /// Switches the admission mode. Free at any point: both modes maintain
+    /// the same incremental bookkeeping, the mode only selects the decision
+    /// procedure.
+    pub fn set_mode(&mut self, mode: AdmissionMode) {
+        self.mode = mode;
     }
 
     /// Read access to the synthetic-utilization ledger.
@@ -247,7 +405,7 @@ impl AdmissionController {
     /// Number of current registry entries (jobs + reservations).
     #[must_use]
     pub fn current_entries(&self) -> usize {
-        self.entries.len()
+        self.live_entries
     }
 
     /// Number of per-task reservations held.
@@ -271,14 +429,25 @@ impl AdmissionController {
         seq: u64,
         now: Time,
     ) -> Result<Decision, AdmissionError> {
-        self.expire(now);
         self.check_processors(task)?;
 
-        if let Some(decision) = self.try_pass_through(task)? {
-            return Ok(decision);
+        if self.uses_reservation(task) {
+            // Reservation path (pass-throughs, relocation): funnel-per-step.
+            self.expire(now);
+            if let Some(decision) = self.try_pass_through(task)? {
+                return Ok(decision);
+            }
+            let assignment = self.balancer.assignment_for(task, &self.ledger);
+            return self.admit_with_checked(task, seq, now, assignment);
         }
+
+        // Hot path (aperiodic and per-job arrivals): expiry and the
+        // tentative placement share one touch epoch, so each touched
+        // processor's entries receive a single *net* `f` delta.
+        self.ledger.begin_touch_epoch();
+        self.expire_in_epoch(now);
         let assignment = self.balancer.assignment_for(task, &self.ledger);
-        self.admit_with_checked(task, seq, now, assignment)
+        self.admit_in_open_epoch(task, seq, now, assignment)
     }
 
     /// Like [`AdmissionController::handle_arrival`] but with a
@@ -347,29 +516,21 @@ impl AdmissionController {
         if deadline <= self.ledger_now_floor() {
             return Ok(()); // stale commit: already past its deadline
         }
-        for (subtask, processor) in assignment.iter() {
-            let key = ContributionKey::new(job, subtask);
-            // A collision here means the peer double-assigned; keep the
-            // first contribution (idempotence beats precision for views).
-            let _ = self.ledger.add(
-                processor,
-                key,
-                task.subtask_utilization(subtask),
-                Lifetime::UntilDeadline(deadline),
-            );
-        }
-        let eid = self.next_entry;
-        self.next_entry += 1;
-        self.entries.insert(
-            eid,
-            CurrentEntry {
-                job,
-                visits: assignment.as_slice().to_vec(),
-                outstanding: assignment.len(),
-            },
-        );
-        self.by_job.insert(job, eid);
-        self.entry_expiry.insert((deadline, eid));
+        self.mutate_ledger(|ledger| {
+            for (subtask, processor) in assignment.iter() {
+                let key = ContributionKey::new(job, subtask);
+                // A collision here means the peer double-assigned; keep the
+                // first contribution (idempotence beats precision for views).
+                let _ = ledger.add(
+                    processor,
+                    key,
+                    task.subtask_utilization(subtask),
+                    Lifetime::UntilDeadline(deadline),
+                );
+            }
+        });
+        let eid = self.register_entry(job, assignment.as_slice().to_vec());
+        self.entry_expiry.push(Reverse((deadline, eid)));
         Ok(())
     }
 
@@ -386,17 +547,25 @@ impl AdmissionController {
     /// listed completed contributions from the ledger. Returns the total
     /// synthetic utilization freed. Keys already expired are ignored.
     pub fn apply_idle_reset(&mut self, processor: ProcessorId, keys: &[ContributionKey]) -> f64 {
+        self.ledger.begin_touch_epoch();
         let mut freed = 0.0;
         for key in keys {
-            if let Some(u) = self.ledger.remove(processor, *key) {
-                freed += u;
-                if let Some(&eid) = self.by_job.get(&key.job) {
-                    if let Some(entry) = self.entries.get_mut(&eid) {
-                        entry.outstanding = entry.outstanding.saturating_sub(1);
+            let Some(u) = self.ledger.remove(processor, *key) else { continue };
+            freed += u;
+            if let Some(&eid) = self.by_job.get(&key.job) {
+                if let Some(entry) = self.entries[eid].as_mut() {
+                    entry.outstanding = entry.outstanding.saturating_sub(1);
+                    if entry.outstanding == 0 {
+                        // Provably complete: excluded from the admission
+                        // condition from here on.
+                        let hot = &mut self.hot[eid];
+                        hot.counted = false;
+                        Self::sync_violating(hot, &mut self.violating_count);
                     }
                 }
             }
         }
+        self.settle_epoch();
         self.stats.reset_reports += 1;
         self.stats.reset_utilization += freed;
         freed
@@ -405,17 +574,23 @@ impl AdmissionController {
     /// Removes expired jobs from the current set (`S(t)`); called
     /// automatically at every arrival, and callable eagerly.
     pub fn expire(&mut self, now: Time) {
+        self.ledger.begin_touch_epoch();
+        self.expire_in_epoch(now);
+        self.settle_epoch();
+    }
+
+    /// [`AdmissionController::expire`] without epoch bracketing, for
+    /// callers that fold expiry into a larger touch epoch. The caller owns
+    /// settling the epoch on every path out.
+    fn expire_in_epoch(&mut self, now: Time) {
         self.last_expire = self.last_expire.max(now);
         self.ledger.expire_until(now);
-        loop {
-            let first = match self.entry_expiry.first() {
-                Some(&(deadline, eid)) if deadline <= now => (deadline, eid),
-                _ => break,
-            };
-            self.entry_expiry.remove(&first);
-            if let Some(entry) = self.entries.remove(&first.1) {
-                self.by_job.remove(&entry.job);
+        while let Some(&Reverse((deadline, eid))) = self.entry_expiry.peek() {
+            if deadline > now {
+                break;
             }
+            self.entry_expiry.pop();
+            self.unregister_entry(eid);
         }
     }
 
@@ -424,12 +599,13 @@ impl AdmissionController {
     /// allowing re-admission.
     pub fn withdraw_task(&mut self, task: TaskId) {
         if let Some(eid) = self.reserved.remove(&task) {
-            if let Some(entry) = self.entries.remove(&eid) {
-                self.by_job.remove(&entry.job);
+            if let Some(entry) = self.unregister_entry(eid) {
                 let reserved_job = JobId::new(task, RESERVED_SEQ);
-                for (subtask, processor) in entry.visits.iter().enumerate() {
-                    self.ledger.remove(*processor, ContributionKey::new(reserved_job, subtask));
-                }
+                self.mutate_ledger(|ledger| {
+                    for (subtask, processor) in entry.visits.iter().enumerate() {
+                        ledger.remove(*processor, ContributionKey::new(reserved_job, subtask));
+                    }
+                });
             }
         }
         self.rejected_tasks.remove(&task);
@@ -486,7 +662,7 @@ impl AdmissionController {
             let assignment = if self.config.lb == crate::strategy::LbStrategy::PerJob {
                 self.relocate_reservation(task, eid)
             } else {
-                Assignment::new(self.entries[&eid].visits.clone())
+                Assignment::new(self.entry(eid).visits.clone())
             };
             return Ok(Some(Decision::Accept { assignment, newly_admitted: false }));
         }
@@ -496,50 +672,66 @@ impl AdmissionController {
     /// Moves a per-task reservation to a freshly balanced placement if that
     /// keeps the whole system schedulable; otherwise keeps the old plan.
     fn relocate_reservation(&mut self, task: &TaskSpec, eid: EntryId) -> Assignment {
-        let old_visits = self.entries[&eid].visits.clone();
+        let old_visits = self.entry(eid).visits.clone();
         let reserved_job = JobId::new(task.id(), RESERVED_SEQ);
 
         // Lift the old contributions out so the proposal does not see the
-        // task's own load on its old processors.
-        for (subtask, processor) in old_visits.iter().enumerate() {
-            self.ledger.remove(*processor, ContributionKey::new(reserved_job, subtask));
-        }
+        // task's own load on its old processors. The entry is de-indexed
+        // across the move: deltas flow to everyone else, and its own sum is
+        // recomputed once the new placement is in.
+        self.deindex_entry(eid, &old_visits);
+        self.mutate_ledger(|ledger| {
+            for (subtask, processor) in old_visits.iter().enumerate() {
+                ledger.remove(*processor, ContributionKey::new(reserved_job, subtask));
+            }
+        });
         let proposal = self.balancer.assignment_for(task, &self.ledger);
-        for (subtask, processor) in proposal.iter() {
-            self.ledger
-                .add(
-                    processor,
-                    ContributionKey::new(reserved_job, subtask),
-                    task.subtask_utilization(subtask),
-                    Lifetime::Reserved,
-                )
-                .expect("reserved keys were just removed");
-        }
-        if let Some(entry) = self.entries.get_mut(&eid) {
+        self.mutate_ledger(|ledger| {
+            for (subtask, processor) in proposal.iter() {
+                ledger
+                    .add(
+                        processor,
+                        ContributionKey::new(reserved_job, subtask),
+                        task.subtask_utilization(subtask),
+                        Lifetime::Reserved,
+                    )
+                    .expect("reserved keys were just removed");
+            }
+        });
+        self.index_entry(eid, proposal.as_slice());
+        if let Some(entry) = self.entries[eid].as_mut() {
             entry.visits = proposal.as_slice().to_vec();
         }
+        self.refresh_entry(eid);
 
         if self.system_schedulable_with(proposal.as_slice()) {
             return proposal;
         }
 
         // Revert: the relocation would violate someone's bound.
-        for (subtask, processor) in proposal.iter() {
-            self.ledger.remove(processor, ContributionKey::new(reserved_job, subtask));
-        }
-        for (subtask, processor) in old_visits.iter().enumerate() {
-            self.ledger
-                .add(
-                    *processor,
-                    ContributionKey::new(reserved_job, subtask),
-                    task.subtask_utilization(subtask),
-                    Lifetime::Reserved,
-                )
-                .expect("restoring the original reservation cannot collide");
-        }
-        if let Some(entry) = self.entries.get_mut(&eid) {
+        self.deindex_entry(eid, proposal.as_slice());
+        self.mutate_ledger(|ledger| {
+            for (subtask, processor) in proposal.iter() {
+                ledger.remove(processor, ContributionKey::new(reserved_job, subtask));
+            }
+        });
+        self.mutate_ledger(|ledger| {
+            for (subtask, processor) in old_visits.iter().enumerate() {
+                ledger
+                    .add(
+                        *processor,
+                        ContributionKey::new(reserved_job, subtask),
+                        task.subtask_utilization(subtask),
+                        Lifetime::Reserved,
+                    )
+                    .expect("restoring the original reservation cannot collide");
+            }
+        });
+        self.index_entry(eid, &old_visits);
+        if let Some(entry) = self.entries[eid].as_mut() {
             entry.visits = old_visits.clone();
         }
+        self.refresh_entry(eid);
         Assignment::new(old_visits)
     }
 
@@ -554,6 +746,41 @@ impl AdmissionController {
         if self.by_job.contains_key(&job) {
             return Err(AdmissionError::DuplicateArrival { job });
         }
+        self.ledger.begin_touch_epoch();
+        self.decide_in_open_epoch(task, job, now, assignment)
+    }
+
+    /// The hot-path variant of [`AdmissionController::admit_with_checked`]:
+    /// identical decision logic, but the caller has already opened a touch
+    /// epoch (covering expiry) that the tentative contributions join.
+    fn admit_in_open_epoch(
+        &mut self,
+        task: &TaskSpec,
+        seq: u64,
+        now: Time,
+        assignment: Assignment,
+    ) -> Result<Decision, AdmissionError> {
+        let job = JobId::new(task.id(), seq);
+        if self.by_job.contains_key(&job) {
+            self.settle_epoch();
+            return Err(AdmissionError::DuplicateArrival { job });
+        }
+        self.decide_in_open_epoch(task, job, now, assignment)
+    }
+
+    /// The admission decision proper, shared by both entry points above:
+    /// tentatively adds the candidate's contributions into the open touch
+    /// epoch, settles it exactly once (delta-applying every touched
+    /// processor's `f(U)` step to the entries visiting it), runs the
+    /// system-wide check, and commits the entry or reverts the
+    /// contributions. Every path out settles the epoch.
+    fn decide_in_open_epoch(
+        &mut self,
+        task: &TaskSpec,
+        job: JobId,
+        now: Time,
+        assignment: Assignment,
+    ) -> Result<Decision, AdmissionError> {
         self.stats.tested += 1;
 
         let reserve = self.uses_reservation(task);
@@ -564,44 +791,42 @@ impl AdmissionController {
             (job, Lifetime::UntilDeadline(deadline), deadline)
         };
 
-        // Tentatively add the candidate's contributions.
-        let mut added: Vec<(ProcessorId, ContributionKey)> = Vec::with_capacity(assignment.len());
+        let mut added = 0usize;
+        let mut collided = false;
         for (subtask, processor) in assignment.iter() {
             let key = ContributionKey::new(key_job, subtask);
             match self.ledger.add(processor, key, task.subtask_utilization(subtask), lifetime) {
-                Ok(()) => added.push((processor, key)),
+                Ok(()) => added += 1,
                 Err(_) => {
-                    for (p, k) in added {
-                        self.ledger.remove(p, k);
-                    }
-                    return Err(AdmissionError::DuplicateArrival { job });
+                    collided = true;
+                    break;
                 }
             }
         }
+        if collided {
+            for (subtask, processor) in assignment.iter().take(added) {
+                self.ledger.remove(processor, ContributionKey::new(key_job, subtask));
+            }
+            self.settle_epoch();
+            return Err(AdmissionError::DuplicateArrival { job });
+        }
+        self.settle_epoch();
 
         if self.system_schedulable_with(assignment.as_slice()) {
-            let eid = self.next_entry;
-            self.next_entry += 1;
-            self.entries.insert(
-                eid,
-                CurrentEntry {
-                    job,
-                    visits: assignment.as_slice().to_vec(),
-                    outstanding: assignment.len(),
-                },
-            );
-            self.by_job.insert(job, eid);
+            let eid = self.register_entry(job, assignment.as_slice().to_vec());
             if reserve {
                 self.reserved.insert(task.id(), eid);
             } else {
-                self.entry_expiry.insert((entry_deadline, eid));
+                self.entry_expiry.push(Reverse((entry_deadline, eid)));
             }
             self.stats.admitted += 1;
             Ok(Decision::Accept { assignment, newly_admitted: true })
         } else {
-            for (p, k) in added {
-                self.ledger.remove(p, k);
-            }
+            self.mutate_ledger(|ledger| {
+                for (subtask, processor) in assignment.iter() {
+                    ledger.remove(processor, ContributionKey::new(key_job, subtask));
+                }
+            });
             if reserve {
                 self.rejected_tasks.insert(task.id());
             }
@@ -614,15 +839,238 @@ impl AdmissionController {
     /// Checks the AUB condition for the candidate visits *and* every
     /// outstanding current entry against the ledger (which already includes
     /// the candidate's tentative contributions).
+    ///
+    /// The candidate's own bound is always evaluated fresh; how the current
+    /// set is checked depends on the [`AdmissionMode`]: the incremental
+    /// path reads the `violating` set maintained by delta application
+    /// (entries not visiting a touched processor are provably unchanged),
+    /// the brute-force path rescans everything.
     fn system_schedulable_with(&self, candidate_visits: &[ProcessorId]) -> bool {
-        let u = self.ledger.utilizations();
-        let candidate = bound_lhs(candidate_visits.iter().map(|p| u[p.index()]));
+        let candidate = bound_lhs(candidate_visits.iter().map(|p| self.ledger.utilization(*p)));
         if candidate > 1.0 + BOUND_EPSILON {
             return false;
         }
-        self.entries.values().filter(|entry| entry.outstanding > 0).all(|entry| {
+        match self.mode {
+            AdmissionMode::Incremental => self.violating_count == 0,
+            AdmissionMode::BruteForce => self.system_schedulable_brute(),
+        }
+    }
+
+    /// The original O(current set × visits) system-wide AUB check: every
+    /// outstanding current entry's bound recomputed from the live ledger.
+    /// Kept public as the differential-testing oracle and the ablation
+    /// baseline for the incremental path.
+    #[must_use]
+    pub fn system_schedulable_brute(&self) -> bool {
+        let u = self.ledger.utilizations();
+        self.entries.iter().flatten().filter(|entry| entry.outstanding > 0).all(|entry| {
             bound_lhs(entry.visits.iter().map(|p| u[p.index()])) <= 1.0 + BOUND_EPSILON
         })
+    }
+
+    /// Per-entry cached vs. freshly recomputed AUB sums — the raw material
+    /// for `rtcm_core::analysis::audit_controller` and the differential
+    /// harness.
+    #[must_use]
+    pub fn entry_bounds(&self) -> Vec<EntryBound> {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter_map(|(eid, slot)| slot.as_ref().map(|e| (eid, e)))
+            .map(|(eid, e)| EntryBound {
+                job: e.job,
+                cached_lhs: self.hot[eid].cached_lhs,
+                fresh_lhs: bound_lhs(e.visits.iter().map(|p| self.ledger.utilization(*p))),
+                outstanding: e.outstanding,
+            })
+            .collect()
+    }
+
+    /// Number of current entries whose cached AUB sum exceeds the bound
+    /// (diagnostic; non-zero only after un-tested load such as remote
+    /// commits).
+    #[must_use]
+    pub fn violating_entries(&self) -> usize {
+        self.violating_count
+    }
+
+    /// Recomputes the ledger totals *and* every cached AUB sum from
+    /// scratch, returning the largest absolute drift corrected anywhere.
+    /// Incremental `+=`/`-=` bookkeeping accumulates floating-point drift
+    /// over long runs; periodic reconciliation bounds it without giving up
+    /// the hot path's incrementality.
+    pub fn reconcile(&mut self) -> f64 {
+        let mut max_drift = self.ledger.recompute_totals();
+        for eid in 0..self.entries.len() {
+            if self.entries[eid].is_none() {
+                continue;
+            }
+            let old = self.hot[eid].cached_lhs;
+            self.refresh_entry(eid);
+            let drift = (old - self.hot[eid].cached_lhs).abs();
+            if drift.is_finite() {
+                max_drift = max_drift.max(drift);
+            }
+        }
+        max_drift
+    }
+
+    /// The entry behind `eid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is free — internal ids are only read while live.
+    fn entry(&self, eid: EntryId) -> &CurrentEntry {
+        self.entries[eid].as_ref().expect("entry ids are only read while live")
+    }
+
+    /// Runs `f` against the ledger, then delta-applies every touched
+    /// processor's `f(U_new) − f(U_old)` step to the cached AUB sums of the
+    /// entries its inverted-index bucket lists. This is the single funnel
+    /// through which every ledger mutation flows, keeping the cached sums
+    /// consistent with the ledger by construction. The ledger's own
+    /// touch-tracking makes the whole pass O(touched processors + touched
+    /// entries), independent of both the processor count and the current
+    /// set size.
+    fn mutate_ledger<R>(&mut self, f: impl FnOnce(&mut UtilizationLedger) -> R) -> R {
+        self.ledger.begin_touch_epoch();
+        let result = f(&mut self.ledger);
+        self.settle_epoch();
+        result
+    }
+
+    /// Ends the open touch epoch: delta-applies every touched processor's
+    /// net `f` step to the entries indexed under it.
+    fn settle_epoch(&mut self) {
+        let mut touched = std::mem::take(&mut self.scratch_touched);
+        self.ledger.copy_touched_into(&mut touched);
+        self.apply_deltas(&touched);
+        self.scratch_touched = touched;
+    }
+
+    /// Above this per-term magnitude the delta path is numerically unsafe:
+    /// `cached + (f_new − f_old)` cancels catastrophically when the terms
+    /// dwarf the sum (ulp(1e4) ≈ 2e-12 caps the per-application error;
+    /// near saturation `f` reaches 1e15 where ulp is ~0.25). Only
+    /// processors within ~1e-4 of `U = 1` produce terms this large, and
+    /// entries there are far over the bound anyway, so the fallback
+    /// recompute is both rare and cheap.
+    const DELTA_REFRESH_LIMIT: f64 = 1e4;
+
+    fn apply_deltas(&mut self, touched: &[(usize, f64)]) {
+        // Processors whose `f` step cannot be delta-applied: crossing the
+        // saturation boundary (`U ≥ 1` has `f = ∞`) or grazing it (just
+        // below, `f` is so large that `cached + (f_new − f_old)` cancels
+        // catastrophically). Their entries are refreshed from scratch
+        // *after* every finite delta has been applied — a refresh reads
+        // the final ledger state across all processors, so interleaving
+        // it with per-processor deltas would double-count an entry that
+        // visits both a refreshed and a delta'd processor.
+        let mut needs_refresh: Vec<usize> = Vec::new();
+        for &(idx, old) in touched {
+            let new = self.ledger.utilization(ProcessorId(idx as u16));
+            if new == old {
+                continue;
+            }
+            let delta = aub_delta(old, new);
+            if delta == 0.0 {
+                continue;
+            }
+            if delta.is_finite() && aub_term(old).max(aub_term(new)) <= Self::DELTA_REFRESH_LIMIT {
+                for &eid in &self.proc_index[idx] {
+                    let hot = &mut self.hot[eid];
+                    hot.cached_lhs += delta;
+                    Self::sync_violating(hot, &mut self.violating_count);
+                }
+            } else {
+                needs_refresh.push(idx);
+            }
+        }
+        for idx in needs_refresh {
+            // Duplicate records (visit multiplicity) refresh twice, which
+            // is idempotent.
+            let eids = self.proc_index[idx].clone();
+            for eid in eids {
+                self.refresh_entry(eid);
+            }
+        }
+    }
+
+    /// Recomputes one entry's cached AUB sum from the live ledger and
+    /// re-derives its `violating` status.
+    fn refresh_entry(&mut self, eid: EntryId) {
+        let Some(entry) = self.entries[eid].as_ref() else { return };
+        let cached = bound_lhs(entry.visits.iter().map(|p| self.ledger.utilization(*p)));
+        let hot = &mut self.hot[eid];
+        hot.cached_lhs = cached;
+        Self::sync_violating(hot, &mut self.violating_count);
+    }
+
+    /// Re-derives one hot entry's `violating` flag from its current state
+    /// and folds the transition into the global count — the single place
+    /// the violating condition is evaluated.
+    fn sync_violating(hot: &mut HotEntry, violating_count: &mut usize) {
+        let violating = hot.is_violating();
+        if violating != hot.violating {
+            hot.violating = violating;
+            if violating {
+                *violating_count += 1;
+            } else {
+                *violating_count -= 1;
+            }
+        }
+    }
+
+    fn index_entry(&mut self, eid: EntryId, visits: &[ProcessorId]) {
+        for p in visits {
+            self.proc_index[p.index()].push(eid);
+        }
+    }
+
+    fn deindex_entry(&mut self, eid: EntryId, visits: &[ProcessorId]) {
+        for p in visits {
+            let bucket = &mut self.proc_index[p.index()];
+            if let Some(pos) = bucket.iter().rposition(|&e| e == eid) {
+                bucket.swap_remove(pos);
+            }
+        }
+    }
+
+    /// Inserts a new current entry, indexes it, and seeds its cached sum
+    /// from the live ledger.
+    fn register_entry(&mut self, job: JobId, visits: Vec<ProcessorId>) -> EntryId {
+        let outstanding = visits.len();
+        let eid = match self.free_entries.pop() {
+            Some(eid) => eid,
+            None => {
+                self.entries.push(None);
+                self.hot.push(HotEntry { cached_lhs: 0.0, violating: false, counted: false });
+                self.entries.len() - 1
+            }
+        };
+        self.index_entry(eid, &visits);
+        self.entries[eid] = Some(CurrentEntry { job, visits, outstanding });
+        self.hot[eid] = HotEntry { cached_lhs: 0.0, violating: false, counted: outstanding > 0 };
+        self.live_entries += 1;
+        self.by_job.insert(job, eid);
+        self.refresh_entry(eid);
+        eid
+    }
+
+    /// Removes a current entry from the registry, the inverted index and
+    /// the violating count (but not its ledger contributions — callers own
+    /// those).
+    fn unregister_entry(&mut self, eid: EntryId) -> Option<CurrentEntry> {
+        let entry = self.entries.get_mut(eid)?.take()?;
+        self.free_entries.push(eid);
+        self.live_entries -= 1;
+        self.by_job.remove(&entry.job);
+        if self.hot[eid].violating {
+            self.hot[eid].violating = false;
+            self.violating_count -= 1;
+        }
+        self.deindex_entry(eid, &entry.visits);
+        Some(entry)
     }
 }
 
@@ -937,6 +1385,135 @@ mod tests {
             .apply_remote_commit(&far, 0, Time::ZERO, &Assignment::new(vec![ProcessorId(9)]))
             .unwrap_err();
         assert!(matches!(err, AdmissionError::UnknownProcessor { .. }));
+    }
+
+    #[test]
+    fn modes_agree_and_caches_stay_fresh() {
+        // Drive an arrival/reset/expiry mix through paired controllers and
+        // require identical decisions plus bit-consistent cached sums.
+        let mut inc =
+            AdmissionController::with_mode(cfg("J_J_T"), 3, AdmissionMode::Incremental).unwrap();
+        let mut brute =
+            AdmissionController::with_mode(cfg("J_J_T"), 3, AdmissionMode::BruteForce).unwrap();
+        assert_eq!(inc.mode(), AdmissionMode::Incremental);
+        assert_eq!(brute.mode(), AdmissionMode::BruteForce);
+
+        let mk = |id: u32, exec: u64, p: u16| {
+            TaskBuilder::aperiodic(TaskId(id))
+                .deadline(Duration::from_millis(100))
+                .subtask(Duration::from_millis(exec), ProcessorId(p), [ProcessorId((p + 1) % 3)])
+                .subtask(Duration::from_millis(exec), ProcessorId((p + 2) % 3), [])
+                .build()
+                .unwrap()
+        };
+        for step in 0..40u64 {
+            let t = mk(step as u32, 5 + (step % 17), (step % 3) as u16);
+            let a = inc.handle_arrival(&t, 0, at(step * 7)).unwrap();
+            let b = brute.handle_arrival(&t, 0, at(step * 7)).unwrap();
+            assert_eq!(a, b, "step {step}");
+            if step % 5 == 0 {
+                let key = ContributionKey::new(JobId::new(TaskId(step as u32), 0), 0);
+                let p = a.assignment().map_or(ProcessorId(0), |plan| plan.processor(0));
+                assert_eq!(inc.apply_idle_reset(p, &[key]), brute.apply_idle_reset(p, &[key]));
+            }
+        }
+        assert_eq!(inc.stats(), brute.stats());
+        for bound in inc.entry_bounds() {
+            assert!(
+                (bound.cached_lhs - bound.fresh_lhs).abs() < 1e-9,
+                "cached {} drifted from fresh {}",
+                bound.cached_lhs,
+                bound.fresh_lhs
+            );
+        }
+        assert_eq!(
+            inc.ledger().utilizations(),
+            brute.ledger().utilizations(),
+            "paired controllers share arithmetic exactly"
+        );
+    }
+
+    #[test]
+    fn remote_overload_blocks_all_arrivals_in_both_modes() {
+        // A remote commit is applied without a test and can push a current
+        // entry over the bound; until it expires, *every* arrival must be
+        // rejected — even one landing on an untouched processor, because
+        // the violated entry stays violated.
+        for mode in [AdmissionMode::Incremental, AdmissionMode::BruteForce] {
+            let mut ac = AdmissionController::with_mode(cfg("J_N_N"), 2, mode).unwrap();
+            assert!(ac.handle_arrival(&aperiodic(0, 20, 0), 0, Time::ZERO).unwrap().is_accept());
+            let hog = aperiodic(1, 75, 0);
+            ac.apply_remote_commit(&hog, 0, Time::ZERO, &Assignment::primaries(&hog)).unwrap();
+            assert!(ac.violating_entries() > 0, "{mode}: f(0.95) far exceeds the bound");
+            assert!(!ac.system_schedulable_brute(), "{mode}: oracle agrees");
+            let elsewhere = aperiodic(2, 5, 1);
+            assert!(
+                !ac.handle_arrival(&elsewhere, 0, at(1)).unwrap().is_accept(),
+                "{mode}: violated entry rejects arrivals on untouched processors"
+            );
+            // Once the overload expires, admission resumes and the
+            // violating set drains.
+            assert!(ac.handle_arrival(&aperiodic(3, 5, 1), 0, at(200)).unwrap().is_accept());
+            assert_eq!(ac.violating_entries(), 0, "{mode}");
+        }
+    }
+
+    #[test]
+    fn saturated_processor_recovers_through_delta_path() {
+        // Push a processor to U ≥ 1 (f = ∞) via remote commits, then let
+        // the load expire: cached sums must come back finite and fresh
+        // (the ∞ boundary cannot be crossed by finite deltas).
+        let mut ac = AdmissionController::new(cfg("J_N_N"), 2).unwrap();
+        assert!(ac.handle_arrival(&aperiodic(0, 10, 0), 0, Time::ZERO).unwrap().is_accept());
+        for id in 1..=3 {
+            let hog = aperiodic(id, 40, 0);
+            ac.apply_remote_commit(&hog, 0, Time::ZERO, &Assignment::primaries(&hog)).unwrap();
+        }
+        assert!(ac.ledger().utilization(ProcessorId(0)) >= 1.0);
+        assert!(ac.entry_bounds().iter().any(|b| b.cached_lhs.is_infinite()));
+        ac.expire(at(100));
+        assert_eq!(ac.current_entries(), 0);
+        assert!(ac.handle_arrival(&aperiodic(9, 20, 0), 0, at(101)).unwrap().is_accept());
+        let bounds = ac.entry_bounds();
+        assert!(bounds.iter().all(|b| b.cached_lhs.is_finite()));
+        for b in &bounds {
+            assert!((b.cached_lhs - b.fresh_lhs).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn reconcile_reports_and_repairs_drift() {
+        let mut ac = AdmissionController::new(cfg("J_T_N"), 2).unwrap();
+        // Long churn: thousands of admit/expire rounds accumulate ledger
+        // and cached-sum drift; reconcile must keep it within 1e-6 and
+        // leave the caches exactly fresh.
+        let mut now = Time::ZERO;
+        for round in 0..10_000u64 {
+            let t = aperiodic((round % 7) as u32, 1 + (round % 23), (round % 2) as u16);
+            let _ = ac.handle_arrival(&t, round, now).unwrap();
+            now = now.saturating_add(Duration::from_millis(29));
+        }
+        let drift = ac.reconcile();
+        assert!(drift < 1e-6, "drift {drift} exceeded the reconcilable budget");
+        for b in ac.entry_bounds() {
+            assert!((b.cached_lhs - b.fresh_lhs).abs() < 1e-12, "reconcile left stale caches");
+        }
+        // Reconciling twice is idempotent (second pass corrects ~nothing).
+        assert!(ac.reconcile() < 1e-12);
+    }
+
+    #[test]
+    fn set_mode_switches_decision_procedure_in_place() {
+        let mut ac = AdmissionController::new(cfg("J_N_N"), 1).unwrap();
+        assert!(ac.handle_arrival(&aperiodic(0, 20, 0), 0, Time::ZERO).unwrap().is_accept());
+        ac.set_mode(AdmissionMode::BruteForce);
+        assert_eq!(ac.mode(), AdmissionMode::BruteForce);
+        assert!(ac.handle_arrival(&aperiodic(1, 20, 0), 0, at(1)).unwrap().is_accept());
+        ac.set_mode(AdmissionMode::Incremental);
+        // The bookkeeping never stopped, so the incremental path picks up
+        // mid-flight: the third task overflows and is rejected.
+        assert!(!ac.handle_arrival(&aperiodic(2, 20, 0), 0, at(2)).unwrap().is_accept());
+        assert!((ac.ledger().utilization(ProcessorId(0)) - 0.4).abs() < 1e-12);
     }
 
     #[test]

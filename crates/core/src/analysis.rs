@@ -34,6 +34,7 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
+use crate::admission::{AdmissionController, EntryBound};
 use crate::aub::{bound_lhs, BOUND_EPSILON};
 use crate::task::{ProcessorId, TaskId, TaskSet};
 
@@ -165,6 +166,65 @@ pub fn analyze(tasks: &TaskSet) -> FeasibilityReport {
     FeasibilityReport { processor_utilization: simultaneous, task_bounds }
 }
 
+/// Run-time audit of a live [`AdmissionController`]'s incremental
+/// bookkeeping against the declarative AUB model.
+///
+/// The incremental admission path (see `rtcm_core::admission`) answers the
+/// schedulability question from cached per-entry sums; this audit
+/// recomputes every sum from scratch and reports how far the caches have
+/// drifted — the "check the hot-path optimization against the declarative
+/// model" discipline that dynamic-reconfiguration correctness arguments
+/// call for. The differential harness and long-running deployments use it
+/// as a cheap invariant probe (and `AdmissionController::reconcile` to
+/// repair drift).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ControllerAudit {
+    /// Live synthetic utilization per processor.
+    pub processor_utilization: Vec<f64>,
+    /// Current registry size (jobs + reservations).
+    pub current_entries: usize,
+    /// Entries whose cached sum exceeds the bound (expected non-zero only
+    /// after un-tested load such as remote commits).
+    pub violating_entries: usize,
+    /// Largest |cached − fresh| AUB-sum divergence across entries —
+    /// `f64::INFINITY` if a cache disagrees with a fresh sum about
+    /// saturation itself.
+    pub max_cached_drift: f64,
+    /// The per-entry evidence.
+    pub entry_bounds: Vec<EntryBound>,
+}
+
+impl ControllerAudit {
+    /// True when every cached sum matches its fresh recomputation within
+    /// `tolerance`.
+    #[must_use]
+    pub fn is_consistent(&self, tolerance: f64) -> bool {
+        self.max_cached_drift <= tolerance
+    }
+}
+
+fn bound_drift(bound: &EntryBound) -> f64 {
+    match (bound.cached_lhs.is_finite(), bound.fresh_lhs.is_finite()) {
+        (true, true) => (bound.cached_lhs - bound.fresh_lhs).abs(),
+        (false, false) => 0.0, // both saturated (∞): consistent
+        _ => f64::INFINITY,    // cache and model disagree about saturation
+    }
+}
+
+/// Audits `ac`'s cached AUB sums against fresh recomputation.
+#[must_use]
+pub fn audit_controller(ac: &AdmissionController) -> ControllerAudit {
+    let entry_bounds = ac.entry_bounds();
+    let max_cached_drift = entry_bounds.iter().map(bound_drift).fold(0.0, f64::max);
+    ControllerAudit {
+        processor_utilization: ac.ledger().utilizations(),
+        current_entries: ac.current_entries(),
+        violating_entries: ac.violating_entries(),
+        max_cached_drift,
+        entry_bounds,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -228,5 +288,35 @@ mod tests {
         let set = TaskSet::from_tasks([task(0, 10, 100, &[0])]).unwrap();
         let json = serde_json::to_string(&analyze(&set)).unwrap();
         assert!(json.contains("lhs_alone"));
+    }
+
+    #[test]
+    fn controller_audit_sees_consistent_caches() {
+        use crate::admission::AdmissionController;
+        use crate::balance::Assignment;
+        use crate::strategy::ServiceConfig;
+        use crate::time::Time;
+
+        let cfg: ServiceConfig = "J_N_N".parse().unwrap();
+        let mut ac = AdmissionController::new(cfg, 2).unwrap();
+        let t0 = task(0, 20, 100, &[0]);
+        let t1 = task(1, 20, 100, &[1]);
+        assert!(ac.handle_arrival(&t0, 0, Time::ZERO).unwrap().is_accept());
+        assert!(ac.handle_arrival(&t1, 0, Time::ZERO).unwrap().is_accept());
+
+        let audit = audit_controller(&ac);
+        assert_eq!(audit.current_entries, 2);
+        assert_eq!(audit.violating_entries, 0);
+        assert!(audit.is_consistent(1e-9), "drift {}", audit.max_cached_drift);
+
+        // Un-tested remote load can push current entries over the bound;
+        // the audit must surface that while the caches stay consistent.
+        let hog = task(9, 70, 100, &[0]);
+        ac.apply_remote_commit(&hog, 0, Time::ZERO, &Assignment::primaries(&hog)).unwrap();
+        let audit = audit_controller(&ac);
+        assert!(audit.violating_entries > 0, "f(0.9) alone exceeds the bound");
+        assert!(audit.is_consistent(1e-9), "drift {}", audit.max_cached_drift);
+        let json = serde_json::to_string(&audit).unwrap();
+        assert!(json.contains("max_cached_drift"));
     }
 }

@@ -64,6 +64,30 @@ pub fn satisfies_bound(utilizations: impl IntoIterator<Item = f64>) -> bool {
     bound_lhs(utilizations) <= 1.0 + BOUND_EPSILON
 }
 
+/// The change `f(u_new) − f(u_old)` a processor's utilization step
+/// contributes to the AUB sum of every task visiting it — the delta the
+/// incremental admission path applies to its cached per-entry sums.
+///
+/// Not finite when either side is at or above saturation (`u ≥ 1`, where
+/// `f` is `∞`): `∞ − ∞` has no meaningful value, so callers must fall back
+/// to recomputing affected sums from scratch whenever this returns a
+/// non-finite delta. The convenient special case `u_old == u_new` (both
+/// saturated or not) returns `0.0`.
+///
+/// **Numerical caveat:** even a finite delta loses precision to
+/// cancellation when either term is huge (just below saturation `f`
+/// reaches ~1e15, where the spacing between representable values is
+/// ~0.25). Incremental maintainers should recompute rather than
+/// delta-apply once `f` exceeds a comfortable magnitude — the admission
+/// controller uses 1e4, bounding the per-application error near 2e-12.
+#[must_use]
+pub fn aub_delta(u_old: f64, u_new: f64) -> f64 {
+    if u_old == u_new {
+        return 0.0;
+    }
+    aub_term(u_new) - aub_term(u_old)
+}
+
 /// The single-processor utilization at which `f(U) = 1`, i.e. the largest
 /// synthetic utilization a one-stage task may observe and still pass:
 /// `2 − √2 ≈ 0.586`, the classic aperiodic utilization bound.
@@ -127,6 +151,20 @@ mod tests {
         let one = bound_lhs([0.4]);
         let twice = bound_lhs([0.4, 0.4]);
         assert!((twice - 2.0 * one).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delta_tracks_term_difference() {
+        let d = aub_delta(0.2, 0.5);
+        assert!((d - (aub_term(0.5) - aub_term(0.2))).abs() < 1e-15);
+        assert_eq!(aub_delta(0.3, 0.3), 0.0);
+        // Entering or leaving saturation cannot be expressed as a finite
+        // delta; callers recompute instead.
+        assert_eq!(aub_delta(0.5, 1.0), f64::INFINITY);
+        assert_eq!(aub_delta(1.0, 0.5), f64::NEG_INFINITY);
+        assert!(!aub_delta(1.0, 1.5).is_finite() || aub_delta(1.0, 1.5) == 0.0);
+        // Equal saturated inputs short-circuit to zero rather than NaN.
+        assert_eq!(aub_delta(1.2, 1.2), 0.0);
     }
 
     #[test]

@@ -30,7 +30,8 @@
 //! # Ok::<(), rtcm_core::ledger::LedgerError>(())
 //! ```
 
-use std::collections::{BTreeSet, HashMap};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
@@ -78,6 +79,12 @@ pub enum Lifetime {
 struct Entry {
     utilization: f64,
     lifetime: Lifetime,
+    /// Unique id of this contribution's pending expiry-heap entry
+    /// (deadline-bound contributions only; `0` for reservations). Makes
+    /// heap-entry liveness exact even when the same `(processor, key,
+    /// deadline)` is re-added after an early removal — the stale heap
+    /// entry carries the old sequence number.
+    expiry_seq: u64,
 }
 
 #[derive(Debug, Clone, Default)]
@@ -102,10 +109,36 @@ impl ProcLedger {
 /// operations keep the per-processor running totals exact at emptiness (a
 /// processor with no contributions reads exactly `0.0`), bounding
 /// floating-point drift over long runs.
+///
+/// Deadline expiries are tracked in a min-heap with *lazy deletion*: a
+/// [`UtilizationLedger::remove`] leaves the heap entry behind, and
+/// [`UtilizationLedger::expire_until`] / [`UtilizationLedger::next_expiry`]
+/// discard stale heap entries when they surface. This makes `remove` O(1)
+/// amortized (the old ordered-set design paid O(log n) twice per
+/// contribution) while expiry stays O(log n) per pop.
 #[derive(Debug, Clone)]
 pub struct UtilizationLedger {
     procs: Vec<ProcLedger>,
-    expiry: BTreeSet<(Time, ProcessorId, ContributionKey)>,
+    /// Min-heap of pending deadline expiries, possibly containing stale
+    /// entries for contributions already removed early (idle resets,
+    /// reservation relocation). An entry is *live* iff the contribution is
+    /// still present with exactly this expiry sequence number.
+    expiry: BinaryHeap<Reverse<(Time, ProcessorId, ContributionKey, u64)>>,
+    /// Number of live (non-stale) heap entries; lets `expire_until` skip
+    /// the heap entirely when nothing deadline-bound is left.
+    live_expiries: usize,
+    /// Source of unique expiry-heap sequence numbers (starts at 1; `0`
+    /// marks reservations, which never enter the heap).
+    next_expiry_seq: u64,
+    /// Touch-tracking epoch (see [`UtilizationLedger::begin_touch_epoch`]).
+    epoch: u64,
+    /// Last epoch each processor's total was touched in; `0` = never.
+    touch_epoch: Vec<u64>,
+    /// Processors touched this epoch, with the *clamped* utilization each
+    /// read at its first touch — exactly the `U_old` an incremental
+    /// maintainer needs for `f(U_new) − f(U_old)` delta application,
+    /// collected in O(touched) instead of an O(processors) snapshot.
+    touched: Vec<(usize, f64)>,
 }
 
 impl UtilizationLedger {
@@ -114,7 +147,42 @@ impl UtilizationLedger {
     pub fn new(processor_count: usize) -> Self {
         UtilizationLedger {
             procs: (0..processor_count).map(|_| ProcLedger::default()).collect(),
-            expiry: BTreeSet::new(),
+            expiry: BinaryHeap::new(),
+            live_expiries: 0,
+            next_expiry_seq: 1,
+            epoch: 1,
+            touch_epoch: vec![0; processor_count],
+            touched: Vec::new(),
+        }
+    }
+
+    /// Starts a touch-tracking epoch: clears the touched-processor record
+    /// so that [`UtilizationLedger::copy_touched_into`] reports exactly the
+    /// processors whose totals change from here on (with their utilization
+    /// at first touch). Without an explicit epoch the record is still
+    /// bounded by the processor count (each processor is recorded at most
+    /// once per epoch).
+    pub fn begin_touch_epoch(&mut self) {
+        self.epoch += 1;
+        self.touched.clear();
+    }
+
+    /// Copies this epoch's `(processor index, utilization at first touch)`
+    /// record into `out` (cleared first). A recorded processor may have
+    /// ended the epoch back at its original utilization — callers compare
+    /// against the live value.
+    pub fn copy_touched_into(&self, out: &mut Vec<(usize, f64)>) {
+        out.clear();
+        out.extend_from_slice(&self.touched);
+    }
+
+    /// Records `idx` as touched this epoch, capturing its pre-mutation
+    /// utilization on first touch. Must be called *before* the total
+    /// changes.
+    fn note_touch(&mut self, idx: usize) {
+        if self.touch_epoch[idx] != self.epoch {
+            self.touch_epoch[idx] = self.epoch;
+            self.touched.push((idx, self.procs[idx].utilization()));
         }
     }
 
@@ -181,14 +249,23 @@ impl UtilizationLedger {
         if !utilization.is_finite() || utilization < 0.0 {
             return Err(LedgerError::InvalidUtilization { value: utilization });
         }
-        let proc = &mut self.procs[processor.index()];
-        if proc.entries.contains_key(&key) {
+        if self.procs[processor.index()].entries.contains_key(&key) {
             return Err(LedgerError::DuplicateContribution { processor, key });
         }
-        proc.entries.insert(key, Entry { utilization, lifetime });
+        self.note_touch(processor.index());
+        let expiry_seq = if let Lifetime::UntilDeadline(_) = lifetime {
+            let seq = self.next_expiry_seq;
+            self.next_expiry_seq += 1;
+            seq
+        } else {
+            0
+        };
+        let proc = &mut self.procs[processor.index()];
+        proc.entries.insert(key, Entry { utilization, lifetime, expiry_seq });
         proc.total += utilization;
         if let Lifetime::UntilDeadline(deadline) = lifetime {
-            self.expiry.insert((deadline, processor, key));
+            self.expiry.push(Reverse((deadline, processor, key, expiry_seq)));
+            self.live_expiries += 1;
         }
         Ok(())
     }
@@ -197,16 +274,50 @@ impl UtilizationLedger {
     /// if it was not present (e.g. already expired — idle-reset reports can
     /// race with deadline expiry, so absence is not an error).
     pub fn remove(&mut self, processor: ProcessorId, key: ContributionKey) -> Option<f64> {
-        let proc = self.procs.get_mut(processor.index())?;
-        let entry = proc.entries.remove(&key)?;
+        if !self.procs.get(processor.index())?.entries.contains_key(&key) {
+            return None;
+        }
+        self.note_touch(processor.index());
+        let proc = &mut self.procs[processor.index()];
+        let entry = proc.entries.remove(&key).expect("presence checked above");
         proc.total -= entry.utilization;
         if proc.entries.is_empty() {
             proc.total = 0.0;
         }
-        if let Lifetime::UntilDeadline(deadline) = entry.lifetime {
-            self.expiry.remove(&(deadline, processor, key));
+        if matches!(entry.lifetime, Lifetime::UntilDeadline(_)) {
+            // Lazy deletion: the heap entry goes stale and is discarded when
+            // it surfaces (or by compaction below).
+            self.live_expiries -= 1;
+            self.maybe_compact();
         }
         Some(entry.utilization)
+    }
+
+    /// Rebuilds the expiry heap without its stale entries once they
+    /// outnumber the live ones — bounds heap growth under workloads that
+    /// remove most contributions early (idle-reset heavy traffic), at
+    /// amortized O(1) per removal.
+    fn maybe_compact(&mut self) {
+        let stale = self.expiry.len() - self.live_expiries;
+        if stale <= self.live_expiries + 64 {
+            return;
+        }
+        let heap = std::mem::take(&mut self.expiry);
+        let live: Vec<_> = heap
+            .into_iter()
+            .filter(|&Reverse((_, processor, key, seq))| self.is_live_expiry(processor, key, seq))
+            .collect();
+        self.expiry = live.into_iter().collect();
+        debug_assert_eq!(self.expiry.len(), self.live_expiries);
+    }
+
+    /// True if `(processor, key)` still holds the deadline-bound
+    /// contribution this heap entry was pushed for — the heap-entry
+    /// liveness test. Sequence numbers are unique per `add`, so a
+    /// re-added contribution never revives an older heap entry even with
+    /// an identical deadline.
+    fn is_live_expiry(&self, processor: ProcessorId, key: ContributionKey, seq: u64) -> bool {
+        self.procs[processor.index()].entries.get(&key).is_some_and(|e| e.expiry_seq == seq)
     }
 
     /// Returns the utilization of a live contribution, if present.
@@ -220,37 +331,65 @@ impl UtilizationLedger {
     /// D_i}`). Returns the removed keys.
     pub fn expire_until(&mut self, now: Time) -> Vec<(ProcessorId, ContributionKey)> {
         let mut removed = Vec::new();
-        loop {
-            let first = match self.expiry.first() {
-                Some(&(deadline, processor, key)) if deadline <= now => (deadline, processor, key),
-                _ => break,
-            };
-            self.expiry.remove(&first);
-            let (_, processor, key) = first;
-            let proc = &mut self.procs[processor.index()];
-            if let Some(entry) = proc.entries.remove(&key) {
-                proc.total -= entry.utilization;
-                if proc.entries.is_empty() {
-                    proc.total = 0.0;
-                }
-                removed.push((processor, key));
+        while self.live_expiries > 0 {
+            let Some(&Reverse((deadline, processor, key, seq))) = self.expiry.peek() else { break };
+            if deadline > now {
+                break;
             }
+            self.expiry.pop();
+            if !self.is_live_expiry(processor, key, seq) {
+                continue; // stale: removed early, discard lazily
+            }
+            self.note_touch(processor.index());
+            let proc = &mut self.procs[processor.index()];
+            let entry = proc.entries.remove(&key).expect("liveness checked above");
+            proc.total -= entry.utilization;
+            if proc.entries.is_empty() {
+                proc.total = 0.0;
+            }
+            self.live_expiries -= 1;
+            removed.push((processor, key));
+        }
+        if self.live_expiries == 0 {
+            self.expiry.clear();
         }
         removed
     }
 
     /// The earliest pending deadline expiry, if any — useful for simulators
     /// that want to schedule cleanup lazily.
+    ///
+    /// Takes `&mut self` because stale heap entries (contributions removed
+    /// early) are discarded on the way to the answer.
     #[must_use]
-    pub fn next_expiry(&self) -> Option<Time> {
-        self.expiry.first().map(|&(t, _, _)| t)
+    pub fn next_expiry(&mut self) -> Option<Time> {
+        if self.live_expiries == 0 {
+            self.expiry.clear();
+            return None;
+        }
+        while let Some(&Reverse((deadline, processor, key, seq))) = self.expiry.peek() {
+            if self.is_live_expiry(processor, key, seq) {
+                return Some(deadline);
+            }
+            self.expiry.pop();
+        }
+        None
     }
 
-    /// Recomputes all running totals from scratch (test/diagnostic aid).
-    pub fn recompute_totals(&mut self) {
+    /// Recomputes all running totals from scratch, returning the largest
+    /// absolute correction applied to any processor — the accumulated
+    /// floating-point drift of the incremental `+=`/`-=` bookkeeping.
+    /// Callers holding derived state (the admission controller's cached AUB
+    /// sums) must reconcile it against the corrected totals; see
+    /// `AdmissionController::reconcile`.
+    pub fn recompute_totals(&mut self) -> f64 {
+        let mut max_drift = 0.0f64;
         for proc in &mut self.procs {
-            proc.total = proc.entries.values().map(|e| e.utilization).sum();
+            let fresh: f64 = proc.entries.values().map(|e| e.utilization).sum();
+            max_drift = max_drift.max((proc.total - fresh).abs());
+            proc.total = fresh;
         }
+        max_drift
     }
 }
 
@@ -418,10 +557,122 @@ mod tests {
         l.add(ProcessorId(0), key(0, 0, 0), 0.25, Lifetime::Reserved).unwrap();
         l.add(ProcessorId(1), key(0, 0, 1), 0.5, Lifetime::Reserved).unwrap();
         let before = l.utilizations();
-        l.recompute_totals();
+        let drift = l.recompute_totals();
         let after = l.utilizations();
         for (b, a) in before.iter().zip(&after) {
             assert!((b - a).abs() < 1e-12);
+        }
+        assert!(drift < 1e-12);
+    }
+
+    #[test]
+    fn early_removal_leaves_no_phantom_expiry() {
+        // Remove a deadline-bound contribution before its deadline: the
+        // stale heap entry must not surface through `next_expiry` or
+        // `expire_until`.
+        let mut l = UtilizationLedger::new(1);
+        l.add(ProcessorId(0), key(0, 0, 0), 0.1, Lifetime::UntilDeadline(at(100))).unwrap();
+        l.add(ProcessorId(0), key(1, 0, 0), 0.1, Lifetime::UntilDeadline(at(200))).unwrap();
+        assert_eq!(l.remove(ProcessorId(0), key(0, 0, 0)), Some(0.1));
+        assert_eq!(l.next_expiry(), Some(at(200)));
+        assert_eq!(l.expire_until(at(150)), vec![]);
+        assert_eq!(l.expire_until(at(200)), vec![(ProcessorId(0), key(1, 0, 0))]);
+        assert_eq!(l.next_expiry(), None);
+    }
+
+    #[test]
+    fn readd_after_early_removal_expires_once() {
+        // Same (processor, key, deadline) re-added after an early removal:
+        // the duplicate heap entry is stale and must expire exactly once.
+        let mut l = UtilizationLedger::new(1);
+        l.add(ProcessorId(0), key(0, 0, 0), 0.1, Lifetime::UntilDeadline(at(100))).unwrap();
+        l.remove(ProcessorId(0), key(0, 0, 0));
+        l.add(ProcessorId(0), key(0, 0, 0), 0.2, Lifetime::UntilDeadline(at(100))).unwrap();
+        let removed = l.expire_until(at(100));
+        assert_eq!(removed, vec![(ProcessorId(0), key(0, 0, 0))]);
+        assert_eq!(l.utilization(ProcessorId(0)), 0.0);
+        assert!(l.expire_until(Time::MAX).is_empty());
+    }
+
+    #[test]
+    fn compaction_survives_readd_with_identical_deadline() {
+        // Regression: a re-added (processor, key, deadline) used to leave
+        // TWO heap entries that both looked live, breaking compaction's
+        // postcondition (debug_assert) and its progress guarantee. The
+        // expiry sequence number disambiguates them.
+        let mut l = UtilizationLedger::new(1);
+        l.add(ProcessorId(0), key(0, 0, 0), 0.1, Lifetime::UntilDeadline(at(900))).unwrap();
+        l.remove(ProcessorId(0), key(0, 0, 0));
+        l.add(ProcessorId(0), key(0, 0, 0), 0.1, Lifetime::UntilDeadline(at(900))).unwrap();
+        // Force compaction with further early removals.
+        for seq in 1..=70u64 {
+            let k = key(1, seq, 0);
+            l.add(ProcessorId(0), k, 0.001, Lifetime::UntilDeadline(at(800))).unwrap();
+            l.remove(ProcessorId(0), k);
+        }
+        // The compaction pass inside the loop must have dropped the
+        // duplicate (its debug_assert postcondition would panic here
+        // otherwise); only the post-compaction trickle of stales remains.
+        assert!(
+            l.expiry.len() <= l.live_expiries + 65,
+            "stale duplicates survived compaction: {} entries for {} live",
+            l.expiry.len(),
+            l.live_expiries
+        );
+        assert_eq!(l.next_expiry(), Some(at(900)));
+        assert_eq!(l.expire_until(at(900)), vec![(ProcessorId(0), key(0, 0, 0))]);
+        assert_eq!(l.utilization(ProcessorId(0)), 0.0);
+    }
+
+    #[test]
+    fn heap_compaction_bounds_stale_growth() {
+        // Add/remove far-future contributions repeatedly: without
+        // compaction the heap would retain every stale entry.
+        let mut l = UtilizationLedger::new(1);
+        let keep = key(9, 0, 0);
+        l.add(ProcessorId(0), keep, 0.1, Lifetime::UntilDeadline(at(1_000_000))).unwrap();
+        for seq in 0..10_000 {
+            let k = key(0, seq, 0);
+            l.add(ProcessorId(0), k, 0.01, Lifetime::UntilDeadline(at(500_000))).unwrap();
+            l.remove(ProcessorId(0), k);
+        }
+        assert!(
+            l.expiry.len() <= 2 * l.live_expiries + 65,
+            "stale heap entries unbounded: {} entries for {} live",
+            l.expiry.len(),
+            l.live_expiries
+        );
+        assert_eq!(l.next_expiry(), Some(at(1_000_000)));
+    }
+
+    #[test]
+    fn float_drift_stays_reconcilable_over_10k_cycles() {
+        // 10k add/remove cycles of drift-prone values against a persistent
+        // background population: the running totals must stay within 1e-6
+        // of a fresh recompute, and recompute must report the drift it
+        // corrected.
+        let mut l = UtilizationLedger::new(2);
+        for t in 0..8 {
+            l.add(
+                ProcessorId(t % 2),
+                key(100 + u32::from(t), 0, 0),
+                0.1 + 1e-13,
+                Lifetime::Reserved,
+            )
+            .unwrap();
+        }
+        for seq in 0..10_000u64 {
+            let k = key(0, seq, 0);
+            let p = ProcessorId((seq % 2) as u16);
+            l.add(p, k, 0.031 + (seq as f64).mul_add(1e-12, 1e-9), Lifetime::Reserved).unwrap();
+            l.remove(p, k);
+        }
+        let before = l.utilizations();
+        let drift = l.recompute_totals();
+        let after = l.utilizations();
+        assert!(drift < 1e-6, "drift {drift} exceeded the reconcilable budget");
+        for (b, a) in before.iter().zip(&after) {
+            assert!((b - a).abs() < 1e-6, "total drifted visibly: {b} vs {a}");
         }
     }
 }
