@@ -14,6 +14,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod reconfig;
 pub mod scaling;
 
 use rtcm_core::strategy::ServiceConfig;

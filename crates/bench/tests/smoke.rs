@@ -9,6 +9,7 @@
 //! mutation sequential under the parallel test runner. The scaling smoke
 //! test reads no environment variables, so it may run in parallel.
 
+use rtcm_bench::reconfig::{loaded_reconfig_controller, reconfig_fixture};
 use rtcm_bench::scaling::{
     probe_once, scaling_controller, scaling_probes, TARGET_PROC_UTILIZATION,
 };
@@ -98,5 +99,41 @@ fn scaling_fixture_arms_agree_at_quick_sizes() {
             );
         }
         assert_eq!(inc.current_entries(), brute.current_entries());
+    }
+}
+
+/// Smoke coverage of the `micro_reconfig` bench arms at the `RTCM_QUICK`
+/// sizes: a full drain/reseed round trip over the shared fixture must be
+/// utilization-neutral, preserve the current set, and leave the cached
+/// AUB bookkeeping exactly fresh.
+#[test]
+fn reconfig_fixture_round_trip_is_lossless_at_quick_sizes() {
+    for (n, procs) in [(64u32, 8u16), (256, 16)] {
+        let (task_set, tasks) = reconfig_fixture(n, procs);
+        let mut ac = loaded_reconfig_controller("T_N_T", &tasks, procs);
+        let before = ac.ledger().utilizations();
+        assert_eq!(ac.reserved_tasks() as u32, n);
+
+        let now = Time::ZERO + Duration::from_millis(1);
+        let drain = ac.reconfigure("J_N_T".parse().unwrap(), now, &task_set).unwrap();
+        assert_eq!(drain.reservations_drained as u32, n, "n={n}");
+        assert_eq!(ac.reserved_tasks(), 0);
+
+        let reseed = ac.reconfigure("T_N_T".parse().unwrap(), now, &task_set).unwrap();
+        assert_eq!(reseed.reservations_reseeded as u32, n, "n={n}");
+        assert_eq!(reseed.reseeds_skipped, 0, "n={n}");
+        assert_eq!(ac.reserved_tasks() as u32, n);
+        assert_eq!(ac.current_entries() as u32, n, "round trip preserves the current set");
+
+        let after = ac.ledger().utilizations();
+        for (p, (b, a)) in before.iter().zip(&after).enumerate() {
+            assert!((b - a).abs() < 1e-9, "n={n} P{p}: {b} vs {a} after round trip");
+        }
+        let audit = audit_controller(&ac);
+        assert!(
+            audit.is_consistent(1e-9),
+            "n={n}: cached sums drifted {} across the round trip",
+            audit.max_cached_drift
+        );
     }
 }

@@ -69,13 +69,22 @@ use serde::{Deserialize, Serialize};
 use crate::aub::{aub_delta, aub_term, bound_lhs, BOUND_EPSILON};
 use crate::balance::{Assignment, LoadBalancer};
 use crate::ledger::{ContributionKey, Lifetime, UtilizationLedger};
+use crate::reconfig::{HandoverReport, ReconfigPlan, TransitionStep};
 use crate::strategy::{AcStrategy, InvalidConfigError, ServiceConfig};
-use crate::task::{JobId, ProcessorId, TaskId, TaskSpec};
+use crate::task::{JobId, ProcessorId, TaskId, TaskSet, TaskSpec};
 use crate::time::Time;
 
 /// Sentinel job sequence number used for per-task reservations, so reserved
 /// contribution keys can never collide with real job keys.
 pub const RESERVED_SEQ: u64 = u64::MAX;
+
+/// Job sequence numbers at or above this value are sentinels owned by the
+/// controller ([`RESERVED_SEQ`] plus the per-drain ids handed out when a
+/// reservation is converted to deadline-bound contributions during a
+/// reconfiguration). Real jobs must stay below it — enforced at every
+/// arrival entry point ([`AdmissionError::SentinelSequence`]); at one
+/// drain per nanosecond the space still lasts decades.
+pub const SENTINEL_SEQ_FLOOR: u64 = u64::MAX - (1 << 40);
 
 /// How the controller evaluates the system-wide AUB condition per decision.
 ///
@@ -183,6 +192,13 @@ pub enum AdmissionError {
         /// The owning task.
         task: TaskId,
     },
+    /// The job's sequence number lies in the controller-owned sentinel
+    /// range at or above [`SENTINEL_SEQ_FLOOR`] (reservation and drain
+    /// ids); admitting it could collide with handover bookkeeping.
+    SentinelSequence {
+        /// The offending job.
+        job: JobId,
+    },
 }
 
 impl fmt::Display for AdmissionError {
@@ -196,6 +212,13 @@ impl fmt::Display for AdmissionError {
             }
             AdmissionError::InvalidAssignment { task } => {
                 write!(f, "assignment does not match the subtask chain of {task}")
+            }
+            AdmissionError::SentinelSequence { job } => {
+                write!(
+                    f,
+                    "job {job} uses a sequence number in the controller-owned sentinel range \
+                     (>= {SENTINEL_SEQ_FLOOR})"
+                )
             }
         }
     }
@@ -228,6 +251,12 @@ struct CurrentEntry {
     /// Subtask contributions not yet removed by idle resetting. Entries at
     /// zero are provably complete and are skipped by the bound check.
     outstanding: usize,
+    /// Registration generation, unique per [`register_entry`] call. Heap
+    /// entries in `entry_expiry` carry the generation they were queued
+    /// for, so an entry unregistered early (reservation reseeding converts
+    /// entries in place) can never be aliased by a recycled slot when its
+    /// stale heap entry finally surfaces.
+    gen: u64,
 }
 
 /// The per-entry state the delta-application inner loop touches, kept in a
@@ -258,11 +287,10 @@ impl HotEntry {
 }
 
 /// Index into the controller's entry slab. Slots are recycled through a
-/// free list; this is safe for the lazy registry-expiry heap because every
-/// heap entry is popped exactly when its entry expires (the only other
-/// unregistration path, `withdraw_task`, touches reservations, which are
-/// never queued in the heap), so a recycled id can never alias a stale
-/// heap entry.
+/// free list; the lazy registry-expiry heap guards against recycled-slot
+/// aliasing with per-registration generation stamps (see
+/// [`CurrentEntry::gen`]): a heap entry only unregisters the slot if the
+/// generation still matches.
 type EntryId = usize;
 
 /// A read-only view of one current entry's AUB bookkeeping, exposed for
@@ -299,11 +327,11 @@ pub struct AdmissionController {
     free_entries: Vec<EntryId>,
     live_entries: usize,
     by_job: HashMap<JobId, EntryId>,
-    /// Min-heap of (deadline, entry) registry expiries. Entries leave the
-    /// registry early only via [`AdmissionController::withdraw_task`], which
-    /// touches reservations alone (never queued here), so every heap entry
-    /// is live until popped.
-    entry_expiry: BinaryHeap<Reverse<(Time, EntryId)>>,
+    /// Min-heap of (deadline, entry, generation) registry expiries, with
+    /// lazy deletion: a popped record whose generation no longer matches
+    /// the slot (the entry was unregistered early, e.g. converted into a
+    /// reservation by a reconfiguration) is discarded.
+    entry_expiry: BinaryHeap<Reverse<(Time, EntryId, u64)>>,
     reserved: HashMap<TaskId, EntryId>,
     rejected_tasks: HashSet<TaskId>,
     /// Inverted index: processor → entries visiting it, one record per
@@ -322,6 +350,14 @@ pub struct AdmissionController {
     /// Reusable buffer for the funnel's touched-processor record (avoids a
     /// per-decision allocation on the hot path).
     scratch_touched: Vec<(usize, f64)>,
+    /// Next sentinel sequence number for drained reservations, counting
+    /// down from just below [`RESERVED_SEQ`]. Uniqueness keeps a drained
+    /// reservation's registry entry and ledger keys from ever colliding
+    /// with a later reservation (or drain) of the same task.
+    next_drain_seq: u64,
+    /// Source of registry-entry generation stamps (see
+    /// [`CurrentEntry::gen`]).
+    next_entry_gen: u64,
     last_expire: Time,
     stats: AcStats,
 }
@@ -366,6 +402,8 @@ impl AdmissionController {
             proc_index: vec![Vec::new(); processor_count],
             violating_count: 0,
             scratch_touched: Vec::new(),
+            next_drain_seq: RESERVED_SEQ - 1,
+            next_entry_gen: 1,
             last_expire: Time::ZERO,
             stats: AcStats::default(),
         })
@@ -388,6 +426,227 @@ impl AdmissionController {
     /// procedure.
     pub fn set_mode(&mut self, mode: AdmissionMode) {
         self.mode = mode;
+    }
+
+    /// Hot-swaps the full service configuration, executing the
+    /// [`ReconfigPlan`] between the current and the target configuration
+    /// (§5's run-time attribute modification, generalized to all three
+    /// axes).
+    ///
+    /// The handover keeps every admitted job's ledger contributions — and
+    /// therefore its AUB guarantee — across the swap:
+    ///
+    /// * **AC per-task → per-job** (*drain*): each reservation's
+    ///   contributions are converted in place to deadline-bound entries
+    ///   expiring at `now + deadline(task)`, the latest instant any job
+    ///   released under the reservation can still be running toward its
+    ///   deadline. In-flight jobs stay covered; the capacity frees once
+    ///   they cannot exist anymore. Sticky per-task rejections are
+    ///   cleared. Reservations of tasks absent from `tasks` have no known
+    ///   deadline horizon and are withdrawn outright.
+    /// * **AC per-job → per-task** (*reseed*): each periodic task with a
+    ///   live current entry is re-reserved on its most recent placement,
+    ///   guarded by the same system-wide AUB check an admission runs — a
+    ///   reseed that would violate any current entry's bound is skipped
+    ///   (the task is simply tested at its next arrival). Reseeds are
+    ///   processed in ascending task-id order for determinism.
+    /// * **IR swaps** need no ledger work (the strategy only selects which
+    ///   completions get reported); **LB swaps** forget pinned plans.
+    ///
+    /// Validation is atomic: an invalid target (§4.5) returns an error
+    /// with the controller untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidConfigError`] for invalid target combinations.
+    pub fn reconfigure(
+        &mut self,
+        target: ServiceConfig,
+        now: Time,
+        tasks: &TaskSet,
+    ) -> Result<HandoverReport, InvalidConfigError> {
+        let plan = ReconfigPlan::between(self.config, target)?;
+        self.expire(now);
+        let mut report = HandoverReport::new(self.config, target);
+        for step in plan.steps().to_vec() {
+            match step {
+                TransitionStep::DrainReservations => {
+                    self.drain_reservations(now, tasks, &mut report);
+                    report.rejections_cleared = self.rejected_tasks.len();
+                    self.rejected_tasks.clear();
+                }
+                TransitionStep::ReseedReservations => {
+                    self.reseed_reservations(tasks, &mut report);
+                }
+                TransitionStep::SwapIr(_) => {}
+                TransitionStep::SwapLb(lb) => {
+                    report.pins_forgotten = self.balancer.set_strategy(lb);
+                }
+            }
+        }
+        self.config = target;
+        report.entries_carried = self.live_entries;
+        Ok(report)
+    }
+
+    /// AC per-task → per-job handover: convert every reservation into
+    /// deadline-bound contributions under a fresh sentinel job id (so the
+    /// reserved key space is immediately free for a later reseed), keeping
+    /// utilization per processor exactly unchanged.
+    fn drain_reservations(&mut self, now: Time, tasks: &TaskSet, report: &mut HandoverReport) {
+        let mut drained: Vec<(TaskId, EntryId)> = self.reserved.drain().collect();
+        drained.sort_by_key(|(task, _)| *task);
+        for (task_id, eid) in drained {
+            let Some(entry) = self.unregister_entry(eid) else { continue };
+            let reserved_job = JobId::new(task_id, RESERVED_SEQ);
+            let Some(task) = tasks.get(task_id) else {
+                // No deadline horizon known: withdraw the reservation.
+                self.mutate_ledger(|ledger| {
+                    for (subtask, processor) in entry.visits.iter().enumerate() {
+                        ledger.remove(*processor, ContributionKey::new(reserved_job, subtask));
+                    }
+                });
+                report.reservations_withdrawn += 1;
+                continue;
+            };
+            let deadline = now.saturating_add(task.deadline());
+            self.next_drain_seq -= 1;
+            let drained_job = JobId::new(task_id, self.next_drain_seq);
+            self.mutate_ledger(|ledger| {
+                for (subtask, processor) in entry.visits.iter().enumerate() {
+                    if let Some(u) =
+                        ledger.remove(*processor, ContributionKey::new(reserved_job, subtask))
+                    {
+                        ledger
+                            .add(
+                                *processor,
+                                ContributionKey::new(drained_job, subtask),
+                                u,
+                                Lifetime::UntilDeadline(deadline),
+                            )
+                            .expect("drain ids are unique, so the key is free");
+                    }
+                }
+            });
+            let new_eid = self.register_entry(drained_job, entry.visits.clone());
+            self.entry_expiry.push(Reverse((deadline, new_eid, self.entry(new_eid).gen)));
+            report.reservations_drained += 1;
+        }
+    }
+
+    /// AC per-job → per-task handover: re-reserve periodic tasks from
+    /// their most recent live entry.
+    ///
+    /// The normal case is an *in-place conversion* — the exact inverse of
+    /// [`AdmissionController::drain_reservations`]: the latest intact
+    /// entry's deadline-bound contributions are re-keyed as the task's
+    /// reservation, a net-zero utilization move, guarded by the same
+    /// system-wide AUB condition an admission checks (a violated system —
+    /// e.g. under un-tested remote load — refuses to extend guarantees
+    /// indefinitely, and the task is simply re-tested at its next
+    /// arrival). Entries already partially freed by idle resetting cannot
+    /// be converted exactly, so those tasks reseed *additively*: the full
+    /// reservation is added on top of the remaining contributions, under
+    /// the same guard. Candidates are processed in ascending task-id
+    /// order for determinism.
+    fn reseed_reservations(&mut self, tasks: &TaskSet, report: &mut HandoverReport) {
+        // Latest live entry per periodic task = the placement evidence. A
+        // drained leftover from an earlier per-task phase (sentinel seq)
+        // outranks real jobs: it carries the old reservation's placement.
+        let mut latest: HashMap<TaskId, (u64, EntryId)> = HashMap::new();
+        for (eid, entry) in self.entries.iter().enumerate() {
+            let Some(entry) = entry else { continue };
+            if !tasks.get(entry.job.task).is_some_and(TaskSpec::is_periodic) {
+                continue;
+            }
+            let slot = latest.entry(entry.job.task).or_insert((entry.job.seq, eid));
+            if entry.job.seq >= slot.0 {
+                *slot = (entry.job.seq, eid);
+            }
+        }
+        let mut candidates: Vec<(TaskId, EntryId)> =
+            latest.into_iter().map(|(task, (_, eid))| (task, eid)).collect();
+        candidates.sort_by_key(|(task, _)| *task);
+
+        for (task_id, eid) in candidates {
+            if self.reserved.contains_key(&task_id) {
+                continue;
+            }
+            let entry = self.entry(eid);
+            let visits = entry.visits.clone();
+            let old_job = entry.job;
+            let task = tasks.get(task_id).expect("filtered on membership above");
+            let reserved_job = JobId::new(task_id, RESERVED_SEQ);
+            // Intact = convertible: nothing idle-reset yet *and* every
+            // ledger key actually present (a remote-commit collision can
+            // leave an entry with fewer keys than visits). The
+            // utilization-neutrality premise of the up-front AUB guard
+            // below rests on this, so it is checked, not assumed.
+            let intact = entry.outstanding == visits.len()
+                && visits.iter().enumerate().all(|(subtask, processor)| {
+                    self.ledger
+                        .contribution(*processor, ContributionKey::new(old_job, subtask))
+                        .is_some()
+                });
+
+            if intact {
+                // The conversion is utilization-neutral, so the guard can
+                // run up front and no rollback path is needed. Its stale
+                // expiry-heap record is discarded by the generation check.
+                if !self.system_schedulable_with(&visits) {
+                    report.reseeds_skipped += 1;
+                    continue;
+                }
+                self.unregister_entry(eid);
+                self.mutate_ledger(|ledger| {
+                    for (subtask, processor) in visits.iter().enumerate() {
+                        let u = ledger
+                            .remove(*processor, ContributionKey::new(old_job, subtask))
+                            .expect("intact entries hold every contribution (checked above)");
+                        ledger
+                            .add(
+                                *processor,
+                                ContributionKey::new(reserved_job, subtask),
+                                u,
+                                Lifetime::Reserved,
+                            )
+                            .expect("the reserved key space was free");
+                    }
+                });
+                let new_eid = self.register_entry(old_job, visits);
+                self.reserved.insert(task_id, new_eid);
+                report.reservations_reseeded += 1;
+                continue;
+            }
+
+            // Additive fallback: the partial entry keeps its remaining
+            // contributions until its deadline; the reservation is added
+            // fresh, guarded by the post-addition system-wide check.
+            self.ledger.begin_touch_epoch();
+            for (subtask, processor) in visits.iter().enumerate() {
+                self.ledger
+                    .add(
+                        *processor,
+                        ContributionKey::new(reserved_job, subtask),
+                        task.subtask_utilization(subtask),
+                        Lifetime::Reserved,
+                    )
+                    .expect("the reserved key space was free");
+            }
+            self.settle_epoch();
+            if self.system_schedulable_with(&visits) {
+                let new_eid = self.register_entry(reserved_job, visits);
+                self.reserved.insert(task_id, new_eid);
+                report.reservations_reseeded += 1;
+            } else {
+                self.mutate_ledger(|ledger| {
+                    for (subtask, processor) in visits.iter().enumerate() {
+                        ledger.remove(*processor, ContributionKey::new(reserved_job, subtask));
+                    }
+                });
+                report.reseeds_skipped += 1;
+            }
+        }
     }
 
     /// Read access to the synthetic-utilization ledger.
@@ -429,6 +688,7 @@ impl AdmissionController {
         seq: u64,
         now: Time,
     ) -> Result<Decision, AdmissionError> {
+        Self::check_seq(task.id(), seq)?;
         self.check_processors(task)?;
 
         if self.uses_reservation(task) {
@@ -466,6 +726,7 @@ impl AdmissionController {
         now: Time,
         assignment: Assignment,
     ) -> Result<Decision, AdmissionError> {
+        Self::check_seq(task.id(), seq)?;
         self.expire(now);
         self.check_processors(task)?;
         if !assignment.is_valid_for(task) {
@@ -504,6 +765,7 @@ impl AdmissionController {
         arrival: Time,
         assignment: &Assignment,
     ) -> Result<(), AdmissionError> {
+        Self::check_seq(task.id(), seq)?;
         self.check_processors(task)?;
         if !assignment.is_valid_for(task) {
             return Err(AdmissionError::InvalidAssignment { task: task.id() });
@@ -530,7 +792,7 @@ impl AdmissionController {
             }
         });
         let eid = self.register_entry(job, assignment.as_slice().to_vec());
-        self.entry_expiry.push(Reverse((deadline, eid)));
+        self.entry_expiry.push(Reverse((deadline, eid, self.entry(eid).gen)));
         Ok(())
     }
 
@@ -585,12 +847,17 @@ impl AdmissionController {
     fn expire_in_epoch(&mut self, now: Time) {
         self.last_expire = self.last_expire.max(now);
         self.ledger.expire_until(now);
-        while let Some(&Reverse((deadline, eid))) = self.entry_expiry.peek() {
+        while let Some(&Reverse((deadline, eid, gen))) = self.entry_expiry.peek() {
             if deadline > now {
                 break;
             }
             self.entry_expiry.pop();
-            self.unregister_entry(eid);
+            // Lazy deletion: a generation mismatch means the entry left
+            // the registry early (e.g. converted into a reservation) and
+            // the slot may have been recycled — skip the stale record.
+            if self.entries.get(eid).and_then(Option::as_ref).is_some_and(|e| e.gen == gen) {
+                self.unregister_entry(eid);
+            }
         }
     }
 
@@ -622,6 +889,17 @@ impl AdmissionController {
     #[must_use]
     pub fn is_rejected(&self, task: TaskId) -> bool {
         self.rejected_tasks.contains(&task)
+    }
+
+    /// Rejects caller-supplied sequence numbers inside the sentinel range
+    /// the controller owns for reservations and drained-reservation ids —
+    /// without this, a hostile seq near `u64::MAX` could collide with
+    /// handover bookkeeping mid-reconfiguration.
+    fn check_seq(task: TaskId, seq: u64) -> Result<(), AdmissionError> {
+        if seq >= SENTINEL_SEQ_FLOOR {
+            return Err(AdmissionError::SentinelSequence { job: JobId::new(task, seq) });
+        }
+        Ok(())
     }
 
     fn check_processors(&self, task: &TaskSpec) -> Result<(), AdmissionError> {
@@ -817,7 +1095,7 @@ impl AdmissionController {
             if reserve {
                 self.reserved.insert(task.id(), eid);
             } else {
-                self.entry_expiry.push(Reverse((entry_deadline, eid)));
+                self.entry_expiry.push(Reverse((entry_deadline, eid, self.entry(eid).gen)));
             }
             self.stats.admitted += 1;
             Ok(Decision::Accept { assignment, newly_admitted: true })
@@ -1048,8 +1326,10 @@ impl AdmissionController {
                 self.entries.len() - 1
             }
         };
+        let gen = self.next_entry_gen;
+        self.next_entry_gen += 1;
         self.index_entry(eid, &visits);
-        self.entries[eid] = Some(CurrentEntry { job, visits, outstanding });
+        self.entries[eid] = Some(CurrentEntry { job, visits, outstanding, gen });
         self.hot[eid] = HotEntry { cached_lhs: 0.0, violating: false, counted: outstanding > 0 };
         self.live_entries += 1;
         self.by_job.insert(job, eid);
@@ -1249,6 +1529,27 @@ mod tests {
         ac.handle_arrival(&t, 0, Time::ZERO).unwrap();
         let err = ac.handle_arrival(&t, 0, at(1)).unwrap_err();
         assert_eq!(err, AdmissionError::DuplicateArrival { job: JobId::new(TaskId(0), 0) });
+    }
+
+    #[test]
+    fn sentinel_sequence_numbers_are_rejected_at_every_entry_point() {
+        // Sequence numbers in the controller-owned sentinel range could
+        // collide with reservation/drain bookkeeping mid-reconfiguration,
+        // so every arrival path refuses them up front.
+        let mut ac = AdmissionController::new(cfg("J_N_N"), 1).unwrap();
+        let t = aperiodic(0, 10, 0);
+        for seq in [SENTINEL_SEQ_FLOOR, RESERVED_SEQ - 2, RESERVED_SEQ] {
+            let err = ac.handle_arrival(&t, seq, Time::ZERO).unwrap_err();
+            assert!(matches!(err, AdmissionError::SentinelSequence { .. }), "seq {seq}");
+            let err = ac.admit_with(&t, seq, Time::ZERO, Assignment::primaries(&t)).unwrap_err();
+            assert!(matches!(err, AdmissionError::SentinelSequence { .. }), "seq {seq}");
+            let err = ac
+                .apply_remote_commit(&t, seq, Time::ZERO, &Assignment::primaries(&t))
+                .unwrap_err();
+            assert!(matches!(err, AdmissionError::SentinelSequence { .. }), "seq {seq}");
+        }
+        // The largest legitimate sequence number still works.
+        assert!(ac.handle_arrival(&t, SENTINEL_SEQ_FLOOR - 1, Time::ZERO).unwrap().is_accept());
     }
 
     #[test]
@@ -1514,6 +1815,238 @@ mod tests {
         // mid-flight: the third task overflows and is rejected.
         assert!(!ac.handle_arrival(&aperiodic(2, 20, 0), 0, at(2)).unwrap().is_accept());
         assert!((ac.ledger().utilization(ProcessorId(0)) - 0.4).abs() < 1e-12);
+    }
+
+    fn set_of(tasks: &[&TaskSpec]) -> crate::task::TaskSet {
+        crate::task::TaskSet::from_tasks(tasks.iter().map(|t| (*t).clone())).unwrap()
+    }
+
+    #[test]
+    fn reconfigure_rejects_invalid_target_atomically() {
+        let mut ac = AdmissionController::new(cfg("T_N_N"), 1).unwrap();
+        let t = periodic(0, 20, 0);
+        assert!(ac.handle_arrival(&t, 0, Time::ZERO).unwrap().is_accept());
+        let err = ac.reconfigure(cfg("T_J_N"), at(1), &set_of(&[&t])).unwrap_err();
+        assert_eq!(err.config.label(), "T_J_N");
+        assert_eq!(ac.config().label(), "T_N_N", "failed swap leaves the config untouched");
+        assert!(ac.is_reserved(t.id()), "failed swap leaves the reservation untouched");
+    }
+
+    #[test]
+    fn reconfigure_with_zero_entries_is_clean() {
+        // Edge case: swap on a completely empty controller.
+        let mut ac = AdmissionController::new(cfg("T_T_T"), 2).unwrap();
+        let report = ac.reconfigure(cfg("J_J_J"), Time::ZERO, &set_of(&[])).unwrap();
+        assert_eq!(ac.config().label(), "J_J_J");
+        assert_eq!(report.entries_carried, 0);
+        assert_eq!(report.reservations_drained, 0);
+        assert_eq!(report.reservations_reseeded, 0);
+        // The empty controller behaves exactly like a fresh per-job one.
+        assert!(ac.handle_arrival(&aperiodic(0, 20, 0), 0, at(1)).unwrap().is_accept());
+    }
+
+    #[test]
+    fn drain_converts_reservations_and_frees_after_deadline() {
+        let mut ac = AdmissionController::new(cfg("T_N_N"), 1).unwrap();
+        let t = periodic(0, 40, 0);
+        assert!(ac.handle_arrival(&t, 0, Time::ZERO).unwrap().is_accept());
+        // A second heavy periodic task fails and is sticky-rejected.
+        let hog = periodic(1, 40, 0);
+        assert!(!ac.handle_arrival(&hog, 0, at(1)).unwrap().is_accept());
+        assert!(ac.is_rejected(hog.id()));
+
+        let report = ac.reconfigure(cfg("J_N_N"), at(10), &set_of(&[&t, &hog])).unwrap();
+        assert_eq!(report.reservations_drained, 1);
+        assert_eq!(report.rejections_cleared, 1);
+        assert_eq!(report.entries_carried, 1);
+        assert!(!ac.is_reserved(t.id()));
+        assert!(!ac.is_rejected(hog.id()), "sticky rejection cleared by the swap");
+        // The drained contribution still guards in-flight jobs...
+        assert!((ac.ledger().utilization(ProcessorId(0)) - 0.4).abs() < 1e-12);
+        // ...then frees at now + deadline (10 + 100 ms).
+        ac.expire(at(110));
+        assert_eq!(ac.ledger().utilization(ProcessorId(0)), 0.0);
+        assert_eq!(ac.current_entries(), 0);
+        // Per-job semantics now apply: each job of t is tested afresh.
+        assert!(ac.handle_arrival(&t, 1, at(120)).unwrap().is_accept());
+        assert!(!ac.is_reserved(t.id()));
+    }
+
+    #[test]
+    fn reseed_restores_pass_through_from_live_placement() {
+        let mut ac = AdmissionController::new(cfg("J_N_N"), 2).unwrap();
+        let t = periodic(0, 20, 0);
+        assert!(ac.handle_arrival(&t, 0, Time::ZERO).unwrap().is_accept());
+        let report = ac.reconfigure(cfg("T_N_N"), at(1), &set_of(&[&t])).unwrap();
+        assert_eq!(report.reservations_reseeded, 1);
+        assert!(ac.is_reserved(t.id()));
+        // Later jobs pass through without a fresh test.
+        let d = ac.handle_arrival(&t, 1, at(5)).unwrap();
+        assert!(matches!(d, Decision::Accept { newly_admitted: false, .. }));
+        // The reservation persists after the seeding job's deadline.
+        ac.expire(at(1_000));
+        assert!((ac.ledger().utilization(ProcessorId(0)) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reseed_is_skipped_at_aub_saturation() {
+        // Edge case: swap while the system is saturated by un-tested
+        // remote load — reseeding must not push a violated system deeper.
+        let mut ac = AdmissionController::new(cfg("J_N_N"), 1).unwrap();
+        let t = periodic(0, 20, 0);
+        assert!(ac.handle_arrival(&t, 0, Time::ZERO).unwrap().is_accept());
+        let hog = aperiodic(1, 75, 0);
+        ac.apply_remote_commit(&hog, 0, Time::ZERO, &Assignment::primaries(&hog)).unwrap();
+        assert!(ac.violating_entries() > 0);
+
+        let report = ac.reconfigure(cfg("T_N_N"), at(1), &set_of(&[&t])).unwrap();
+        assert_eq!(report.reservations_reseeded, 0);
+        assert_eq!(report.reseeds_skipped, 1);
+        assert!(!ac.is_reserved(t.id()));
+        // Utilization unchanged by the skipped reseed (0.2 + 0.75).
+        assert!((ac.ledger().utilization(ProcessorId(0)) - 0.95).abs() < 1e-12);
+        // Once the overload expires, the task is tested (and reserved) at
+        // its next arrival as usual.
+        let d = ac.handle_arrival(&t, 1, at(200)).unwrap();
+        assert!(matches!(d, Decision::Accept { newly_admitted: true, .. }));
+        assert!(ac.is_reserved(t.id()));
+    }
+
+    #[test]
+    fn swap_back_with_drained_expiry_pending_in_heap() {
+        // Edge case: T -> J drains the reservation (queueing its expiry in
+        // the lazy-deletion machinery), then J -> T reseeds *before* that
+        // expiry fires. The reseed converts the drained leftover back into
+        // the reservation — an exact round trip — and the stale heap
+        // record left behind must not disturb the revived reservation
+        // when it surfaces.
+        let mut ac = AdmissionController::new(cfg("T_N_N"), 1).unwrap();
+        let t = periodic(0, 20, 0);
+        let tasks = set_of(&[&t]);
+        assert!(ac.handle_arrival(&t, 0, Time::ZERO).unwrap().is_accept());
+
+        let drain = ac.reconfigure(cfg("J_N_N"), at(10), &tasks).unwrap();
+        assert_eq!(drain.reservations_drained, 1);
+        let reseed = ac.reconfigure(cfg("T_N_N"), at(20), &tasks).unwrap();
+        assert_eq!(reseed.reservations_reseeded, 1, "{reseed}");
+        assert!(ac.is_reserved(t.id()));
+        // The conversion is utilization-neutral: no double count.
+        assert!((ac.ledger().utilization(ProcessorId(0)) - 0.2).abs() < 1e-12);
+        assert_eq!(ac.current_entries(), 1);
+
+        // The drained entry's pending heap record surfaces at 10 + 100 ms;
+        // the generation check must discard it, keeping the reservation.
+        ac.expire(at(200));
+        assert_eq!(ac.current_entries(), 1);
+        assert!(ac.is_reserved(t.id()));
+        assert!((ac.ledger().utilization(ProcessorId(0)) - 0.2).abs() < 1e-12);
+        // And the reservation still passes jobs through.
+        let d = ac.handle_arrival(&t, 7, at(210)).unwrap();
+        assert!(matches!(d, Decision::Accept { newly_admitted: false, .. }));
+        for b in ac.entry_bounds() {
+            assert!((b.cached_lhs - b.fresh_lhs).abs() < 1e-9, "caches stale after round trip");
+        }
+    }
+
+    #[test]
+    fn reseed_of_partially_reset_entry_falls_back_to_additive() {
+        // A job with one of two stages idle-reset cannot be converted
+        // exactly; the reseed adds a full fresh reservation on top of the
+        // remaining contribution (conservative, AUB-guarded).
+        let two_stage = TaskBuilder::periodic(TaskId(0), Duration::from_millis(100))
+            .subtask(Duration::from_millis(20), ProcessorId(0), [])
+            .subtask(Duration::from_millis(20), ProcessorId(1), [])
+            .build()
+            .unwrap();
+        let mut ac = AdmissionController::new(cfg("J_J_N"), 2).unwrap();
+        assert!(ac.handle_arrival(&two_stage, 0, Time::ZERO).unwrap().is_accept());
+        let job = JobId::new(TaskId(0), 0);
+        ac.apply_idle_reset(ProcessorId(0), &[ContributionKey::new(job, 0)]);
+
+        let report = ac.reconfigure(cfg("T_T_N"), at(1), &set_of(&[&two_stage])).unwrap();
+        assert_eq!(report.reservations_reseeded, 1);
+        assert!(ac.is_reserved(TaskId(0)));
+        // P0: reservation only (0.2); P1: reservation + un-reset job
+        // contribution (0.4) until the job's deadline.
+        assert!((ac.ledger().utilization(ProcessorId(0)) - 0.2).abs() < 1e-12);
+        assert!((ac.ledger().utilization(ProcessorId(1)) - 0.4).abs() < 1e-12);
+        ac.expire(at(150));
+        assert!((ac.ledger().utilization(ProcessorId(1)) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn swap_with_idle_reset_stale_heap_entry_pending() {
+        // Edge case: a job contribution removed early by idle resetting
+        // leaves a stale entry in the ledger's lazy-deletion heap; a swap
+        // right after must not resurrect or double-free anything.
+        let mut ac = AdmissionController::new(cfg("J_T_N"), 2).unwrap();
+        let a = aperiodic(0, 20, 0);
+        let t = periodic(1, 20, 1);
+        assert!(ac.handle_arrival(&a, 0, Time::ZERO).unwrap().is_accept());
+        assert!(ac.handle_arrival(&t, 0, Time::ZERO).unwrap().is_accept());
+        let freed = ac
+            .apply_idle_reset(ProcessorId(0), &[ContributionKey::new(JobId::new(TaskId(0), 0), 0)]);
+        assert!((freed - 0.2).abs() < 1e-12);
+
+        let report = ac.reconfigure(cfg("T_T_N"), at(1), &set_of(&[&a, &t])).unwrap();
+        assert_eq!(report.reservations_reseeded, 1);
+        ac.expire(at(500));
+        assert_eq!(ac.ledger().utilization(ProcessorId(0)), 0.0);
+        assert!((ac.ledger().utilization(ProcessorId(1)) - 0.2).abs() < 1e-12);
+        assert_eq!(ac.reserved_tasks(), 1);
+    }
+
+    #[test]
+    fn lb_swap_forgets_pins_and_ir_swap_is_free() {
+        let mut ac = AdmissionController::new(cfg("J_N_T"), 2).unwrap();
+        let replicated = TaskBuilder::aperiodic(TaskId(0))
+            .deadline(Duration::from_millis(100))
+            .subtask(Duration::from_millis(10), ProcessorId(0), [ProcessorId(1)])
+            .build()
+            .unwrap();
+        assert!(ac.handle_arrival(&replicated, 0, Time::ZERO).unwrap().is_accept());
+        let report = ac.reconfigure(cfg("J_J_J"), at(1), &set_of(&[&replicated])).unwrap();
+        assert_eq!(report.pins_forgotten, 1);
+        assert_eq!(ac.config().label(), "J_J_J");
+        assert_eq!(report.reservations_drained + report.reservations_reseeded, 0);
+    }
+
+    #[test]
+    fn repeated_swaps_keep_modes_agreeing() {
+        // Ping-pong the full configuration while arrivals flow; the
+        // incremental and brute-force decision procedures must stay in
+        // lockstep, and caches must stay fresh.
+        let mut inc =
+            AdmissionController::with_mode(cfg("J_J_T"), 3, AdmissionMode::Incremental).unwrap();
+        let mut brute =
+            AdmissionController::with_mode(cfg("J_J_T"), 3, AdmissionMode::BruteForce).unwrap();
+        let specs: Vec<TaskSpec> = (0..4)
+            .map(|i| {
+                if i % 2 == 0 {
+                    periodic(i, 10 + u64::from(i), (i % 3) as u16)
+                } else {
+                    aperiodic(i, 8 + u64::from(i), (i % 3) as u16)
+                }
+            })
+            .collect();
+        let tasks = crate::task::TaskSet::from_tasks(specs.clone()).unwrap();
+        let targets = ["T_T_T", "J_N_N", "T_N_J", "J_J_J"];
+        for (round, target) in targets.iter().cycle().take(12).enumerate() {
+            let now = at(round as u64 * 17);
+            for (i, spec) in specs.iter().enumerate() {
+                let seq = (round * specs.len() + i) as u64;
+                let a = inc.handle_arrival(spec, seq, now).unwrap();
+                let b = brute.handle_arrival(spec, seq, now).unwrap();
+                assert_eq!(a, b, "round {round} task {i}");
+            }
+            let ra = inc.reconfigure(target.parse().unwrap(), now, &tasks).unwrap();
+            let rb = brute.reconfigure(target.parse().unwrap(), now, &tasks).unwrap();
+            assert_eq!(ra, rb, "round {round} handover diverged");
+        }
+        assert_eq!(inc.current_entries(), brute.current_entries());
+        for b in inc.entry_bounds().iter().chain(brute.entry_bounds().iter()) {
+            assert!((b.cached_lhs - b.fresh_lhs).abs() < 1e-9);
+        }
     }
 
     #[test]

@@ -150,6 +150,21 @@ impl LoadBalancer {
         self.strategy
     }
 
+    /// Hot-swaps the strategy, forgetting all pinned per-task plans when
+    /// it actually changes (a pin is a property of the outgoing strategy;
+    /// a stale pin surviving a round trip through per-job could resurrect
+    /// a placement chosen against a long-gone load picture). Returns the
+    /// number of pins forgotten.
+    pub fn set_strategy(&mut self, strategy: LbStrategy) -> usize {
+        if strategy == self.strategy {
+            return 0;
+        }
+        self.strategy = strategy;
+        let forgotten = self.plans.len();
+        self.plans.clear();
+        forgotten
+    }
+
     /// Produces the placement for an arriving job of `task`, honoring the
     /// configured strategy:
     ///

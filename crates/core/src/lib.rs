@@ -16,6 +16,9 @@
 //!   ([`admission`]), **idle resetting** ([`reset`]) and **load balancing**
 //!   ([`balance`]) — with their per-task / per-job / disabled strategies
 //!   ([`strategy`]) and the §4.5 validity rule (15 of 18 combinations);
+//! * run-time **reconfiguration** ([`reconfig`]): transition plans, timed
+//!   mode schedules, and the admission-state handover behind
+//!   `AdmissionController::reconfigure`;
 //! * the evaluation **metrics** ([`metrics`]): accepted utilization ratio
 //!   and delay statistics;
 //! * design-time **feasibility analysis** ([`analysis`]): which tasks can
@@ -62,6 +65,7 @@ pub mod balance;
 pub mod ledger;
 pub mod metrics;
 pub mod priority;
+pub mod reconfig;
 pub mod reset;
 pub mod response;
 pub mod server;
@@ -76,6 +80,7 @@ pub mod prelude {
     pub use crate::ledger::{ContributionKey, Lifetime, UtilizationLedger};
     pub use crate::metrics::{DelayStats, UtilizationRatio};
     pub use crate::priority::{assign_edms, Priority};
+    pub use crate::reconfig::{HandoverReport, ModeSchedule, ReconfigPlan};
     pub use crate::reset::{IdleResetReport, IdleResetter};
     pub use crate::strategy::{AcStrategy, IrStrategy, LbStrategy, ServiceConfig};
     pub use crate::task::{

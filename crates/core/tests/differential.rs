@@ -7,10 +7,13 @@
 //! re-evaluate-everything scan survives as `AdmissionMode::BruteForce` /
 //! `system_schedulable_brute` precisely so it can sit on the other side of
 //! this harness: every randomized trace of {arrival, expiry, idle-reset,
-//! withdraw, remote-commit} operations is replayed through both paths
-//! under **all 15 valid service configurations**, and the two controllers
-//! must agree on every `Decision`, every freed utilization, and the final
-//! ledger state to 1e-9.
+//! withdraw, remote-commit, **mid-trace `ServiceConfig` swap**} operations
+//! is replayed through both paths under **all 15 valid service
+//! configurations** (as the *starting* configuration — swaps then wander
+//! the trace across the whole combination lattice, exercising the ledger
+//! handover of `AdmissionController::reconfigure`), and the two
+//! controllers must agree on every `Decision`, every freed utilization,
+//! every `HandoverReport`, and the final ledger state to 1e-9.
 //!
 //! Each property runs 256 cases (the vendored proptest is deterministic
 //! per test, so a green run is exactly reproducible), giving ≥ 256 traces
@@ -24,7 +27,7 @@ use rtcm_core::analysis::audit_controller;
 use rtcm_core::balance::Assignment;
 use rtcm_core::ledger::ContributionKey;
 use rtcm_core::strategy::ServiceConfig;
-use rtcm_core::task::{JobId, ProcessorId, TaskBuilder, TaskId, TaskSpec};
+use rtcm_core::task::{JobId, ProcessorId, TaskBuilder, TaskId, TaskSet, TaskSpec};
 use rtcm_core::time::{Duration, Time};
 
 const PROCS: u16 = 4;
@@ -74,6 +77,7 @@ fn run_trace(config: ServiceConfig, tasks: &[TaskSpec], ops: &[RawOp]) -> usize 
         .expect("valid config");
     let mut brute = AdmissionController::with_mode(config, procs, AdmissionMode::BruteForce)
         .expect("valid config");
+    let task_set = TaskSet::from_tasks(tasks.to_vec()).expect("generated ids are unique");
 
     let mut now = Time::ZERO;
     let mut seqs = vec![0u64; tasks.len()];
@@ -84,7 +88,7 @@ fn run_trace(config: ServiceConfig, tasks: &[TaskSpec], ops: &[RawOp]) -> usize 
         now = now.saturating_add(Duration::from_millis(dt % 40));
         let t_idx = (x as usize) % tasks.len();
         let task = &tasks[t_idx];
-        match kind % 8 {
+        match kind % 9 {
             // Weighted toward arrivals: they exercise the decision path.
             0..=3 => {
                 let seq = seqs[t_idx];
@@ -129,6 +133,17 @@ fn run_trace(config: ServiceConfig, tasks: &[TaskSpec], ops: &[RawOp]) -> usize 
                 let plan = Assignment::primaries(task);
                 inc.apply_remote_commit(task, seq, now, &plan).expect("primaries are valid");
                 brute.apply_remote_commit(task, seq, now, &plan).expect("primaries are valid");
+            }
+            8 => {
+                // Mid-trace configuration swap: both controllers execute
+                // the same ledger handover (drain/reseed/axis swaps) and
+                // must report identical outcomes.
+                let valid = ServiceConfig::all_valid();
+                let target = valid[(y as usize) % valid.len()];
+                let ra = inc.reconfigure(target, now, &task_set).expect("valid targets");
+                let rb = brute.reconfigure(target, now, &task_set).expect("valid targets");
+                assert_eq!(ra, rb, "{config}: step {step} handover diverged");
+                assert_eq!(inc.config(), target);
             }
             _ => unreachable!(),
         }
@@ -182,11 +197,11 @@ proptest! {
     ) {
         for config in ServiceConfig::all_valid() {
             let decisions = run_trace(config, &tasks, &ops);
-            // Traces are arrival-weighted: kinds 0..=3 of 8 are arrivals,
+            // Traces are arrival-weighted: kinds 0..=3 of 9 are arrivals,
             // so a trace with no decision at all would signal a broken
             // interpreter rather than an unlucky draw... unless the draw
             // really contains no arrival ops, which short traces can.
-            let arrivals = ops.iter().filter(|(k, ..)| k % 8 <= 3).count();
+            let arrivals = ops.iter().filter(|(k, ..)| k % 9 <= 3).count();
             prop_assert_eq!(decisions, arrivals);
         }
     }
@@ -206,6 +221,26 @@ proptest! {
             "J_J_J".parse::<ServiceConfig>().unwrap(),
             "J_T_T".parse::<ServiceConfig>().unwrap(),
             "T_T_N".parse::<ServiceConfig>().unwrap(),
+        ] {
+            run_trace(config, &tasks, &ops);
+        }
+    }
+
+    /// Swap-heavy traces: every third step reconfigures to a random valid
+    /// combination, so reservations are drained and reseeded many times
+    /// within one trace — the ledger handover must stay agreement- and
+    /// audit-clean through arbitrarily long swap chains.
+    #[test]
+    fn swap_heavy_traces_agree(
+        tasks in arb_tasks(4),
+        ops in vec((0u8..8, 0u64..20, any::<u32>(), any::<u32>()), 24..64),
+    ) {
+        let ops: Vec<RawOp> =
+            ops.iter().map(|&(k, dt, x, y)| (if k % 3 == 0 { 8 } else { k }, dt, x, y)).collect();
+        for config in [
+            "T_T_T".parse::<ServiceConfig>().unwrap(),
+            "J_N_N".parse::<ServiceConfig>().unwrap(),
+            "J_J_J".parse::<ServiceConfig>().unwrap(),
         ] {
             run_trace(config, &tasks, &ops);
         }

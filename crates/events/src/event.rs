@@ -59,6 +59,13 @@ pub mod topics {
     pub const TRIGGER: Topic = Topic(4);
     /// IR → AC: completed subjobs whose contributions can be removed.
     pub const IDLE_RESET: Topic = Topic(5);
+    /// AC → all nodes: a live reconfiguration phase (prepare / commit /
+    /// abort of a `ServiceConfig` swap). Bridging this topic through a TCP
+    /// gateway propagates mode changes to remote hosts.
+    pub const RECONFIG: Topic = Topic(6);
+    /// Node → AC: acknowledgement that the node fenced its local fast
+    /// paths for a pending reconfiguration epoch.
+    pub const RECONFIG_ACK: Topic = Topic(7);
 }
 
 /// One event in flight.
@@ -108,6 +115,8 @@ mod tests {
             topics::REJECT,
             topics::TRIGGER,
             topics::IDLE_RESET,
+            topics::RECONFIG,
+            topics::RECONFIG_ACK,
         ];
         for (i, a) in all.iter().enumerate() {
             for b in &all[i + 1..] {

@@ -36,4 +36,4 @@ pub mod system;
 pub use clock::Clock;
 pub use node::ExecMode;
 pub use stats::{SharedStats, SystemReport};
-pub use system::{LaunchError, RtOptions, SubmitError, System};
+pub use system::{LaunchError, ReconfigReport, ReconfigureError, RtOptions, SubmitError, System};

@@ -9,23 +9,41 @@
 //! generation), op 4 (admission test), op 8 (utilization update), and the
 //! one-way communication delay of incoming events (op 2) measured on the
 //! shared clock.
+//!
+//! The manager is also the coordinator of the **two-phase live
+//! reconfiguration protocol** (see DESIGN.md "Live reconfiguration"):
+//! on a [`ManagerCtl::Reconfigure`] request it publishes a *prepare*
+//! event fencing every task effector's local fast path, defers incoming
+//! admission decisions while collecting acks, executes the admission
+//! controller's ledger handover, and publishes *commit* — or *abort*,
+//! restoring the old configuration, if a node never acks.
 
+use std::collections::HashSet;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration as StdDuration, Instant};
 
-use crossbeam::channel::Receiver;
+use crossbeam::channel::{Receiver, Sender};
 
 use rtcm_core::admission::{AdmissionController, Decision};
 use rtcm_core::balance::Assignment;
 use rtcm_core::ledger::ContributionKey;
-use rtcm_core::strategy::AcStrategy;
+use rtcm_core::strategy::{AcStrategy, ServiceConfig};
 use rtcm_core::task::{ProcessorId, TaskSet};
 use rtcm_core::time::{Duration, Time};
 use rtcm_events::{topics, ChannelHandle};
 
 use crate::clock::Clock;
-use crate::proto::{self, AcceptMsg, ArriveMsg, IdleResetMsg, RejectMsg};
+use crate::proto::{
+    self, AcceptMsg, ArriveMsg, IdleResetMsg, ReconfigAckMsg, ReconfigMsg, ReconfigPhase, RejectMsg,
+};
 use crate::stats::SharedStats;
+use crate::system::{ReconfigReport, ReconfigureError};
+
+/// Control requests from the launcher to the manager thread.
+pub(crate) enum ManagerCtl {
+    /// Run the two-phase swap to `target` and reply with the outcome.
+    Reconfigure { target: ServiceConfig, reply: Sender<Result<ReconfigReport, ReconfigureError>> },
+}
 
 pub(crate) struct ManagerConfig {
     pub ac: AdmissionController,
@@ -33,18 +51,32 @@ pub(crate) struct ManagerConfig {
     pub channel: ChannelHandle,
     pub clock: Clock,
     pub stats: Arc<SharedStats>,
+    pub processors: u16,
+    /// How long the prepare phase waits for node acks before aborting.
+    pub ack_timeout: StdDuration,
     pub shutdown_rx: Receiver<()>,
+    pub ctl_rx: Receiver<ManagerCtl>,
     /// Subscribed by the launcher before any thread starts (no startup
     /// race).
     pub arrive_rx: Receiver<rtcm_events::Event>,
     pub reset_rx: Receiver<rtcm_events::Event>,
+    pub ack_rx: Receiver<rtcm_events::Event>,
 }
+
+/// Source of manager-instance coordinator ids (see
+/// [`crate::proto::ReconfigMsg::coordinator`]); process-qualified so two
+/// bridged hosts can never mint the same identity.
+static NEXT_COORDINATOR: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
 
 /// Runs the manager loop until shutdown. Spawned by `System::launch`.
 pub(crate) fn run_manager(cfg: ManagerConfig) {
     let arrive_rx = cfg.arrive_rx.clone();
     let reset_rx = cfg.reset_rx.clone();
-    let mut manager = Manager { cfg, arrive_rx, reset_rx };
+    let ack_rx = cfg.ack_rx.clone();
+    let ctl_rx = cfg.ctl_rx.clone();
+    let coordinator = (u64::from(std::process::id()) << 32)
+        | NEXT_COORDINATOR.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let mut manager = Manager { cfg, arrive_rx, reset_rx, ack_rx, ctl_rx, coordinator, epoch: 0 };
     manager.run();
 }
 
@@ -52,6 +84,14 @@ struct Manager {
     cfg: ManagerConfig,
     arrive_rx: Receiver<rtcm_events::Event>,
     reset_rx: Receiver<rtcm_events::Event>,
+    ack_rx: Receiver<rtcm_events::Event>,
+    ctl_rx: Receiver<ManagerCtl>,
+    /// This manager's protocol identity; acks not bearing it are ignored,
+    /// so a bridged-in foreign reconfiguration can never pre-satisfy a
+    /// local prepare quorum.
+    coordinator: u64,
+    /// Monotone reconfiguration epoch (acks echo it).
+    epoch: u64,
 }
 
 impl Manager {
@@ -66,9 +106,129 @@ impl Manager {
                     let Ok(ev) = m else { return };
                     self.on_reset(&proto::decode(&ev.payload));
                 }
+                recv(self.ctl_rx) -> m => {
+                    let Ok(ManagerCtl::Reconfigure { target, reply }) = m else { return };
+                    if !self.on_reconfigure(target, &reply) {
+                        return;
+                    }
+                }
                 recv(self.cfg.shutdown_rx) -> _ => { return }
             }
         }
+    }
+
+    /// The two-phase swap. Returns false if shutdown arrived mid-protocol
+    /// (the manager loop must exit).
+    fn on_reconfigure(
+        &mut self,
+        target: ServiceConfig,
+        reply: &Sender<Result<ReconfigReport, ReconfigureError>>,
+    ) -> bool {
+        let started = Instant::now();
+        if let Err(e) = target.validate() {
+            let _ = reply.send(Err(ReconfigureError::InvalidConfig(e)));
+            return true;
+        }
+        self.epoch += 1;
+        let epoch = self.epoch;
+
+        // Phase 1 (prepare): fence every task effector's local fast path.
+        // Quiesce-free — running subjobs continue; only *new admission
+        // decisions* are deferred until commit so no decision straddles
+        // the handover.
+        self.publish_phase(epoch, ReconfigPhase::Prepare, target);
+        let expected = usize::from(self.cfg.processors);
+        let deadline = started + self.cfg.ack_timeout;
+        let mut acked: HashSet<u16> = HashSet::new();
+        let mut deferred: Vec<ArriveMsg> = Vec::new();
+        while acked.len() < expected {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                break;
+            }
+            crossbeam::channel::select! {
+                recv(self.ack_rx) -> m => {
+                    let Ok(ev) = m else { break };
+                    let ack: ReconfigAckMsg = proto::decode(&ev.payload);
+                    if ack.coordinator == self.coordinator
+                        && ack.epoch == epoch
+                        && ack.processor < self.cfg.processors
+                    {
+                        acked.insert(ack.processor);
+                    }
+                }
+                recv(self.arrive_rx) -> m => {
+                    let Ok(ev) = m else { break };
+                    deferred.push(proto::decode(&ev.payload));
+                }
+                recv(self.reset_rx) -> m => {
+                    let Ok(ev) = m else { break };
+                    // Idle resets carry no decision; apply immediately.
+                    self.on_reset(&proto::decode(&ev.payload));
+                }
+                recv(self.cfg.shutdown_rx) -> _ => {
+                    let _ = reply.send(Err(ReconfigureError::Closed));
+                    return false;
+                }
+                default(remaining) => {}
+            }
+        }
+
+        if acked.len() < expected {
+            // Abort: lift the fences, keep the old configuration, decide
+            // the deferred arrivals under it. Nothing was applied anywhere,
+            // so the rollback is exactly "publish abort".
+            let old = self.cfg.ac.config();
+            self.publish_phase(epoch, ReconfigPhase::Abort, old);
+            self.cfg.stats.with(|r| r.reconfig_aborts += 1);
+            for msg in &deferred {
+                self.on_arrive(msg);
+            }
+            let _ = reply
+                .send(Err(ReconfigureError::NodesUnresponsive { acked: acked.len(), expected }));
+            return true;
+        }
+
+        // Phase 2 (commit): every fast path is fenced, so the ledger
+        // handover runs race-free while jobs keep executing.
+        let now = self.cfg.clock.now();
+        let handover =
+            self.cfg.ac.reconfigure(target, now, &self.cfg.tasks).expect("target validated above");
+        self.publish_phase(epoch, ReconfigPhase::Commit, target);
+
+        let swap_latency = Duration::from(started.elapsed());
+        let jobs_in_flight = self.cfg.stats.in_flight();
+        let decisions_deferred = deferred.len() as u64;
+        self.cfg.stats.with(|r| {
+            r.reconfig_swaps += 1;
+            r.reconfig_latency.record(swap_latency);
+            r.reconfig_deferred += decisions_deferred;
+            r.reconfig_max_inflight = r.reconfig_max_inflight.max(jobs_in_flight);
+        });
+        // Deferred arrivals are decided now, under the new configuration.
+        for msg in &deferred {
+            self.on_arrive(msg);
+        }
+        let _ = reply.send(Ok(ReconfigReport {
+            epoch,
+            handover,
+            swap_latency,
+            decisions_deferred,
+            jobs_in_flight,
+            acked_nodes: expected,
+        }));
+        true
+    }
+
+    fn publish_phase(&self, epoch: u64, phase: ReconfigPhase, services: ServiceConfig) {
+        let msg = ReconfigMsg {
+            coordinator: self.coordinator,
+            epoch,
+            phase,
+            services,
+            sent_ns: self.cfg.clock.now().as_nanos(),
+        };
+        self.cfg.channel.publish(topics::RECONFIG, proto::encode(&msg));
     }
 
     fn on_arrive(&mut self, msg: &ArriveMsg) {

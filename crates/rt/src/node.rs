@@ -24,7 +24,10 @@ use rtcm_core::time::{Duration, Time};
 use rtcm_events::{topics, ChannelHandle};
 
 use crate::clock::Clock;
-use crate::proto::{self, AcceptMsg, ArriveMsg, IdleResetMsg, RejectMsg, TriggerMsg};
+use crate::proto::{
+    self, AcceptMsg, ArriveMsg, IdleResetMsg, ReconfigAckMsg, ReconfigMsg, ReconfigPhase,
+    RejectMsg, TriggerMsg,
+};
 use crate::stats::SharedStats;
 
 /// How subtask execution consumes time.
@@ -48,15 +51,14 @@ pub struct Injected {
     pub seq: u64,
 }
 
-/// Control messages from the launcher to a node thread.
+/// Control messages from the launcher to a node thread. Reconfiguration
+/// does *not* travel this way — it rides the federated event channel
+/// (`topics::RECONFIG`) so it propagates across TCP gateways to remote
+/// hosts exactly like any other middleware event.
 #[derive(Debug, Clone, Copy)]
 pub(crate) enum NodeCtl {
     /// Stop the node loop.
     Shutdown,
-    /// Hot-swap the idle-resetting strategy (§5: attributes "may be
-    /// modified at run-time"). Validity against the AC strategy is checked
-    /// by `System::reconfigure_ir` before sending.
-    SetIr(rtcm_core::strategy::IrStrategy),
 }
 
 #[derive(Debug, Clone)]
@@ -115,6 +117,7 @@ pub(crate) struct NodeConfig {
     pub accept_rx: Receiver<rtcm_events::Event>,
     pub reject_rx: Receiver<rtcm_events::Event>,
     pub trigger_rx: Receiver<rtcm_events::Event>,
+    pub reconfig_rx: Receiver<rtcm_events::Event>,
 }
 
 /// Runs the node loop until shutdown. Spawned by `System::launch`.
@@ -128,11 +131,19 @@ struct Node {
     accept_rx: Receiver<rtcm_events::Event>,
     reject_rx: Receiver<rtcm_events::Event>,
     trigger_rx: Receiver<rtcm_events::Event>,
+    reconfig_rx: Receiver<rtcm_events::Event>,
     te_cache: std::collections::HashMap<TaskId, TeDecision>,
     resetter: IdleResetter,
     ready: BinaryHeap<ReadySubjob>,
     current: Option<ReadySubjob>,
     next_seq: u64,
+    /// Set between a reconfiguration *prepare* and its *commit*/*abort*,
+    /// keyed by `(coordinator, epoch)`: while fenced, the TE fast path is
+    /// disabled so every arrival routes through the AC and no local
+    /// decision can straddle the swap. A commit is adopted only under its
+    /// matching fence, so an unrelated (e.g. bridged-in foreign) commit
+    /// can never half-apply.
+    fence: Option<(u64, u64)>,
     running: bool,
 }
 
@@ -143,11 +154,13 @@ impl Node {
             accept_rx: cfg.accept_rx.clone(),
             reject_rx: cfg.reject_rx.clone(),
             trigger_rx: cfg.trigger_rx.clone(),
+            reconfig_rx: cfg.reconfig_rx.clone(),
             te_cache: std::collections::HashMap::new(),
             resetter,
             ready: BinaryHeap::new(),
             current: None,
             next_seq: 0,
+            fence: None,
             running: true,
             cfg,
         }
@@ -173,7 +186,46 @@ impl Node {
     fn on_ctl(&mut self, ctl: NodeCtl) {
         match ctl {
             NodeCtl::Shutdown => self.running = false,
-            NodeCtl::SetIr(strategy) => self.resetter.set_strategy(strategy),
+        }
+    }
+
+    /// One phase of a live reconfiguration (published by the AC on the
+    /// event channel — and possibly bridged in from a remote host, whose
+    /// coordinator id keeps it from cross-talking with a local swap).
+    fn on_reconfig(&mut self, msg: ReconfigMsg) {
+        match msg.phase {
+            ReconfigPhase::Prepare => {
+                self.fence = Some((msg.coordinator, msg.epoch));
+                let ack = ReconfigAckMsg {
+                    coordinator: msg.coordinator,
+                    epoch: msg.epoch,
+                    processor: self.cfg.processor,
+                    sent_ns: self.cfg.clock.now().as_nanos(),
+                };
+                self.cfg.channel.publish(topics::RECONFIG_ACK, proto::encode(&ack));
+            }
+            ReconfigPhase::Abort => {
+                if self.fence == Some((msg.coordinator, msg.epoch)) {
+                    self.fence = None;
+                }
+            }
+            ReconfigPhase::Commit => {
+                // Only the swap this node actually fenced for may commit;
+                // anything else (a foreign coordinator's commit bridged in
+                // without its prepare, a stale epoch) is ignored rather
+                // than half-applied.
+                if self.fence != Some((msg.coordinator, msg.epoch)) {
+                    return;
+                }
+                // Adopt the committed configuration: swap the resetter
+                // strategy in place and drop cached TE decisions — they
+                // were taken under the old configuration (a drained
+                // reservation must not keep fast-path releasing).
+                self.cfg.services = msg.services;
+                self.resetter.set_strategy(msg.services.ir);
+                self.te_cache.clear();
+                self.fence = None;
+            }
         }
     }
 
@@ -203,6 +255,10 @@ impl Node {
                 self.on_trigger(proto::decode(&ev.payload));
                 any = true;
             }
+            while let Ok(ev) = self.reconfig_rx.try_recv() {
+                self.on_reconfig(proto::decode(&ev.payload));
+                any = true;
+            }
             if !any {
                 return;
             }
@@ -220,7 +276,12 @@ impl Node {
         };
         self.cfg.stats.with(|r| r.ratio.record_arrival(task.job_utilization()));
 
-        let per_task = self.cfg.services.ac == AcStrategy::PerTask && task.is_periodic();
+        // While fenced for a pending reconfiguration, the fast path is
+        // disabled: every arrival routes through the AC, which defers it
+        // to whichever configuration wins the swap.
+        let per_task = self.fence.is_none()
+            && self.cfg.services.ac == AcStrategy::PerTask
+            && task.is_periodic();
         if per_task {
             match self.te_cache.get(&inj.task) {
                 Some(TeDecision::Admitted(assignment))
@@ -451,6 +512,9 @@ impl Node {
             }
             recv(self.trigger_rx) -> m => {
                 if let Ok(ev) = m { self.on_trigger(proto::decode(&ev.payload)) }
+            }
+            recv(self.reconfig_rx) -> m => {
+                if let Ok(ev) = m { self.on_reconfig(proto::decode(&ev.payload)) }
             }
             recv(self.cfg.ctl_rx) -> m => {
                 if let Ok(ctl) = m { self.on_ctl(ctl) }

@@ -9,6 +9,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use rtcm_core::strategy::ServiceConfig;
 use rtcm_core::task::{JobId, TaskId};
 
 /// TE → AC: a held task awaiting an admission decision (op 1 → op 2).
@@ -81,6 +82,56 @@ pub struct IdleResetMsg {
     pub completed: Vec<(JobId, u32)>,
     /// When the idle detector started assembling the report (clock ns).
     pub started_ns: u64,
+}
+
+/// Phase of the two-phase live-reconfiguration protocol (§5's run-time
+/// attribute modification, generalized to the whole `ServiceConfig`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReconfigPhase {
+    /// AC → nodes: fence local fast paths (task-effector decision caches)
+    /// and acknowledge; execution continues — the protocol is quiesce-free.
+    Prepare,
+    /// AC → nodes: the ledger handover is done; adopt `services`, clear
+    /// decision caches, lift the fence.
+    Commit,
+    /// AC → nodes: the swap was abandoned (a node never acked); lift the
+    /// fence and keep the old configuration.
+    Abort,
+}
+
+/// AC → all nodes (and, when the topic is bridged, remote hosts): one
+/// phase of a live `ServiceConfig` swap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReconfigMsg {
+    /// Identity of the coordinating manager (unique per manager instance,
+    /// process-qualified). Acks echo it so a bridged-in reconfiguration
+    /// stream from *another* host's coordinator can never satisfy a local
+    /// prepare quorum, and nodes commit only the swap they fenced for.
+    pub coordinator: u64,
+    /// Monotone swap epoch within the coordinator; acks echo it so a slow
+    /// ack for an abandoned swap can never satisfy a later one.
+    pub epoch: u64,
+    /// The protocol phase.
+    pub phase: ReconfigPhase,
+    /// The configuration being entered (the *old* configuration for
+    /// [`ReconfigPhase::Abort`]).
+    pub services: ServiceConfig,
+    /// When the AC published this event (clock ns).
+    pub sent_ns: u64,
+}
+
+/// Node → AC: this processor fenced its fast paths for `(coordinator,
+/// epoch)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReconfigAckMsg {
+    /// The coordinator whose prepare is acknowledged.
+    pub coordinator: u64,
+    /// The epoch being acknowledged.
+    pub epoch: u64,
+    /// The acknowledging processor.
+    pub processor: u16,
+    /// When the node published this ack (clock ns).
+    pub sent_ns: u64,
 }
 
 /// Serializes a message for the event channel.
@@ -156,6 +207,23 @@ mod tests {
         };
         let back: IdleResetMsg = decode(&encode(&r));
         assert_eq!(back, r);
+    }
+
+    #[test]
+    fn reconfig_round_trip() {
+        let msg = ReconfigMsg {
+            coordinator: 42,
+            epoch: 3,
+            phase: ReconfigPhase::Prepare,
+            services: "T_T_J".parse().unwrap(),
+            sent_ns: 99,
+        };
+        let back: ReconfigMsg = decode(&encode(&msg));
+        assert_eq!(back, msg);
+
+        let ack = ReconfigAckMsg { coordinator: 42, epoch: 3, processor: 1, sent_ns: 120 };
+        let back: ReconfigAckMsg = decode(&encode(&ack));
+        assert_eq!(back, ack);
     }
 
     #[test]

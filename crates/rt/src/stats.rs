@@ -47,6 +47,22 @@ pub struct SystemReport {
     /// Total arrival→release delay when the first stage was re-allocated to
     /// a duplicate on another processor.
     pub total_realloc: DelayStats,
+
+    /// Completed live `ServiceConfig` swaps (two-phase protocol runs that
+    /// reached commit).
+    pub reconfig_swaps: u64,
+    /// Swaps abandoned because a node never acknowledged the prepare
+    /// phase.
+    pub reconfig_aborts: u64,
+    /// End-to-end swap latency: reconfigure request at the AC → commit
+    /// published (one sample per completed swap).
+    pub reconfig_latency: DelayStats,
+    /// Admission decisions deferred during prepare windows (arrivals held
+    /// at the AC and decided under the new configuration after commit).
+    pub reconfig_deferred: u64,
+    /// Largest number of jobs in flight observed at the commit point of
+    /// any swap — how much live work each handover carried.
+    pub reconfig_max_inflight: i64,
 }
 
 /// Thread-shared accumulator handed to every node.

@@ -7,17 +7,20 @@ use std::fmt;
 use std::sync::Arc;
 use std::time::{Duration as StdDuration, Instant};
 
-use crossbeam::channel::{unbounded, Sender};
+use crossbeam::channel::{bounded, unbounded, Sender};
+use serde::{Deserialize, Serialize};
 
 use rtcm_config::Deployment;
 use rtcm_core::admission::AdmissionController;
 use rtcm_core::priority::Priority;
+use rtcm_core::reconfig::HandoverReport;
 use rtcm_core::strategy::{InvalidConfigError, ServiceConfig};
 use rtcm_core::task::{TaskId, TaskSet};
+use rtcm_core::time::Duration;
 use rtcm_events::{Federation, Latency, NodeId};
 
 use crate::clock::Clock;
-use crate::manager::{run_manager, ManagerConfig};
+use crate::manager::{run_manager, ManagerConfig, ManagerCtl};
 use crate::node::{inject, run_node, ExecMode, Injected, NodeConfig, NodeCtl};
 use crate::stats::{SharedStats, SystemReport};
 
@@ -33,6 +36,9 @@ pub struct RtOptions {
     pub slice: StdDuration,
     /// Seed for latency jitter.
     pub seed: u64,
+    /// How long a reconfiguration's prepare phase waits for node acks
+    /// before aborting the swap (see [`System::reconfigure`]).
+    pub reconfig_ack_timeout: StdDuration,
 }
 
 impl Default for RtOptions {
@@ -45,6 +51,7 @@ impl Default for RtOptions {
             exec: ExecMode::Sleep,
             slice: StdDuration::from_micros(200),
             seed: 0,
+            reconfig_ack_timeout: StdDuration::from_secs(2),
         }
     }
 }
@@ -99,6 +106,77 @@ impl fmt::Display for SubmitError {
 
 impl std::error::Error for SubmitError {}
 
+/// Errors from [`System::reconfigure`]. A failed reconfiguration never
+/// partially applies: either every node committed the new configuration,
+/// or the system still runs the old one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReconfigureError {
+    /// The target combination violates the §4.5 validity rule.
+    InvalidConfig(InvalidConfigError),
+    /// Not every node acknowledged the prepare phase before the ack
+    /// timeout; the swap was aborted and the old configuration restored.
+    NodesUnresponsive {
+        /// Nodes that acked in time.
+        acked: usize,
+        /// Nodes that were expected to ack.
+        expected: usize,
+    },
+    /// The system is shutting down.
+    Closed,
+}
+
+impl fmt::Display for ReconfigureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReconfigureError::InvalidConfig(e) => write!(f, "{e}"),
+            ReconfigureError::NodesUnresponsive { acked, expected } => write!(
+                f,
+                "reconfiguration aborted: only {acked} of {expected} nodes acknowledged the \
+                 prepare phase"
+            ),
+            ReconfigureError::Closed => f.write_str("system is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for ReconfigureError {}
+
+/// Outcome of one completed [`System::reconfigure`] call — the transition
+/// cost of the swap.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReconfigReport {
+    /// The protocol epoch of this swap.
+    pub epoch: u64,
+    /// What the admission-state handover did (entries carried,
+    /// reservations drained/reseeded, ...).
+    pub handover: HandoverReport,
+    /// Reconfigure request at the AC → commit published.
+    pub swap_latency: Duration,
+    /// Admission decisions deferred during the prepare window and decided
+    /// under the new configuration after commit.
+    pub decisions_deferred: u64,
+    /// Jobs somewhere between arrival and completion at the commit point —
+    /// all carried across the swap with their guarantees intact.
+    pub jobs_in_flight: i64,
+    /// Nodes that acknowledged the prepare phase (always all of them for a
+    /// committed swap).
+    pub acked_nodes: usize,
+}
+
+impl fmt::Display for ReconfigReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "swap #{} ({}) in {}: {} decisions deferred, {} jobs in flight",
+            self.epoch,
+            self.handover,
+            self.swap_latency,
+            self.decisions_deferred,
+            self.jobs_in_flight
+        )
+    }
+}
+
 /// A running middleware system.
 ///
 /// # Examples
@@ -126,9 +204,10 @@ pub struct System {
     services: parking_lot::Mutex<ServiceConfig>,
     stats: Arc<SharedStats>,
     clock: Clock,
-    _federation: Federation,
+    federation: Federation,
     injectors: Vec<Sender<Injected>>,
     mgr_shutdown: Sender<()>,
+    mgr_ctl: Sender<ManagerCtl>,
     node_ctls: Vec<Sender<NodeCtl>>,
     handles: Vec<std::thread::JoinHandle<()>>,
 }
@@ -168,20 +247,26 @@ impl System {
         let mut handles = Vec::with_capacity(procs as usize + 1);
 
         let (mgr_shutdown_tx, mgr_shutdown_rx) = unbounded();
+        let (mgr_ctl_tx, mgr_ctl_rx) = unbounded();
         // Subscribe every consumer on this thread, before any node runs, so
         // no early publication can be dropped for lack of subscribers.
         let mgr_channel = federation.handle(NodeId(0)).expect("node 0 exists");
         let mgr_arrive_rx = mgr_channel.subscribe(rtcm_events::topics::TASK_ARRIVE);
         let mgr_reset_rx = mgr_channel.subscribe(rtcm_events::topics::IDLE_RESET);
+        let mgr_ack_rx = mgr_channel.subscribe(rtcm_events::topics::RECONFIG_ACK);
         let mgr_cfg = ManagerConfig {
             ac,
             tasks: Arc::clone(&tasks),
             channel: mgr_channel,
             clock,
             stats: Arc::clone(&stats),
+            processors: procs,
+            ack_timeout: options.reconfig_ack_timeout,
             shutdown_rx: mgr_shutdown_rx,
+            ctl_rx: mgr_ctl_rx,
             arrive_rx: mgr_arrive_rx,
             reset_rx: mgr_reset_rx,
+            ack_rx: mgr_ack_rx,
         };
         handles.push(
             std::thread::Builder::new()
@@ -200,6 +285,7 @@ impl System {
             let accept_rx = channel.subscribe(rtcm_events::topics::ACCEPT);
             let reject_rx = channel.subscribe(rtcm_events::topics::REJECT);
             let trigger_rx = channel.subscribe(rtcm_events::topics::TRIGGER);
+            let reconfig_rx = channel.subscribe(rtcm_events::topics::RECONFIG);
             let cfg = NodeConfig {
                 processor: p,
                 services,
@@ -215,6 +301,7 @@ impl System {
                 accept_rx,
                 reject_rx,
                 trigger_rx,
+                reconfig_rx,
             };
             handles.push(
                 std::thread::Builder::new()
@@ -229,9 +316,10 @@ impl System {
             services: parking_lot::Mutex::new(services),
             stats,
             clock,
-            _federation: federation,
+            federation,
             injectors,
             mgr_shutdown: mgr_shutdown_tx,
+            mgr_ctl: mgr_ctl_tx,
             node_ctls,
             handles,
         })
@@ -243,32 +331,91 @@ impl System {
         *self.services.lock()
     }
 
-    /// Hot-swaps the idle-resetting strategy on every application
-    /// processor — the paper's run-time attribute modification (§5). The
-    /// §4.5 validity rule still applies: switching to IR-per-job under
-    /// per-task admission control is refused.
+    /// Hot-swaps the **full service configuration** of the running system
+    /// — the paper's §5 run-time attribute modification generalized from
+    /// the IR axis to all three — via a quiesce-free two-phase protocol
+    /// over the federated event channel (see DESIGN.md "Live
+    /// reconfiguration"):
     ///
-    /// Note: the admission controller's ledger semantics are unaffected —
-    /// IR only changes *which completions are reported*, so a swap is safe
-    /// mid-flight; completions recorded under the old strategy may still be
-    /// reported once.
+    /// 1. **Prepare**: the AC publishes a fence on `topics::RECONFIG`;
+    ///    every node disables its task-effector fast path and acks.
+    ///    Arrivals keep flowing (they are deferred at the AC), running
+    ///    subjobs keep executing — nothing quiesces.
+    /// 2. **Commit**: once all nodes acked, the admission controller
+    ///    executes the ledger handover (reservations drained/reseeded,
+    ///    every admitted job's contributions — and guarantee — carried),
+    ///    the commit is published, nodes adopt the new configuration, and
+    ///    deferred decisions are made under it.
+    ///
+    /// If a node fails to ack within `RtOptions::reconfig_ack_timeout`,
+    /// the swap **aborts**: an abort event lifts the fences, the old
+    /// configuration stays in force everywhere, and
+    /// [`ReconfigureError::NodesUnresponsive`] is returned — there is no
+    /// partially applied state.
+    ///
+    /// Bridging `topics::RECONFIG` through a TCP gateway
+    /// (`rtcm_events::remote`) makes the swap observable on remote
+    /// federations, the paper's multi-host testbed topology.
     ///
     /// # Errors
     ///
-    /// Returns [`InvalidConfigError`] if the resulting combination would be
-    /// invalid.
+    /// [`ReconfigureError::InvalidConfig`] for §4.5-invalid targets
+    /// (checked before anything is touched),
+    /// [`ReconfigureError::NodesUnresponsive`] for aborted swaps,
+    /// [`ReconfigureError::Closed`] after shutdown began.
+    pub fn reconfigure(&self, target: ServiceConfig) -> Result<ReconfigReport, ReconfigureError> {
+        let mut services = self.services.lock();
+        self.run_swap(&mut services, target)
+    }
+
+    /// Hot-swaps only the idle-resetting strategy — a thin wrapper over
+    /// the same protocol kept for the common single-axis case. The target
+    /// is derived from the current configuration *under the services
+    /// lock*, so a concurrent [`System::reconfigure`] can never be
+    /// silently reverted by a stale read-modify-write. The §4.5 validity
+    /// rule still applies: switching to IR-per-job under per-task
+    /// admission control is refused.
+    ///
+    /// # Errors
+    ///
+    /// As [`System::reconfigure`] — in particular, a swap no node
+    /// acknowledged reports [`ReconfigureError::NodesUnresponsive`]
+    /// instead of silently half-applying.
     pub fn reconfigure_ir(
         &self,
         ir: rtcm_core::strategy::IrStrategy,
-    ) -> Result<ServiceConfig, InvalidConfigError> {
+    ) -> Result<ServiceConfig, ReconfigureError> {
         let mut services = self.services.lock();
-        let candidate = ServiceConfig::new(services.ac, ir, services.lb);
-        candidate.validate()?;
-        for ctl in &self.node_ctls {
-            let _ = ctl.send(NodeCtl::SetIr(ir));
-        }
-        *services = candidate;
-        Ok(candidate)
+        let target = ServiceConfig::new(services.ac, ir, services.lb);
+        self.run_swap(&mut services, target)?;
+        Ok(target)
+    }
+
+    /// Runs the two-phase protocol with the services lock held (the lock
+    /// guard doubles as the caller-serialization token: concurrent
+    /// reconfigurers queue here, so the cached value can never lag the
+    /// manager's configuration).
+    fn run_swap(
+        &self,
+        services: &mut ServiceConfig,
+        target: ServiceConfig,
+    ) -> Result<ReconfigReport, ReconfigureError> {
+        target.validate().map_err(ReconfigureError::InvalidConfig)?;
+        let (reply_tx, reply_rx) = bounded(1);
+        self.mgr_ctl
+            .send(ManagerCtl::Reconfigure { target, reply: reply_tx })
+            .map_err(|_| ReconfigureError::Closed)?;
+        let report = reply_rx.recv().map_err(|_| ReconfigureError::Closed)??;
+        *services = target;
+        Ok(report)
+    }
+
+    /// The federated event channel this system runs on. Exposed so callers
+    /// can bridge topics (e.g. `topics::RECONFIG`) to other hosts over TCP
+    /// via `rtcm_events::remote`.
+    #[must_use]
+    pub fn federation(&self) -> &Federation {
+        &self.federation
     }
 
     /// The deployed task set.

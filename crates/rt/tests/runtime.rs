@@ -342,6 +342,153 @@ fn ir_reconfiguration_respects_validity_rule() {
 }
 
 #[test]
+fn full_config_swap_carries_reservations_mid_flight() {
+    // A per-task system with a live reservation swaps to per-job: the
+    // reservation is drained (not dropped), the sticky rejection clears,
+    // and per-job semantics govern later arrivals — all without stopping
+    // the system.
+    let system = launch(
+        "workload w\nprocessors 1\n\
+         task a periodic period=100ms\n  subtask exec=1ms proc=0\n\
+         task hog periodic period=100ms\n  subtask exec=60ms proc=0\n",
+        "T_N_N",
+    );
+    system.submit(TaskId(0), 0).unwrap();
+    assert!(system.quiesce(QUIESCE));
+    system.submit(TaskId(1), 0).unwrap(); // rejected: 0.01 + 0.6 breaks the bound
+    assert!(system.quiesce(QUIESCE));
+
+    let report = system.reconfigure("J_N_N".parse().unwrap()).unwrap();
+    assert_eq!(report.handover.reservations_drained, 1);
+    assert_eq!(report.handover.rejections_cleared, 1);
+    assert_eq!(report.acked_nodes, 1);
+    assert_eq!(system.services().label(), "J_N_N");
+
+    // Under per-job AC the formerly sticky-rejected task is tested afresh
+    // per arrival (and still rejected while the drained contribution
+    // guards the old reservation's in-flight window, which is fine).
+    for seq in 1..4 {
+        system.submit(TaskId(0), seq).unwrap();
+        assert!(system.quiesce(QUIESCE));
+    }
+    let stats = system.shutdown();
+    assert_eq!(stats.reconfig_swaps, 1);
+    assert_eq!(stats.reconfig_latency.count(), 1);
+    assert!(stats.jobs_completed >= 4, "jobs kept completing across the swap");
+}
+
+#[test]
+fn swap_under_load_defers_but_loses_nothing() {
+    // Fire arrivals while the swap runs: every job must still be decided
+    // (accepted or rejected), none may be lost in the prepare window.
+    let system = launch(
+        "workload w\nprocessors 2\n\
+         task a aperiodic deadline=500ms\n  subtask exec=1ms proc=0\n\
+         task b aperiodic deadline=500ms\n  subtask exec=1ms proc=1\n",
+        "J_N_N",
+    );
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let sys = &system;
+        let stop = &stop;
+        let submitter = scope.spawn(move || {
+            let mut seq = 0;
+            while !stop.load(std::sync::atomic::Ordering::SeqCst) {
+                let _ = sys.submit(TaskId(seq % 2), seq as u64 / 2);
+                seq += 1;
+                std::thread::sleep(StdDuration::from_micros(200));
+            }
+            seq
+        });
+        for target in ["T_T_T", "J_J_J", "J_N_N"] {
+            std::thread::sleep(StdDuration::from_millis(10));
+            let report = system.reconfigure(target.parse().unwrap()).unwrap();
+            assert_eq!(system.services().label(), target);
+            assert!(report.jobs_in_flight >= 0);
+        }
+        stop.store(true, std::sync::atomic::Ordering::SeqCst);
+        let submitted = submitter.join().unwrap();
+        assert!(submitted > 0);
+    });
+    assert!(system.quiesce(QUIESCE), "all deferred decisions drained");
+    let stats = system.shutdown();
+    assert_eq!(stats.reconfig_swaps, 3);
+    assert_eq!(
+        stats.jobs_completed,
+        stats.ratio.released_jobs(),
+        "every released job completed; nothing was lost in a prepare window"
+    );
+    assert!(stats.jobs_completed > 0);
+}
+
+#[test]
+fn reconfig_swap_is_observable_across_a_tcp_bridge() {
+    // The paper's testbed spans hosts; bridging topics::RECONFIG through a
+    // TCP gateway makes a swap visible to a remote federation in real
+    // time: the observer sees prepare then commit with the target config.
+    use rtcm_events::{remote, topics, Federation, Latency, NodeId};
+    use rtcm_rt::ReconfigReport;
+
+    let system = launch(
+        "workload w\nprocessors 2\ntask t aperiodic deadline=200ms\n  subtask exec=1ms proc=0\n",
+        "J_N_N",
+    );
+    // Gateway on an app node (node 1 = processor 0): the manager (node 0)
+    // publishes the reconfig events, so they are forwarded outward.
+    let (addr, _server) =
+        remote::listen(system.federation(), NodeId(1), "127.0.0.1:0", vec![topics::RECONFIG])
+            .unwrap();
+    let remote_host = Federation::new(2, Latency::None, 0);
+    let _client = remote::connect(&remote_host, NodeId(0), addr, vec![topics::RECONFIG]).unwrap();
+    let observer = remote_host.handle(NodeId(1)).unwrap().subscribe(topics::RECONFIG);
+
+    let report: ReconfigReport = system.reconfigure("J_J_T".parse().unwrap()).unwrap();
+    assert_eq!(report.handover.to.label(), "J_J_T");
+
+    use rtcm_rt::proto::{ReconfigMsg, ReconfigPhase};
+    let recv = StdDuration::from_secs(5);
+    let prepare: ReconfigMsg =
+        rtcm_rt::proto::decode(&observer.recv_timeout(recv).unwrap().payload);
+    assert_eq!(prepare.phase, ReconfigPhase::Prepare);
+    let commit: ReconfigMsg = rtcm_rt::proto::decode(&observer.recv_timeout(recv).unwrap().payload);
+    assert_eq!(commit.phase, ReconfigPhase::Commit);
+    assert_eq!(commit.services.label(), "J_J_T");
+    assert_eq!(commit.epoch, prepare.epoch);
+    let _ = system.shutdown();
+}
+
+#[test]
+fn unacked_swap_aborts_without_partial_application() {
+    // With a zero ack timeout no node can ack in time: the swap must
+    // abort, report the failure (instead of silently half-applying), and
+    // leave the old configuration fully in force.
+    use rtcm_rt::ReconfigureError;
+    let deployment = configure_with(
+        &spec("workload w\nprocessors 1\ntask t aperiodic deadline=200ms\n  subtask exec=1ms proc=0\n"),
+        "J_N_N".parse().unwrap(),
+    )
+    .unwrap();
+    let mut options = RtOptions::fast();
+    options.reconfig_ack_timeout = StdDuration::ZERO;
+    let system = System::launch(&deployment, options).unwrap();
+
+    let err = system.reconfigure("J_J_J".parse().unwrap()).unwrap_err();
+    assert_eq!(err, ReconfigureError::NodesUnresponsive { acked: 0, expected: 1 });
+    assert_eq!(system.services().label(), "J_N_N", "old configuration stays in force");
+
+    // The fence was lifted by the abort: the system still serves traffic.
+    for seq in 0..3 {
+        system.submit(TaskId(0), seq).unwrap();
+        assert!(system.quiesce(QUIESCE));
+    }
+    let stats = system.shutdown();
+    assert_eq!(stats.reconfig_aborts, 1);
+    assert_eq!(stats.reconfig_swaps, 0);
+    assert_eq!(stats.jobs_completed, 3);
+    assert_eq!(stats.ir_reports, 0, "IR swap never applied anywhere");
+}
+
+#[test]
 fn report_counts_are_consistent() {
     let system = launch(
         "workload w\nprocessors 2\n\

@@ -33,6 +33,7 @@ use rtcm_core::balance::Assignment;
 use rtcm_core::ledger::ContributionKey;
 use rtcm_core::metrics::{DelayStats, UtilizationRatio};
 use rtcm_core::priority::{assign_edms, Priority};
+use rtcm_core::reconfig::{HandoverReport, ModeChange, ModeSchedule};
 use rtcm_core::reset::{IdleResetReport, IdleResetter};
 use rtcm_core::strategy::{AcStrategy, InvalidConfigError, LbStrategy, ServiceConfig};
 use rtcm_core::task::{JobId, TaskId, TaskSet};
@@ -94,6 +95,12 @@ pub struct SimReport {
     pub skip_runs: Vec<(TaskId, u32)>,
     /// Longest skip run across all tasks.
     pub max_consecutive_skips: u32,
+    /// Mode switches executed from the [`ModeSchedule`] (0 for static
+    /// runs).
+    pub mode_switches: u64,
+    /// One ledger-handover report per executed mode switch, in schedule
+    /// order.
+    pub mode_changes: Vec<HandoverReport>,
     /// Virtual time when the last event fired.
     pub end: Time,
 }
@@ -154,6 +161,11 @@ enum Ev {
         proc: usize,
         gen: u64,
     },
+    /// A scheduled mode change fires: reconfigure the manager's admission
+    /// controller (ledger handover included) and every node's local
+    /// strategy state. Ties with same-instant arrivals resolve switch
+    /// first, so the new mode governs the arrival.
+    ModeSwitch(usize),
     /// Distributed mode: a peer's admission commit reaches `node`.
     CommitSync {
         node: usize,
@@ -245,6 +257,31 @@ pub fn simulate(
     Simulation::new(tasks, trace, config, false)?.run().map(|(report, _)| report)
 }
 
+/// Like [`simulate`], but with a [`ModeSchedule`] of timed `ServiceConfig`
+/// changes applied mid-run: at each change the manager's admission
+/// controller executes the full ledger handover
+/// (`AdmissionController::reconfigure` — reservations drained/reseeded,
+/// admitted jobs carried) and every node clears its task-effector cache
+/// and swaps its idle-resetter strategy, mirroring the runtime's two-phase
+/// commit point. Figure-5/6-style experiments can thereby compare static
+/// configurations against mid-run switches on identical traces.
+///
+/// # Errors
+///
+/// As [`simulate`], plus [`SimError::InvalidConfig`] for schedules
+/// containing §4.5-invalid combinations (checked before the run starts).
+pub fn simulate_with_schedule(
+    tasks: &TaskSet,
+    trace: &ArrivalTrace,
+    config: &SimConfig,
+    schedule: &ModeSchedule,
+) -> Result<SimReport, SimError> {
+    schedule.validate()?;
+    let mut sim = Simulation::new(tasks, trace, config, false)?;
+    sim.schedule = schedule.changes().to_vec();
+    sim.run().map(|(report, _)| report)
+}
+
 /// Like [`simulate`], additionally returning one [`JobRecord`] per trace
 /// arrival (in arrival order).
 ///
@@ -257,6 +294,25 @@ pub fn simulate_recorded(
     config: &SimConfig,
 ) -> Result<(SimReport, Vec<JobRecord>), SimError> {
     let (report, records) = Simulation::new(tasks, trace, config, true)?.run()?;
+    Ok((report, records.expect("recording was enabled")))
+}
+
+/// [`simulate_with_schedule`] plus per-job records, for bucketed
+/// before/after-switch acceptance analysis.
+///
+/// # Errors
+///
+/// As [`simulate_with_schedule`].
+pub fn simulate_recorded_with_schedule(
+    tasks: &TaskSet,
+    trace: &ArrivalTrace,
+    config: &SimConfig,
+    schedule: &ModeSchedule,
+) -> Result<(SimReport, Vec<JobRecord>), SimError> {
+    schedule.validate()?;
+    let mut sim = Simulation::new(tasks, trace, config, true)?;
+    sim.schedule = schedule.changes().to_vec();
+    let (report, records) = sim.run()?;
     Ok((report, records.expect("recording was enabled")))
 }
 
@@ -356,6 +412,8 @@ struct Simulation<'a> {
     report: SimReport,
     records: Option<(Vec<JobRecord>, HashMap<JobId, usize>)>,
     skips: rtcm_core::metrics::SkipTracker,
+    /// Timed mode changes to apply (empty for static runs).
+    schedule: Vec<ModeChange>,
     /// Distributed-architecture state (empty in centralized mode).
     distributed: bool,
     node_acs: Vec<AdmissionController>,
@@ -408,16 +466,31 @@ impl<'a> Simulation<'a> {
                 cpu_busy: vec![Duration::ZERO; procs],
                 skip_runs: Vec::new(),
                 max_consecutive_skips: 0,
+                mode_switches: 0,
+                mode_changes: Vec::new(),
                 end: Time::ZERO,
             },
             records: if record_jobs { Some((Vec::new(), HashMap::new())) } else { None },
             skips: rtcm_core::metrics::SkipTracker::new(),
+            schedule: Vec::new(),
             distributed: false,
             node_acs: Vec::new(),
         })
     }
 
+    /// Enqueues every scheduled mode switch. Called before the first
+    /// arrival is chained, so a switch coinciding with an arrival holds
+    /// the lower sequence number and fires first (switch-before-arrival
+    /// tie rule).
+    fn schedule_mode_switches(&mut self) {
+        for i in 0..self.schedule.len() {
+            let at = self.schedule[i].at;
+            self.schedule(at, Ev::ModeSwitch(i));
+        }
+    }
+
     fn run(mut self) -> Result<(SimReport, Option<Vec<JobRecord>>), SimError> {
+        self.schedule_mode_switches();
         if !self.trace.is_empty() {
             let t = self.trace.arrivals()[0].time;
             self.schedule(t, Ev::Arrival(0));
@@ -550,6 +623,7 @@ impl<'a> Simulation<'a> {
                 self.on_release(job, subtask, is_job_release);
             }
             Ev::CpuComplete { proc, gen } => self.on_cpu_complete(proc, gen),
+            Ev::ModeSwitch(idx) => self.on_mode_switch(idx),
             Ev::CommitSync { node, job, arrival, assignment } => {
                 let task = self.tasks.get(job.task).expect("validated in new()");
                 let ac = &mut self.node_acs[node];
@@ -558,6 +632,24 @@ impl<'a> Simulation<'a> {
                     .expect("peers commit validated assignments");
             }
         }
+    }
+
+    /// Executes one scheduled mode change, mirroring the runtime's commit
+    /// point: ledger handover at the manager, cache clear + resetter swap
+    /// at every node.
+    fn on_mode_switch(&mut self, idx: usize) {
+        let target = self.schedule[idx].services;
+        let handover = self
+            .ac
+            .reconfigure(target, self.now, self.tasks)
+            .expect("schedules are validated before the run starts");
+        self.services = target;
+        self.te_cache.clear();
+        for resetter in &mut self.resetters {
+            resetter.set_strategy(target.ir);
+        }
+        self.report.mode_switches += 1;
+        self.report.mode_changes.push(handover);
     }
 
     fn on_arrival(&mut self, idx: usize) {
@@ -1079,6 +1171,73 @@ mod tests {
         // Recording does not change the aggregate outcome.
         let plain = simulate(&tasks, &trace, &cfg).unwrap();
         assert_eq!(plain, report);
+    }
+
+    #[test]
+    fn mode_switch_changes_admission_semantics_mid_run() {
+        // 10 arrivals over 1 s; switch J -> T at 450 ms: jobs before the
+        // switch are tested per job, the first job after it seeds a
+        // reservation (reseed covers the live entry), later jobs pass
+        // through untested.
+        let tasks = one_task_set();
+        let trace = trace_for(&tasks, 1_000);
+        let schedule = ModeSchedule::new()
+            .then_at(Time::ZERO + Duration::from_millis(450), "T_N_N".parse().unwrap());
+        let cfg = SimConfig::ideal("J_N_N".parse().unwrap());
+        let report = simulate_with_schedule(&tasks, &trace, &cfg, &schedule).unwrap();
+        assert_eq!(report.mode_switches, 1);
+        assert_eq!(report.mode_changes.len(), 1);
+        let handover = &report.mode_changes[0];
+        assert_eq!(handover.to.label(), "T_N_N");
+        assert_eq!(handover.reservations_reseeded, 1, "live periodic entry reseeded");
+        // 5 per-job tests before the switch; the reseed spares all later
+        // jobs a test — the first post-switch job passes through at the
+        // AC (caching the TE decision), the rest release TE-locally.
+        assert_eq!(report.ac.tested, 5, "tests stop at the switch");
+        assert_eq!(report.ac.pass_throughs, 1);
+        assert_eq!(report.jobs_completed, 10, "no job lost across the switch");
+        assert_eq!(report.deadline_misses, 0);
+    }
+
+    #[test]
+    fn empty_schedule_matches_static_run_exactly() {
+        let tasks = one_task_set();
+        let trace = trace_for(&tasks, 2_000);
+        let cfg = SimConfig::new("J_J_T".parse().unwrap());
+        let static_run = simulate(&tasks, &trace, &cfg).unwrap();
+        let scheduled = simulate_with_schedule(&tasks, &trace, &cfg, &ModeSchedule::new()).unwrap();
+        assert_eq!(static_run, scheduled);
+    }
+
+    #[test]
+    fn invalid_schedule_is_rejected_before_the_run() {
+        let tasks = one_task_set();
+        let trace = trace_for(&tasks, 200);
+        let schedule = ModeSchedule::new()
+            .then_at(Time::ZERO + Duration::from_millis(50), "T_J_N".parse().unwrap());
+        let cfg = SimConfig::ideal("J_N_N".parse().unwrap());
+        assert!(matches!(
+            simulate_with_schedule(&tasks, &trace, &cfg, &schedule),
+            Err(SimError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn scheduled_runs_are_deterministic_and_recordable() {
+        let tasks = one_task_set();
+        let trace = trace_for(&tasks, 2_000);
+        let cfg = SimConfig::new("J_N_N".parse().unwrap());
+        let schedule = ModeSchedule::new()
+            .then_at(Time::ZERO + Duration::from_millis(700), "T_T_T".parse().unwrap())
+            .then_at(Time::ZERO + Duration::from_millis(1_400), "J_J_J".parse().unwrap());
+        let (a, records) =
+            simulate_recorded_with_schedule(&tasks, &trace, &cfg, &schedule).unwrap();
+        let b = simulate_with_schedule(&tasks, &trace, &cfg, &schedule).unwrap();
+        assert_eq!(a, b, "schedule runs are replayable");
+        assert_eq!(a.mode_switches, 2);
+        assert_eq!(records.len(), trace.len());
+        let released = records.iter().filter(|r| r.released).count() as u64;
+        assert_eq!(released, a.ratio.released_jobs());
     }
 
     #[test]

@@ -28,6 +28,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
+use rtcm_core::reconfig::ModeSchedule;
+use rtcm_core::strategy::ServiceConfig;
 use rtcm_core::task::TaskSet;
 use rtcm_core::time::{Duration, Time};
 
@@ -184,6 +186,106 @@ impl BurstScenario {
     }
 }
 
+/// A [`BurstScenario`] paired with a **defensive mode change**: the system
+/// starts in a vulnerable baseline configuration, and a timed
+/// [`ModeSchedule`] switches it to a defensive configuration mid-burst
+/// (and optionally back once the storm has passed) — the mode-change
+/// experiment behind `examples/live_reconfig.rs`.
+///
+/// The canonical instance is an overloaded per-job system recovering by
+/// switching to per-task admission: the swap reseeds the currently live
+/// periodic tasks into reservations, so the periodic baseline stops
+/// competing with (and losing to) the aperiodic alert flood.
+///
+/// # Examples
+///
+/// ```
+/// use rtcm_workload::ModeChangeScenario;
+///
+/// let scenario = ModeChangeScenario::default();
+/// let (tasks, trace, schedule) = scenario.generate(7)?;
+/// assert!(!trace.is_empty());
+/// assert_eq!(schedule.len(), 2, "switch in, relax out");
+/// # let _ = tasks;
+/// # Ok::<(), rtcm_workload::WorkloadError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModeChangeScenario {
+    /// The overload being defended against.
+    pub burst: BurstScenario,
+    /// Configuration the system starts in.
+    pub baseline: ServiceConfig,
+    /// Configuration switched to mid-burst.
+    pub defensive: ServiceConfig,
+    /// Delay from burst onset to the defensive switch (detection lag).
+    pub trigger_delay: Duration,
+    /// Delay after burst end before switching back to the baseline;
+    /// `None` stays defensive for the rest of the run.
+    pub relax_delay: Option<Duration>,
+}
+
+impl Default for ModeChangeScenario {
+    fn default() -> Self {
+        ModeChangeScenario {
+            burst: BurstScenario::default(),
+            baseline: "J_N_N".parse().expect("static label"),
+            defensive: "T_T_T".parse().expect("static label"),
+            trigger_delay: Duration::from_secs(5),
+            relax_delay: Some(Duration::from_secs(10)),
+        }
+    }
+}
+
+impl ModeChangeScenario {
+    /// The instant of the defensive switch.
+    #[must_use]
+    pub fn switch_at(&self) -> Time {
+        Time::ZERO + self.burst.burst_start + self.trigger_delay
+    }
+
+    /// The timed schedule: defensive switch mid-burst, optional relax
+    /// back to the baseline after the burst.
+    #[must_use]
+    pub fn schedule(&self) -> ModeSchedule {
+        let mut schedule = ModeSchedule::new().then_at(self.switch_at(), self.defensive);
+        if let Some(relax) = self.relax_delay {
+            schedule.push(Time::ZERO + self.burst.burst_end() + relax, self.baseline);
+        }
+        schedule
+    }
+
+    /// Generates the task set, the burst-shaped arrival trace, and the
+    /// defensive mode schedule.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError`] for invalid configurations (§4.5), a
+    /// switch instant outside the burst window, or any underlying
+    /// [`BurstScenario`] parameter error.
+    pub fn generate(
+        &self,
+        seed: u64,
+    ) -> Result<(TaskSet, ArrivalTrace, ModeSchedule), WorkloadError> {
+        for cfg in [self.baseline, self.defensive] {
+            if !cfg.is_valid() {
+                return Err(WorkloadError::Parameters(format!(
+                    "mode-change scenario uses invalid combination {cfg}"
+                )));
+            }
+        }
+        if self.burst.burst_start + self.trigger_delay >= self.burst.burst_end() {
+            return Err(WorkloadError::Parameters(format!(
+                "defensive switch at {} misses the burst window [{}, {})",
+                self.burst.burst_start + self.trigger_delay,
+                self.burst.burst_start,
+                self.burst.burst_end()
+            )));
+        }
+        let (tasks, trace) = self.burst.generate(seed)?;
+        Ok((tasks, trace, self.schedule()))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -274,6 +376,40 @@ mod tests {
         let mut s = scenario();
         s.poisson_factor = 0.0;
         assert!(s.generate(0).is_err());
+    }
+
+    #[test]
+    fn mode_change_scenario_builds_schedule_inside_burst() {
+        let s = ModeChangeScenario {
+            burst: scenario(),
+            trigger_delay: Duration::from_secs(5),
+            relax_delay: Some(Duration::from_secs(10)),
+            ..ModeChangeScenario::default()
+        };
+        let (_, trace, schedule) = s.generate(1).unwrap();
+        assert!(!trace.is_empty());
+        assert_eq!(schedule.len(), 2);
+        assert_eq!(schedule.changes()[0].at, Time::ZERO + Duration::from_secs(35));
+        assert_eq!(schedule.changes()[0].services, s.defensive);
+        assert_eq!(schedule.changes()[1].at, Time::ZERO + Duration::from_secs(70));
+        assert_eq!(schedule.changes()[1].services, s.baseline);
+        assert!(s.burst.in_burst(s.switch_at()), "the switch lands mid-burst");
+        schedule.validate().unwrap();
+    }
+
+    #[test]
+    fn mode_change_scenario_rejects_bad_parameters() {
+        let mut s = ModeChangeScenario { burst: scenario(), ..ModeChangeScenario::default() };
+        s.defensive = ServiceConfig::new(
+            rtcm_core::strategy::AcStrategy::PerTask,
+            rtcm_core::strategy::IrStrategy::PerJob,
+            rtcm_core::strategy::LbStrategy::None,
+        );
+        assert!(s.generate(0).is_err(), "invalid defensive combination");
+
+        let mut s = ModeChangeScenario { burst: scenario(), ..ModeChangeScenario::default() };
+        s.trigger_delay = Duration::from_secs(40);
+        assert!(s.generate(0).is_err(), "switch after the burst window");
     }
 
     #[test]
