@@ -1,0 +1,81 @@
+//! Shared fixture for the `micro_govern` bench and its smoke tests: a
+//! deterministic synthetic load trace (alternating collapse / recovery
+//! blocks) and policies of configurable width, so the per-window cost of
+//! policy evaluation can be measured against rule count.
+
+use rtcm_core::govern::{GovernorPolicy, GovernorRule, Metric, Trigger, WindowMetrics};
+use rtcm_core::strategy::ServiceConfig;
+
+/// Cycle of targets for generated rules (all §4.5-valid).
+const TARGETS: [&str; 4] = ["T_T_T", "J_J_J", "J_N_N", "T_N_T"];
+
+/// A policy with `rules` threshold rules cycling over the sensed metrics
+/// and valid targets. The first two rules mirror the canonical
+/// defensive/relax pair; the rest widen the evaluation loop without ever
+/// firing first (their thresholds sit behind the leaders').
+#[must_use]
+pub fn governor_policy(rules: usize) -> GovernorPolicy {
+    let mut policy = GovernorPolicy::new().cooldown(3);
+    for i in 0..rules {
+        let target: ServiceConfig = TARGETS[i % TARGETS.len()].parse().expect("static label");
+        let (metric, trigger) = match i % 4 {
+            0 => (Metric::AcceptedRatio, Trigger::Below(0.3)),
+            1 => (Metric::AubSlack, Trigger::Above(0.5)),
+            2 => (Metric::Imbalance, Trigger::Above(0.8)),
+            _ => (Metric::Deferred, Trigger::Above(1e6)),
+        };
+        policy = policy.rule(
+            GovernorRule::new(format!("rule-{i}"), metric, trigger, 2, target).min_arrivals(1),
+        );
+    }
+    policy
+}
+
+/// A deterministic synthetic window stream: blocks of `block` collapsed
+/// windows (accepted ratio 0.1, low slack) alternating with `block`
+/// recovered windows (ratio 1.0, high slack) — the load shape that drives
+/// both the defensive and the relax rule.
+#[must_use]
+pub fn metrics_stream(windows: usize, block: usize) -> Vec<WindowMetrics> {
+    (0..windows)
+        .map(|i| {
+            let collapsed = (i / block.max(1)).is_multiple_of(2);
+            let ratio = if collapsed { 0.1 } else { 1.0 };
+            WindowMetrics {
+                arrived_jobs: 50,
+                arrived_utilization: 5.0,
+                released_utilization: 5.0 * ratio,
+                accepted_ratio: ratio,
+                ir_reports: u64::from(!collapsed),
+                deferred: 0,
+                aub_slack: if collapsed { 0.05 } else { 0.8 },
+                imbalance: if collapsed { 0.6 } else { 0.1 },
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtcm_core::govern::Governor;
+
+    #[test]
+    fn fixture_policies_validate_at_every_width() {
+        for rules in [1, 2, 16, 128] {
+            let policy = governor_policy(rules);
+            assert_eq!(policy.rules.len(), rules);
+            policy.validate().unwrap();
+            assert!(Governor::new(policy).is_ok());
+        }
+    }
+
+    #[test]
+    fn stream_alternates_blocks() {
+        let stream = metrics_stream(16, 4);
+        assert_eq!(stream.len(), 16);
+        assert!(stream[0].accepted_ratio < 0.5);
+        assert!(stream[4].accepted_ratio > 0.9);
+        assert_eq!(stream[0], stream[1]);
+    }
+}

@@ -9,6 +9,7 @@
 //! mutation sequential under the parallel test runner. The scaling smoke
 //! test reads no environment variables, so it may run in parallel.
 
+use rtcm_bench::govern::{governor_policy, metrics_stream};
 use rtcm_bench::reconfig::{loaded_reconfig_controller, reconfig_fixture};
 use rtcm_bench::scaling::{
     probe_once, scaling_controller, scaling_probes, TARGET_PROC_UTILIZATION,
@@ -99,6 +100,44 @@ fn scaling_fixture_arms_agree_at_quick_sizes() {
             );
         }
         assert_eq!(inc.current_entries(), brute.current_entries());
+    }
+}
+
+/// Smoke coverage of the `micro_govern` bench arms at the `RTCM_QUICK`
+/// widths: policy evaluation over the shared alternating-load stream must
+/// be deterministic, and the cooldown must hold the anti-flapping rate
+/// bound (swaps at least `cooldown + 1` windows apart) at every policy
+/// width.
+#[test]
+fn govern_fixture_evaluation_is_deterministic_and_rate_bounded() {
+    use rtcm_core::govern::Governor;
+    let stream = metrics_stream(64, 4);
+    for rules in [2usize, 16] {
+        let policy = governor_policy(rules);
+        let cooldown = policy.cooldown_windows as u64;
+        let run = |mut g: Governor| {
+            let mut current = "J_N_N".parse().unwrap();
+            let mut fired = Vec::new();
+            for (i, m) in stream.iter().enumerate() {
+                if let Some(d) = g.observe(current, m) {
+                    current = d.target;
+                    fired.push((i, d.rule_name.clone(), d.target));
+                }
+            }
+            fired
+        };
+        let a = run(Governor::new(policy.clone()).unwrap());
+        let b = run(Governor::new(policy).unwrap());
+        assert_eq!(a, b, "rules={rules}: evaluation must be deterministic");
+        assert!(!a.is_empty(), "rules={rules}: the alternating stream must trip a rule");
+        for pair in a.windows(2) {
+            assert!(
+                pair[1].0 - pair[0].0 >= (cooldown + 1) as usize,
+                "rules={rules}: swaps at windows {} and {} violate the cooldown",
+                pair[0].0,
+                pair[1].0
+            );
+        }
     }
 }
 

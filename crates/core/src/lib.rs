@@ -19,6 +19,9 @@
 //! * run-time **reconfiguration** ([`reconfig`]): transition plans, timed
 //!   mode schedules, and the admission-state handover behind
 //!   `AdmissionController::reconfigure`;
+//! * the **adaptation governor** ([`govern`]): windowed load sensing and
+//!   declarative threshold/hysteresis/cooldown policies that drive
+//!   reconfiguration automatically from observed load;
 //! * the evaluation **metrics** ([`metrics`]): accepted utilization ratio
 //!   and delay statistics;
 //! * design-time **feasibility analysis** ([`analysis`]): which tasks can
@@ -62,6 +65,7 @@ pub mod admission;
 pub mod analysis;
 pub mod aub;
 pub mod balance;
+pub mod govern;
 pub mod ledger;
 pub mod metrics;
 pub mod priority;
@@ -77,6 +81,9 @@ pub mod time;
 pub mod prelude {
     pub use crate::admission::{AdmissionController, Decision, RejectReason};
     pub use crate::balance::{Assignment, LoadBalancer};
+    pub use crate::govern::{
+        Governor, GovernorPolicy, GovernorRule, Metric, Trigger, WindowMetrics,
+    };
     pub use crate::ledger::{ContributionKey, Lifetime, UtilizationLedger};
     pub use crate::metrics::{DelayStats, UtilizationRatio};
     pub use crate::priority::{assign_edms, Priority};

@@ -99,8 +99,28 @@ impl Ord for Parcel {
 
 type SubMap = HashMap<(NodeId, Topic), Vec<Sender<Event>>>;
 
+/// Source of federation host ids: process-qualified (high bits) and
+/// counter-disambiguated (low bits), with a wall-clock mix so two
+/// *processes* on different machines are overwhelmingly unlikely to mint
+/// the same identity. Host ids let protocols that bridge federations over
+/// TCP (`remote`) tell which federation a message originated from — e.g.
+/// the reconfiguration quorum counts one vote per bridged host.
+static NEXT_HOST_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+
+fn mint_host_id() -> u64 {
+    let counter = NEXT_HOST_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let pid = u64::from(std::process::id());
+    let clock = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_nanos() as u64);
+    // The counter owns the low bits, so ids within one process are
+    // guaranteed distinct; pid and wall clock only de-collide processes.
+    ((pid ^ (clock >> 20)) << 20) | (counter & 0xF_FFFF)
+}
+
 struct Inner {
     node_count: u16,
+    host_id: u64,
     subs: RwLock<SubMap>,
     topic_nodes: RwLock<HashMap<Topic, BTreeSet<NodeId>>>,
     net_tx: Mutex<Option<Sender<Parcel>>>,
@@ -148,6 +168,7 @@ impl Federation {
         let (tx, rx) = channel::unbounded::<Parcel>();
         let inner = Arc::new(Inner {
             node_count,
+            host_id: mint_host_id(),
             subs: RwLock::new(HashMap::new()),
             topic_nodes: RwLock::new(HashMap::new()),
             net_tx: Mutex::new(Some(tx)),
@@ -167,6 +188,16 @@ impl Federation {
     #[must_use]
     pub fn node_count(&self) -> u16 {
         self.inner.node_count
+    }
+
+    /// This federation's unique host identity. Events do not carry it; it
+    /// exists for *protocols* layered on bridged federations (e.g. the
+    /// runtime's reconfiguration quorum) to distinguish hosts — two
+    /// federations never share an id within a process, and collisions
+    /// across processes are negligible (pid + wall-clock mixed in).
+    #[must_use]
+    pub fn host_id(&self) -> u64 {
+        self.inner.host_id
     }
 
     /// Obtains the channel handle of `node`.
@@ -262,6 +293,12 @@ impl ChannelHandle {
     #[must_use]
     pub fn node(&self) -> NodeId {
         self.node
+    }
+
+    /// The owning federation's host identity (see [`Federation::host_id`]).
+    #[must_use]
+    pub fn host_id(&self) -> u64 {
+        self.inner.host_id
     }
 
     /// Registers a consumer for `topic` on this node and returns its queue.
@@ -417,6 +454,15 @@ mod tests {
         fed.handle(NodeId(0)).unwrap().publish(Topic(1), &b"dup"[..]);
         assert!(a.recv_timeout(RECV).is_ok());
         assert!(b.recv_timeout(RECV).is_ok());
+    }
+
+    #[test]
+    fn host_ids_are_unique_and_shared_by_handles() {
+        let a = Federation::new(2, Latency::None, 0);
+        let b = Federation::new(2, Latency::None, 0);
+        assert_ne!(a.host_id(), b.host_id(), "two federations, two hosts");
+        assert_eq!(a.handle(NodeId(0)).unwrap().host_id(), a.host_id());
+        assert_eq!(a.handle(NodeId(1)).unwrap().host_id(), a.host_id());
     }
 
     #[test]

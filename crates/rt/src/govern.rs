@@ -1,0 +1,146 @@
+//! The runtime half of the adaptation governor: a background task that
+//! closes the sensing → policy → actuation loop over a live [`System`].
+//!
+//! Sensing reads one [`SystemReport`](crate::stats::SystemReport) snapshot
+//! per window and turns it into per-window metrics through
+//! [`rtcm_core::govern::WindowSensor`] — an O(1) delta of counters the
+//! runtime maintains on its normal paths anyway. The AUB slack and
+//! imbalance gauges come from a once-per-window manager probe
+//! (`ManagerCtl::SenseGauges`), which expires the current set before
+//! reading the ledger's maintained totals — so an *idle* system's slack
+//! still tracks entry expiry (exactly the simulator's per-tick
+//! semantics) and the admission hot path pays nothing for sensing.
+//! Policy evaluation is the pure
+//! [`rtcm_core::govern::Governor`]; actuation is the same two-phase
+//! protocol `System::reconfigure` runs, serialized on the same lock, so a
+//! governor and an operator can coexist without racing each other.
+
+use std::sync::Arc;
+use std::time::Duration as StdDuration;
+
+use crossbeam::channel::{unbounded, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+
+use rtcm_core::govern::{
+    CumulativeLoad, Governor, GovernorDecision, GovernorPolicy, PolicyError, WindowSensor,
+};
+
+use crate::clock::Clock;
+use crate::stats::SharedStats;
+use crate::system::{ReconfigReport, ReconfigureError, SwapClient};
+
+/// One governor actuation, as logged by [`GovernorHandle`].
+#[derive(Debug, Clone)]
+pub struct GovernorEvent {
+    /// When the decision was taken (shared-clock ns).
+    pub at_ns: u64,
+    /// The policy decision (rule, streak, target).
+    pub decision: GovernorDecision,
+    /// What the two-phase protocol did with it — a committed swap's
+    /// transition cost, or the abort/closure it ran into.
+    pub outcome: Result<ReconfigReport, ReconfigureError>,
+}
+
+/// A running governor attached to a [`System`](crate::System). Dropping
+/// the handle (or calling [`GovernorHandle::stop`]) detaches the governor;
+/// the system itself is unaffected either way.
+pub struct GovernorHandle {
+    stop: Sender<()>,
+    thread: Option<std::thread::JoinHandle<()>>,
+    log: Arc<Mutex<Vec<GovernorEvent>>>,
+}
+
+impl std::fmt::Debug for GovernorHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GovernorHandle").field("events", &self.log.lock().len()).finish()
+    }
+}
+
+impl GovernorHandle {
+    /// Snapshot of the decisions taken so far (oldest first).
+    #[must_use]
+    pub fn events(&self) -> Vec<GovernorEvent> {
+        self.log.lock().clone()
+    }
+
+    /// Stops the governor and returns its full decision log.
+    #[must_use]
+    pub fn stop(mut self) -> Vec<GovernorEvent> {
+        self.halt();
+        let log = self.log.lock().clone();
+        log
+    }
+
+    fn halt(&mut self) {
+        let _ = self.stop.send(());
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for GovernorHandle {
+    fn drop(&mut self) {
+        self.halt();
+    }
+}
+
+/// Spawns the governor loop (used by `System::spawn_governor`).
+pub(crate) fn spawn_governor_thread(
+    policy: GovernorPolicy,
+    window: StdDuration,
+    stats: Arc<SharedStats>,
+    swap: SwapClient,
+    clock: Clock,
+) -> Result<GovernorHandle, PolicyError> {
+    let mut governor = Governor::new(policy)?;
+    let (stop_tx, stop_rx) = unbounded();
+    let log: Arc<Mutex<Vec<GovernorEvent>>> = Arc::new(Mutex::new(Vec::new()));
+    let thread_log = Arc::clone(&log);
+    let thread = std::thread::Builder::new()
+        .name("rtcm-governor".into())
+        .spawn(move || {
+            let mut sensor = WindowSensor::new();
+            // An untouched system is fully slack; thereafter the manager's
+            // per-window probe keeps the gauges fresh even while the
+            // system idles (expiry is applied before every read, matching
+            // the simulator's per-tick semantics exactly).
+            let mut gauges = (1.0, 0.0);
+            loop {
+                match stop_rx.recv_timeout(window) {
+                    Ok(()) | Err(RecvTimeoutError::Disconnected) => return,
+                    Err(RecvTimeoutError::Timeout) => {}
+                }
+                match swap.sense_gauges(window) {
+                    Ok(Some(fresh)) => gauges = fresh,
+                    Ok(None) => {}    // manager busy (mid-prepare): keep last
+                    Err(_) => return, // system shut down
+                }
+                let report = stats.snapshot();
+                let cum = CumulativeLoad {
+                    arrived_jobs: report.ratio.arrived_jobs(),
+                    arrived_utilization: report.ratio.arrived_utilization(),
+                    released_utilization: report.ratio.released_utilization(),
+                    ir_reports: report.ir_reports,
+                    deferred: report.reconfig_deferred,
+                };
+                let metrics = sensor.sample(cum, gauges.0, gauges.1);
+                stats.with(|r| r.governor_windows += 1);
+                let Some(decision) = governor.observe(swap.services(), &metrics) else {
+                    continue;
+                };
+                let at_ns = clock.now().as_nanos();
+                let outcome = swap.reconfigure(decision.target);
+                let closed = matches!(outcome, Err(ReconfigureError::Closed));
+                if outcome.is_ok() {
+                    stats.with(|r| r.governor_swaps += 1);
+                }
+                thread_log.lock().push(GovernorEvent { at_ns, decision, outcome });
+                if closed {
+                    return;
+                }
+            }
+        })
+        .expect("spawn governor thread");
+    Ok(GovernorHandle { stop: stop_tx, thread: Some(thread), log })
+}

@@ -15,7 +15,11 @@
 //!   "Idle Resetting");
 //! * [`stats`] — shared measurement, including per-operation delays
 //!   (Figure 7's ops 1–8);
-//! * [`clock`] — the shared time axis that makes one-way delays measurable.
+//! * [`clock`] — the shared time axis that makes one-way delays measurable;
+//! * [`govern`] — the adaptation governor loop (`System::spawn_governor`):
+//!   windowed load sensing driving automatic reconfiguration;
+//! * [`quorum`] — the voting delegate that makes a TCP-bridged federation
+//!   a full reconfiguration prepare-quorum member.
 //!
 //! Scheduling substitution (see DESIGN.md): instead of OS real-time
 //! priorities, each node runs a single dispatcher thread executing the
@@ -27,13 +31,18 @@
 #![forbid(unsafe_code)]
 
 pub mod clock;
+pub mod govern;
 pub mod manager;
 pub mod node;
 pub mod proto;
+pub mod quorum;
 pub mod stats;
 pub mod system;
 
 pub use clock::Clock;
+pub use govern::{GovernorEvent, GovernorHandle};
 pub use node::ExecMode;
-pub use stats::{SharedStats, SystemReport};
+pub use proto::ReconfigAbortReason;
+pub use quorum::{QuorumMember, QuorumOptions};
+pub use stats::{ReconfigAbortBreakdown, SharedStats, SystemReport};
 pub use system::{LaunchError, ReconfigReport, ReconfigureError, RtOptions, SubmitError, System};

@@ -23,9 +23,11 @@ use std::sync::Arc;
 use std::time::{Duration as StdDuration, Instant};
 
 use crossbeam::channel::{Receiver, Sender};
+use parking_lot::Mutex;
 
 use rtcm_core::admission::{AdmissionController, Decision};
 use rtcm_core::balance::Assignment;
+use rtcm_core::govern::slack_and_imbalance;
 use rtcm_core::ledger::ContributionKey;
 use rtcm_core::strategy::{AcStrategy, ServiceConfig};
 use rtcm_core::task::{ProcessorId, TaskSet};
@@ -34,7 +36,8 @@ use rtcm_events::{topics, ChannelHandle};
 
 use crate::clock::Clock;
 use crate::proto::{
-    self, AcceptMsg, ArriveMsg, IdleResetMsg, ReconfigAckMsg, ReconfigMsg, ReconfigPhase, RejectMsg,
+    self, AcceptMsg, ArriveMsg, IdleResetMsg, ReconfigAbortReason, ReconfigAckMsg, ReconfigMsg,
+    ReconfigPhase, ReconfigVote, RejectMsg,
 };
 use crate::stats::SharedStats;
 use crate::system::{ReconfigReport, ReconfigureError};
@@ -43,6 +46,12 @@ use crate::system::{ReconfigReport, ReconfigureError};
 pub(crate) enum ManagerCtl {
     /// Run the two-phase swap to `target` and reply with the outcome.
     Reconfigure { target: ServiceConfig, reply: Sender<Result<ReconfigReport, ReconfigureError>> },
+    /// Expire the current set up to *now* and reply with fresh
+    /// `(aub_slack, imbalance)` gauges from the ledger's maintained
+    /// totals. Sent once per governor sensing window, so an idle system's
+    /// gauges still track entry expiry — exactly the semantics of the
+    /// simulator's per-tick `expire` + ledger read.
+    SenseGauges { reply: Sender<(f64, f64)> },
 }
 
 pub(crate) struct ManagerConfig {
@@ -54,6 +63,10 @@ pub(crate) struct ManagerConfig {
     pub processors: u16,
     /// How long the prepare phase waits for node acks before aborting.
     pub ack_timeout: StdDuration,
+    /// Host ids of TCP-bridged federations whose vote is *required* for a
+    /// prepare quorum (shared with `System::register_remote_voter`; read
+    /// once per swap, so (de)registration never races a running prepare).
+    pub remote_voters: Arc<Mutex<HashSet<u64>>>,
     pub shutdown_rx: Receiver<()>,
     pub ctl_rx: Receiver<ManagerCtl>,
     /// Subscribed by the launcher before any thread starts (no startup
@@ -107,9 +120,22 @@ impl Manager {
                     self.on_reset(&proto::decode(&ev.payload));
                 }
                 recv(self.ctl_rx) -> m => {
-                    let Ok(ManagerCtl::Reconfigure { target, reply }) = m else { return };
-                    if !self.on_reconfigure(target, &reply) {
-                        return;
+                    match m {
+                        Ok(ManagerCtl::Reconfigure { target, reply }) => {
+                            if !self.on_reconfigure(target, &reply) {
+                                return;
+                            }
+                        }
+                        Ok(ManagerCtl::SenseGauges { reply }) => {
+                            self.cfg.ac.expire(self.cfg.clock.now());
+                            let gauges = self.gauges();
+                            self.cfg.stats.with(|r| {
+                                r.aub_slack = gauges.0;
+                                r.util_imbalance = gauges.1;
+                            });
+                            let _ = reply.send(gauges);
+                        }
+                        Err(_) => return,
                     }
                 }
                 recv(self.cfg.shutdown_rx) -> _ => { return }
@@ -126,6 +152,9 @@ impl Manager {
     ) -> bool {
         let started = Instant::now();
         if let Err(e) = target.validate() {
+            self.cfg
+                .stats
+                .with(|r| r.reconfig_abort_reasons.record(ReconfigAbortReason::Validation));
             let _ = reply.send(Err(ReconfigureError::InvalidConfig(e)));
             return true;
         }
@@ -135,26 +164,49 @@ impl Manager {
         // Phase 1 (prepare): fence every task effector's local fast path.
         // Quiesce-free — running subjobs continue; only *new admission
         // decisions* are deferred until commit so no decision straddles
-        // the handover.
+        // the handover. The prepare quorum is every local processor *plus*
+        // every registered TCP-bridged federation: bridged hosts are
+        // voting members, not observers, and their silence (partition,
+        // crash) aborts the swap at the same deadline a silent local node
+        // would.
+        let remote: HashSet<u64> = self.cfg.remote_voters.lock().clone();
+        let own_host = self.cfg.channel.host_id();
         self.publish_phase(epoch, ReconfigPhase::Prepare, target);
-        let expected = usize::from(self.cfg.processors);
+        let expected_local = usize::from(self.cfg.processors);
+        let expected = expected_local + remote.len();
         let deadline = started + self.cfg.ack_timeout;
-        let mut acked: HashSet<u16> = HashSet::new();
+        let mut local_acked: HashSet<u16> = HashSet::new();
+        let mut remote_acked: HashSet<u64> = HashSet::new();
         let mut deferred: Vec<ArriveMsg> = Vec::new();
-        while acked.len() < expected {
+        let mut nack: Option<ReconfigAbortReason> = None;
+        while local_acked.len() < expected_local || remote_acked.len() < remote.len() {
             let remaining = deadline.saturating_duration_since(Instant::now());
-            if remaining.is_zero() {
+            if remaining.is_zero() || nack.is_some() {
                 break;
             }
             crossbeam::channel::select! {
                 recv(self.ack_rx) -> m => {
                     let Ok(ev) = m else { break };
                     let ack: ReconfigAckMsg = proto::decode(&ev.payload);
-                    if ack.coordinator == self.coordinator
-                        && ack.epoch == epoch
-                        && ack.processor < self.cfg.processors
-                    {
-                        acked.insert(ack.processor);
+                    if ack.coordinator == self.coordinator && ack.epoch == epoch {
+                        match ack.vote {
+                            ReconfigVote::Ack => {
+                                if ack.host == own_host && ack.processor < self.cfg.processors {
+                                    local_acked.insert(ack.processor);
+                                } else if remote.contains(&ack.host) {
+                                    remote_acked.insert(ack.host);
+                                }
+                            }
+                            ReconfigVote::Nack(reason) => {
+                                // A vetoing quorum member (it is fenced for
+                                // someone else's swap) fails the prepare
+                                // immediately — no point waiting out the
+                                // timeout.
+                                if ack.host == own_host || remote.contains(&ack.host) {
+                                    nack = Some(reason);
+                                }
+                            }
+                        }
                     }
                 }
                 recv(self.arrive_rx) -> m => {
@@ -174,18 +226,22 @@ impl Manager {
             }
         }
 
-        if acked.len() < expected {
+        let acked = local_acked.len() + remote_acked.len();
+        if acked < expected || nack.is_some() {
             // Abort: lift the fences, keep the old configuration, decide
             // the deferred arrivals under it. Nothing was applied anywhere,
             // so the rollback is exactly "publish abort".
+            let reason = nack.unwrap_or(ReconfigAbortReason::AckTimeout);
             let old = self.cfg.ac.config();
             self.publish_phase(epoch, ReconfigPhase::Abort, old);
-            self.cfg.stats.with(|r| r.reconfig_aborts += 1);
+            self.cfg.stats.with(|r| {
+                r.reconfig_aborts += 1;
+                r.reconfig_abort_reasons.record(reason);
+            });
             for msg in &deferred {
                 self.on_arrive(msg);
             }
-            let _ = reply
-                .send(Err(ReconfigureError::NodesUnresponsive { acked: acked.len(), expected }));
+            let _ = reply.send(Err(ReconfigureError::Aborted { reason, acked, expected }));
             return true;
         }
 
@@ -215,7 +271,8 @@ impl Manager {
             swap_latency,
             decisions_deferred,
             jobs_in_flight,
-            acked_nodes: expected,
+            acked_nodes: expected_local,
+            acked_remote: remote.len(),
         }));
         true
     }
@@ -223,12 +280,21 @@ impl Manager {
     fn publish_phase(&self, epoch: u64, phase: ReconfigPhase, services: ServiceConfig) {
         let msg = ReconfigMsg {
             coordinator: self.coordinator,
+            host: self.cfg.channel.host_id(),
             epoch,
             phase,
             services,
             sent_ns: self.cfg.clock.now().as_nanos(),
         };
         self.cfg.channel.publish(topics::RECONFIG, proto::encode(&msg));
+    }
+
+    /// The governor's boundary gauges, read from the ledger's
+    /// incrementally maintained per-processor totals. Computed only on a
+    /// [`ManagerCtl::SenseGauges`] probe (once per governor window) — the
+    /// admission and idle-reset hot paths pay nothing for sensing.
+    fn gauges(&self) -> (f64, f64) {
+        slack_and_imbalance(&self.cfg.ac.ledger().utilizations())
     }
 
     fn on_arrive(&mut self, msg: &ArriveMsg) {

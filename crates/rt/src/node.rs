@@ -190,16 +190,25 @@ impl Node {
     }
 
     /// One phase of a live reconfiguration (published by the AC on the
-    /// event channel — and possibly bridged in from a remote host, whose
-    /// coordinator id keeps it from cross-talking with a local swap).
+    /// event channel — and possibly bridged in from a remote host). Phases
+    /// whose coordinator lives on a *foreign* federation are ignored
+    /// outright: a bridged-in foreign swap concerns that host's nodes (and
+    /// this host's `QuorumMember`, if one is attached), never this node's
+    /// local configuration — so it can neither poison the fence nor
+    /// half-apply.
     fn on_reconfig(&mut self, msg: ReconfigMsg) {
+        if msg.host != self.cfg.channel.host_id() {
+            return;
+        }
         match msg.phase {
             ReconfigPhase::Prepare => {
                 self.fence = Some((msg.coordinator, msg.epoch));
                 let ack = ReconfigAckMsg {
                     coordinator: msg.coordinator,
                     epoch: msg.epoch,
+                    host: self.cfg.channel.host_id(),
                     processor: self.cfg.processor,
+                    vote: proto::ReconfigVote::Ack,
                     sent_ns: self.cfg.clock.now().as_nanos(),
                 };
                 self.cfg.channel.publish(topics::RECONFIG_ACK, proto::encode(&ack));

@@ -84,6 +84,44 @@ pub struct IdleResetMsg {
     pub started_ns: u64,
 }
 
+/// Why a two-phase reconfiguration was abandoned. Carried on the wire in
+/// [`ReconfigVote::Nack`], surfaced in `ReconfigureError::Aborted`, and
+/// accumulated per reason in `SystemReport::reconfig_abort_reasons` so
+/// governor-triggered aborts are diagnosable after the fact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ReconfigAbortReason {
+    /// Not every prepare-quorum member (local node or registered bridged
+    /// host) acknowledged before the ack timeout — the partition-safe
+    /// default outcome when a remote federation withholds its vote.
+    AckTimeout,
+    /// The target combination failed the §4.5 validity rule before any
+    /// phase was published.
+    Validation,
+    /// A quorum member refused the prepare because it was already fenced
+    /// for a *different* coordinator's in-flight swap.
+    ForeignCoordinator,
+}
+
+impl std::fmt::Display for ReconfigAbortReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ReconfigAbortReason::AckTimeout => "ack-timeout",
+            ReconfigAbortReason::Validation => "validation",
+            ReconfigAbortReason::ForeignCoordinator => "foreign-coordinator",
+        })
+    }
+}
+
+/// A prepare-quorum member's vote on a pending reconfiguration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReconfigVote {
+    /// The member fenced its fast paths and accepts the swap.
+    Ack,
+    /// The member refuses the swap (e.g. it is fenced for a different
+    /// coordinator); the coordinator must abort with the given reason.
+    Nack(ReconfigAbortReason),
+}
+
 /// Phase of the two-phase live-reconfiguration protocol (§5's run-time
 /// attribute modification, generalized to the whole `ServiceConfig`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -108,6 +146,12 @@ pub struct ReconfigMsg {
     /// stream from *another* host's coordinator can never satisfy a local
     /// prepare quorum, and nodes commit only the swap they fenced for.
     pub coordinator: u64,
+    /// Host identity of the coordinator's federation
+    /// (`Federation::host_id`). Local nodes ignore phases from foreign
+    /// hosts entirely — a bridged-in foreign commit can never half-apply —
+    /// while bridged quorum members use it to recognize foreign prepares
+    /// they must vote on.
+    pub host: u64,
     /// Monotone swap epoch within the coordinator; acks echo it so a slow
     /// ack for an abandoned swap can never satisfy a later one.
     pub epoch: u64,
@@ -120,17 +164,31 @@ pub struct ReconfigMsg {
     pub sent_ns: u64,
 }
 
-/// Node → AC: this processor fenced its fast paths for `(coordinator,
-/// epoch)`.
+/// Sentinel processor id used by bridged quorum members (which represent a
+/// whole host, not one of the coordinator's application processors), so a
+/// remote vote can never alias a local node's ack.
+pub const QUORUM_MEMBER_PROC: u16 = u16::MAX;
+
+/// Quorum member → AC: this member's vote on a prepare. Local nodes vote
+/// [`ReconfigVote::Ack`] with their own processor id and host; bridged
+/// federations vote through a `QuorumMember` carrying *their* host id and
+/// [`QUORUM_MEMBER_PROC`]. The coordinator commits only once every local
+/// processor **and** every registered remote host has acked.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ReconfigAckMsg {
-    /// The coordinator whose prepare is acknowledged.
+    /// The coordinator whose prepare is voted on.
     pub coordinator: u64,
-    /// The epoch being acknowledged.
+    /// The epoch being voted on.
     pub epoch: u64,
-    /// The acknowledging processor.
+    /// Host identity of the voting federation.
+    pub host: u64,
+    /// The acknowledging processor ([`QUORUM_MEMBER_PROC`] for bridged
+    /// hosts).
     pub processor: u16,
-    /// When the node published this ack (clock ns).
+    /// The vote.
+    pub vote: ReconfigVote,
+    /// When the voter published this message (clock ns on the voter's
+    /// clock).
     pub sent_ns: u64,
 }
 
@@ -213,6 +271,7 @@ mod tests {
     fn reconfig_round_trip() {
         let msg = ReconfigMsg {
             coordinator: 42,
+            host: 7,
             epoch: 3,
             phase: ReconfigPhase::Prepare,
             services: "T_T_J".parse().unwrap(),
@@ -221,9 +280,28 @@ mod tests {
         let back: ReconfigMsg = decode(&encode(&msg));
         assert_eq!(back, msg);
 
-        let ack = ReconfigAckMsg { coordinator: 42, epoch: 3, processor: 1, sent_ns: 120 };
+        let ack = ReconfigAckMsg {
+            coordinator: 42,
+            epoch: 3,
+            host: 7,
+            processor: 1,
+            vote: ReconfigVote::Ack,
+            sent_ns: 120,
+        };
         let back: ReconfigAckMsg = decode(&encode(&ack));
         assert_eq!(back, ack);
+
+        let nack = ReconfigAckMsg {
+            coordinator: 42,
+            epoch: 3,
+            host: 9,
+            processor: QUORUM_MEMBER_PROC,
+            vote: ReconfigVote::Nack(ReconfigAbortReason::ForeignCoordinator),
+            sent_ns: 130,
+        };
+        let back: ReconfigAckMsg = decode(&encode(&nack));
+        assert_eq!(back, nack);
+        assert_eq!(ReconfigAbortReason::AckTimeout.to_string(), "ack-timeout");
     }
 
     #[test]

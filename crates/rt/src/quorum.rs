@@ -1,0 +1,260 @@
+//! Bridged-host quorum membership: the voting delegate that makes a
+//! TCP-bridged federation a **full member** of the reconfiguration
+//! prepare quorum instead of a passive observer.
+//!
+//! Topology (the paper's multi-host testbed, upgraded from §5's
+//! observation to participation):
+//!
+//! 1. the coordinator host bridges `topics::RECONFIG` *out* and
+//!    `topics::RECONFIG_ACK` *back* over a `rtcm_events::remote` gateway;
+//! 2. the remote host attaches a [`QuorumMember`] to its federation and
+//!    the coordinator registers the member's host id via
+//!    `System::register_remote_voter`;
+//! 3. every subsequent swap's prepare now *requires* the member's vote:
+//!    it acks foreign prepares (fencing itself for exactly one coordinator
+//!    at a time), vetoes prepares that collide with a different
+//!    coordinator's in-flight swap (`ReconfigVote::Nack` with
+//!    [`ReconfigAbortReason::ForeignCoordinator`]), and releases its fence
+//!    on the matching commit/abort.
+//!
+//! Partition safety is timeout-symmetric: a member that cannot reach the
+//! coordinator simply never acks, and the coordinator aborts at its ack
+//! deadline with [`ReconfigAbortReason::AckTimeout`]; a member whose
+//! commit/abort was lost drops its stale fence after
+//! [`QuorumOptions::fence_timeout`] so one lost packet can never wedge the
+//! host out of all future quorums.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration as StdDuration, Instant};
+
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::Mutex;
+
+use rtcm_core::strategy::ServiceConfig;
+use rtcm_events::{topics, Federation, NodeId, UnknownNodeError};
+
+use crate::clock::Clock;
+use crate::proto::{
+    self, ReconfigAbortReason, ReconfigAckMsg, ReconfigMsg, ReconfigPhase, ReconfigVote,
+    QUORUM_MEMBER_PROC,
+};
+
+/// Tunables for a [`QuorumMember`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuorumOptions {
+    /// How long a fence may stand without its commit/abort arriving before
+    /// the member forgets it (lost-packet / partition recovery).
+    pub fence_timeout: StdDuration,
+}
+
+impl Default for QuorumOptions {
+    fn default() -> Self {
+        QuorumOptions { fence_timeout: StdDuration::from_secs(5) }
+    }
+}
+
+#[derive(Debug, Default)]
+struct MemberState {
+    /// Swap this member is currently fenced for: `(coordinator, epoch)`
+    /// plus when the fence was raised.
+    fence: Option<(u64, u64, Instant)>,
+    /// Configurations whose commits this member witnessed, in order.
+    commits: Vec<ServiceConfig>,
+    acks: u64,
+    nacks: u64,
+}
+
+/// A federation's voting delegate in foreign reconfiguration quorums.
+/// Dropping it stops voting (the coordinator will then abort on timeout —
+/// deregister the host first for a clean departure).
+pub struct QuorumMember {
+    host: u64,
+    hold: Arc<AtomicBool>,
+    state: Arc<Mutex<MemberState>>,
+    stop: Sender<()>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for QuorumMember {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QuorumMember").field("host", &self.host).finish()
+    }
+}
+
+impl QuorumMember {
+    /// Attaches a voting member to `federation`, publishing and consuming
+    /// through `node` (use a dedicated gateway-side node). Register the
+    /// returned [`QuorumMember::host_id`] at the coordinator to make this
+    /// host's vote required.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownNodeError`] if `node` is outside the federation.
+    pub fn attach(
+        federation: &Federation,
+        node: NodeId,
+        options: QuorumOptions,
+    ) -> Result<Self, UnknownNodeError> {
+        let handle = federation.handle(node)?;
+        let host = federation.host_id();
+        let reconfig_rx = handle.subscribe(topics::RECONFIG);
+        let hold = Arc::new(AtomicBool::new(false));
+        let state: Arc<Mutex<MemberState>> = Arc::new(Mutex::new(MemberState::default()));
+        let (stop_tx, stop_rx) = unbounded::<()>();
+        let clock = Clock::new();
+        let thread_hold = Arc::clone(&hold);
+        let thread_state = Arc::clone(&state);
+        let thread = std::thread::Builder::new()
+            .name("rtcm-quorum-member".into())
+            .spawn(move || loop {
+                crossbeam::channel::select! {
+                    recv(stop_rx) -> _ => { return }
+                    recv(reconfig_rx) -> m => {
+                        let Ok(ev) = m else { return };
+                        let msg: ReconfigMsg = proto::decode(&ev.payload);
+                        on_phase(
+                            &msg,
+                            host,
+                            &handle,
+                            clock,
+                            &thread_hold,
+                            &thread_state,
+                            options.fence_timeout,
+                        );
+                    }
+                    default(StdDuration::from_millis(20)) => {
+                        // Periodic fence-expiry sweep even when no events
+                        // arrive (a lost abort must not wedge the member).
+                        let mut s = thread_state.lock();
+                        expire_fence(&mut s, options.fence_timeout);
+                    }
+                }
+            })
+            .expect("spawn quorum member");
+        Ok(QuorumMember { host, hold, state, stop: stop_tx, thread: Some(thread) })
+    }
+
+    /// The host identity this member votes as (its federation's id).
+    #[must_use]
+    pub fn host_id(&self) -> u64 {
+        self.host
+    }
+
+    /// While holding, the member ignores prepares entirely — it neither
+    /// fences nor votes, simulating a partitioned or crashed host. The
+    /// coordinator's swap then aborts at the ack deadline.
+    pub fn set_holding(&self, hold: bool) {
+        self.hold.store(hold, Ordering::SeqCst);
+    }
+
+    /// Configurations whose commits this member witnessed, in order.
+    #[must_use]
+    pub fn observed_commits(&self) -> Vec<ServiceConfig> {
+        self.state.lock().commits.clone()
+    }
+
+    /// Prepares acked so far.
+    #[must_use]
+    pub fn ack_count(&self) -> u64 {
+        self.state.lock().acks
+    }
+
+    /// Prepares vetoed so far (foreign-coordinator collisions).
+    #[must_use]
+    pub fn nack_count(&self) -> u64 {
+        self.state.lock().nacks
+    }
+
+    /// True while the member is fenced for a pending foreign swap.
+    #[must_use]
+    pub fn is_fenced(&self) -> bool {
+        self.state.lock().fence.is_some()
+    }
+
+    /// Detaches the member, joining its thread.
+    pub fn shutdown(mut self) {
+        self.halt();
+    }
+
+    fn halt(&mut self) {
+        let _ = self.stop.send(());
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for QuorumMember {
+    fn drop(&mut self) {
+        self.halt();
+    }
+}
+
+fn expire_fence(state: &mut MemberState, fence_timeout: StdDuration) {
+    if let Some((_, _, raised)) = state.fence {
+        if raised.elapsed() >= fence_timeout {
+            state.fence = None;
+        }
+    }
+}
+
+fn on_phase(
+    msg: &ReconfigMsg,
+    host: u64,
+    handle: &rtcm_events::ChannelHandle,
+    clock: Clock,
+    hold: &AtomicBool,
+    state: &Arc<Mutex<MemberState>>,
+    fence_timeout: StdDuration,
+) {
+    // The member represents this host to *foreign* coordinators only; its
+    // own host's swaps are quorum'd by the local nodes.
+    if msg.host == host {
+        return;
+    }
+    let mut s = state.lock();
+    expire_fence(&mut s, fence_timeout);
+    match msg.phase {
+        ReconfigPhase::Prepare => {
+            if hold.load(Ordering::SeqCst) {
+                return; // partitioned: no fence, no vote
+            }
+            let vote = match s.fence {
+                // Fenced for a different coordinator's live swap: veto.
+                Some((c, _, _)) if c != msg.coordinator => {
+                    s.nacks += 1;
+                    ReconfigVote::Nack(ReconfigAbortReason::ForeignCoordinator)
+                }
+                // Free, or the same coordinator superseding its own epoch
+                // (a coordinator serializes its swaps, so the older one is
+                // dead): fence and ack.
+                _ => {
+                    s.fence = Some((msg.coordinator, msg.epoch, Instant::now()));
+                    s.acks += 1;
+                    ReconfigVote::Ack
+                }
+            };
+            let ack = ReconfigAckMsg {
+                coordinator: msg.coordinator,
+                epoch: msg.epoch,
+                host,
+                processor: QUORUM_MEMBER_PROC,
+                vote,
+                sent_ns: clock.now().as_nanos(),
+            };
+            handle.publish(topics::RECONFIG_ACK, proto::encode(&ack));
+        }
+        ReconfigPhase::Commit => {
+            if s.fence.is_some_and(|(c, e, _)| (c, e) == (msg.coordinator, msg.epoch)) {
+                s.fence = None;
+                s.commits.push(msg.services);
+            }
+        }
+        ReconfigPhase::Abort => {
+            if s.fence.is_some_and(|(c, e, _)| (c, e) == (msg.coordinator, msg.epoch)) {
+                s.fence = None;
+            }
+        }
+    }
+}

@@ -9,6 +9,43 @@ use serde::{Deserialize, Serialize};
 
 use rtcm_core::metrics::{DelayStats, UtilizationRatio};
 
+use crate::proto::ReconfigAbortReason;
+
+/// Per-reason counts of abandoned reconfigurations, so a governor's
+/// failed actuations are diagnosable from the report alone: `ack_timeout`
+/// and `foreign_coordinator` count protocol aborts (a prepare was
+/// published and rolled back — these also increment
+/// [`SystemReport::reconfig_aborts`]); `validation` counts targets
+/// refused before any phase was published.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReconfigAbortBreakdown {
+    /// Prepare quorum incomplete at the ack deadline (a node or a
+    /// registered bridged host never voted).
+    pub ack_timeout: u64,
+    /// Target failed the §4.5 validity rule.
+    pub validation: u64,
+    /// A quorum member refused the prepare because it was fenced for a
+    /// different coordinator's in-flight swap.
+    pub foreign_coordinator: u64,
+}
+
+impl ReconfigAbortBreakdown {
+    /// Counts one abort of the given reason.
+    pub fn record(&mut self, reason: ReconfigAbortReason) {
+        match reason {
+            ReconfigAbortReason::AckTimeout => self.ack_timeout += 1,
+            ReconfigAbortReason::Validation => self.validation += 1,
+            ReconfigAbortReason::ForeignCoordinator => self.foreign_coordinator += 1,
+        }
+    }
+
+    /// Total failed reconfiguration attempts across all reasons.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.ack_timeout + self.validation + self.foreign_coordinator
+    }
+}
+
 /// Snapshot of everything the runtime measured.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct SystemReport {
@@ -63,6 +100,24 @@ pub struct SystemReport {
     /// Largest number of jobs in flight observed at the commit point of
     /// any swap — how much live work each handover carried.
     pub reconfig_max_inflight: i64,
+    /// Per-reason breakdown of failed reconfiguration attempts (ack
+    /// timeout vs. validation vs. foreign coordinator).
+    pub reconfig_abort_reasons: ReconfigAbortBreakdown,
+
+    /// Gauge: AUB headroom `1 − max_p U_p` over the admission ledger's
+    /// per-processor synthetic utilizations. Refreshed by the manager once
+    /// per governor sensing window (after expiring the current set), so
+    /// the decision hot paths pay nothing for sensing; 0 until a governor
+    /// attaches and probes.
+    pub aub_slack: f64,
+    /// Gauge: synthetic-utilization spread `max_p U_p − min_p U_p`,
+    /// refreshed alongside [`SystemReport::aub_slack`].
+    pub util_imbalance: f64,
+    /// Sensing windows closed by an attached adaptation governor.
+    pub governor_windows: u64,
+    /// Committed swaps initiated by the governor (a subset of
+    /// [`SystemReport::reconfig_swaps`]).
+    pub governor_swaps: u64,
 }
 
 /// Thread-shared accumulator handed to every node.

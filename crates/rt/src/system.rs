@@ -2,16 +2,18 @@
 //! [`Deployment`] into running threads — one task-manager node plus one
 //! node per application processor, wired by the federated event channel.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::sync::Arc;
 use std::time::{Duration as StdDuration, Instant};
 
 use crossbeam::channel::{bounded, unbounded, Sender};
+use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
 use rtcm_config::Deployment;
 use rtcm_core::admission::AdmissionController;
+use rtcm_core::govern::GovernorPolicy;
 use rtcm_core::priority::Priority;
 use rtcm_core::reconfig::HandoverReport;
 use rtcm_core::strategy::{InvalidConfigError, ServiceConfig};
@@ -20,8 +22,10 @@ use rtcm_core::time::Duration;
 use rtcm_events::{Federation, Latency, NodeId};
 
 use crate::clock::Clock;
+use crate::govern::{spawn_governor_thread, GovernorHandle};
 use crate::manager::{run_manager, ManagerConfig, ManagerCtl};
 use crate::node::{inject, run_node, ExecMode, Injected, NodeConfig, NodeCtl};
+use crate::proto::ReconfigAbortReason;
 use crate::stats::{SharedStats, SystemReport};
 
 /// Runtime options.
@@ -113,12 +117,16 @@ impl std::error::Error for SubmitError {}
 pub enum ReconfigureError {
     /// The target combination violates the §4.5 validity rule.
     InvalidConfig(InvalidConfigError),
-    /// Not every node acknowledged the prepare phase before the ack
-    /// timeout; the swap was aborted and the old configuration restored.
-    NodesUnresponsive {
-        /// Nodes that acked in time.
+    /// The two-phase protocol aborted: the prepare quorum (every local
+    /// node plus every registered bridged host) was not satisfied — a
+    /// member stayed silent past the ack timeout, or vetoed the prepare.
+    /// The old configuration stays in force everywhere.
+    Aborted {
+        /// Why the swap was abandoned.
+        reason: ReconfigAbortReason,
+        /// Quorum members (local nodes + remote hosts) that acked in time.
         acked: usize,
-        /// Nodes that were expected to ack.
+        /// Quorum members expected to ack.
         expected: usize,
     },
     /// The system is shutting down.
@@ -129,10 +137,10 @@ impl fmt::Display for ReconfigureError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ReconfigureError::InvalidConfig(e) => write!(f, "{e}"),
-            ReconfigureError::NodesUnresponsive { acked, expected } => write!(
+            ReconfigureError::Aborted { reason, acked, expected } => write!(
                 f,
-                "reconfiguration aborted: only {acked} of {expected} nodes acknowledged the \
-                 prepare phase"
+                "reconfiguration aborted ({reason}): {acked} of {expected} quorum members \
+                 acknowledged the prepare phase"
             ),
             ReconfigureError::Closed => f.write_str("system is shut down"),
         }
@@ -158,9 +166,12 @@ pub struct ReconfigReport {
     /// Jobs somewhere between arrival and completion at the commit point —
     /// all carried across the swap with their guarantees intact.
     pub jobs_in_flight: i64,
-    /// Nodes that acknowledged the prepare phase (always all of them for a
-    /// committed swap).
+    /// Local nodes that acknowledged the prepare phase (always all of them
+    /// for a committed swap).
     pub acked_nodes: usize,
+    /// Registered bridged hosts that acknowledged the prepare phase
+    /// (always all of them for a committed swap).
+    pub acked_remote: usize,
 }
 
 impl fmt::Display for ReconfigReport {
@@ -201,21 +212,81 @@ impl fmt::Display for ReconfigReport {
 /// ```
 pub struct System {
     tasks: Arc<TaskSet>,
-    services: parking_lot::Mutex<ServiceConfig>,
+    swap: SwapClient,
     stats: Arc<SharedStats>,
     clock: Clock,
     federation: Federation,
+    remote_voters: Arc<Mutex<HashSet<u64>>>,
     injectors: Vec<Sender<Injected>>,
     mgr_shutdown: Sender<()>,
-    mgr_ctl: Sender<ManagerCtl>,
     node_ctls: Vec<Sender<NodeCtl>>,
     handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+/// The reconfiguration endpoint shared by [`System::reconfigure`] and the
+/// governor thread: the cached active configuration (whose lock doubles as
+/// the caller-serialization token) plus the manager control channel.
+#[derive(Clone)]
+pub(crate) struct SwapClient {
+    services: Arc<Mutex<ServiceConfig>>,
+    mgr_ctl: Sender<ManagerCtl>,
+}
+
+impl SwapClient {
+    /// The active configuration.
+    pub(crate) fn services(&self) -> ServiceConfig {
+        *self.services.lock()
+    }
+
+    /// Runs the two-phase protocol with the services lock held (concurrent
+    /// reconfigurers — callers and the governor — queue here, so the
+    /// cached value can never lag the manager's configuration).
+    pub(crate) fn reconfigure(
+        &self,
+        target: ServiceConfig,
+    ) -> Result<ReconfigReport, ReconfigureError> {
+        let mut services = self.services.lock();
+        self.run_swap(&mut services, target)
+    }
+
+    /// Asks the manager for fresh `(aub_slack, imbalance)` gauges (the
+    /// manager expires the current set first, so an idle system's gauges
+    /// still track entry expiry). `Err` once the system has shut down;
+    /// `Ok(None)` if the manager is tied up past `timeout` (e.g.
+    /// mid-prepare) — the caller keeps its previous gauges for that
+    /// window.
+    pub(crate) fn sense_gauges(
+        &self,
+        timeout: StdDuration,
+    ) -> Result<Option<(f64, f64)>, ReconfigureError> {
+        let (reply_tx, reply_rx) = bounded(1);
+        self.mgr_ctl
+            .send(ManagerCtl::SenseGauges { reply: reply_tx })
+            .map_err(|_| ReconfigureError::Closed)?;
+        Ok(reply_rx.recv_timeout(timeout).ok())
+    }
+
+    /// Validation (and its abort-reason accounting) lives in exactly one
+    /// place: the manager, which every reconfigure path funnels through.
+    fn run_swap(
+        &self,
+        services: &mut ServiceConfig,
+        target: ServiceConfig,
+    ) -> Result<ReconfigReport, ReconfigureError> {
+        let (reply_tx, reply_rx) = bounded(1);
+        self.mgr_ctl
+            .send(ManagerCtl::Reconfigure { target, reply: reply_tx })
+            .map_err(|_| ReconfigureError::Closed)?;
+        let report = reply_rx.recv().map_err(|_| ReconfigureError::Closed)??;
+        *services = target;
+        Ok(report)
+    }
 }
 
 impl fmt::Debug for System {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("System")
-            .field("services", &self.services.lock().label())
+            .field("services", &self.swap.services().label())
             .field("processors", &self.injectors.len())
             .finish()
     }
@@ -248,6 +319,7 @@ impl System {
 
         let (mgr_shutdown_tx, mgr_shutdown_rx) = unbounded();
         let (mgr_ctl_tx, mgr_ctl_rx) = unbounded();
+        let remote_voters: Arc<Mutex<HashSet<u64>>> = Arc::new(Mutex::new(HashSet::new()));
         // Subscribe every consumer on this thread, before any node runs, so
         // no early publication can be dropped for lack of subscribers.
         let mgr_channel = federation.handle(NodeId(0)).expect("node 0 exists");
@@ -262,6 +334,7 @@ impl System {
             stats: Arc::clone(&stats),
             processors: procs,
             ack_timeout: options.reconfig_ack_timeout,
+            remote_voters: Arc::clone(&remote_voters),
             shutdown_rx: mgr_shutdown_rx,
             ctl_rx: mgr_ctl_rx,
             arrive_rx: mgr_arrive_rx,
@@ -313,13 +386,13 @@ impl System {
 
         Ok(System {
             tasks,
-            services: parking_lot::Mutex::new(services),
+            swap: SwapClient { services: Arc::new(Mutex::new(services)), mgr_ctl: mgr_ctl_tx },
             stats,
             clock,
             federation,
+            remote_voters,
             injectors,
             mgr_shutdown: mgr_shutdown_tx,
-            mgr_ctl: mgr_ctl_tx,
             node_ctls,
             handles,
         })
@@ -328,7 +401,7 @@ impl System {
     /// The active strategy combination (reflects runtime reconfiguration).
     #[must_use]
     pub fn services(&self) -> ServiceConfig {
-        *self.services.lock()
+        self.swap.services()
     }
 
     /// Hot-swaps the **full service configuration** of the running system
@@ -347,25 +420,29 @@ impl System {
     ///    the commit is published, nodes adopt the new configuration, and
     ///    deferred decisions are made under it.
     ///
-    /// If a node fails to ack within `RtOptions::reconfig_ack_timeout`,
-    /// the swap **aborts**: an abort event lifts the fences, the old
-    /// configuration stays in force everywhere, and
-    /// [`ReconfigureError::NodesUnresponsive`] is returned — there is no
-    /// partially applied state.
+    /// If a quorum member fails to ack within
+    /// `RtOptions::reconfig_ack_timeout` (or vetoes the prepare), the swap
+    /// **aborts**: an abort event lifts the fences, the old configuration
+    /// stays in force everywhere, and [`ReconfigureError::Aborted`] is
+    /// returned with the reason — there is no partially applied state.
     ///
     /// Bridging `topics::RECONFIG` through a TCP gateway
     /// (`rtcm_events::remote`) makes the swap observable on remote
-    /// federations, the paper's multi-host testbed topology.
+    /// federations, the paper's multi-host testbed topology. Bridging
+    /// `topics::RECONFIG_ACK` *back* and registering the remote host via
+    /// [`System::register_remote_voter`] upgrades that host from observer
+    /// to **voting prepare-quorum member** (see `rtcm_rt::quorum`): its
+    /// ack becomes required for commit, and withholding it aborts the
+    /// swap with [`ReconfigAbortReason::AckTimeout`].
     ///
     /// # Errors
     ///
     /// [`ReconfigureError::InvalidConfig`] for §4.5-invalid targets
     /// (checked before anything is touched),
-    /// [`ReconfigureError::NodesUnresponsive`] for aborted swaps,
+    /// [`ReconfigureError::Aborted`] for aborted swaps,
     /// [`ReconfigureError::Closed`] after shutdown began.
     pub fn reconfigure(&self, target: ServiceConfig) -> Result<ReconfigReport, ReconfigureError> {
-        let mut services = self.services.lock();
-        self.run_swap(&mut services, target)
+        self.swap.reconfigure(target)
     }
 
     /// Hot-swaps only the idle-resetting strategy — a thin wrapper over
@@ -379,35 +456,92 @@ impl System {
     /// # Errors
     ///
     /// As [`System::reconfigure`] — in particular, a swap no node
-    /// acknowledged reports [`ReconfigureError::NodesUnresponsive`]
-    /// instead of silently half-applying.
+    /// acknowledged reports [`ReconfigureError::Aborted`] instead of
+    /// silently half-applying.
     pub fn reconfigure_ir(
         &self,
         ir: rtcm_core::strategy::IrStrategy,
     ) -> Result<ServiceConfig, ReconfigureError> {
-        let mut services = self.services.lock();
+        let mut services = self.swap.services.lock();
         let target = ServiceConfig::new(services.ac, ir, services.lb);
-        self.run_swap(&mut services, target)?;
+        self.swap.run_swap(&mut services, target)?;
         Ok(target)
     }
 
-    /// Runs the two-phase protocol with the services lock held (the lock
-    /// guard doubles as the caller-serialization token: concurrent
-    /// reconfigurers queue here, so the cached value can never lag the
-    /// manager's configuration).
-    fn run_swap(
+    /// Attaches an **adaptation governor**: a background task that closes
+    /// the sensing → policy → actuation loop every `window` by sampling
+    /// this system's report (accepted ratio, AUB slack, idle-reset and
+    /// deferral counters, per-processor imbalance — all maintained
+    /// incrementally on paths the runtime takes anyway), evaluating
+    /// `policy`, and actuating decisions through the same two-phase
+    /// protocol as [`System::reconfigure`]. The governor and manual
+    /// reconfigurers serialize on the same lock, so they can coexist.
+    ///
+    /// The returned [`GovernorHandle`] logs every decision with its
+    /// outcome; dropping it (or calling [`GovernorHandle::stop`]) detaches
+    /// the governor. The governor survives nothing it shouldn't: once the
+    /// system shuts down, its next actuation observes `Closed` and the
+    /// thread exits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`rtcm_core::govern::PolicyError`] for unusable policies
+    /// (invalid targets, zero hysteresis, non-finite thresholds).
+    pub fn spawn_governor(
         &self,
-        services: &mut ServiceConfig,
-        target: ServiceConfig,
-    ) -> Result<ReconfigReport, ReconfigureError> {
-        target.validate().map_err(ReconfigureError::InvalidConfig)?;
-        let (reply_tx, reply_rx) = bounded(1);
-        self.mgr_ctl
-            .send(ManagerCtl::Reconfigure { target, reply: reply_tx })
-            .map_err(|_| ReconfigureError::Closed)?;
-        let report = reply_rx.recv().map_err(|_| ReconfigureError::Closed)??;
-        *services = target;
-        Ok(report)
+        policy: GovernorPolicy,
+        window: StdDuration,
+    ) -> Result<GovernorHandle, rtcm_core::govern::PolicyError> {
+        spawn_governor_thread(
+            policy,
+            window,
+            Arc::clone(&self.stats),
+            self.swap.clone(),
+            self.clock,
+        )
+    }
+
+    /// Registers a TCP-bridged federation (by its `Federation::host_id`)
+    /// as a **required voting member** of every subsequent
+    /// reconfiguration's prepare quorum. The bridge must forward
+    /// `topics::RECONFIG` out and `topics::RECONFIG_ACK` back, and the
+    /// remote side must run a `rtcm_rt::quorum::QuorumMember` (or a full
+    /// system's equivalent) to cast the vote. A swap already in its
+    /// prepare window keeps the voter set it started with.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `host` is this system's own host id: local nodes already
+    /// vote under it (and a same-federation `QuorumMember` ignores
+    /// own-host prepares), so registering it could never be satisfied and
+    /// would wedge every subsequent swap into an ack-timeout abort.
+    pub fn register_remote_voter(&self, host: u64) {
+        assert_ne!(
+            host,
+            self.host_id(),
+            "register_remote_voter takes a *remote* federation's host id; this system's own \
+             nodes already vote under {host}"
+        );
+        self.remote_voters.lock().insert(host);
+    }
+
+    /// Removes a bridged federation from the prepare quorum (e.g. after a
+    /// planned partition). Unknown ids are ignored.
+    pub fn deregister_remote_voter(&self, host: u64) {
+        self.remote_voters.lock().remove(&host);
+    }
+
+    /// Registered remote voting hosts.
+    #[must_use]
+    pub fn remote_voter_count(&self) -> usize {
+        self.remote_voters.lock().len()
+    }
+
+    /// This system's federation host identity (convenience for wiring
+    /// cross-host quorums).
+    #[must_use]
+    pub fn host_id(&self) -> u64 {
+        self.federation.host_id()
     }
 
     /// The federated event channel this system runs on. Exposed so callers

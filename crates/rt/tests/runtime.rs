@@ -473,7 +473,14 @@ fn unacked_swap_aborts_without_partial_application() {
     let system = System::launch(&deployment, options).unwrap();
 
     let err = system.reconfigure("J_J_J".parse().unwrap()).unwrap_err();
-    assert_eq!(err, ReconfigureError::NodesUnresponsive { acked: 0, expected: 1 });
+    assert_eq!(
+        err,
+        ReconfigureError::Aborted {
+            reason: rtcm_rt::ReconfigAbortReason::AckTimeout,
+            acked: 0,
+            expected: 1
+        }
+    );
     assert_eq!(system.services().label(), "J_N_N", "old configuration stays in force");
 
     // The fence was lifted by the abort: the system still serves traffic.
@@ -483,9 +490,315 @@ fn unacked_swap_aborts_without_partial_application() {
     }
     let stats = system.shutdown();
     assert_eq!(stats.reconfig_aborts, 1);
+    assert_eq!(stats.reconfig_abort_reasons.ack_timeout, 1, "abort reason is diagnosable");
+    assert_eq!(stats.reconfig_abort_reasons.total(), 1);
     assert_eq!(stats.reconfig_swaps, 0);
     assert_eq!(stats.jobs_completed, 3);
     assert_eq!(stats.ir_reports, 0, "IR swap never applied anywhere");
+}
+
+/// Bridges RECONFIG out and RECONFIG_ACK back between a system and a
+/// remote federation, returning the remote side and the bridge handles.
+fn bridge_quorum(
+    system: &System,
+    gateway: rtcm_events::NodeId,
+) -> (rtcm_events::Federation, rtcm_events::BridgeHandle, rtcm_events::BridgeHandle) {
+    use rtcm_events::{remote, topics, Federation, Latency, NodeId};
+    let topics = vec![topics::RECONFIG, topics::RECONFIG_ACK];
+    let (addr, server) =
+        remote::listen(system.federation(), gateway, "127.0.0.1:0", topics.clone()).unwrap();
+    let remote_host = Federation::new(2, Latency::None, 0);
+    let client = remote::connect(&remote_host, NodeId(0), addr, topics).unwrap();
+    (remote_host, server, client)
+}
+
+#[test]
+fn bridged_host_vote_is_required_and_sufficient_for_commit() {
+    use rtcm_rt::{QuorumMember, QuorumOptions};
+
+    let system = launch(
+        "workload w\nprocessors 2\ntask t aperiodic deadline=200ms\n  subtask exec=1ms proc=0\n",
+        "J_N_N",
+    );
+    let (remote_host, _server, _client) = bridge_quorum(&system, rtcm_events::NodeId(1));
+    let member =
+        QuorumMember::attach(&remote_host, rtcm_events::NodeId(1), QuorumOptions::default())
+            .unwrap();
+    system.register_remote_voter(member.host_id());
+    assert_eq!(system.remote_voter_count(), 1);
+
+    let report = system.reconfigure("J_J_T".parse().unwrap()).unwrap();
+    assert_eq!(report.acked_nodes, 2, "both local nodes acked");
+    assert_eq!(report.acked_remote, 1, "the bridged federation voted");
+    assert_eq!(system.services().label(), "J_J_T");
+    assert_eq!(member.ack_count(), 1);
+    // The commit still has to cross the bridge to the member.
+    let deadline = std::time::Instant::now() + StdDuration::from_secs(5);
+    while member.is_fenced() {
+        assert!(std::time::Instant::now() < deadline, "commit never released the fence");
+        std::thread::sleep(StdDuration::from_millis(5));
+    }
+    assert_eq!(member.observed_commits(), vec!["J_J_T".parse().unwrap()]);
+
+    // A departing host deregisters cleanly; the next swap no longer needs
+    // its vote.
+    system.deregister_remote_voter(member.host_id());
+    let report = system.reconfigure("J_N_N".parse().unwrap()).unwrap();
+    assert_eq!(report.acked_remote, 0);
+    let _ = system.shutdown();
+}
+
+#[test]
+fn withheld_bridged_vote_aborts_with_ack_timeout() {
+    use rtcm_rt::{QuorumMember, QuorumOptions, ReconfigAbortReason, ReconfigureError};
+
+    let deployment = configure_with(
+        &spec("workload w\nprocessors 1\ntask t aperiodic deadline=200ms\n  subtask exec=1ms proc=0\n"),
+        "J_N_N".parse().unwrap(),
+    )
+    .unwrap();
+    let mut options = RtOptions::fast();
+    options.reconfig_ack_timeout = StdDuration::from_millis(300);
+    let system = System::launch(&deployment, options).unwrap();
+
+    let (remote_host, _server, _client) = bridge_quorum(&system, rtcm_events::NodeId(1));
+    let member =
+        QuorumMember::attach(&remote_host, rtcm_events::NodeId(1), QuorumOptions::default())
+            .unwrap();
+    system.register_remote_voter(member.host_id());
+
+    // Partition the member: it ignores prepares, so the quorum is one vote
+    // short and the swap must abort cleanly at the deadline.
+    member.set_holding(true);
+    let err = system.reconfigure("T_T_T".parse().unwrap()).unwrap_err();
+    assert_eq!(
+        err,
+        ReconfigureError::Aborted {
+            reason: ReconfigAbortReason::AckTimeout,
+            acked: 1,
+            expected: 2
+        }
+    );
+    assert_eq!(system.services().label(), "J_N_N", "no partial application");
+    assert_eq!(member.ack_count(), 0);
+
+    // Healing the partition restores the quorum.
+    member.set_holding(false);
+    assert!(system.reconfigure("T_T_T".parse().unwrap()).is_ok());
+    assert_eq!(system.services().label(), "T_T_T");
+
+    let stats = system.shutdown();
+    assert_eq!(stats.reconfig_abort_reasons.ack_timeout, 1);
+    assert_eq!(stats.reconfig_swaps, 1);
+}
+
+#[test]
+fn foreign_fenced_member_vetoes_the_prepare() {
+    use rtcm_rt::proto::{self, ReconfigMsg, ReconfigPhase};
+    use rtcm_rt::{QuorumMember, QuorumOptions, ReconfigAbortReason, ReconfigureError};
+
+    let system = launch(
+        "workload w\nprocessors 1\ntask t aperiodic deadline=200ms\n  subtask exec=1ms proc=0\n",
+        "J_N_N",
+    );
+    let (remote_host, _server, _client) = bridge_quorum(&system, rtcm_events::NodeId(1));
+    let member =
+        QuorumMember::attach(&remote_host, rtcm_events::NodeId(1), QuorumOptions::default())
+            .unwrap();
+    system.register_remote_voter(member.host_id());
+
+    // A different coordinator (another host mid-swap) fences the member
+    // first; publish its prepare directly into the remote federation.
+    let foreign = ReconfigMsg {
+        coordinator: 0xDEAD_BEEF,
+        host: 0xBAD_0057,
+        epoch: 1,
+        phase: ReconfigPhase::Prepare,
+        services: "T_T_T".parse().unwrap(),
+        sent_ns: 0,
+    };
+    remote_host
+        .handle(rtcm_events::NodeId(0))
+        .unwrap()
+        .publish(rtcm_events::topics::RECONFIG, proto::encode(&foreign));
+    let fenced_by = std::time::Instant::now() + StdDuration::from_secs(5);
+    while !member.is_fenced() {
+        assert!(std::time::Instant::now() < fenced_by, "member never fenced");
+        std::thread::sleep(StdDuration::from_millis(5));
+    }
+
+    // Our swap now collides with the foreign fence: the member vetoes and
+    // the coordinator aborts immediately with the carried reason.
+    let err = system.reconfigure("J_J_J".parse().unwrap()).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            ReconfigureError::Aborted { reason: ReconfigAbortReason::ForeignCoordinator, .. }
+        ),
+        "expected a foreign-coordinator abort, got {err}"
+    );
+    assert_eq!(member.nack_count(), 1);
+
+    let stats = system.shutdown();
+    assert_eq!(stats.reconfig_abort_reasons.foreign_coordinator, 1);
+}
+
+#[test]
+fn validation_refusals_are_counted_in_the_breakdown() {
+    let system = launch(
+        "workload w\nprocessors 1\ntask t periodic period=100ms\n  subtask exec=1ms proc=0\n",
+        "T_T_T",
+    );
+    // AC per task + IR per job is the §4.5 contradiction.
+    assert!(system.reconfigure("T_J_N".parse().unwrap()).is_err());
+    let stats = system.shutdown();
+    assert_eq!(stats.reconfig_abort_reasons.validation, 1);
+    assert_eq!(stats.reconfig_aborts, 0, "nothing was prepared, so no protocol abort");
+}
+
+#[test]
+fn governor_swaps_an_overloaded_system_automatically() {
+    use rtcm_core::govern::{GovernorPolicy, GovernorRule, Metric, Trigger};
+
+    // One processor; a heavy aperiodic alert (0.8 utilization per job)
+    // means only one job fits per deadline window — a flood collapses the
+    // accepted ratio well below 0.5.
+    let system = launch(
+        "workload w\nprocessors 1\n\
+         task scan periodic period=50ms\n  subtask exec=1ms proc=0\n\
+         task alert aperiodic deadline=100ms\n  subtask exec=80ms proc=0\n",
+        "J_N_N",
+    );
+    let policy = GovernorPolicy::new()
+        .rule(
+            GovernorRule::new(
+                "collapse-defense",
+                Metric::AcceptedRatio,
+                Trigger::Below(0.5),
+                2,
+                "T_T_T".parse().unwrap(),
+            )
+            .min_arrivals(3),
+        )
+        .cooldown(3);
+    let governor = system.spawn_governor(policy, StdDuration::from_millis(30)).unwrap();
+
+    // Flood: the governor must detect the collapse and swap on its own.
+    let deadline = std::time::Instant::now() + StdDuration::from_secs(10);
+    let mut seq = 0;
+    while system.services().label() == "J_N_N" {
+        assert!(std::time::Instant::now() < deadline, "governor never reacted");
+        let _ = system.submit(TaskId(0), seq);
+        let _ = system.submit(TaskId(1), seq);
+        seq += 1;
+        std::thread::sleep(StdDuration::from_millis(5));
+    }
+    assert_eq!(system.services().label(), "T_T_T", "defensive swap applied");
+
+    let events = governor.stop();
+    assert!(!events.is_empty());
+    assert_eq!(events[0].decision.rule_name, "collapse-defense");
+    assert!(events[0].outcome.is_ok(), "the swap committed");
+
+    assert!(system.quiesce(QUIESCE));
+    let stats = system.shutdown();
+    assert!(stats.governor_windows > 0);
+    assert_eq!(stats.governor_swaps, 1);
+    assert_eq!(stats.reconfig_swaps, 1, "the governor's swap is an ordinary two-phase swap");
+}
+
+#[test]
+fn governor_senses_slack_recovery_while_the_system_idles() {
+    use rtcm_core::govern::{GovernorPolicy, GovernorRule, Metric, Trigger};
+
+    // Utilization 0.5 per job: schedulable alone, but a flood collapses
+    // the ratio. After the flood stops, *nothing arrives anymore* — the
+    // slack-based relax rule can only fire if the governor's sensing
+    // tracks ledger expiry without being driven by arrivals.
+    let system = launch(
+        "workload w\nprocessors 1\n\
+         task alert aperiodic deadline=100ms\n  subtask exec=50ms proc=0\n",
+        "J_N_N",
+    );
+    let policy = GovernorPolicy::new()
+        .rule(
+            GovernorRule::new(
+                "defend",
+                Metric::AcceptedRatio,
+                Trigger::Below(0.5),
+                2,
+                "T_T_T".parse().unwrap(),
+            )
+            .min_arrivals(3),
+        )
+        .rule(GovernorRule::new(
+            "relax",
+            Metric::AubSlack,
+            Trigger::Above(0.9),
+            2,
+            "J_N_N".parse().unwrap(),
+        ))
+        .cooldown(2);
+    let governor = system.spawn_governor(policy, StdDuration::from_millis(30)).unwrap();
+
+    // Flood until the defensive swap lands.
+    let deadline = std::time::Instant::now() + StdDuration::from_secs(10);
+    let mut seq = 0;
+    while system.services().label() != "T_T_T" {
+        assert!(std::time::Instant::now() < deadline, "defend never fired");
+        let _ = system.submit(TaskId(0), seq);
+        seq += 1;
+        std::thread::sleep(StdDuration::from_millis(5));
+    }
+
+    // Storm over: no further submissions. Entries expire within 100 ms;
+    // the per-window gauge probe must observe the recovered slack and
+    // relax — an arrival-driven gauge would stay stale forever here.
+    assert!(system.quiesce(QUIESCE));
+    let deadline = std::time::Instant::now() + StdDuration::from_secs(10);
+    while system.services().label() != "J_N_N" {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "relax never fired: idle slack was not sensed"
+        );
+        std::thread::sleep(StdDuration::from_millis(10));
+    }
+
+    let events = governor.stop();
+    assert!(events.iter().any(|e| e.decision.rule_name == "relax" && e.outcome.is_ok()));
+    let stats = system.shutdown();
+    assert!(stats.governor_swaps >= 2, "defend and relax both committed");
+    assert!(stats.aub_slack > 0.9, "the probed gauge reflects the drained ledger");
+}
+
+#[test]
+fn governor_with_never_firing_policy_is_inert() {
+    use rtcm_core::govern::{GovernorPolicy, GovernorRule, Metric, Trigger};
+
+    let system = launch(
+        "workload w\nprocessors 1\ntask t aperiodic deadline=200ms\n  subtask exec=1ms proc=0\n",
+        "J_N_N",
+    );
+    let policy = GovernorPolicy::new().rule(GovernorRule::new(
+        "impossible",
+        Metric::AcceptedRatio,
+        Trigger::Below(-1.0),
+        1,
+        "T_T_T".parse().unwrap(),
+    ));
+    let governor = system.spawn_governor(policy, StdDuration::from_millis(10)).unwrap();
+    for seq in 0..5 {
+        system.submit(TaskId(0), seq).unwrap();
+        assert!(system.quiesce(QUIESCE));
+    }
+    std::thread::sleep(StdDuration::from_millis(50));
+    let events = governor.stop();
+    assert!(events.is_empty(), "no rule fired");
+    assert_eq!(system.services().label(), "J_N_N");
+    let stats = system.shutdown();
+    assert!(stats.governor_windows > 0, "the governor sensed windows");
+    assert_eq!(stats.governor_swaps, 0);
+    assert_eq!(stats.jobs_completed, 5);
 }
 
 #[test]

@@ -30,6 +30,10 @@ use serde::{Deserialize, Serialize};
 
 use rtcm_core::admission::{AcStats, AdmissionController, Decision};
 use rtcm_core::balance::Assignment;
+use rtcm_core::govern::{
+    slack_and_imbalance, CumulativeLoad, Governor, GovernorPolicy, PolicyError, WindowMetrics,
+    WindowSensor,
+};
 use rtcm_core::ledger::ContributionKey;
 use rtcm_core::metrics::{DelayStats, UtilizationRatio};
 use rtcm_core::priority::{assign_edms, Priority};
@@ -95,12 +99,18 @@ pub struct SimReport {
     pub skip_runs: Vec<(TaskId, u32)>,
     /// Longest skip run across all tasks.
     pub max_consecutive_skips: u32,
-    /// Mode switches executed from the [`ModeSchedule`] (0 for static
-    /// runs).
+    /// Mode switches executed — scheduled ([`ModeSchedule`]) plus
+    /// governor-decided (0 for static runs).
     pub mode_switches: u64,
-    /// One ledger-handover report per executed mode switch, in schedule
+    /// One ledger-handover report per executed mode switch, in execution
     /// order.
     pub mode_changes: Vec<HandoverReport>,
+    /// Sensing windows closed by the governor ([`simulate_governed`]; 0
+    /// otherwise).
+    pub governor_windows: u64,
+    /// Mode switches decided by the governor (a subset of
+    /// [`SimReport::mode_switches`]).
+    pub governor_swaps: u64,
     /// Virtual time when the last event fired.
     pub end: Time,
 }
@@ -122,6 +132,9 @@ pub enum SimError {
         /// The offending combination.
         services: ServiceConfig,
     },
+    /// The governor policy is unusable (invalid rule target, zero
+    /// hysteresis, non-finite threshold) — see [`simulate_governed`].
+    InvalidPolicy(PolicyError),
 }
 
 impl fmt::Display for SimError {
@@ -135,6 +148,7 @@ impl fmt::Display for SimError {
                 f,
                 "distributed admission control supports only J_N_* combinations, got {services}"
             ),
+            SimError::InvalidPolicy(e) => write!(f, "invalid governor policy: {e}"),
         }
     }
 }
@@ -152,6 +166,10 @@ enum Ev {
     Arrival(usize),
     ManagerRecv(ManagerReq),
     ManagerDone,
+    /// A governor sensing window closes: difference the cumulative
+    /// counters, evaluate the policy, possibly reconfigure. Ticks chain
+    /// themselves while the trace horizon lasts.
+    GovernorTick,
     Release {
         job: JobId,
         subtask: usize,
@@ -316,6 +334,95 @@ pub fn simulate_recorded_with_schedule(
     Ok((report, records.expect("recording was enabled")))
 }
 
+/// One governor-decided mode switch of a governed simulation, with full
+/// provenance: when, which rule, and what the ledger handover did.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GovernedSwitch {
+    /// Virtual instant of the switch.
+    pub at: Time,
+    /// Sensing window ordinal (1-based) in which the rule fired.
+    pub window: u64,
+    /// Name of the rule that fired.
+    pub rule: String,
+    /// Configuration left behind.
+    pub from: ServiceConfig,
+    /// Configuration entered.
+    pub to: ServiceConfig,
+    /// The admission-state handover executed at the switch.
+    pub handover: HandoverReport,
+}
+
+/// Everything a governed run's sensing loop observed: one metrics row per
+/// window plus every switch decision — the raw material for tuning
+/// policies offline before they govern a live system.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct GovernorTrace {
+    /// `(window end, metrics)` per closed sensing window.
+    pub windows: Vec<(Time, WindowMetrics)>,
+    /// Governor-decided switches, in execution order.
+    pub switches: Vec<GovernedSwitch>,
+}
+
+/// Runs a **governed** simulation: no pre-programmed [`ModeSchedule`] —
+/// instead a [`GovernorPolicy`] senses the load every `window` of virtual
+/// time and reconfigures the system itself when a rule's hysteresis is
+/// satisfied, exactly as `System::spawn_governor` does on the threaded
+/// runtime (same `rtcm_core::govern` state machine, so a policy tuned
+/// here transfers verbatim).
+///
+/// Each window's metrics are produced **incrementally**: cumulative
+/// counters the simulation maintains anyway are differenced in O(1), and
+/// the AUB slack / imbalance gauges read the ledger's per-processor
+/// totals, which the admission funnel keeps current — the same
+/// touched-set discipline as the incremental admission path, so a
+/// governed run never pays a per-window rescan of jobs or contributions
+/// (the brute-force rescan survives as the differential oracle in the
+/// tests).
+///
+/// # Errors
+///
+/// As [`simulate`], plus [`SimError::InvalidPolicy`] for unusable
+/// policies (checked before the run starts).
+///
+/// # Panics
+///
+/// Panics if `window` is zero.
+pub fn simulate_governed(
+    tasks: &TaskSet,
+    trace: &ArrivalTrace,
+    config: &SimConfig,
+    policy: &GovernorPolicy,
+    window: Duration,
+) -> Result<(SimReport, GovernorTrace), SimError> {
+    let mut sim = Simulation::new(tasks, trace, config, false)?;
+    sim.attach_governor(policy, window)?;
+    let (report, gov_trace, _) = sim.run_full()?;
+    Ok((report, gov_trace))
+}
+
+/// [`simulate_governed`] plus per-job records, for bucketed acceptance
+/// analysis of governed runs.
+///
+/// # Errors
+///
+/// As [`simulate_governed`].
+///
+/// # Panics
+///
+/// Panics if `window` is zero.
+pub fn simulate_governed_recorded(
+    tasks: &TaskSet,
+    trace: &ArrivalTrace,
+    config: &SimConfig,
+    policy: &GovernorPolicy,
+    window: Duration,
+) -> Result<(SimReport, GovernorTrace, Vec<JobRecord>), SimError> {
+    let mut sim = Simulation::new(tasks, trace, config, true)?;
+    sim.attach_governor(policy, window)?;
+    let (report, gov_trace, records) = sim.run_full()?;
+    Ok((report, gov_trace, records.expect("recording was enabled")))
+}
+
 /// One contiguous stretch of a subjob executing on a processor —
 /// Gantt-chart material from [`simulate_traced`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -414,9 +521,22 @@ struct Simulation<'a> {
     skips: rtcm_core::metrics::SkipTracker,
     /// Timed mode changes to apply (empty for static runs).
     schedule: Vec<ModeChange>,
+    /// Closed-loop governor state (None for ungoverned runs).
+    gov: Option<GovState>,
     /// Distributed-architecture state (empty in centralized mode).
     distributed: bool,
     node_acs: Vec<AdmissionController>,
+}
+
+/// Everything a governed run threads through its sensing ticks.
+struct GovState {
+    governor: Governor,
+    sensor: WindowSensor,
+    window: Duration,
+    /// Last instant a tick may fire (one window past the final arrival, so
+    /// the tail window is still sensed).
+    horizon: Time,
+    trace: GovernorTrace,
 }
 
 impl<'a> Simulation<'a> {
@@ -468,14 +588,42 @@ impl<'a> Simulation<'a> {
                 max_consecutive_skips: 0,
                 mode_switches: 0,
                 mode_changes: Vec::new(),
+                governor_windows: 0,
+                governor_swaps: 0,
                 end: Time::ZERO,
             },
             records: if record_jobs { Some((Vec::new(), HashMap::new())) } else { None },
             skips: rtcm_core::metrics::SkipTracker::new(),
             schedule: Vec::new(),
+            gov: None,
             distributed: false,
             node_acs: Vec::new(),
         })
+    }
+
+    /// Arms the closed-loop governor: validates `policy` and computes the
+    /// sensing horizon from the trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero (a zero-width sensing window would tick
+    /// forever at one instant).
+    fn attach_governor(
+        &mut self,
+        policy: &GovernorPolicy,
+        window: Duration,
+    ) -> Result<(), SimError> {
+        assert!(!window.is_zero(), "governor window must be positive");
+        let governor = Governor::new(policy.clone()).map_err(SimError::InvalidPolicy)?;
+        let horizon = self.trace.arrivals().last().map_or(Time::ZERO, |a| a.time) + window;
+        self.gov = Some(GovState {
+            governor,
+            sensor: WindowSensor::new(),
+            window,
+            horizon,
+            trace: GovernorTrace::default(),
+        });
+        Ok(())
     }
 
     /// Enqueues every scheduled mode switch. Called before the first
@@ -489,8 +637,20 @@ impl<'a> Simulation<'a> {
         }
     }
 
-    fn run(mut self) -> Result<(SimReport, Option<Vec<JobRecord>>), SimError> {
+    fn run(self) -> Result<(SimReport, Option<Vec<JobRecord>>), SimError> {
+        let (report, _, records) = self.run_full()?;
+        Ok((report, records))
+    }
+
+    fn run_full(mut self) -> Result<(SimReport, GovernorTrace, Option<Vec<JobRecord>>), SimError> {
         self.schedule_mode_switches();
+        if let Some(gov) = &self.gov {
+            // First sensing tick one window in; ticks chain themselves.
+            let first = Time::ZERO + gov.window;
+            if first <= gov.horizon {
+                self.schedule(first, Ev::GovernorTick);
+            }
+        }
         if !self.trace.is_empty() {
             let t = self.trace.arrivals()[0].time;
             self.schedule(t, Ev::Arrival(0));
@@ -521,7 +681,8 @@ impl<'a> Simulation<'a> {
         }
         self.report.skip_runs = self.skips.per_task();
         self.report.max_consecutive_skips = self.skips.worst_case();
-        Ok((self.report, self.records.map(|(records, _)| records)))
+        let gov_trace = self.gov.map(|g| g.trace).unwrap_or_default();
+        Ok((self.report, gov_trace, self.records.map(|(records, _)| records)))
     }
 
     /// [`run`](Self::run) plus execution-span extraction from the CPUs'
@@ -624,6 +785,7 @@ impl<'a> Simulation<'a> {
             }
             Ev::CpuComplete { proc, gen } => self.on_cpu_complete(proc, gen),
             Ev::ModeSwitch(idx) => self.on_mode_switch(idx),
+            Ev::GovernorTick => self.on_governor_tick(),
             Ev::CommitSync { node, job, arrival, assignment } => {
                 let task = self.tasks.get(job.task).expect("validated in new()");
                 let ac = &mut self.node_acs[node];
@@ -639,10 +801,15 @@ impl<'a> Simulation<'a> {
     /// at every node.
     fn on_mode_switch(&mut self, idx: usize) {
         let target = self.schedule[idx].services;
+        self.apply_switch(target);
+    }
+
+    /// The commit point shared by scheduled and governed switches.
+    fn apply_switch(&mut self, target: ServiceConfig) -> HandoverReport {
         let handover = self
             .ac
             .reconfigure(target, self.now, self.tasks)
-            .expect("schedules are validated before the run starts");
+            .expect("switch targets are validated before the run starts");
         self.services = target;
         self.te_cache.clear();
         for resetter in &mut self.resetters {
@@ -650,6 +817,49 @@ impl<'a> Simulation<'a> {
         }
         self.report.mode_switches += 1;
         self.report.mode_changes.push(handover);
+        handover
+    }
+
+    /// Closes one governor sensing window: O(1) counter deltas + ledger
+    /// gauge reads (the incrementally maintained per-processor totals), a
+    /// pure policy evaluation, and — if a rule fired — the same commit
+    /// point a scheduled switch takes.
+    fn on_governor_tick(&mut self) {
+        let Some(mut gov) = self.gov.take() else { return };
+        // Clean the current set up to the boundary so the gauges reflect
+        // live entries only (heap-incremental, like any arrival).
+        self.ac.expire(self.now);
+        let cum = CumulativeLoad {
+            arrived_jobs: self.report.ratio.arrived_jobs(),
+            arrived_utilization: self.report.ratio.arrived_utilization(),
+            released_utilization: self.report.ratio.released_utilization(),
+            ir_reports: self.report.ir_reports,
+            // The simulator's switches are instantaneous: no prepare
+            // window, so nothing is ever deferred.
+            deferred: 0,
+        };
+        let (slack, imbalance) = slack_and_imbalance(&self.ac.ledger().utilizations());
+        let metrics = gov.sensor.sample(cum, slack, imbalance);
+        self.report.governor_windows += 1;
+        gov.trace.windows.push((self.now, metrics));
+        if let Some(decision) = gov.governor.observe(self.services, &metrics) {
+            let from = self.services;
+            let handover = self.apply_switch(decision.target);
+            self.report.governor_swaps += 1;
+            gov.trace.switches.push(GovernedSwitch {
+                at: self.now,
+                window: decision.window,
+                rule: decision.rule_name,
+                from,
+                to: decision.target,
+                handover,
+            });
+        }
+        let next = self.now + gov.window;
+        if next <= gov.horizon {
+            self.schedule(next, Ev::GovernorTick);
+        }
+        self.gov = Some(gov);
     }
 
     fn on_arrival(&mut self, idx: usize) {
@@ -1238,6 +1448,269 @@ mod tests {
         assert_eq!(records.len(), trace.len());
         let released = records.iter().filter(|r| r.released).count() as u64;
         assert_eq!(released, a.ratio.released_jobs());
+    }
+
+    fn inert_policy() -> GovernorPolicy {
+        use rtcm_core::govern::{GovernorRule, Metric, Trigger};
+        GovernorPolicy::new().rule(GovernorRule::new(
+            "impossible",
+            Metric::AcceptedRatio,
+            Trigger::Below(-1.0),
+            1,
+            "T_T_T".parse().unwrap(),
+        ))
+    }
+
+    #[test]
+    fn governed_run_with_inert_policy_matches_plain_run() {
+        let tasks = one_task_set();
+        let trace = trace_for(&tasks, 2_000);
+        let cfg = SimConfig::new("J_J_T".parse().unwrap());
+        let plain = simulate(&tasks, &trace, &cfg).unwrap();
+        let (governed, gov_trace) =
+            simulate_governed(&tasks, &trace, &cfg, &inert_policy(), Duration::from_millis(100))
+                .unwrap();
+        assert!(governed.governor_windows > 10, "the sensing loop ran");
+        assert_eq!(governed.governor_swaps, 0);
+        assert!(gov_trace.switches.is_empty());
+        assert_eq!(gov_trace.windows.len() as u64, governed.governor_windows);
+        // Sensing must be a pure observer: everything except the
+        // governor's own counters (and the end instant, which the tail
+        // sensing tick can extend) matches the ungoverned run exactly.
+        let mut normalized = governed.clone();
+        normalized.governor_windows = 0;
+        normalized.end = plain.end;
+        assert_eq!(normalized, plain);
+    }
+
+    #[test]
+    fn invalid_governor_policy_is_rejected_before_the_run() {
+        use rtcm_core::govern::{GovernorRule, Metric, Trigger};
+        let tasks = one_task_set();
+        let trace = trace_for(&tasks, 200);
+        let bad_target = ServiceConfig::new(
+            rtcm_core::strategy::AcStrategy::PerTask,
+            rtcm_core::strategy::IrStrategy::PerJob,
+            rtcm_core::strategy::LbStrategy::None,
+        );
+        let policy = GovernorPolicy::new().rule(GovernorRule::new(
+            "bad",
+            Metric::AcceptedRatio,
+            Trigger::Below(0.5),
+            1,
+            bad_target,
+        ));
+        let cfg = SimConfig::ideal("J_N_N".parse().unwrap());
+        assert!(matches!(
+            simulate_governed(&tasks, &trace, &cfg, &policy, Duration::from_millis(100)),
+            Err(SimError::InvalidPolicy(_))
+        ));
+    }
+
+    /// The incremental window sensor against the brute-force oracle: every
+    /// window's arrived/released figures recomputed by a full rescan of
+    /// the per-job records must match the O(1) counter deltas exactly —
+    /// the same differential discipline the incremental admission path is
+    /// held to.
+    #[test]
+    fn governed_window_sensing_matches_brute_rescan_oracle() {
+        let mk = |id: u32, proc: u16| {
+            TaskBuilder::aperiodic(TaskId(id))
+                .deadline(Duration::from_millis(100))
+                .subtask(Duration::from_millis(40), ProcessorId(proc), [])
+                .build()
+                .unwrap()
+        };
+        let tasks = TaskSet::from_tasks([mk(0, 0), mk(1, 0), mk(2, 1)]).unwrap();
+        // Heavy aperiodic pressure: plenty of accepts *and* rejects.
+        let trace = ArrivalTrace::generate(
+            &tasks,
+            &ArrivalConfig {
+                horizon: Duration::from_secs(5),
+                poisson_factor: 0.5,
+                phasing: Phasing::Simultaneous,
+            },
+            3,
+        );
+        // Ideal overheads: decisions land at the arrival instant, so
+        // bucketing records by arrival time is an exact oracle. The odd
+        // window length keeps tick boundaries off any arrival instant.
+        let cfg = SimConfig::ideal("J_N_N".parse().unwrap());
+        let window = Duration::from_millis(333);
+        let (report, gov_trace, records) =
+            simulate_governed_recorded(&tasks, &trace, &cfg, &inert_policy(), window).unwrap();
+        assert!(gov_trace.windows.len() > 10);
+        assert_eq!(report.governor_windows as usize, gov_trace.windows.len());
+        assert!(report.ac.rejected > 0, "the fixture must exercise rejections");
+
+        let mut prev = Time::ZERO;
+        for (end, metrics) in &gov_trace.windows {
+            let mut arrived_jobs = 0u64;
+            let mut arrived_u = 0.0;
+            let mut released_u = 0.0;
+            for r in &records {
+                if r.arrival > prev && r.arrival <= *end {
+                    arrived_jobs += 1;
+                    arrived_u += r.utilization;
+                    if r.released {
+                        released_u += r.utilization;
+                    }
+                }
+            }
+            assert_eq!(metrics.arrived_jobs, arrived_jobs, "window ending {end}");
+            assert!(
+                (metrics.arrived_utilization - arrived_u).abs() < 1e-9,
+                "window ending {end}: incremental {} vs rescan {arrived_u}",
+                metrics.arrived_utilization
+            );
+            assert!(
+                (metrics.released_utilization - released_u).abs() < 1e-9,
+                "window ending {end}: incremental {} vs rescan {released_u}",
+                metrics.released_utilization
+            );
+            prev = *end;
+        }
+        // Window deltas telescope back to the run totals.
+        let total: f64 = gov_trace.windows.iter().map(|(_, m)| m.arrived_utilization).sum();
+        assert!((total - report.ratio.arrived_utilization()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn governor_recovers_a_burst_without_a_schedule() {
+        use rtcm_workload::BurstScenario;
+        // A healthy (0.3-target) baseline: pre-burst windows accept well
+        // above the collapse threshold, so the defense provably reacts to
+        // the burst itself.
+        let scenario = BurstScenario {
+            horizon: Duration::from_secs(60),
+            burst_start: Duration::from_secs(20),
+            burst_duration: Duration::from_secs(20),
+            intensity: 10.0,
+            workload: rtcm_workload::RandomWorkload {
+                target_utilization: 0.3,
+                ..Default::default()
+            },
+            ..BurstScenario::default()
+        };
+        let (tasks, trace) = scenario.generate(7).unwrap();
+        let baseline: ServiceConfig = "J_N_N".parse().unwrap();
+        let defensive: ServiceConfig = "T_T_T".parse().unwrap();
+        let cfg = SimConfig::new(baseline);
+        let policy = GovernorPolicy::defensive_recovery(baseline, defensive);
+
+        let (_, static_records) = simulate_recorded(&tasks, &trace, &cfg).unwrap();
+        let (governed, gov_trace, governed_records) =
+            simulate_governed_recorded(&tasks, &trace, &cfg, &policy, Duration::from_secs(2))
+                .unwrap();
+
+        assert!(governed.governor_swaps >= 1, "the collapse must trip the defense");
+        let switch = &gov_trace.switches[0];
+        assert_eq!(switch.rule, "collapse-defense");
+        assert_eq!(switch.to, defensive);
+        assert!(
+            switch.at >= Time::ZERO + scenario.burst_start,
+            "the defense reacts to the burst, not the baseline load"
+        );
+
+        // Recovery: from the switch to the burst end, the governed run
+        // must accept more utilization than the static baseline.
+        let lo = switch.at;
+        let hi = Time::ZERO + scenario.burst_end();
+        let ratio = |records: &[JobRecord]| {
+            let mut arrived = 0.0;
+            let mut released = 0.0;
+            for r in records.iter().filter(|r| r.arrival >= lo && r.arrival < hi) {
+                arrived += r.utilization;
+                if r.released {
+                    released += r.utilization;
+                }
+            }
+            if arrived > 0.0 {
+                released / arrived
+            } else {
+                1.0
+            }
+        };
+        let static_ratio = ratio(&static_records);
+        let governed_ratio = ratio(&governed_records);
+        assert!(
+            governed_ratio > static_ratio,
+            "governed {governed_ratio:.3} must beat static {static_ratio:.3} after the switch"
+        );
+        assert_eq!(governed.deadline_misses, 0, "recovery never sacrifices guarantees");
+    }
+
+    /// Satellite: bounded swaps under an oscillating load trace — the
+    /// hysteresis + cooldown must keep the governed system from flapping.
+    #[test]
+    fn governor_hysteresis_bounds_swaps_under_oscillating_load() {
+        use rtcm_core::govern::{GovernorRule, Metric, Trigger};
+        use rtcm_workload::Arrival;
+
+        // Utilization 0.5 per job: schedulable alone (f(0.5) = 0.75), but
+        // any two concurrent jobs break the bound — a flood collapses the
+        // ratio, a calm trickle accepts everything.
+        let heavy = TaskBuilder::aperiodic(TaskId(0))
+            .deadline(Duration::from_millis(100))
+            .subtask(Duration::from_millis(50), ProcessorId(0), [])
+            .build()
+            .unwrap();
+        let tasks = TaskSet::from_tasks([heavy]).unwrap();
+
+        // Alternating seconds of flood (collapse) and calm (recovery),
+        // phase-shifted off the window grid.
+        let mut arrivals = Vec::new();
+        let mut seq = 0;
+        for second in 0..12u64 {
+            let flood = second % 2 == 0;
+            let step_ms = if flood { 10 } else { 450 };
+            let mut t = second * 1_000 + 5;
+            while t < (second + 1) * 1_000 {
+                arrivals.push(Arrival {
+                    time: Time::ZERO + Duration::from_millis(t),
+                    task: TaskId(0),
+                    seq,
+                });
+                seq += 1;
+                t += step_ms;
+            }
+        }
+        let trace = ArrivalTrace::from_arrivals(arrivals);
+
+        let policy = GovernorPolicy::new()
+            .rule(GovernorRule::new(
+                "defend",
+                Metric::AcceptedRatio,
+                Trigger::Below(0.5),
+                2,
+                "J_J_N".parse().unwrap(),
+            ))
+            .rule(GovernorRule::new(
+                "relax",
+                Metric::AcceptedRatio,
+                Trigger::Above(0.9),
+                2,
+                "J_N_N".parse().unwrap(),
+            ))
+            .cooldown(3);
+        let cfg = SimConfig::ideal("J_N_N".parse().unwrap());
+        let window = Duration::from_millis(250);
+        let (report, gov_trace) = simulate_governed(&tasks, &trace, &cfg, &policy, window).unwrap();
+
+        let windows = report.governor_windows;
+        // Streaks keep accumulating during cooldown, so the minimum gap
+        // between swaps is cooldown + 1 windows.
+        let bound = windows / (3 + 1) + 1;
+        assert!(
+            report.governor_swaps <= bound,
+            "{} swaps in {windows} windows exceeds the anti-flapping bound {bound}",
+            report.governor_swaps
+        );
+        assert!(report.governor_swaps >= 2, "sustained blocks must still adapt");
+        assert_eq!(report.governor_swaps as usize, gov_trace.switches.len());
+        // Deterministic replay.
+        let (again, _) = simulate_governed(&tasks, &trace, &cfg, &policy, window).unwrap();
+        assert_eq!(report, again);
     }
 
     #[test]

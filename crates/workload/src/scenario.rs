@@ -91,98 +91,281 @@ impl BurstScenario {
     /// intensity or factor, burst outside the horizon) or unsatisfiable
     /// workload shapes.
     pub fn generate(&self, seed: u64) -> Result<(TaskSet, ArrivalTrace), WorkloadError> {
-        if !(self.intensity.is_finite() && self.intensity >= 1.0) {
-            return Err(WorkloadError::Parameters(format!(
-                "burst intensity {} must be finite and >= 1",
-                self.intensity
-            )));
-        }
-        if !(self.poisson_factor.is_finite() && self.poisson_factor > 0.0) {
-            return Err(WorkloadError::Parameters(format!(
-                "poisson factor {} must be positive and finite",
-                self.poisson_factor
-            )));
-        }
-        if self.burst_end() > self.horizon {
-            return Err(WorkloadError::Parameters(format!(
-                "burst window [{}, {}) extends beyond the horizon {}",
-                self.burst_start,
-                self.burst_end(),
-                self.horizon
-            )));
-        }
+        validate_burst_window(
+            self.intensity,
+            self.poisson_factor,
+            self.burst_start,
+            self.burst_end(),
+            self.horizon,
+        )?;
         let tasks = self.workload.generate(seed)?;
         let mut arrivals = Vec::new();
         for task in tasks.iter() {
-            let mut rng = StdRng::seed_from_u64(
-                seed ^ (0x9E37_79B9_7F4A_7C15_u64.wrapping_mul(u64::from(task.id().0) + 1)),
-            );
+            let mut rng = task_stream(seed, task.id());
             match task.kind().period() {
-                Some(period) => {
-                    let phase = match self.phasing {
-                        Phasing::Simultaneous => Duration::ZERO,
-                        Phasing::RandomPhase => {
-                            Duration::from_nanos(rng.gen_range(0..period.as_nanos().max(1)))
-                        }
-                    };
-                    let mut t = Time::ZERO + phase;
-                    let mut seq = 0;
-                    while t.elapsed_since(Time::ZERO) < self.horizon {
-                        arrivals.push(Arrival { time: t, task: task.id(), seq });
-                        seq += 1;
-                        t += period;
-                    }
-                }
+                Some(period) => push_periodic_arrivals(
+                    &mut rng,
+                    period,
+                    self.phasing,
+                    self.horizon,
+                    task.id(),
+                    &mut arrivals,
+                ),
                 None => {
                     let base_mean = task.deadline().mul_f64(self.poisson_factor);
-                    self.sample_burst_poisson(&mut rng, base_mean, task.id(), &mut arrivals);
+                    sample_piecewise_poisson(
+                        &mut rng,
+                        base_mean,
+                        base_mean.mul_f64(1.0 / self.intensity),
+                        self.burst_start,
+                        self.burst_end(),
+                        self.horizon,
+                        task.id(),
+                        &mut arrivals,
+                    );
                 }
             }
         }
         Ok((tasks, ArrivalTrace::from_arrivals(arrivals)))
     }
+}
 
-    /// Piecewise-constant non-homogeneous Poisson sampling: advance with
-    /// the current window's rate; a jump crossing a window boundary is
-    /// clamped to the boundary and resampled (exact, by memorylessness).
-    fn sample_burst_poisson(
-        &self,
-        rng: &mut StdRng,
-        base_mean: Duration,
-        task: rtcm_core::task::TaskId,
-        out: &mut Vec<Arrival>,
-    ) {
-        let burst_mean = base_mean.mul_f64(1.0 / self.intensity);
-        let mut t = Duration::ZERO;
-        let mut seq = 0;
-        loop {
-            let (mean, window_end) = if t < self.burst_start {
-                (base_mean, self.burst_start)
-            } else if t < self.burst_end() {
-                (burst_mean, self.burst_end())
-            } else {
-                (base_mean, self.horizon)
-            };
-            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
-            let step = mean.mul_f64(-u.ln());
-            let next = t + step;
-            if next >= self.horizon {
-                if window_end >= self.horizon {
-                    break;
-                }
-                // The jump crossed into the next window before the horizon:
-                // clamp and resample from the boundary.
-                t = window_end;
-                continue;
+/// Per-task deterministic RNG stream, independent of iteration order.
+fn task_stream(seed: u64, task: rtcm_core::task::TaskId) -> StdRng {
+    StdRng::seed_from_u64(seed ^ (0x9E37_79B9_7F4A_7C15_u64.wrapping_mul(u64::from(task.0) + 1)))
+}
+
+fn validate_burst_window(
+    intensity: f64,
+    poisson_factor: f64,
+    burst_start: Duration,
+    burst_end: Duration,
+    horizon: Duration,
+) -> Result<(), WorkloadError> {
+    if !(intensity.is_finite() && intensity >= 1.0) {
+        return Err(WorkloadError::Parameters(format!(
+            "burst intensity {intensity} must be finite and >= 1"
+        )));
+    }
+    if !(poisson_factor.is_finite() && poisson_factor > 0.0) {
+        return Err(WorkloadError::Parameters(format!(
+            "poisson factor {poisson_factor} must be positive and finite"
+        )));
+    }
+    if burst_end > horizon {
+        return Err(WorkloadError::Parameters(format!(
+            "burst window [{burst_start}, {burst_end}) extends beyond the horizon {horizon}"
+        )));
+    }
+    Ok(())
+}
+
+/// Strict periodic releases with the configured phasing.
+fn push_periodic_arrivals(
+    rng: &mut StdRng,
+    period: Duration,
+    phasing: Phasing,
+    horizon: Duration,
+    task: rtcm_core::task::TaskId,
+    out: &mut Vec<Arrival>,
+) {
+    let phase = match phasing {
+        Phasing::Simultaneous => Duration::ZERO,
+        Phasing::RandomPhase => Duration::from_nanos(rng.gen_range(0..period.as_nanos().max(1))),
+    };
+    let mut t = Time::ZERO + phase;
+    let mut seq = 0;
+    while t.elapsed_since(Time::ZERO) < horizon {
+        out.push(Arrival { time: t, task, seq });
+        seq += 1;
+        t += period;
+    }
+}
+
+/// Piecewise-constant non-homogeneous Poisson sampling: advance with the
+/// current window's mean interarrival (`burst_mean` inside
+/// `[burst_start, burst_end)`, `base_mean` outside); a jump crossing a
+/// window boundary is clamped to the boundary and resampled (exact, by
+/// memorylessness).
+#[allow(clippy::too_many_arguments)]
+fn sample_piecewise_poisson(
+    rng: &mut StdRng,
+    base_mean: Duration,
+    burst_mean: Duration,
+    burst_start: Duration,
+    burst_end: Duration,
+    horizon: Duration,
+    task: rtcm_core::task::TaskId,
+    out: &mut Vec<Arrival>,
+) {
+    let mut t = Duration::ZERO;
+    let mut seq = 0;
+    loop {
+        let (mean, window_end) = if t < burst_start {
+            (base_mean, burst_start)
+        } else if t < burst_end {
+            (burst_mean, burst_end)
+        } else {
+            (base_mean, horizon)
+        };
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let step = mean.mul_f64(-u.ln());
+        let next = t + step;
+        if next >= horizon {
+            if window_end >= horizon {
+                break;
             }
-            if next >= window_end && window_end < self.horizon {
-                t = window_end;
-                continue;
-            }
-            t = next;
-            out.push(Arrival { time: Time::ZERO + t, task, seq });
-            seq += 1;
+            // The jump crossed into the next window before the horizon:
+            // clamp and resample from the boundary.
+            t = window_end;
+            continue;
         }
+        if next >= window_end && window_end < horizon {
+            t = window_end;
+            continue;
+        }
+        t = next;
+        out.push(Arrival { time: Time::ZERO + t, task, seq });
+        seq += 1;
+    }
+}
+
+/// A **correlated** overload: simultaneous aperiodic bursts on *multiple*
+/// processors at once — the paper's motivating cascade ("a blockage …
+/// increase[s] the load on the processors immediately connected to it")
+/// scaled up to a plant-wide event that floods several processors in the
+/// same window. Load balancing alone cannot absorb it (every replica
+/// group is busy too), which is exactly the situation an adaptation
+/// governor must detect and defend against; `examples/governed_recovery.rs`
+/// uses this scenario to stress the closed loop.
+///
+/// Aperiodic tasks whose *arrival processor* (first subtask's primary) is
+/// in [`CorrelatedBurstScenario::processors`] burst together during the
+/// window; others keep their nominal rate. An empty processor list bursts
+/// **every** processor simultaneously.
+///
+/// # Examples
+///
+/// ```
+/// use rtcm_workload::CorrelatedBurstScenario;
+///
+/// let scenario = CorrelatedBurstScenario::default();
+/// let (tasks, trace) = scenario.generate(3)?;
+/// assert!(!trace.is_empty());
+/// # let _ = tasks;
+/// # Ok::<(), rtcm_workload::WorkloadError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CorrelatedBurstScenario {
+    /// The underlying task-set shape.
+    pub workload: RandomWorkload,
+    /// Total trace horizon.
+    pub horizon: Duration,
+    /// Nominal mean aperiodic interarrival = `poisson_factor × deadline`.
+    pub poisson_factor: f64,
+    /// Periodic phasing.
+    pub phasing: Phasing,
+    /// Burst window start (shared by every affected processor — the
+    /// correlation).
+    pub burst_start: Duration,
+    /// Burst window length.
+    pub burst_duration: Duration,
+    /// Arrival-rate multiplier inside the window (≥ 1).
+    pub intensity: f64,
+    /// Arrival processors hit simultaneously; empty = all of them.
+    pub processors: Vec<u16>,
+}
+
+impl Default for CorrelatedBurstScenario {
+    fn default() -> Self {
+        CorrelatedBurstScenario {
+            workload: RandomWorkload::default(),
+            horizon: Duration::from_secs(120),
+            poisson_factor: 2.0,
+            phasing: Phasing::RandomPhase,
+            burst_start: Duration::from_secs(40),
+            burst_duration: Duration::from_secs(20),
+            intensity: 8.0,
+            processors: Vec::new(),
+        }
+    }
+}
+
+impl CorrelatedBurstScenario {
+    /// End of the burst window.
+    #[must_use]
+    pub fn burst_end(&self) -> Duration {
+        self.burst_start + self.burst_duration
+    }
+
+    /// Returns true if `t` lies inside the burst window.
+    #[must_use]
+    pub fn in_burst(&self, t: Time) -> bool {
+        let offset = t.elapsed_since(Time::ZERO);
+        offset >= self.burst_start && offset < self.burst_end()
+    }
+
+    /// True if an aperiodic task arriving on `processor` bursts.
+    #[must_use]
+    pub fn hits_processor(&self, processor: u16) -> bool {
+        self.processors.is_empty() || self.processors.contains(&processor)
+    }
+
+    /// Generates the task set and its correlated-burst arrival trace.
+    ///
+    /// # Errors
+    ///
+    /// As [`BurstScenario::generate`], plus a parameter error when a
+    /// listed processor is outside the workload's processor range.
+    pub fn generate(&self, seed: u64) -> Result<(TaskSet, ArrivalTrace), WorkloadError> {
+        validate_burst_window(
+            self.intensity,
+            self.poisson_factor,
+            self.burst_start,
+            self.burst_end(),
+            self.horizon,
+        )?;
+        if let Some(&bad) = self.processors.iter().find(|p| **p >= self.workload.processors) {
+            return Err(WorkloadError::Parameters(format!(
+                "burst processor {bad} outside the workload's 0..{} range",
+                self.workload.processors
+            )));
+        }
+        let tasks = self.workload.generate(seed)?;
+        let mut arrivals = Vec::new();
+        for task in tasks.iter() {
+            let mut rng = task_stream(seed, task.id());
+            match task.kind().period() {
+                Some(period) => push_periodic_arrivals(
+                    &mut rng,
+                    period,
+                    self.phasing,
+                    self.horizon,
+                    task.id(),
+                    &mut arrivals,
+                ),
+                None => {
+                    let base_mean = task.deadline().mul_f64(self.poisson_factor);
+                    let arrival_proc = task.subtasks()[0].primary.0;
+                    let burst_mean = if self.hits_processor(arrival_proc) {
+                        base_mean.mul_f64(1.0 / self.intensity)
+                    } else {
+                        base_mean // unaffected: homogeneous throughout
+                    };
+                    sample_piecewise_poisson(
+                        &mut rng,
+                        base_mean,
+                        burst_mean,
+                        self.burst_start,
+                        self.burst_end(),
+                        self.horizon,
+                        task.id(),
+                        &mut arrivals,
+                    );
+                }
+            }
+        }
+        Ok((tasks, ArrivalTrace::from_arrivals(arrivals)))
     }
 }
 
@@ -410,6 +593,105 @@ mod tests {
         let mut s = ModeChangeScenario { burst: scenario(), ..ModeChangeScenario::default() };
         s.trigger_delay = Duration::from_secs(40);
         assert!(s.generate(0).is_err(), "switch after the burst window");
+    }
+
+    fn correlated(processors: Vec<u16>) -> CorrelatedBurstScenario {
+        CorrelatedBurstScenario {
+            horizon: Duration::from_secs(90),
+            burst_start: Duration::from_secs(30),
+            burst_duration: Duration::from_secs(30),
+            intensity: 10.0,
+            processors,
+            ..CorrelatedBurstScenario::default()
+        }
+    }
+
+    /// In-window vs out-of-window arrival counts for the given tasks.
+    fn window_counts(
+        trace: &ArrivalTrace,
+        tasks: &[rtcm_core::task::TaskId],
+        lo: u64,
+        hi: u64,
+    ) -> usize {
+        trace
+            .iter()
+            .filter(|a| {
+                tasks.contains(&a.task)
+                    && a.time >= Time::ZERO + Duration::from_secs(lo)
+                    && a.time < Time::ZERO + Duration::from_secs(hi)
+            })
+            .count()
+    }
+
+    #[test]
+    fn correlated_burst_hits_only_the_listed_processors() {
+        let s = correlated(vec![0, 1]);
+        let (tasks, trace) = s.generate(5).unwrap();
+        let hit: Vec<_> = tasks
+            .iter()
+            .filter(|t| !t.is_periodic() && s.hits_processor(t.subtasks()[0].primary.0))
+            .map(|t| t.id())
+            .collect();
+        let spared: Vec<_> = tasks
+            .iter()
+            .filter(|t| !t.is_periodic() && !s.hits_processor(t.subtasks()[0].primary.0))
+            .map(|t| t.id())
+            .collect();
+        if !hit.is_empty() {
+            let before = window_counts(&trace, &hit, 0, 30);
+            let during = window_counts(&trace, &hit, 30, 60);
+            assert!(
+                during > 3 * before.max(1),
+                "hit processors burst: {during} during vs {before} before"
+            );
+        }
+        if !spared.is_empty() {
+            let before = window_counts(&trace, &spared, 0, 30);
+            let during = window_counts(&trace, &spared, 30, 60);
+            assert!(
+                during < 3 * (before + 3),
+                "spared processors stay nominal: {during} during vs {before} before"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_processor_list_bursts_everything_simultaneously() {
+        let s = correlated(Vec::new());
+        let (tasks, trace) = s.generate(3).unwrap();
+        // Every aperiodic task individually bursts inside the same window —
+        // the correlation a per-task burst cannot produce.
+        for task in tasks.iter().filter(|t| !t.is_periodic()) {
+            let ids = [task.id()];
+            let before = window_counts(&trace, &ids, 0, 30);
+            let during = window_counts(&trace, &ids, 30, 60);
+            assert!(during > before.max(1), "{}: {during} during vs {before} before", task.id());
+        }
+        assert!(s.hits_processor(4));
+    }
+
+    #[test]
+    fn correlated_burst_is_deterministic_and_validated() {
+        let s = correlated(vec![2]);
+        let (t1, a1) = s.generate(9).unwrap();
+        let (t2, a2) = s.generate(9).unwrap();
+        assert_eq!(t1.tasks(), t2.tasks());
+        assert_eq!(a1, a2);
+        for pair in a1.arrivals().windows(2) {
+            assert!(pair[0].time <= pair[1].time, "sorted trace");
+        }
+
+        let mut bad = correlated(vec![0]);
+        bad.intensity = 0.0;
+        assert!(bad.generate(0).is_err());
+
+        let bad = correlated(vec![9]);
+        assert!(matches!(bad.generate(0), Err(WorkloadError::Parameters(_))), "unknown processor");
+
+        let mut bad = correlated(Vec::new());
+        bad.burst_start = Duration::from_secs(80);
+        bad.burst_duration = Duration::from_secs(30);
+        assert!(bad.generate(0).is_err());
     }
 
     #[test]
