@@ -9,6 +9,7 @@
 //! mutation sequential under the parallel test runner. The scaling smoke
 //! test reads no environment variables, so it may run in parallel.
 
+use rtcm_bench::events::{fanout_fixture, gateway_fixture, remote_fixture, FANOUT_TOPIC, PAYLOAD};
 use rtcm_bench::govern::{governor_policy, metrics_stream};
 use rtcm_bench::reconfig::{loaded_reconfig_controller, reconfig_fixture};
 use rtcm_bench::scaling::{
@@ -139,6 +140,52 @@ fn govern_fixture_evaluation_is_deterministic_and_rate_bounded() {
             );
         }
     }
+}
+
+/// Smoke coverage of the `micro_events` bench arms at the `RTCM_QUICK`
+/// sizes: every fixture topology round-trips a burst — each publish fans
+/// out to every subscriber exactly once, quiet gateways stay quiet, remote
+/// subscribers receive across the in-process network — and the federation
+/// counters reconcile with the observed deliveries.
+#[test]
+fn events_fixture_round_trips_at_quick_sizes() {
+    const BURST: usize = 64;
+
+    // Local fan-out: n subscribers ⇒ n deliveries per publish.
+    for subs in [1usize, 8] {
+        let fx = fanout_fixture(subs);
+        for _ in 0..BURST {
+            assert_eq!(fx.publisher.publish(FANOUT_TOPIC, PAYLOAD), subs);
+        }
+        assert_eq!(fx.drain(), BURST * subs, "subs={subs}");
+        let stats = fx.federation.stats();
+        assert_eq!(stats.events_published, BURST as u64);
+        assert_eq!(stats.local_deliveries, (BURST * subs) as u64);
+        assert_eq!(stats.events_dropped, 0);
+        assert_eq!(stats.remote_parcels, 0, "pure-local topology");
+    }
+
+    // Quiet gateways: registered nodes on unrelated topics cost nothing.
+    let fx = gateway_fixture(8);
+    for _ in 0..BURST {
+        assert_eq!(fx.publisher.publish(FANOUT_TOPIC, PAYLOAD), 1);
+    }
+    assert_eq!(fx.drain(), BURST, "only the local subscriber is reached");
+    assert_eq!(fx.federation.stats().remote_parcels, 0);
+
+    // Remote fan-out: every publish emits one parcel per remote node, and
+    // each arrives (Latency::None) once the network thread runs.
+    let fx = remote_fixture(4);
+    for _ in 0..BURST {
+        assert_eq!(fx.publisher.publish(FANOUT_TOPIC, PAYLOAD), 4);
+    }
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    let mut drained = 0;
+    while drained < BURST * 4 && std::time::Instant::now() < deadline {
+        drained += fx.drain();
+    }
+    assert_eq!(drained, BURST * 4, "every parcel delivered");
+    assert_eq!(fx.federation.stats().remote_parcels, (BURST * 4) as u64);
 }
 
 /// Smoke coverage of the `micro_reconfig` bench arms at the `RTCM_QUICK`

@@ -371,6 +371,38 @@ impl GovernorPolicy {
             .cooldown(3)
     }
 
+    /// The canned **imbalance-triggered LB-axis switch** (the ROADMAP
+    /// leftover on the `Imbalance` gauge): synthetic-utilization spread
+    /// `max_p U_p − min_p U_p` holding above 0.35 for 2 busy windows
+    /// switches to `balanced` — a target whose LB axis is engaged, so
+    /// skewed arrivals start spilling onto replicas — and the spread
+    /// settling below 0.1 for 5 windows relaxes back to `baseline`. The
+    /// asymmetric thresholds are the hysteresis band: a spread oscillating
+    /// inside (0.1, 0.35) trips neither rule, and the policy-wide cooldown
+    /// bounds the swap rate on top.
+    #[must_use]
+    pub fn imbalance_rebalance(baseline: ServiceConfig, balanced: ServiceConfig) -> Self {
+        GovernorPolicy::new()
+            .rule(
+                GovernorRule::new(
+                    "imbalance-rebalance",
+                    Metric::Imbalance,
+                    Trigger::Above(0.35),
+                    2,
+                    balanced,
+                )
+                .min_arrivals(1),
+            )
+            .rule(GovernorRule::new(
+                "rebalance-relax",
+                Metric::Imbalance,
+                Trigger::Below(0.1),
+                5,
+                baseline,
+            ))
+            .cooldown(3)
+    }
+
     /// Validates every rule: targets must satisfy the §4.5 combination
     /// rule, `for_windows ≥ 1`, thresholds finite.
     ///
@@ -590,6 +622,53 @@ mod tests {
 
     fn policy() -> GovernorPolicy {
         GovernorPolicy::defensive_recovery(cfg("J_N_N"), cfg("T_T_T"))
+    }
+
+    #[test]
+    fn imbalance_policy_switches_lb_axis_and_relaxes() {
+        // A pure LB-axis flip: same admission and idle-reset strategies,
+        // load balancing engaged under skew, disengaged once it settles.
+        let baseline = cfg("J_N_N");
+        let balanced = cfg("J_N_T");
+        let policy = GovernorPolicy::imbalance_rebalance(baseline, balanced);
+        policy.validate().unwrap();
+        let mut governor = Governor::new(policy).unwrap();
+
+        let skewed = WindowMetrics { arrived_jobs: 10, imbalance: 0.6, ..WindowMetrics::IDLE };
+        assert!(governor.observe(baseline, &skewed).is_none(), "one skewed window is noise");
+        let decision = governor.observe(baseline, &skewed).expect("two skewed windows fire");
+        assert_eq!(decision.target, balanced);
+        assert_eq!(decision.rule_name, "imbalance-rebalance");
+
+        // Settled spread relaxes back to the baseline once the cooldown
+        // and the 5-window streak are both satisfied.
+        let settled = WindowMetrics { arrived_jobs: 10, imbalance: 0.05, ..WindowMetrics::IDLE };
+        let mut relaxed = None;
+        for _ in 0..16 {
+            if let Some(d) = governor.observe(balanced, &settled) {
+                relaxed = Some(d);
+                break;
+            }
+        }
+        let relaxed = relaxed.expect("settled spread relaxes");
+        assert_eq!(relaxed.target, baseline);
+        assert_eq!(relaxed.rule_name, "rebalance-relax");
+    }
+
+    #[test]
+    fn imbalance_policy_hysteresis_band_holds() {
+        // Inside the (0.1, 0.35) band neither rule can ever fire.
+        let policy = GovernorPolicy::imbalance_rebalance(cfg("J_N_N"), cfg("J_N_T"));
+        let mut governor = Governor::new(policy).unwrap();
+        let wobble = WindowMetrics { arrived_jobs: 10, imbalance: 0.2, ..WindowMetrics::IDLE };
+        for _ in 0..32 {
+            assert!(governor.observe(cfg("J_N_N"), &wobble).is_none());
+        }
+        // An idle skewed window (no arrivals) is not a rebalance trigger.
+        let idle_skew = WindowMetrics { imbalance: 0.9, ..WindowMetrics::IDLE };
+        for _ in 0..4 {
+            assert!(governor.observe(cfg("J_N_N"), &idle_skew).is_none());
+        }
     }
 
     #[test]

@@ -66,6 +66,32 @@ pub mod topics {
     /// Node → AC: acknowledgement that the node fenced its local fast
     /// paths for a pending reconfiguration epoch.
     pub const RECONFIG_ACK: Topic = Topic(7);
+
+    /// Base of the reserved per-node control range (`0x4000_0000..`):
+    /// topics the runtime mints per processor so launcher↔node control
+    /// traffic (injected arrivals, shutdown) rides the same federated
+    /// channel — and the same fast path — as every middleware event.
+    /// Application topics should stay below this range.
+    pub const CONTROL_BASE: u32 = 0x4000_0000;
+
+    /// Launcher → TE of `processor`: an injected arrival
+    /// (`rtcm_rt::proto::InjectMsg`).
+    #[must_use]
+    pub const fn inject(processor: u16) -> Topic {
+        Topic(CONTROL_BASE | processor as u32)
+    }
+
+    /// Launcher → node thread of `processor`: stop (payload ignored).
+    #[must_use]
+    pub const fn node_ctl(processor: u16) -> Topic {
+        Topic(CONTROL_BASE | 0x0100_0000 | processor as u32)
+    }
+
+    /// Launcher → task manager: a control request was enqueued on the
+    /// manager's out-of-band channel — wake its mailbox (payload
+    /// ignored). Lets the manager park on one wait point instead of
+    /// polling its control channel.
+    pub const MANAGER_WAKE: Topic = Topic(CONTROL_BASE | 0x0200_0000);
 }
 
 /// One event in flight.

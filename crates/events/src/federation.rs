@@ -13,6 +13,34 @@
 //! events reach exactly the nodes with matching consumers, after one
 //! network delay — is the same.
 //!
+//! # The event fast path
+//!
+//! Publishing is engineered as a read-mostly fast path (see DESIGN.md
+//! "Event fast path"):
+//!
+//! * **Snapshot routing (RCU).** Subscriptions build an immutable
+//!   [`RouteTable`] — per `(node, topic)`, the local broadcast logs plus
+//!   the precomputed remote destination list — and swap it in under a
+//!   write lock while bumping a generation counter. Publishers never
+//!   mutate shared routing state.
+//! * **Per-handle route cache.** Each [`ChannelHandle`] caches the route
+//!   of the last topic it published, validated by a single atomic
+//!   generation load — repeat publishes on one topic skip the table and
+//!   its lock entirely.
+//! * **Zero-copy fan-out.** Local subscribers of a `(node, topic)` share
+//!   one [`crate::fanout::EventLog`]: a publish is one lock + one buffer
+//!   push for *all* of them, and every receiver observes the same
+//!   [`bytes::Bytes`] payload allocation.
+//! * **Single-lock parcels.** Remote destinations are sequenced and
+//!   latency-sampled under **one** `net` lock acquisition per publish, and
+//!   the whole parcel batch rides one channel send to the network thread.
+//!
+//! Determinism contract: for a fixed seed, a fixed subscription set and a
+//! single publishing thread, delivery order and the sampled parcel
+//! latencies are identical run to run — destinations are walked in
+//! ascending node order, and the jitter RNG is consumed once per remote
+//! destination in exactly that order.
+//!
 //! # Examples
 //!
 //! ```
@@ -29,6 +57,7 @@
 
 use std::collections::{BTreeSet, BinaryHeap, HashMap};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration as StdDuration, Instant};
 
@@ -38,6 +67,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::event::{Event, NodeId, Topic};
+use crate::fanout::{EventLog, EventReceiver, FanoutCounters, FederationStats};
 
 /// One-way network delay injected between distinct nodes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -97,18 +127,16 @@ impl Ord for Parcel {
     }
 }
 
-type SubMap = HashMap<(NodeId, Topic), Vec<Sender<Event>>>;
-
 /// Source of federation host ids: process-qualified (high bits) and
 /// counter-disambiguated (low bits), with a wall-clock mix so two
 /// *processes* on different machines are overwhelmingly unlikely to mint
 /// the same identity. Host ids let protocols that bridge federations over
 /// TCP (`remote`) tell which federation a message originated from — e.g.
 /// the reconfiguration quorum counts one vote per bridged host.
-static NEXT_HOST_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+static NEXT_HOST_ID: AtomicU64 = AtomicU64::new(1);
 
 fn mint_host_id() -> u64 {
-    let counter = NEXT_HOST_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let counter = NEXT_HOST_ID.fetch_add(1, Ordering::Relaxed);
     let pid = u64::from(std::process::id());
     let clock = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
@@ -118,29 +146,128 @@ fn mint_host_id() -> u64 {
     ((pid ^ (clock >> 20)) << 20) | (counter & 0xF_FFFF)
 }
 
+/// The precomputed route of one `(publisher node, topic)` pair.
+struct TopicRoute {
+    /// Broadcast logs with subscribers on the publishing node itself.
+    local: Vec<Arc<EventLog>>,
+    /// Other nodes with subscribers on the topic, ascending — empty for a
+    /// pure-local topic, so such publishes do no remote work at all.
+    remotes: Box<[NodeId]>,
+}
+
+/// An immutable routing snapshot (RCU): readers load the [`Arc`] and go;
+/// subscription changes build a fresh table and swap it in.
+struct RouteTable {
+    generation: u64,
+    routes: HashMap<(NodeId, Topic), Arc<TopicRoute>>,
+}
+
+/// The mutable subscription registry behind the snapshots (writer side
+/// only — publishers never touch it).
+#[derive(Default)]
+struct Registry {
+    /// Every log registered under a `(node, topic)`, in subscription
+    /// order: the shared single-topic log plus any multi-topic mailboxes.
+    subs: HashMap<(NodeId, Topic), Vec<Arc<EventLog>>>,
+    /// The shared log plain subscriptions of a `(node, topic)` attach to.
+    shared: HashMap<(NodeId, Topic), Arc<EventLog>>,
+    /// Which nodes have (ever had) subscribers per topic — drives remote
+    /// forwarding, exactly like TAO's gateway subscription propagation.
+    topic_nodes: HashMap<Topic, BTreeSet<NodeId>>,
+}
+
+impl Registry {
+    /// Drops logs whose receivers are all gone, so subscriber churn (e.g.
+    /// a TCP bridge reconnecting and minting a fresh mailbox each time)
+    /// cannot grow the registry — or the rebuilt routes, and with them
+    /// per-publish cost — without bound. Run on every subscription change;
+    /// `topic_nodes` intentionally keeps its "ever subscribed" semantics.
+    fn purge_dead_logs(&mut self) {
+        self.subs.retain(|_, logs| {
+            logs.retain(|log| log.has_active_cursors());
+            !logs.is_empty()
+        });
+        self.shared.retain(|_, log| log.has_active_cursors());
+    }
+}
+
+/// Remote-parcel state: the jitter RNG, the parcel sequencer and the
+/// network-thread sender share **one** lock so a publish acquires it once
+/// for its whole destination batch.
+struct NetState {
+    rng: StdRng,
+    seq: u64,
+    tx: Option<Sender<Vec<Parcel>>>,
+}
+
 struct Inner {
     node_count: u16,
     host_id: u64,
-    subs: RwLock<SubMap>,
-    topic_nodes: RwLock<HashMap<Topic, BTreeSet<NodeId>>>,
-    net_tx: Mutex<Option<Sender<Parcel>>>,
     latency: Latency,
-    rng: Mutex<StdRng>,
-    seq: Mutex<u64>,
+    registry: Mutex<Registry>,
+    table: RwLock<Arc<RouteTable>>,
+    /// Published *after* the table swap (release); handle caches validate
+    /// against it with one acquire load.
+    generation: AtomicU64,
+    net: Mutex<NetState>,
+    counters: FanoutCounters,
 }
 
 impl Inner {
-    fn deliver(subs: &RwLock<SubMap>, to: NodeId, event: &Event) -> usize {
-        let map = subs.read();
-        let mut delivered = 0;
-        if let Some(senders) = map.get(&(to, event.topic)) {
-            for tx in senders {
-                if tx.send(event.clone()).is_ok() {
-                    delivered += 1;
+    /// Rebuilds the routing snapshot from the registry (caller holds the
+    /// registry lock, serializing writers).
+    fn rebuild_table(&self, reg: &Registry) {
+        let generation = self.generation.load(Ordering::Relaxed) + 1;
+        let mut routes = HashMap::new();
+        for (&topic, nodes) in &reg.topic_nodes {
+            let sorted: Vec<NodeId> = nodes.iter().copied().collect();
+            for n in 0..self.node_count {
+                let node = NodeId(n);
+                let local = reg.subs.get(&(node, topic)).cloned().unwrap_or_default();
+                let remotes: Box<[NodeId]> =
+                    sorted.iter().copied().filter(|&m| m != node).collect();
+                if local.is_empty() && remotes.is_empty() {
+                    continue;
                 }
+                routes.insert((node, topic), Arc::new(TopicRoute { local, remotes }));
             }
         }
-        delivered
+        *self.table.write() = Arc::new(RouteTable { generation, routes });
+        self.generation.store(generation, Ordering::Release);
+    }
+
+    /// Delivers a network parcel to the destination node's local logs.
+    fn deliver_remote(&self, to: NodeId, event: &Event) {
+        let table = self.table.read();
+        let Some(route) = table.routes.get(&(to, event.topic)) else { return };
+        let mut delivered = 0usize;
+        let mut dropped = 0u64;
+        for log in &route.local {
+            let (d, dr) = log.push(event);
+            delivered += d;
+            dropped += dr;
+        }
+        drop(table);
+        if delivered > 0 {
+            self.counters.delivered.fetch_add(delivered as u64, Ordering::Relaxed);
+        }
+        if dropped > 0 {
+            self.counters.dropped.fetch_add(dropped, Ordering::Relaxed);
+        }
+    }
+}
+
+impl Drop for Inner {
+    fn drop(&mut self) {
+        // Close every log so outstanding receivers observe `Disconnected`
+        // once they drain (the old per-subscriber channels disconnected at
+        // exactly this point — when the last handle went away).
+        let reg = self.registry.get_mut();
+        for logs in reg.subs.values() {
+            for log in logs {
+                log.close();
+            }
+        }
     }
 }
 
@@ -165,16 +292,16 @@ impl Federation {
     /// jitter sampling.
     #[must_use]
     pub fn new(node_count: u16, latency: Latency, seed: u64) -> Self {
-        let (tx, rx) = channel::unbounded::<Parcel>();
+        let (tx, rx) = channel::unbounded::<Vec<Parcel>>();
         let inner = Arc::new(Inner {
             node_count,
             host_id: mint_host_id(),
-            subs: RwLock::new(HashMap::new()),
-            topic_nodes: RwLock::new(HashMap::new()),
-            net_tx: Mutex::new(Some(tx)),
             latency,
-            rng: Mutex::new(StdRng::seed_from_u64(seed)),
-            seq: Mutex::new(0),
+            registry: Mutex::new(Registry::default()),
+            table: RwLock::new(Arc::new(RouteTable { generation: 0, routes: HashMap::new() })),
+            generation: AtomicU64::new(0),
+            net: Mutex::new(NetState { rng: StdRng::seed_from_u64(seed), seq: 0, tx: Some(tx) }),
+            counters: FanoutCounters::default(),
         });
         let thread_inner = Arc::clone(&inner);
         let net_thread = std::thread::Builder::new()
@@ -200,6 +327,14 @@ impl Federation {
         self.inner.host_id
     }
 
+    /// Aggregate event-path counters: publishes, per-subscriber
+    /// deliveries, backpressure drops at bounded subscribers, and remote
+    /// parcels. Maintained with relaxed atomics on the publish path.
+    #[must_use]
+    pub fn stats(&self) -> FederationStats {
+        self.inner.counters.snapshot()
+    }
+
     /// Obtains the channel handle of `node`.
     ///
     /// # Errors
@@ -209,14 +344,14 @@ impl Federation {
         if node.0 >= self.inner.node_count {
             return Err(UnknownNodeError { node, node_count: self.inner.node_count });
         }
-        Ok(ChannelHandle { node, inner: Arc::clone(&self.inner) })
+        Ok(ChannelHandle::new(node, Arc::clone(&self.inner)))
     }
 
     /// Stops the network thread, delivering any in-flight parcels
     /// immediately (best effort). Local publish/subscribe keeps working;
     /// cross-node forwarding stops.
     pub fn shutdown(&mut self) {
-        *self.inner.net_tx.lock() = None;
+        self.inner.net.lock().tx = None;
         if let Some(t) = self.net_thread.take() {
             let _ = t.join();
         }
@@ -229,14 +364,14 @@ impl Drop for Federation {
     }
 }
 
-fn network_loop(inner: &Arc<Inner>, rx: &Receiver<Parcel>) {
+fn network_loop(inner: &Arc<Inner>, rx: &Receiver<Vec<Parcel>>) {
     let mut heap: BinaryHeap<Parcel> = BinaryHeap::new();
     loop {
         let now = Instant::now();
         // Deliver everything due.
         while heap.peek().is_some_and(|p| p.deliver_at <= now) {
             let p = heap.pop().expect("peeked");
-            Inner::deliver(&inner.subs, p.to, &p.event);
+            inner.deliver_remote(p.to, &p.event);
         }
         let wait = heap.peek().map(|p| p.deliver_at.saturating_duration_since(now));
         match wait {
@@ -251,29 +386,42 @@ fn network_loop(inner: &Arc<Inner>, rx: &Receiver<Parcel>) {
                 continue;
             }
             Some(d) => match rx.recv_timeout(d) {
-                Ok(p) => heap.push(p),
+                Ok(batch) => heap.extend(batch),
                 Err(RecvTimeoutError::Timeout) => {}
                 Err(RecvTimeoutError::Disconnected) => break,
             },
             None => match rx.recv() {
-                Ok(p) => heap.push(p),
+                Ok(batch) => heap.extend(batch),
                 Err(_) => break,
             },
         }
     }
     // Shutdown: flush whatever is left, immediately.
     while let Some(p) = heap.pop() {
-        Inner::deliver(&inner.subs, p.to, &p.event);
+        inner.deliver_remote(p.to, &p.event);
     }
-    while let Ok(p) = rx.try_recv() {
-        Inner::deliver(&inner.subs, p.to, &p.event);
+    while let Ok(batch) = rx.try_recv() {
+        for p in batch {
+            inner.deliver_remote(p.to, &p.event);
+        }
     }
+}
+
+/// The per-handle route cache: one topic's route, validated against the
+/// table generation with a single atomic load.
+#[derive(Default)]
+struct RouteCache {
+    valid: bool,
+    generation: u64,
+    topic: Topic,
+    route: Option<Arc<TopicRoute>>,
 }
 
 /// A node's local event channel within a [`Federation`].
 pub struct ChannelHandle {
     node: NodeId,
     inner: Arc<Inner>,
+    cache: Mutex<RouteCache>,
 }
 
 impl fmt::Debug for ChannelHandle {
@@ -284,11 +432,17 @@ impl fmt::Debug for ChannelHandle {
 
 impl Clone for ChannelHandle {
     fn clone(&self) -> Self {
-        ChannelHandle { node: self.node, inner: Arc::clone(&self.inner) }
+        // Fresh (cold) cache: caches are per-handle so clones on other
+        // threads never contend.
+        ChannelHandle::new(self.node, Arc::clone(&self.inner))
     }
 }
 
 impl ChannelHandle {
+    fn new(node: NodeId, inner: Arc<Inner>) -> Self {
+        ChannelHandle { node, inner, cache: Mutex::new(RouteCache::default()) }
+    }
+
     /// The node this handle publishes from / subscribes on.
     #[must_use]
     pub fn node(&self) -> NodeId {
@@ -301,13 +455,60 @@ impl ChannelHandle {
         self.inner.host_id
     }
 
-    /// Registers a consumer for `topic` on this node and returns its queue.
-    /// Subscription is propagated to all gateways (publishers on other
-    /// nodes start forwarding immediately).
-    pub fn subscribe(&self, topic: Topic) -> Receiver<Event> {
-        let (tx, rx) = channel::unbounded();
-        self.inner.subs.write().entry((self.node, topic)).or_default().push(tx);
-        self.inner.topic_nodes.write().entry(topic).or_default().insert(self.node);
+    /// Registers a consumer for `topic` on this node and returns its
+    /// queue. Subscription is propagated to all gateways (publishers on
+    /// other nodes start forwarding immediately). The subscriber buffers
+    /// without bound; see [`ChannelHandle::subscribe_bounded`] for the
+    /// backpressured variant.
+    pub fn subscribe(&self, topic: Topic) -> EventReceiver {
+        self.subscribe_with(topic, None)
+    }
+
+    /// Like [`ChannelHandle::subscribe`], but the subscriber holds at most
+    /// `capacity` pending events: when a publish would exceed that, the
+    /// subscriber's **oldest** pending event is dropped (and counted — see
+    /// [`EventReceiver::dropped`] and [`Federation::stats`]). Publishers
+    /// and co-subscribers are never blocked or slowed by a stalled bounded
+    /// subscriber. A zero capacity is treated as one.
+    pub fn subscribe_bounded(&self, topic: Topic, capacity: usize) -> EventReceiver {
+        self.subscribe_with(topic, Some(capacity))
+    }
+
+    fn subscribe_with(&self, topic: Topic, cap: Option<usize>) -> EventReceiver {
+        let mut reg = self.inner.registry.lock();
+        reg.purge_dead_logs();
+        let key = (self.node, topic);
+        let log = match reg.shared.get(&key) {
+            Some(log) => Arc::clone(log),
+            None => {
+                let log = Arc::new(EventLog::new());
+                reg.shared.insert(key, Arc::clone(&log));
+                reg.subs.entry(key).or_default().push(Arc::clone(&log));
+                log
+            }
+        };
+        reg.topic_nodes.entry(topic).or_default().insert(self.node);
+        let rx = log.add_cursor(cap);
+        self.inner.rebuild_table(&reg);
+        rx
+    }
+
+    /// Registers one **mailbox** consuming every listed topic on this
+    /// node: a single receiver observing all of them merged in publish
+    /// order (events carry their [`Topic`] for dispatch). This is the
+    /// runtime's node/manager inbox shape — one queue, one wait point.
+    /// Duplicate topics are ignored.
+    pub fn subscribe_many(&self, topics: &[Topic]) -> EventReceiver {
+        let mut reg = self.inner.registry.lock();
+        reg.purge_dead_logs();
+        let log = Arc::new(EventLog::new());
+        let unique: BTreeSet<Topic> = topics.iter().copied().collect();
+        for topic in unique {
+            reg.subs.entry((self.node, topic)).or_default().push(Arc::clone(&log));
+            reg.topic_nodes.entry(topic).or_default().insert(self.node);
+        }
+        let rx = log.add_cursor(None);
+        self.inner.rebuild_table(&reg);
         rx
     }
 
@@ -317,34 +518,73 @@ impl ChannelHandle {
     /// sent.
     pub fn publish(&self, topic: Topic, payload: impl Into<bytes::Bytes>) -> usize {
         let event = Event::new(topic, self.node, payload);
-        let mut count = Inner::deliver(&self.inner.subs, self.node, &event);
+        let counters = &self.inner.counters;
+        counters.published.fetch_add(1, Ordering::Relaxed);
 
-        let remotes: Vec<NodeId> = {
-            let map = self.inner.topic_nodes.read();
-            match map.get(&topic) {
-                Some(nodes) => nodes.iter().copied().filter(|n| *n != self.node).collect(),
-                None => Vec::new(),
-            }
-        };
-        if remotes.is_empty() {
-            return count;
-        }
-        let tx_guard = self.inner.net_tx.lock();
-        let Some(tx) = tx_guard.as_ref() else { return count };
-        for to in remotes {
-            let delay = self.inner.latency.sample(&mut self.inner.rng.lock());
-            let seq = {
-                let mut s = self.inner.seq.lock();
-                *s += 1;
-                *s
+        // Fast path: one acquire load validates the cached route; repeat
+        // publishes on one topic never touch the table or its lock.
+        let generation = self.inner.generation.load(Ordering::Acquire);
+        let mut cache = self.cache.lock();
+        if !(cache.valid && cache.generation == generation && cache.topic == topic) {
+            let table = self.inner.table.read().clone();
+            *cache = RouteCache {
+                valid: true,
+                generation: table.generation,
+                topic,
+                route: table.routes.get(&(self.node, topic)).cloned(),
             };
-            let parcel =
-                Parcel { deliver_at: Instant::now() + delay, seq, to, event: event.clone() };
-            if tx.send(parcel).is_ok() {
-                count += 1;
-            }
         }
-        count
+        let Some(route) = cache.route.as_ref() else {
+            return 0; // no subscribers anywhere: nothing to do
+        };
+
+        let mut local_delivered = 0usize;
+        let mut dropped = 0u64;
+        for log in &route.local {
+            let (d, dr) = log.push(&event);
+            local_delivered += d;
+            dropped += dr;
+        }
+        // The delivered counter takes only the local fan-out here; remote
+        // parcels are counted by `deliver_remote` when they actually land
+        // (the return value still reports local deliveries + parcels
+        // sent, as documented).
+        let mut delivered = local_delivered;
+        if !route.remotes.is_empty() {
+            delivered += self.send_parcels(&route.remotes, &event);
+        }
+        if local_delivered > 0 {
+            counters.delivered.fetch_add(local_delivered as u64, Ordering::Relaxed);
+        }
+        if dropped > 0 {
+            counters.dropped.fetch_add(dropped, Ordering::Relaxed);
+        }
+        delivered
+    }
+
+    /// Sequences and latency-samples the whole destination batch under one
+    /// `net` lock acquisition, then hands it to the network thread as one
+    /// message. Destinations ascend, so the per-seed RNG stream is stable.
+    fn send_parcels(&self, remotes: &[NodeId], event: &Event) -> usize {
+        let mut net = self.inner.net.lock();
+        if net.tx.is_none() {
+            return 0; // shut down: no forwarding, no RNG consumption
+        }
+        let now = Instant::now();
+        let mut batch = Vec::with_capacity(remotes.len());
+        for &to in remotes {
+            let delay = self.inner.latency.sample(&mut net.rng);
+            net.seq += 1;
+            batch.push(Parcel { deliver_at: now + delay, seq: net.seq, to, event: event.clone() });
+        }
+        let sent = batch.len();
+        let tx = net.tx.as_ref().expect("checked above");
+        if tx.send(batch).is_ok() {
+            self.inner.counters.remote_parcels.fetch_add(sent as u64, Ordering::Relaxed);
+            sent
+        } else {
+            0
+        }
     }
 }
 
@@ -518,5 +758,158 @@ mod tests {
                 rx.recv_timeout(RECV).expect("all messages delivered");
             }
         }
+    }
+
+    #[test]
+    fn route_cache_tracks_new_subscriptions() {
+        let fed = Federation::new(1, Latency::None, 0);
+        let h = fed.handle(NodeId(0)).unwrap();
+        let a = h.subscribe(Topic(1));
+        assert_eq!(h.publish(Topic(1), &b"one"[..]), 1, "cache warmed on one subscriber");
+        // A later subscription must invalidate the publisher's cache.
+        let b = h.subscribe(Topic(1));
+        assert_eq!(h.publish(Topic(1), &b"two"[..]), 2, "generation bump reaches the cache");
+        assert_eq!(a.len(), 2);
+        assert_eq!(b.len(), 1, "late subscriber sees only future events");
+    }
+
+    #[test]
+    fn pure_local_publish_emits_no_parcels() {
+        let fed = Federation::new(4, Latency::None, 0);
+        let h0 = fed.handle(NodeId(0)).unwrap();
+        let _local = h0.subscribe(Topic(1));
+        // Other nodes registered on unrelated topics only.
+        let _g1 = fed.handle(NodeId(1)).unwrap().subscribe(Topic(2));
+        let _g2 = fed.handle(NodeId(2)).unwrap().subscribe(Topic(3));
+        for _ in 0..10 {
+            assert_eq!(h0.publish(Topic(1), &b"stay"[..]), 1);
+        }
+        let stats = fed.stats();
+        assert_eq!(stats.remote_parcels, 0, "no remote work for a pure-local topic");
+        assert_eq!(stats.local_deliveries, 10);
+        assert_eq!(stats.events_published, 10);
+    }
+
+    #[test]
+    fn mailbox_merges_topics_in_publish_order() {
+        let fed = Federation::new(1, Latency::None, 0);
+        let h = fed.handle(NodeId(0)).unwrap();
+        let mailbox = h.subscribe_many(&[Topic(1), Topic(2), Topic(2)]);
+        h.publish(Topic(1), &b"a"[..]);
+        h.publish(Topic(2), &b"b"[..]);
+        h.publish(Topic(1), &b"c"[..]);
+        h.publish(Topic(3), &b"skip"[..]);
+        let got: Vec<(Topic, Vec<u8>)> = (0..3)
+            .map(|_| {
+                let e = mailbox.try_recv().unwrap();
+                (e.topic, e.payload.to_vec())
+            })
+            .collect();
+        assert_eq!(
+            got,
+            vec![(Topic(1), b"a".to_vec()), (Topic(2), b"b".to_vec()), (Topic(1), b"c".to_vec()),]
+        );
+        assert!(mailbox.try_recv().is_err(), "unsubscribed topics never arrive");
+    }
+
+    #[test]
+    fn same_seed_reproduces_sampled_latencies_and_delivery_order() {
+        // The publish path consumes the jitter RNG once per remote
+        // destination, in publish order — so with one remote subscriber,
+        // the sampled delay stream is exactly `Latency::sample` on an
+        // identically seeded RNG, and jittered parcels must arrive in the
+        // order of those samples (a later publish with a smaller delay
+        // overtakes). Predicting the order from the samples pins both
+        // halves of the determinism contract at once.
+        const SEED: u64 = 3;
+        const N: usize = 8;
+        let latency = Latency::Uniform { lo: StdDuration::ZERO, hi: StdDuration::from_millis(400) };
+
+        let mut rng = StdRng::seed_from_u64(SEED);
+        let delays: Vec<StdDuration> = (0..N).map(|_| latency.sample(&mut rng)).collect();
+        // Deterministic flake guard: the seed's delays must be separated
+        // by far more than publish-instant skew (µs) plus scheduler noise,
+        // or predicting the order from them would be meaningless. This
+        // assertion cannot flake — the samples are a pure function of the
+        // seed; if it ever fires, pick a better seed.
+        let mut sorted = delays.clone();
+        sorted.sort();
+        for pair in sorted.windows(2) {
+            assert!(
+                pair[1] - pair[0] >= StdDuration::from_millis(8),
+                "seed {SEED} samples too close for a timing-robust order: {delays:?}"
+            );
+        }
+        let mut expected: Vec<(StdDuration, u8)> = delays.iter().copied().zip(0u8..).collect();
+        expected.sort();
+        let expected: Vec<u8> = expected.into_iter().map(|(_, i)| i).collect();
+
+        // The prediction also assumes the publish *instants* are close
+        // together relative to the delay gaps. A descheduled publisher
+        // (loaded CI) can stretch them past the 8 ms floor, so attempts
+        // whose publish window exceeded half that floor are discarded and
+        // retried rather than compared.
+        let mut validated = false;
+        for _ in 0..10 {
+            let fed = Federation::new(2, latency, SEED);
+            let rx = fed.handle(NodeId(1)).unwrap().subscribe(Topic(1));
+            let h = fed.handle(NodeId(0)).unwrap();
+            let publish_start = Instant::now();
+            for i in 0..N {
+                h.publish(Topic(1), vec![i as u8]);
+            }
+            let publish_window = publish_start.elapsed();
+            let got: Vec<u8> = (0..N).map(|_| rx.recv_timeout(RECV).unwrap().payload[0]).collect();
+            if publish_window > StdDuration::from_millis(4) {
+                continue; // timing-polluted attempt: prediction not binding
+            }
+            assert_eq!(got, expected, "delivery order must encode the seeded delay stream");
+            assert_ne!(got, (0..N as u8).collect::<Vec<u8>>(), "jitter actually reorders");
+            validated = true;
+            break;
+        }
+        assert!(validated, "no attempt had a clean publish window in 10 tries");
+    }
+
+    #[test]
+    fn dropped_subscriptions_are_reclaimed_on_the_next_change() {
+        let fed = Federation::new(1, Latency::None, 0);
+        let h = fed.handle(NodeId(0)).unwrap();
+        // Churn: 64 dead mailboxes (the shape of a reconnecting bridge).
+        for _ in 0..64 {
+            drop(h.subscribe_many(&[Topic(1), Topic(2)]));
+        }
+        // The next subscription change purges them from the registry, so
+        // a publish pays for live logs only.
+        let live = h.subscribe(Topic(1));
+        assert_eq!(h.publish(Topic(1), &b"x"[..]), 1);
+        assert_eq!(live.len(), 1);
+        let reg = fed.inner.registry.lock();
+        assert_eq!(reg.subs.get(&(NodeId(0), Topic(1))).map(Vec::len), Some(1));
+        assert!(!reg.subs.contains_key(&(NodeId(0), Topic(2))), "dead-only key removed");
+    }
+
+    #[test]
+    fn bounded_subscriber_backpressure_is_local_and_observable() {
+        let fed = Federation::new(1, Latency::None, 0);
+        let h = fed.handle(NodeId(0)).unwrap();
+        let slow = h.subscribe_bounded(Topic(1), 4);
+        let fast = h.subscribe(Topic(1));
+        for i in 0u8..32 {
+            // Publisher never blocks regardless of the stalled subscriber.
+            assert_eq!(h.publish(Topic(1), vec![i]), 2);
+        }
+        // The healthy subscriber got everything...
+        for i in 0u8..32 {
+            assert_eq!(fast.try_recv().unwrap().payload.as_ref(), &[i]);
+        }
+        // ...the stalled bounded one kept only the newest 4, with the
+        // drops counted per receiver and in the federation stats.
+        assert_eq!(slow.dropped(), 28);
+        for i in 28u8..32 {
+            assert_eq!(slow.try_recv().unwrap().payload.as_ref(), &[i]);
+        }
+        assert!(slow.try_recv().is_err());
+        assert_eq!(fed.stats().events_dropped, 28);
     }
 }

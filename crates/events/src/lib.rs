@@ -34,9 +34,11 @@
 #![forbid(unsafe_code)]
 
 pub mod event;
+pub mod fanout;
 pub mod federation;
 pub mod remote;
 
 pub use event::{topics, Event, NodeId, Topic};
+pub use fanout::{EventReceiver, FederationStats, RecvError, RecvTimeoutError, TryRecvError};
 pub use federation::{ChannelHandle, Federation, Latency, UnknownNodeError};
 pub use remote::BridgeHandle;

@@ -18,6 +18,13 @@
 //! prefix + JSON (`{topic, payload}`), chosen for debuggability at
 //! control-plane rates.
 //!
+//! The forwarding side rides the event fast path: all bridged topics feed
+//! **one** gateway mailbox (`subscribe_many`), drained by a single
+//! forwarder thread that coalesces every queued event into one framed
+//! buffer and issues one `write_all` per batch — a burst of *n* parcels
+//! costs one syscall, not *n*. The wire format is unchanged (a batch is
+//! just adjacent frames), so either side of a bridge may batch or not.
+//!
 //! # Examples
 //!
 //! ```
@@ -46,7 +53,8 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
-use crate::event::{NodeId, Topic};
+use crate::event::{Event, NodeId, Topic};
+use crate::fanout::EventReceiver;
 use crate::federation::{ChannelHandle, Federation};
 
 #[derive(Debug, Serialize, Deserialize)]
@@ -54,6 +62,10 @@ struct WireEvent {
     topic: u32,
     payload: Vec<u8>,
 }
+
+/// Most events coalesced into one framed write (bounds batch latency and
+/// buffer growth under sustained floods).
+const MAX_BATCH: usize = 128;
 
 type SharedStream = Arc<Mutex<Option<TcpStream>>>;
 
@@ -133,7 +145,7 @@ pub fn listen(
     let stream: SharedStream = Arc::new(Mutex::new(None));
     // Subscribe *now*, on the caller's thread: events published before the
     // peer connects queue up and are forwarded once the link is live.
-    let subscriptions: Vec<_> = topics.iter().map(|&t| (t, handle.subscribe(t))).collect();
+    let mailbox = handle.subscribe_many(&topics);
     let accept_stop = Arc::clone(&stop);
     let accept_stream = Arc::clone(&stream);
     let acceptor = std::thread::Builder::new()
@@ -158,7 +170,7 @@ pub fn listen(
             if let Ok(clone) = peer.try_clone() {
                 *accept_stream.lock() = Some(clone);
             }
-            run_bridge(&handle, gateway, peer, subscriptions, &accept_stop);
+            run_bridge(&handle, gateway, peer, mailbox, &accept_stop);
         })
         .expect("spawn acceptor");
 
@@ -184,61 +196,74 @@ pub fn connect(
     let stop = Arc::new(AtomicBool::new(false));
     // Subscribe on the caller's thread so no publish can race past an
     // unsubscribed forwarder.
-    let subscriptions: Vec<_> = topics.iter().map(|&t| (t, handle.subscribe(t))).collect();
+    let mailbox = handle.subscribe_many(&topics);
     let bridge_stream = stream.try_clone()?;
     let bridge_stop = Arc::clone(&stop);
     let thread = std::thread::Builder::new()
         .name("rtcm-events-bridge".into())
-        .spawn(move || run_bridge(&handle, gateway, bridge_stream, subscriptions, &bridge_stop))
+        .spawn(move || run_bridge(&handle, gateway, bridge_stream, mailbox, &bridge_stop))
         .expect("spawn bridge");
     Ok(BridgeHandle { stream: Arc::new(Mutex::new(Some(stream))), stop, threads: vec![thread] })
 }
 
-/// Runs both directions of one bridge: per-topic forwarders (local →
-/// peer) and the reader loop (peer → local).
+/// Appends one length-prefixed frame for `event` to `buf` (skipping
+/// gateway-sourced events, which came from the peer and would loop).
+fn append_frame(buf: &mut Vec<u8>, gateway: NodeId, event: &Event) {
+    if event.source == gateway {
+        return;
+    }
+    let wire = WireEvent { topic: event.topic.0, payload: event.payload.to_vec() };
+    let frame = serde_json::to_vec(&wire).expect("plain data");
+    let len = u32::try_from(frame.len()).expect("sane frame size");
+    buf.extend_from_slice(&len.to_be_bytes());
+    buf.extend_from_slice(&frame);
+}
+
+/// Runs both directions of one bridge: the batching forwarder (local
+/// mailbox → peer, one coalesced write per drained batch) and the reader
+/// loop (peer → local).
 fn run_bridge(
     handle: &ChannelHandle,
     gateway: NodeId,
     stream: TcpStream,
-    subscriptions: Vec<(Topic, crossbeam::channel::Receiver<crate::event::Event>)>,
+    mailbox: EventReceiver,
     stop: &Arc<AtomicBool>,
 ) {
-    let writer = Arc::new(Mutex::new(match stream.try_clone() {
+    let mut writer = match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
-    }));
-    let mut forwarders = Vec::new();
-    for (topic, rx) in subscriptions {
-        let writer = Arc::clone(&writer);
-        let stop = Arc::clone(stop);
-        forwarders.push(
-            std::thread::Builder::new()
-                .name(format!("rtcm-events-fwd-{}", topic.0))
-                .spawn(move || {
-                    while !stop.load(Ordering::SeqCst) {
-                        let Ok(event) = rx.recv_timeout(std::time::Duration::from_millis(50))
-                        else {
-                            continue;
-                        };
-                        // Events the gateway itself published came from the
-                        // peer: forwarding them back would loop.
-                        if event.source == gateway {
-                            continue;
+    };
+    let fwd_stop = Arc::clone(stop);
+    let forwarder = std::thread::Builder::new()
+        .name("rtcm-events-fwd".into())
+        .spawn(move || {
+            let mut buf: Vec<u8> = Vec::with_capacity(4096);
+            while !fwd_stop.load(Ordering::SeqCst) {
+                let Ok(event) = mailbox.recv_timeout(std::time::Duration::from_millis(50)) else {
+                    continue;
+                };
+                buf.clear();
+                append_frame(&mut buf, gateway, &event);
+                // Coalesce everything already queued into the same write.
+                let mut batched = 1;
+                while batched < MAX_BATCH {
+                    match mailbox.try_recv() {
+                        Ok(event) => {
+                            append_frame(&mut buf, gateway, &event);
+                            batched += 1;
                         }
-                        let wire =
-                            WireEvent { topic: event.topic.0, payload: event.payload.to_vec() };
-                        let frame = serde_json::to_vec(&wire).expect("plain data");
-                        let mut w = writer.lock();
-                        let len = u32::try_from(frame.len()).expect("sane frame size");
-                        if w.write_all(&len.to_be_bytes()).is_err() || w.write_all(&frame).is_err()
-                        {
-                            return;
-                        }
+                        Err(_) => break,
                     }
-                })
-                .expect("spawn forwarder"),
-        );
-    }
+                }
+                if buf.is_empty() {
+                    continue; // everything was gateway-sourced (no echo)
+                }
+                if writer.write_all(&buf).is_err() {
+                    return;
+                }
+            }
+        })
+        .expect("spawn forwarder");
 
     // Reader loop: peer → local publish.
     let mut reader = stream;
@@ -259,9 +284,7 @@ fn run_bridge(
         handle.publish(Topic(wire.topic), wire.payload);
     }
     stop.store(true, Ordering::SeqCst);
-    for t in forwarders {
-        let _ = t.join();
-    }
+    let _ = forwarder.join();
 }
 
 #[cfg(test)]
@@ -330,6 +353,25 @@ mod tests {
         for i in 0u8..100 {
             let got = on_a.recv_timeout(RECV).unwrap();
             assert_eq!(got.payload.as_ref(), &[i]);
+        }
+    }
+
+    #[test]
+    fn multi_topic_bridges_preserve_cross_topic_order() {
+        // One mailbox forwards both topics, so a burst interleaving them
+        // arrives in the exact publish order (the old per-topic forwarder
+        // threads could not promise this).
+        let (a, b, _s, _c) = pair(vec![Topic(1), Topic(2)]);
+        let on_a = a.handle(NodeId(1)).unwrap().subscribe_many(&[Topic(1), Topic(2)]);
+        let h = b.handle(NodeId(2)).unwrap();
+        for i in 0u8..40 {
+            let topic = if i % 2 == 0 { Topic(1) } else { Topic(2) };
+            h.publish(topic, vec![i]);
+        }
+        for i in 0u8..40 {
+            let got = on_a.recv_timeout(RECV).unwrap();
+            assert_eq!(got.payload.as_ref(), &[i]);
+            assert_eq!(got.topic, if i % 2 == 0 { Topic(1) } else { Topic(2) });
         }
     }
 

@@ -1,7 +1,8 @@
 //! Property-based tests of the federated event channel: delivery
-//! completeness, topic isolation and FIFO ordering under constant latency.
+//! completeness, topic isolation and FIFO ordering under constant latency —
+//! plus the backpressure contract under a concurrently stalled subscriber.
 
-use std::time::Duration as StdDuration;
+use std::time::{Duration as StdDuration, Instant};
 
 use proptest::collection::vec;
 use proptest::prelude::*;
@@ -9,6 +10,45 @@ use proptest::prelude::*;
 use rtcm_events::{Federation, Latency, NodeId, Topic};
 
 const RECV: StdDuration = StdDuration::from_secs(2);
+
+/// The documented backpressure bound, exercised across threads: a stalled
+/// *bounded* subscriber holds at most its capacity, loses only its own
+/// oldest events, and never blocks the publisher or a live co-subscriber.
+#[test]
+fn stalled_bounded_subscriber_never_blocks_publisher_or_peers() {
+    const N: usize = 20_000;
+    const CAP: usize = 8;
+    let fed = Federation::new(1, Latency::None, 0);
+    let h = fed.handle(NodeId(0)).unwrap();
+    let stalled = h.subscribe_bounded(Topic(1), CAP);
+    let live = h.subscribe(Topic(1));
+
+    let consumer = std::thread::spawn(move || {
+        let mut got = 0usize;
+        while got < N && live.recv_timeout(StdDuration::from_secs(10)).is_ok() {
+            got += 1;
+        }
+        got
+    });
+
+    let start = Instant::now();
+    for i in 0..N {
+        assert_eq!(h.publish(Topic(1), vec![(i % 256) as u8]), 2);
+    }
+    let publish_time = start.elapsed();
+
+    assert_eq!(consumer.join().unwrap(), N, "the live subscriber sees every event");
+    assert!(
+        publish_time < StdDuration::from_secs(5),
+        "publisher flooded {N} events without blocking ({publish_time:?})"
+    );
+    // The stalled subscriber holds exactly its bound; everything older was
+    // dropped and counted, observably, at the receiver and the federation.
+    assert_eq!(stalled.len(), CAP);
+    assert_eq!(stalled.dropped(), (N - CAP) as u64);
+    assert_eq!(fed.stats().events_dropped, (N - CAP) as u64);
+    assert_eq!(fed.stats().events_published, N as u64);
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]

@@ -22,7 +22,7 @@ use std::collections::HashSet;
 use std::sync::Arc;
 use std::time::{Duration as StdDuration, Instant};
 
-use crossbeam::channel::{Receiver, Sender};
+use crossbeam::channel::{Receiver, Sender, TryRecvError};
 use parking_lot::Mutex;
 
 use rtcm_core::admission::{AdmissionController, Decision};
@@ -32,7 +32,7 @@ use rtcm_core::ledger::ContributionKey;
 use rtcm_core::strategy::{AcStrategy, ServiceConfig};
 use rtcm_core::task::{ProcessorId, TaskSet};
 use rtcm_core::time::{Duration, Time};
-use rtcm_events::{topics, ChannelHandle};
+use rtcm_events::{topics, ChannelHandle, Event, EventReceiver, RecvTimeoutError};
 
 use crate::clock::Clock;
 use crate::proto::{
@@ -69,12 +69,24 @@ pub(crate) struct ManagerConfig {
     pub remote_voters: Arc<Mutex<HashSet<u64>>>,
     pub shutdown_rx: Receiver<()>,
     pub ctl_rx: Receiver<ManagerCtl>,
-    /// Subscribed by the launcher before any thread starts (no startup
-    /// race).
-    pub arrive_rx: Receiver<rtcm_events::Event>,
-    pub reset_rx: Receiver<rtcm_events::Event>,
-    pub ack_rx: Receiver<rtcm_events::Event>,
+    /// The manager's single inbox — "Task Arrive", "Idle Resetting",
+    /// reconfiguration acks and `topics::MANAGER_WAKE` kicks merged in
+    /// publish order. Subscribed by the launcher before any thread starts
+    /// (no startup race).
+    pub mailbox: EventReceiver,
 }
+
+/// Safety-net park bound for the manager's mailbox wait. Every control
+/// sender (reconfigure requests, gauge probes, shutdown) publishes a
+/// `topics::MANAGER_WAKE` kick after enqueueing, so an idle manager
+/// normally parks the full bound without polling; the timeout only
+/// backstops a kick lost to an unsubscribed window that cannot occur in
+/// the launcher's wiring.
+const CTL_POLL: StdDuration = StdDuration::from_millis(50);
+
+/// Most mailbox events handled between control polls, so a saturating
+/// event flood cannot starve reconfigure or shutdown requests.
+const DRAIN_BATCH: usize = 256;
 
 /// Source of manager-instance coordinator ids (see
 /// [`crate::proto::ReconfigMsg::coordinator`]); process-qualified so two
@@ -83,22 +95,14 @@ static NEXT_COORDINATOR: std::sync::atomic::AtomicU64 = std::sync::atomic::Atomi
 
 /// Runs the manager loop until shutdown. Spawned by `System::launch`.
 pub(crate) fn run_manager(cfg: ManagerConfig) {
-    let arrive_rx = cfg.arrive_rx.clone();
-    let reset_rx = cfg.reset_rx.clone();
-    let ack_rx = cfg.ack_rx.clone();
-    let ctl_rx = cfg.ctl_rx.clone();
     let coordinator = (u64::from(std::process::id()) << 32)
         | NEXT_COORDINATOR.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-    let mut manager = Manager { cfg, arrive_rx, reset_rx, ack_rx, ctl_rx, coordinator, epoch: 0 };
+    let mut manager = Manager { cfg, coordinator, epoch: 0 };
     manager.run();
 }
 
 struct Manager {
     cfg: ManagerConfig,
-    arrive_rx: Receiver<rtcm_events::Event>,
-    reset_rx: Receiver<rtcm_events::Event>,
-    ack_rx: Receiver<rtcm_events::Event>,
-    ctl_rx: Receiver<ManagerCtl>,
     /// This manager's protocol identity; acks not bearing it are ignored,
     /// so a bridged-in foreign reconfiguration can never pre-satisfy a
     /// local prepare quorum.
@@ -107,38 +111,75 @@ struct Manager {
     epoch: u64,
 }
 
+/// What the manager loop should do after a control-channel poll.
+enum CtlFlow {
+    Continue,
+    Exit,
+}
+
 impl Manager {
     fn run(&mut self) {
         loop {
-            crossbeam::channel::select! {
-                recv(self.arrive_rx) -> m => {
-                    let Ok(ev) = m else { return };
-                    self.on_arrive(&proto::decode(&ev.payload));
-                }
-                recv(self.reset_rx) -> m => {
-                    let Ok(ev) = m else { return };
-                    self.on_reset(&proto::decode(&ev.payload));
-                }
-                recv(self.ctl_rx) -> m => {
-                    match m {
-                        Ok(ManagerCtl::Reconfigure { target, reply }) => {
-                            if !self.on_reconfigure(target, &reply) {
-                                return;
-                            }
+            if matches!(self.poll_ctl(), CtlFlow::Exit) {
+                return;
+            }
+            // Park on the mailbox (event arrivals wake it immediately),
+            // bounded by the control-poll cadence.
+            match self.cfg.mailbox.recv_timeout(CTL_POLL) {
+                Ok(ev) => {
+                    self.on_event(&ev);
+                    // Drain a *bounded* backlog batch before the next
+                    // control poll: a sustained arrival flood must not
+                    // starve reconfigure/shutdown requests (the fairness
+                    // the old multi-channel select! provided).
+                    for _ in 0..DRAIN_BATCH {
+                        match self.cfg.mailbox.try_recv() {
+                            Ok(ev) => self.on_event(&ev),
+                            Err(_) => break,
                         }
-                        Ok(ManagerCtl::SenseGauges { reply }) => {
-                            self.cfg.ac.expire(self.cfg.clock.now());
-                            let gauges = self.gauges();
-                            self.cfg.stats.with(|r| {
-                                r.aub_slack = gauges.0;
-                                r.util_imbalance = gauges.1;
-                            });
-                            let _ = reply.send(gauges);
-                        }
-                        Err(_) => return,
                     }
                 }
-                recv(self.cfg.shutdown_rx) -> _ => { return }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => return,
+            }
+        }
+    }
+
+    /// Steady-state event dispatch. Reconfiguration acks arriving outside
+    /// a prepare window are stale (the swap they voted on is decided) and
+    /// are dropped, exactly as the ack check inside the prepare loop would.
+    fn on_event(&mut self, ev: &Event) {
+        if ev.topic == topics::TASK_ARRIVE {
+            self.on_arrive(&proto::decode(&ev.payload));
+        } else if ev.topic == topics::IDLE_RESET {
+            self.on_reset(&proto::decode(&ev.payload));
+        }
+    }
+
+    /// Polls the launcher's control channels without blocking.
+    fn poll_ctl(&mut self) -> CtlFlow {
+        match self.cfg.shutdown_rx.try_recv() {
+            Ok(()) | Err(TryRecvError::Disconnected) => return CtlFlow::Exit,
+            Err(TryRecvError::Empty) => {}
+        }
+        loop {
+            match self.cfg.ctl_rx.try_recv() {
+                Ok(ManagerCtl::Reconfigure { target, reply }) => {
+                    if !self.on_reconfigure(target, &reply) {
+                        return CtlFlow::Exit;
+                    }
+                }
+                Ok(ManagerCtl::SenseGauges { reply }) => {
+                    self.cfg.ac.expire(self.cfg.clock.now());
+                    let gauges = self.gauges();
+                    self.cfg.stats.with(|r| {
+                        r.aub_slack = gauges.0;
+                        r.util_imbalance = gauges.1;
+                    });
+                    let _ = reply.send(gauges);
+                }
+                Err(TryRecvError::Empty) => return CtlFlow::Continue,
+                Err(TryRecvError::Disconnected) => return CtlFlow::Exit,
             }
         }
     }
@@ -184,45 +225,48 @@ impl Manager {
             if remaining.is_zero() || nack.is_some() {
                 break;
             }
-            crossbeam::channel::select! {
-                recv(self.ack_rx) -> m => {
-                    let Ok(ev) = m else { break };
-                    let ack: ReconfigAckMsg = proto::decode(&ev.payload);
-                    if ack.coordinator == self.coordinator && ack.epoch == epoch {
-                        match ack.vote {
-                            ReconfigVote::Ack => {
-                                if ack.host == own_host && ack.processor < self.cfg.processors {
-                                    local_acked.insert(ack.processor);
-                                } else if remote.contains(&ack.host) {
-                                    remote_acked.insert(ack.host);
-                                }
-                            }
-                            ReconfigVote::Nack(reason) => {
-                                // A vetoing quorum member (it is fenced for
-                                // someone else's swap) fails the prepare
-                                // immediately — no point waiting out the
-                                // timeout.
-                                if ack.host == own_host || remote.contains(&ack.host) {
-                                    nack = Some(reason);
-                                }
-                            }
-                        }
-                    }
-                }
-                recv(self.arrive_rx) -> m => {
-                    let Ok(ev) = m else { break };
-                    deferred.push(proto::decode(&ev.payload));
-                }
-                recv(self.reset_rx) -> m => {
-                    let Ok(ev) = m else { break };
-                    // Idle resets carry no decision; apply immediately.
-                    self.on_reset(&proto::decode(&ev.payload));
-                }
-                recv(self.cfg.shutdown_rx) -> _ => {
+            match self.cfg.shutdown_rx.try_recv() {
+                Ok(()) | Err(TryRecvError::Disconnected) => {
                     let _ = reply.send(Err(ReconfigureError::Closed));
                     return false;
                 }
-                default(remaining) => {}
+                Err(TryRecvError::Empty) => {}
+            }
+            // Acks/arrivals — and the shutdown path's wake kick — rouse
+            // the mailbox immediately; the cap is only a backstop.
+            match self.cfg.mailbox.recv_timeout(remaining.min(CTL_POLL)) {
+                Ok(ev) => {
+                    if ev.topic == topics::RECONFIG_ACK {
+                        let ack: ReconfigAckMsg = proto::decode(&ev.payload);
+                        if ack.coordinator == self.coordinator && ack.epoch == epoch {
+                            match ack.vote {
+                                ReconfigVote::Ack => {
+                                    if ack.host == own_host && ack.processor < self.cfg.processors {
+                                        local_acked.insert(ack.processor);
+                                    } else if remote.contains(&ack.host) {
+                                        remote_acked.insert(ack.host);
+                                    }
+                                }
+                                ReconfigVote::Nack(reason) => {
+                                    // A vetoing quorum member (it is fenced
+                                    // for someone else's swap) fails the
+                                    // prepare immediately — no point waiting
+                                    // out the timeout.
+                                    if ack.host == own_host || remote.contains(&ack.host) {
+                                        nack = Some(reason);
+                                    }
+                                }
+                            }
+                        }
+                    } else if ev.topic == topics::TASK_ARRIVE {
+                        deferred.push(proto::decode(&ev.payload));
+                    } else if ev.topic == topics::IDLE_RESET {
+                        // Idle resets carry no decision; apply immediately.
+                        self.on_reset(&proto::decode(&ev.payload));
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => break,
             }
         }
 

@@ -13,20 +13,18 @@ use std::collections::BinaryHeap;
 use std::sync::Arc;
 use std::time::{Duration as StdDuration, Instant};
 
-use crossbeam::channel::{Receiver, Sender};
-
 use rtcm_core::ledger::ContributionKey;
 use rtcm_core::priority::Priority;
 use rtcm_core::reset::IdleResetter;
 use rtcm_core::strategy::{AcStrategy, LbStrategy, ServiceConfig};
 use rtcm_core::task::{JobId, ProcessorId, TaskId, TaskSet};
 use rtcm_core::time::{Duration, Time};
-use rtcm_events::{topics, ChannelHandle};
+use rtcm_events::{topics, ChannelHandle, Event, EventReceiver, RecvTimeoutError, Topic};
 
 use crate::clock::Clock;
 use crate::proto::{
-    self, AcceptMsg, ArriveMsg, IdleResetMsg, ReconfigAckMsg, ReconfigMsg, ReconfigPhase,
-    RejectMsg, TriggerMsg,
+    self, AcceptMsg, ArriveMsg, IdleResetMsg, InjectMsg, ReconfigAckMsg, ReconfigMsg,
+    ReconfigPhase, RejectMsg, TriggerMsg,
 };
 use crate::stats::SharedStats;
 
@@ -40,25 +38,6 @@ pub enum ExecMode {
     Spin,
     /// Complete instantly (control-plane tests).
     Noop,
-}
-
-/// An arrival injected at this node's task effector.
-#[derive(Debug, Clone, Copy)]
-pub struct Injected {
-    /// The task arriving.
-    pub task: TaskId,
-    /// Job sequence number.
-    pub seq: u64,
-}
-
-/// Control messages from the launcher to a node thread. Reconfiguration
-/// does *not* travel this way — it rides the federated event channel
-/// (`topics::RECONFIG`) so it propagates across TCP gateways to remote
-/// hosts exactly like any other middleware event.
-#[derive(Debug, Clone, Copy)]
-pub(crate) enum NodeCtl {
-    /// Stop the node loop.
-    Shutdown,
 }
 
 #[derive(Debug, Clone)]
@@ -100,8 +79,12 @@ impl Ord for ReadySubjob {
 
 /// Everything a node thread needs at spawn time.
 ///
-/// The event subscriptions are created by the *launcher* before any thread
-/// starts, so no publication can race past an unsubscribed consumer.
+/// The **mailbox** is the node's single inbox: one subscription merging
+/// accept/reject/trigger/reconfig traffic with this processor's reserved
+/// inject and control topics, created by the *launcher* before any thread
+/// starts, so no publication can race past an unsubscribed consumer. One
+/// queue means one wait point and a global FIFO over everything the node
+/// reacts to.
 pub(crate) struct NodeConfig {
     pub processor: u16,
     pub services: ServiceConfig,
@@ -112,12 +95,7 @@ pub(crate) struct NodeConfig {
     pub stats: Arc<SharedStats>,
     pub exec: ExecMode,
     pub slice: StdDuration,
-    pub inject_rx: Receiver<Injected>,
-    pub ctl_rx: Receiver<NodeCtl>,
-    pub accept_rx: Receiver<rtcm_events::Event>,
-    pub reject_rx: Receiver<rtcm_events::Event>,
-    pub trigger_rx: Receiver<rtcm_events::Event>,
-    pub reconfig_rx: Receiver<rtcm_events::Event>,
+    pub mailbox: EventReceiver,
 }
 
 /// Runs the node loop until shutdown. Spawned by `System::launch`.
@@ -128,10 +106,8 @@ pub(crate) fn run_node(cfg: NodeConfig) {
 
 struct Node {
     cfg: NodeConfig,
-    accept_rx: Receiver<rtcm_events::Event>,
-    reject_rx: Receiver<rtcm_events::Event>,
-    trigger_rx: Receiver<rtcm_events::Event>,
-    reconfig_rx: Receiver<rtcm_events::Event>,
+    inject_topic: Topic,
+    ctl_topic: Topic,
     te_cache: std::collections::HashMap<TaskId, TeDecision>,
     resetter: IdleResetter,
     ready: BinaryHeap<ReadySubjob>,
@@ -151,10 +127,8 @@ impl Node {
     fn new(cfg: NodeConfig) -> Self {
         let resetter = IdleResetter::new(cfg.services.ir, ProcessorId(cfg.processor));
         Node {
-            accept_rx: cfg.accept_rx.clone(),
-            reject_rx: cfg.reject_rx.clone(),
-            trigger_rx: cfg.trigger_rx.clone(),
-            reconfig_rx: cfg.reconfig_rx.clone(),
+            inject_topic: topics::inject(cfg.processor),
+            ctl_topic: topics::node_ctl(cfg.processor),
             te_cache: std::collections::HashMap::new(),
             resetter,
             ready: BinaryHeap::new(),
@@ -183,9 +157,23 @@ impl Node {
         }
     }
 
-    fn on_ctl(&mut self, ctl: NodeCtl) {
-        match ctl {
-            NodeCtl::Shutdown => self.running = false,
+    /// Routes one mailbox event to its handler. All node input — protocol
+    /// events, injected arrivals, shutdown — arrives through the single
+    /// mailbox in publish order.
+    fn dispatch(&mut self, ev: &Event) {
+        let topic = ev.topic;
+        if topic == topics::ACCEPT {
+            self.on_accept(proto::decode(&ev.payload));
+        } else if topic == topics::REJECT {
+            self.on_reject(&proto::decode(&ev.payload));
+        } else if topic == topics::TRIGGER {
+            self.on_trigger(proto::decode(&ev.payload));
+        } else if topic == topics::RECONFIG {
+            self.on_reconfig(proto::decode(&ev.payload));
+        } else if topic == self.inject_topic {
+            self.on_inject(proto::decode(&ev.payload));
+        } else if topic == self.ctl_topic {
+            self.running = false;
         }
     }
 
@@ -239,36 +227,9 @@ impl Node {
     }
 
     fn drain_messages(&mut self) {
-        loop {
-            let mut any = false;
-            while let Ok(ctl) = self.cfg.ctl_rx.try_recv() {
-                self.on_ctl(ctl);
-                if !self.running {
-                    return;
-                }
-                any = true;
-            }
-            while let Ok(inj) = self.cfg.inject_rx.try_recv() {
-                self.on_inject(inj);
-                any = true;
-            }
-            while let Ok(ev) = self.accept_rx.try_recv() {
-                self.on_accept(proto::decode(&ev.payload));
-                any = true;
-            }
-            while let Ok(ev) = self.reject_rx.try_recv() {
-                self.on_reject(&proto::decode(&ev.payload));
-                any = true;
-            }
-            while let Ok(ev) = self.trigger_rx.try_recv() {
-                self.on_trigger(proto::decode(&ev.payload));
-                any = true;
-            }
-            while let Ok(ev) = self.reconfig_rx.try_recv() {
-                self.on_reconfig(proto::decode(&ev.payload));
-                any = true;
-            }
-            if !any {
+        while let Ok(ev) = self.cfg.mailbox.try_recv() {
+            self.dispatch(&ev);
+            if !self.running {
                 return;
             }
         }
@@ -276,7 +237,7 @@ impl Node {
 
     /// The TE component: record the arrival, fast-path per-task decisions,
     /// otherwise hold and push "Task Arrive" to the AC (ops 1–2).
-    fn on_inject(&mut self, inj: Injected) {
+    fn on_inject(&mut self, inj: InjectMsg) {
         // `System::submit` already counted the job in (so quiesce() sees it
         // immediately); this thread only records the arrival weight.
         let Some(task) = self.cfg.tasks.get(inj.task) else {
@@ -509,31 +470,12 @@ impl Node {
             };
             self.cfg.channel.publish(topics::IDLE_RESET, proto::encode(&msg));
         }
-        crossbeam::channel::select! {
-            recv(self.cfg.inject_rx) -> m => {
-                if let Ok(inj) = m { self.on_inject(inj) }
-            }
-            recv(self.accept_rx) -> m => {
-                if let Ok(ev) = m { self.on_accept(proto::decode(&ev.payload)) }
-            }
-            recv(self.reject_rx) -> m => {
-                if let Ok(ev) = m { self.on_reject(&proto::decode(&ev.payload)) }
-            }
-            recv(self.trigger_rx) -> m => {
-                if let Ok(ev) = m { self.on_trigger(proto::decode(&ev.payload)) }
-            }
-            recv(self.reconfig_rx) -> m => {
-                if let Ok(ev) = m { self.on_reconfig(proto::decode(&ev.payload)) }
-            }
-            recv(self.cfg.ctl_rx) -> m => {
-                if let Ok(ctl) = m { self.on_ctl(ctl) }
-            }
-            default(StdDuration::from_micros(500)) => {}
+        match self.cfg.mailbox.recv_timeout(StdDuration::from_micros(500)) {
+            Ok(ev) => self.dispatch(&ev),
+            Err(RecvTimeoutError::Timeout) => {}
+            // Federation gone (launcher dropped without a shutdown event):
+            // nothing can ever arrive again, so stop instead of spinning.
+            Err(RecvTimeoutError::Disconnected) => self.running = false,
         }
     }
-}
-
-/// Sends one injected arrival into a node (used by `System::submit`).
-pub(crate) fn inject(tx: &Sender<Injected>, task: TaskId, seq: u64) -> bool {
-    tx.send(Injected { task, seq }).is_ok()
 }

@@ -12,6 +12,18 @@ use serde::{Deserialize, Serialize};
 use rtcm_core::strategy::ServiceConfig;
 use rtcm_core::task::{JobId, TaskId};
 
+/// Launcher → TE: an arrival injected by `System::submit`. Rides the
+/// federated event channel on the arrival processor's reserved
+/// `topics::inject` topic, so submissions take the same fast path (and
+/// the same mailbox wakeup) as every other middleware event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InjectMsg {
+    /// The arriving task.
+    pub task: TaskId,
+    /// Job sequence number.
+    pub seq: u64,
+}
+
 /// TE → AC: a held task awaiting an admission decision (op 1 → op 2).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ArriveMsg {

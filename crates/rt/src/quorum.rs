@@ -28,11 +28,11 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration as StdDuration, Instant};
 
-use crossbeam::channel::{unbounded, Sender};
+use crossbeam::channel::{unbounded, Sender, TryRecvError};
 use parking_lot::Mutex;
 
 use rtcm_core::strategy::ServiceConfig;
-use rtcm_events::{topics, Federation, NodeId, UnknownNodeError};
+use rtcm_events::{topics, Federation, NodeId, RecvTimeoutError, UnknownNodeError};
 
 use crate::clock::Clock;
 use crate::proto::{
@@ -108,10 +108,12 @@ impl QuorumMember {
         let thread = std::thread::Builder::new()
             .name("rtcm-quorum-member".into())
             .spawn(move || loop {
-                crossbeam::channel::select! {
-                    recv(stop_rx) -> _ => { return }
-                    recv(reconfig_rx) -> m => {
-                        let Ok(ev) = m else { return };
+                match stop_rx.try_recv() {
+                    Ok(()) | Err(TryRecvError::Disconnected) => return,
+                    Err(TryRecvError::Empty) => {}
+                }
+                match reconfig_rx.recv_timeout(StdDuration::from_millis(20)) {
+                    Ok(ev) => {
                         let msg: ReconfigMsg = proto::decode(&ev.payload);
                         on_phase(
                             &msg,
@@ -123,12 +125,13 @@ impl QuorumMember {
                             options.fence_timeout,
                         );
                     }
-                    default(StdDuration::from_millis(20)) => {
+                    Err(RecvTimeoutError::Timeout) => {
                         // Periodic fence-expiry sweep even when no events
                         // arrive (a lost abort must not wedge the member).
                         let mut s = thread_state.lock();
                         expire_fence(&mut s, options.fence_timeout);
                     }
+                    Err(RecvTimeoutError::Disconnected) => return,
                 }
             })
             .expect("spawn quorum member");

@@ -118,6 +118,19 @@ pub struct SystemReport {
     /// Committed swaps initiated by the governor (a subset of
     /// [`SystemReport::reconfig_swaps`]).
     pub governor_swaps: u64,
+
+    /// Events published through the federation (every protocol message —
+    /// arrivals, decisions, triggers, IR reports, reconfig phases,
+    /// injected submissions — crosses the event fast path once).
+    pub events_published: u64,
+    /// Per-subscriber fan-out deliveries (local pushes plus delivered
+    /// remote parcels).
+    pub events_delivered: u64,
+    /// Events dropped at bounded subscribers under backpressure
+    /// (drop-oldest; 0 for the runtime's own unbounded mailboxes).
+    pub events_dropped: u64,
+    /// Parcels handed to the in-process network for cross-node delivery.
+    pub remote_parcels: u64,
 }
 
 /// Thread-shared accumulator handed to every node.

@@ -19,13 +19,13 @@ use rtcm_core::reconfig::HandoverReport;
 use rtcm_core::strategy::{InvalidConfigError, ServiceConfig};
 use rtcm_core::task::{TaskId, TaskSet};
 use rtcm_core::time::Duration;
-use rtcm_events::{Federation, Latency, NodeId};
+use rtcm_events::{topics, ChannelHandle, Federation, Latency, NodeId};
 
 use crate::clock::Clock;
 use crate::govern::{spawn_governor_thread, GovernorHandle};
 use crate::manager::{run_manager, ManagerConfig, ManagerCtl};
-use crate::node::{inject, run_node, ExecMode, Injected, NodeConfig, NodeCtl};
-use crate::proto::ReconfigAbortReason;
+use crate::node::{run_node, ExecMode, NodeConfig};
+use crate::proto::{self, ReconfigAbortReason};
 use crate::stats::{SharedStats, SystemReport};
 
 /// Runtime options.
@@ -217,9 +217,12 @@ pub struct System {
     clock: Clock,
     federation: Federation,
     remote_voters: Arc<Mutex<HashSet<u64>>>,
-    injectors: Vec<Sender<Injected>>,
+    /// One channel handle per application processor: `submit` publishes
+    /// injected arrivals on the processor's reserved inject topic, and
+    /// shutdown publishes its control topic — launcher↔node traffic rides
+    /// the same event fast path as everything else.
+    node_handles: Vec<ChannelHandle>,
     mgr_shutdown: Sender<()>,
-    node_ctls: Vec<Sender<NodeCtl>>,
     handles: Vec<std::thread::JoinHandle<()>>,
 }
 
@@ -230,6 +233,9 @@ pub struct System {
 pub(crate) struct SwapClient {
     services: Arc<Mutex<ServiceConfig>>,
     mgr_ctl: Sender<ManagerCtl>,
+    /// Publishes `topics::MANAGER_WAKE` after every control-channel send,
+    /// so the manager parks on its mailbox instead of polling.
+    wake: ChannelHandle,
 }
 
 impl SwapClient {
@@ -263,7 +269,13 @@ impl SwapClient {
         self.mgr_ctl
             .send(ManagerCtl::SenseGauges { reply: reply_tx })
             .map_err(|_| ReconfigureError::Closed)?;
+        self.kick();
         Ok(reply_rx.recv_timeout(timeout).ok())
+    }
+
+    /// Wakes the manager's mailbox after a control-channel send.
+    fn kick(&self) {
+        let _ = self.wake.publish(topics::MANAGER_WAKE, &b""[..]);
     }
 
     /// Validation (and its abort-reason accounting) lives in exactly one
@@ -277,6 +289,7 @@ impl SwapClient {
         self.mgr_ctl
             .send(ManagerCtl::Reconfigure { target, reply: reply_tx })
             .map_err(|_| ReconfigureError::Closed)?;
+        self.kick();
         let report = reply_rx.recv().map_err(|_| ReconfigureError::Closed)??;
         *services = target;
         Ok(report)
@@ -287,7 +300,7 @@ impl fmt::Debug for System {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("System")
             .field("services", &self.swap.services().label())
-            .field("processors", &self.injectors.len())
+            .field("processors", &self.node_handles.len())
             .finish()
     }
 }
@@ -314,7 +327,6 @@ impl System {
         // Node 0 is the task manager; app processor p is node p + 1.
         let federation = Federation::new(procs + 1, options.latency, options.seed);
 
-        let mut node_ctls = Vec::with_capacity(procs as usize);
         let mut handles = Vec::with_capacity(procs as usize + 1);
 
         let (mgr_shutdown_tx, mgr_shutdown_rx) = unbounded();
@@ -323,9 +335,13 @@ impl System {
         // Subscribe every consumer on this thread, before any node runs, so
         // no early publication can be dropped for lack of subscribers.
         let mgr_channel = federation.handle(NodeId(0)).expect("node 0 exists");
-        let mgr_arrive_rx = mgr_channel.subscribe(rtcm_events::topics::TASK_ARRIVE);
-        let mgr_reset_rx = mgr_channel.subscribe(rtcm_events::topics::IDLE_RESET);
-        let mgr_ack_rx = mgr_channel.subscribe(rtcm_events::topics::RECONFIG_ACK);
+        let mgr_mailbox = mgr_channel.subscribe_many(&[
+            topics::TASK_ARRIVE,
+            topics::IDLE_RESET,
+            topics::RECONFIG_ACK,
+            topics::MANAGER_WAKE,
+        ]);
+        let mgr_wake = mgr_channel.clone();
         let mgr_cfg = ManagerConfig {
             ac,
             tasks: Arc::clone(&tasks),
@@ -337,9 +353,7 @@ impl System {
             remote_voters: Arc::clone(&remote_voters),
             shutdown_rx: mgr_shutdown_rx,
             ctl_rx: mgr_ctl_rx,
-            arrive_rx: mgr_arrive_rx,
-            reset_rx: mgr_reset_rx,
-            ack_rx: mgr_ack_rx,
+            mailbox: mgr_mailbox,
         };
         handles.push(
             std::thread::Builder::new()
@@ -348,17 +362,18 @@ impl System {
                 .expect("spawn manager thread"),
         );
 
-        let mut injectors = Vec::with_capacity(procs as usize);
+        let mut node_handles = Vec::with_capacity(procs as usize);
         for p in 0..procs {
-            let (inject_tx, inject_rx) = unbounded();
-            let (ctl_tx, ctl_rx) = unbounded();
-            injectors.push(inject_tx);
-            node_ctls.push(ctl_tx);
             let channel = federation.handle(NodeId(p + 1)).expect("app nodes exist");
-            let accept_rx = channel.subscribe(rtcm_events::topics::ACCEPT);
-            let reject_rx = channel.subscribe(rtcm_events::topics::REJECT);
-            let trigger_rx = channel.subscribe(rtcm_events::topics::TRIGGER);
-            let reconfig_rx = channel.subscribe(rtcm_events::topics::RECONFIG);
+            let mailbox = channel.subscribe_many(&[
+                topics::ACCEPT,
+                topics::REJECT,
+                topics::TRIGGER,
+                topics::RECONFIG,
+                topics::inject(p),
+                topics::node_ctl(p),
+            ]);
+            node_handles.push(channel.clone());
             let cfg = NodeConfig {
                 processor: p,
                 services,
@@ -369,12 +384,7 @@ impl System {
                 stats: Arc::clone(&stats),
                 exec: options.exec,
                 slice: options.slice,
-                inject_rx,
-                ctl_rx,
-                accept_rx,
-                reject_rx,
-                trigger_rx,
-                reconfig_rx,
+                mailbox,
             };
             handles.push(
                 std::thread::Builder::new()
@@ -386,14 +396,17 @@ impl System {
 
         Ok(System {
             tasks,
-            swap: SwapClient { services: Arc::new(Mutex::new(services)), mgr_ctl: mgr_ctl_tx },
+            swap: SwapClient {
+                services: Arc::new(Mutex::new(services)),
+                mgr_ctl: mgr_ctl_tx,
+                wake: mgr_wake,
+            },
             stats,
             clock,
             federation,
             remote_voters,
-            injectors,
+            node_handles,
             mgr_shutdown: mgr_shutdown_tx,
-            node_ctls,
             handles,
         })
     }
@@ -574,11 +587,14 @@ impl System {
     pub fn submit(&self, task: TaskId, seq: u64) -> Result<(), SubmitError> {
         let spec = self.tasks.get(task).ok_or(SubmitError::UnknownTask { task })?;
         let proc = spec.subtasks()[0].primary.index();
-        let tx = self.injectors.get(proc).ok_or(SubmitError::Closed)?;
+        let handle = self.node_handles.get(proc).ok_or(SubmitError::Closed)?;
         // Count the job in *before* handing it to the node thread so that
         // quiesce() cannot observe a spuriously empty system.
         self.stats.job_in();
-        if inject(tx, task, seq) {
+        let msg = proto::InjectMsg { task, seq };
+        // Delivered count 0 means the node's mailbox is gone (thread
+        // exited): the system is shutting down.
+        if handle.publish(topics::inject(proc as u16), proto::encode(&msg)) > 0 {
             Ok(())
         } else {
             self.stats.job_out();
@@ -641,23 +657,36 @@ impl System {
         true
     }
 
-    /// Snapshot of the statistics so far.
+    /// Snapshot of the statistics so far, with the federation's
+    /// event-path counters (publishes, fan-out deliveries, backpressure
+    /// drops, remote parcels) merged in.
     #[must_use]
     pub fn stats(&self) -> SystemReport {
-        self.stats.snapshot()
+        self.merged_report()
     }
 
     /// Stops all node threads and returns the final report.
     #[must_use]
     pub fn shutdown(mut self) -> SystemReport {
         self.stop_threads();
-        self.stats.snapshot()
+        self.merged_report()
+    }
+
+    fn merged_report(&self) -> SystemReport {
+        let mut report = self.stats.snapshot();
+        let events = self.federation.stats();
+        report.events_published = events.events_published;
+        report.events_delivered = events.local_deliveries;
+        report.events_dropped = events.events_dropped;
+        report.remote_parcels = events.remote_parcels;
+        report
     }
 
     fn stop_threads(&mut self) {
         let _ = self.mgr_shutdown.send(());
-        for ctl in &self.node_ctls {
-            let _ = ctl.send(NodeCtl::Shutdown);
+        self.swap.kick();
+        for (p, handle) in self.node_handles.iter().enumerate() {
+            let _ = handle.publish(topics::node_ctl(p as u16), &b""[..]);
         }
         for handle in self.handles.drain(..) {
             let _ = handle.join();
