@@ -1,0 +1,126 @@
+//! **Micro-benchmark: the bridge wire protocol, binary v1 vs legacy
+//! JSON.**
+//!
+//! PR 6 replaced the bridge's length-prefixed JSON codec (payload bytes
+//! as a base-10 JSON array) with a 9-byte binary frame header and
+//! zero-copy payload slices. This bench pins the claim with numbers on
+//! three axes, all written to `BENCH_wire.json` at the workspace root:
+//!
+//! * **Wire size** — encoded bytes per canonical protocol event.
+//! * **Codec throughput** — encode and decode frames/s per codec, in
+//!   isolation (no sockets).
+//! * **Bridge receive throughput** — pre-encoded frame streams pushed
+//!   through a *real* TCP bridge (read → decode → republish), timed at
+//!   the subscriber. The bridge auto-detects the codec per frame, so both
+//!   arms run the identical receive path.
+//!
+//! Criterion arms cover the per-frame codec costs; the JSON document
+//! carries the tracked apples-to-apples numbers.
+
+use criterion::{black_box, criterion_group, Criterion};
+use rtcm_bench::events::PAYLOAD;
+use rtcm_bench::wire::{decode_all, encode_binary, encode_json, BridgeRig};
+
+fn bench_wire(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire");
+
+    group.bench_function("encode_binary", |b| b.iter(|| black_box(encode_binary(1))));
+    group.bench_function("encode_json", |b| b.iter(|| black_box(encode_json(1))));
+
+    let binary = encode_binary(64);
+    let json = encode_json(64);
+    group.bench_function("decode_binary_64", |b| b.iter(|| black_box(decode_all(&binary))));
+    group.bench_function("decode_json_64", |b| b.iter(|| black_box(decode_all(&json))));
+    group.finish();
+}
+
+/// Frames/s for `op` run `rounds` times over a `count`-frame batch.
+fn codec_rate(rounds: usize, count: usize, mut op: impl FnMut() -> usize) -> f64 {
+    let start = std::time::Instant::now();
+    let mut frames = 0usize;
+    for _ in 0..rounds {
+        frames += black_box(op());
+    }
+    assert_eq!(frames, rounds * count, "every frame accounted for");
+    frames as f64 / start.elapsed().as_secs_f64()
+}
+
+fn emit_json() {
+    let quick = std::env::var("RTCM_QUICK").is_ok_and(|v| v != "0");
+    let (rounds, batch, bridge_batches) = if quick { (200, 256, 20) } else { (2000, 256, 200) };
+
+    // Axis 1: bytes per event on the wire.
+    let binary_frame = encode_binary(1).len();
+    let json_frame = encode_json(1).len();
+    println!(
+        "wire/size payload {}B: binary {binary_frame}B, json {json_frame}B ({:.2}x)",
+        PAYLOAD.len(),
+        json_frame as f64 / binary_frame as f64
+    );
+
+    // Axis 2: codec throughput in isolation.
+    let binary_stream = encode_binary(batch);
+    let json_stream = encode_json(batch);
+    let encode_binary_rate = codec_rate(rounds, batch, || {
+        black_box(encode_binary(batch));
+        batch
+    });
+    let encode_json_rate = codec_rate(rounds, batch, || {
+        black_box(encode_json(batch));
+        batch
+    });
+    let decode_binary_rate = codec_rate(rounds, batch, || decode_all(&binary_stream));
+    let decode_json_rate = codec_rate(rounds, batch, || decode_all(&json_stream));
+    println!(
+        "wire/codec encode {encode_binary_rate:>12.0} vs {encode_json_rate:>12.0} frames/s, \
+         decode {decode_binary_rate:>12.0} vs {decode_json_rate:>12.0} frames/s (binary vs json)"
+    );
+
+    // Axis 3: a real bridge receive path, per codec.
+    let mut bridge_rows = Vec::new();
+    for (codec, stream) in [("binary", &binary_stream), ("json", &json_stream)] {
+        let mut rig = BridgeRig::new();
+        rig.pump(stream, batch); // warm-up: connection + first republish
+        let mut total = std::time::Duration::ZERO;
+        for _ in 0..bridge_batches {
+            total += rig.pump(stream, batch);
+        }
+        let stats = rig.stats();
+        assert_eq!(stats.bridge_rx_errors, 0, "bench streams are clean");
+        let rate = (bridge_batches * batch) as f64 / total.as_secs_f64();
+        println!("wire/bridge_rx_{codec:<8} {rate:>12.0} events/s");
+        bridge_rows.push(serde_json::json!({ "codec": codec, "events_per_sec": rate }));
+    }
+
+    let doc = serde_json::json!({
+        "bench": "micro_wire",
+        "quick": quick,
+        "payload_bytes": PAYLOAD.len(),
+        "wire_size": {
+            "binary_bytes_per_event": binary_frame,
+            "json_bytes_per_event": json_frame,
+            "json_over_binary": json_frame as f64 / binary_frame as f64,
+        },
+        "codec": {
+            "encode_binary_frames_per_sec": encode_binary_rate,
+            "encode_json_frames_per_sec": encode_json_rate,
+            "decode_binary_frames_per_sec": decode_binary_rate,
+            "decode_json_frames_per_sec": decode_json_rate,
+        },
+        "bridge_rx": bridge_rows,
+    });
+    // CARGO_MANIFEST_DIR = crates/bench → the workspace root is two up.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let path = root.join("BENCH_wire.json");
+    match std::fs::write(&path, serde_json::to_string_pretty(&doc).expect("plain data")) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}
+
+criterion_group!(benches, bench_wire);
+
+fn main() {
+    benches();
+    emit_json();
+}

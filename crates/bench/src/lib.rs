@@ -18,6 +18,7 @@ pub mod events;
 pub mod govern;
 pub mod reconfig;
 pub mod scaling;
+pub mod wire;
 
 use rtcm_core::strategy::ServiceConfig;
 use rtcm_core::task::TaskSet;

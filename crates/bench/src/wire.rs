@@ -1,0 +1,129 @@
+//! Shared fixture for the `micro_wire` bench and its smoke tests: encode
+//! helpers for the two bridge codecs (legacy length-prefixed JSON vs the
+//! v1 binary frame) and a raw-sender → real-bridge receive harness, so
+//! the bench compares the codecs on the exact path the TCP bridge runs.
+
+use std::io::Write as _;
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use rtcm_events::wire::{self, FrameDecoder};
+use rtcm_events::{remote, EventReceiver, Federation, Latency, NodeId, Topic};
+
+use crate::events::PAYLOAD;
+
+/// The topic wire benchmarks publish on.
+pub const WIRE_TOPIC: Topic = Topic(100);
+
+/// Encodes `count` copies of the canonical payload as v1 binary frames.
+#[must_use]
+pub fn encode_binary(count: usize) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(count * (PAYLOAD.len() + wire::FRAME_OVERHEAD));
+    for _ in 0..count {
+        wire::append_frame(&mut buf, WIRE_TOPIC, PAYLOAD).expect("payload under MAX_FRAME");
+    }
+    buf
+}
+
+/// Encodes `count` copies of the canonical payload as legacy JSON frames.
+#[must_use]
+pub fn encode_json(count: usize) -> Vec<u8> {
+    let mut buf = Vec::new();
+    for _ in 0..count {
+        wire::append_frame_json(&mut buf, WIRE_TOPIC, PAYLOAD).expect("payload under MAX_FRAME");
+    }
+    buf
+}
+
+/// Decodes a full frame stream and returns the number of frames (panics
+/// on any fatal framing error — bench inputs are well-formed).
+#[must_use]
+pub fn decode_all(stream: &[u8]) -> usize {
+    let mut decoder = FrameDecoder::new();
+    decoder.extend(stream);
+    let drained = decoder.drain();
+    assert!(drained.fatal.is_none(), "bench streams are well-formed");
+    assert_eq!(decoder.pending(), 0, "bench streams hold whole frames");
+    drained.frames.len()
+}
+
+/// A live bridge endpoint fed by a raw TCP sender: a single-node
+/// federation listening on localhost with one subscriber on
+/// [`WIRE_TOPIC`], plus the connected raw socket. Writing pre-encoded
+/// frames to [`BridgeRig::sender`] exercises the bridge's real read →
+/// decode → republish path, whichever codec the bytes use.
+pub struct BridgeRig {
+    federation: Federation,
+    rx: EventReceiver,
+    /// The raw client socket; frames written here arrive at the bridge.
+    pub sender: TcpStream,
+    _server: rtcm_events::BridgeHandle,
+}
+
+impl BridgeRig {
+    /// Binds a fresh bridge and connects the raw sender.
+    #[must_use]
+    pub fn new() -> Self {
+        let federation = Federation::new(1, Latency::None, 0);
+        let (addr, server) =
+            remote::listen(&federation, NodeId(0), "127.0.0.1:0", vec![WIRE_TOPIC])
+                .expect("loopback listen");
+        let rx = federation.handle(NodeId(0)).expect("node 0 exists").subscribe(WIRE_TOPIC);
+        let sender = TcpStream::connect(addr).expect("loopback connect");
+        sender.set_nodelay(true).expect("loopback nodelay");
+        BridgeRig { federation, rx, sender, _server: server }
+    }
+
+    /// Writes `stream` (a pre-encoded frame batch carrying `count`
+    /// frames) to the bridge and blocks until all `count` events came out
+    /// of the subscriber. Returns the receive-side wall time.
+    pub fn pump(&mut self, stream: &[u8], count: usize) -> Duration {
+        let start = Instant::now();
+        self.sender.write_all(stream).expect("bridge accepts the stream");
+        for _ in 0..count {
+            self.rx.recv_timeout(Duration::from_secs(30)).expect("bridge republishes");
+        }
+        start.elapsed()
+    }
+
+    /// Receive-side counters (rx errors must stay zero during a bench).
+    #[must_use]
+    pub fn stats(&self) -> rtcm_events::FederationStats {
+        self.federation.stats()
+    }
+}
+
+impl Default for BridgeRig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binary_frames_are_smaller_than_json() {
+        let binary = encode_binary(100);
+        let json = encode_json(100);
+        assert!(
+            binary.len() < json.len(),
+            "binary ({}) must beat JSON ({}) on the wire",
+            binary.len(),
+            json.len()
+        );
+        assert_eq!(decode_all(&binary), 100);
+        assert_eq!(decode_all(&json), 100);
+    }
+
+    #[test]
+    fn bridge_rig_round_trips_both_codecs() {
+        let mut rig = BridgeRig::new();
+        rig.pump(&encode_binary(32), 32);
+        rig.pump(&encode_json(32), 32);
+        let stats = rig.stats();
+        assert_eq!(stats.bridge_rx_errors, 0);
+        assert_eq!(stats.bridge_disconnects, 0);
+    }
+}

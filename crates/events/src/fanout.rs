@@ -94,6 +94,9 @@ pub(crate) struct FanoutCounters {
     pub delivered: AtomicU64,
     pub dropped: AtomicU64,
     pub remote_parcels: AtomicU64,
+    pub bridge_rx_errors: AtomicU64,
+    pub bridge_disconnects: AtomicU64,
+    pub bridge_tx_dropped: AtomicU64,
 }
 
 impl FanoutCounters {
@@ -103,6 +106,9 @@ impl FanoutCounters {
             local_deliveries: self.delivered.load(Ordering::Relaxed),
             events_dropped: self.dropped.load(Ordering::Relaxed),
             remote_parcels: self.remote_parcels.load(Ordering::Relaxed),
+            bridge_rx_errors: self.bridge_rx_errors.load(Ordering::Relaxed),
+            bridge_disconnects: self.bridge_disconnects.load(Ordering::Relaxed),
+            bridge_tx_dropped: self.bridge_tx_dropped.load(Ordering::Relaxed),
         }
     }
 }
@@ -120,6 +126,15 @@ pub struct FederationStats {
     pub events_dropped: u64,
     /// Parcels handed to the in-process network for cross-node delivery.
     pub remote_parcels: u64,
+    /// Corrupt, oversized or otherwise undecodable frames received on TCP
+    /// bridges attached to this federation (each one closes its link).
+    pub bridge_rx_errors: u64,
+    /// TCP bridge links that closed for any reason — peer disconnect,
+    /// socket error, corrupt frame, or local shutdown.
+    pub bridge_disconnects: u64,
+    /// Outbound events a bridge dropped instead of sending (payload larger
+    /// than the wire format's frame limit).
+    pub bridge_tx_dropped: u64,
 }
 
 /// One subscriber's position in a log.
@@ -223,36 +238,42 @@ impl EventLog {
     /// skipped to stay within their capacity. One lock acquisition, one
     /// event clone (payload shared), regardless of subscriber count.
     pub(crate) fn push(&self, event: &Event) -> (usize, u64) {
+        self.push_batch(std::slice::from_ref(event))
+    }
+
+    /// Appends a whole batch of events under **one** lock acquisition —
+    /// the reader side of a TCP bridge drains every buffered frame per
+    /// wakeup and republishes them through this single locked pass,
+    /// mirroring the forwarder's write coalescing. Returns the summed
+    /// `(deliveries, drops)` over the batch.
+    pub(crate) fn push_batch(&self, events: &[Event]) -> (usize, u64) {
         let mut s = lock(&self.state);
-        if s.closed || s.active == 0 {
+        if s.closed || s.active == 0 || events.is_empty() {
             return (0, 0);
         }
-        s.buf.push_back(event.clone());
-        s.tail_seq += 1;
-        let tail = s.tail_seq;
         let mut dropped = 0u64;
-        let mut min_next = u64::MAX;
-        for c in &mut s.cursors {
-            if !c.active {
-                continue;
-            }
-            if let Some(cap) = c.cap {
-                if (tail - c.next_seq) as usize > cap {
-                    // Drop-oldest: the cursor skips its oldest pending
-                    // event; the publisher and its co-subscribers never
-                    // wait.
-                    c.next_seq += 1;
-                    c.dropped += 1;
-                    dropped += 1;
+        for event in events {
+            s.buf.push_back(event.clone());
+            s.tail_seq += 1;
+            let tail = s.tail_seq;
+            for c in &mut s.cursors {
+                if !c.active {
+                    continue;
+                }
+                if let Some(cap) = c.cap {
+                    if (tail - c.next_seq) as usize > cap {
+                        // Drop-oldest: the cursor skips its oldest pending
+                        // event; the publisher and its co-subscribers never
+                        // wait.
+                        c.next_seq += 1;
+                        c.dropped += 1;
+                        dropped += 1;
+                    }
                 }
             }
-            min_next = min_next.min(c.next_seq);
         }
-        while s.head_seq < min_next {
-            s.buf.pop_front();
-            s.head_seq += 1;
-        }
-        let delivered = s.active;
+        gc(&mut s);
+        let delivered = s.active * events.len();
         if s.waiters > 0 {
             self.ready.notify_all();
         }
@@ -464,6 +485,24 @@ mod tests {
             assert_eq!(unbounded.try_recv().unwrap().payload.as_ref(), &[i]);
         }
         assert_eq!(unbounded.dropped(), 0);
+    }
+
+    #[test]
+    fn push_batch_delivers_in_order_and_respects_bounds() {
+        let log = Arc::new(EventLog::new());
+        let bounded = log.add_cursor(Some(2));
+        let unbounded = log.add_cursor(None);
+        let events: Vec<Event> = (0..5u8).map(ev).collect();
+        let (delivered, dropped) = log.push_batch(&events);
+        assert_eq!(delivered, 10, "2 cursors x 5 events");
+        assert_eq!(dropped, 3, "bounded cursor kept only the newest 2");
+        for i in 0..5u8 {
+            assert_eq!(unbounded.try_recv().unwrap().payload.as_ref(), &[i]);
+        }
+        assert_eq!(bounded.try_recv().unwrap().payload.as_ref(), &[3]);
+        assert_eq!(bounded.try_recv().unwrap().payload.as_ref(), &[4]);
+        assert_eq!(bounded.dropped(), 3);
+        assert_eq!(log.push_batch(&[]), (0, 0), "empty batch is free");
     }
 
     #[test]

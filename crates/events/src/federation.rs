@@ -127,12 +127,10 @@ impl Ord for Parcel {
     }
 }
 
-/// Source of federation host ids: process-qualified (high bits) and
-/// counter-disambiguated (low bits), with a wall-clock mix so two
-/// *processes* on different machines are overwhelmingly unlikely to mint
-/// the same identity. Host ids let protocols that bridge federations over
-/// TCP (`remote`) tell which federation a message originated from — e.g.
-/// the reconfiguration quorum counts one vote per bridged host.
+/// Source of federation host ids, mixed from pid, a nanosecond clock, and
+/// a per-process counter. Host ids let protocols that bridge federations
+/// over TCP (`remote`) tell which federation a message originated from —
+/// e.g. the reconfiguration quorum counts one vote per bridged host.
 static NEXT_HOST_ID: AtomicU64 = AtomicU64::new(1);
 
 fn mint_host_id() -> u64 {
@@ -141,9 +139,20 @@ fn mint_host_id() -> u64 {
     let clock = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map_or(0, |d| d.as_nanos() as u64);
-    // The counter owns the low bits, so ids within one process are
-    // guaranteed distinct; pid and wall clock only de-collide processes.
-    ((pid ^ (clock >> 20)) << 20) | (counter & 0xF_FFFF)
+    // Finalize through splitmix64. A plain shift-and-xor combination is
+    // not enough here: neighbouring pids and a coarse clock share almost
+    // all their bits, and the multi-process harness demonstrated two
+    // processes spawned within the same millisecond minting the SAME id
+    // (merging their quorum votes). The seed sum is injective in
+    // `counter` for a fixed (pid, clock) and splitmix64 is a bijection,
+    // so ids within one process stay guaranteed distinct while the
+    // avalanche de-collides processes at full 64-bit strength.
+    let mut z = clock
+        .wrapping_add(pid.rotate_left(32))
+        .wrapping_add(counter.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// The precomputed route of one `(publisher node, topic)` pair.
@@ -562,6 +571,97 @@ impl ChannelHandle {
         delivered
     }
 
+    /// Publishes a whole batch of events from this node in **one** pass:
+    /// consecutive same-topic runs share one route resolution and one
+    /// broadcast-log lock ([`EventLog`] `push_batch`), the routing table is
+    /// read once for the entire batch, and every remote parcel of the
+    /// batch is sequenced under a single `net` lock acquisition and sent
+    /// to the network thread as one message. This is the reader side of a
+    /// TCP bridge republishing a drained frame batch — the mirror image of
+    /// the forwarder's write coalescing. Returns local deliveries plus
+    /// remote parcels sent, like [`ChannelHandle::publish`].
+    pub fn publish_batch(&self, batch: &[(Topic, bytes::Bytes)]) -> usize {
+        if batch.is_empty() {
+            return 0;
+        }
+        let counters = &self.inner.counters;
+        counters.published.fetch_add(batch.len() as u64, Ordering::Relaxed);
+        let table = self.inner.table.read().clone();
+
+        let mut local_delivered = 0usize;
+        let mut dropped = 0u64;
+        let mut parcels: Vec<(&[NodeId], Vec<Event>)> = Vec::new();
+        let mut start = 0usize;
+        while start < batch.len() {
+            let topic = batch[start].0;
+            let mut end = start + 1;
+            while end < batch.len() && batch[end].0 == topic {
+                end += 1;
+            }
+            if let Some(route) = table.routes.get(&(self.node, topic)) {
+                let events: Vec<Event> = batch[start..end]
+                    .iter()
+                    .map(|(t, p)| Event::new(*t, self.node, p.clone()))
+                    .collect();
+                for log in &route.local {
+                    let (d, dr) = log.push_batch(&events);
+                    local_delivered += d;
+                    dropped += dr;
+                }
+                if !route.remotes.is_empty() {
+                    parcels.push((&route.remotes, events));
+                }
+            }
+            start = end;
+        }
+
+        // One net-lock acquisition and one channel send for every remote
+        // parcel of the whole batch.
+        let mut sent = 0usize;
+        if !parcels.is_empty() {
+            let mut net = self.inner.net.lock();
+            if net.tx.is_some() {
+                let now = Instant::now();
+                let mut out = Vec::new();
+                for (remotes, events) in &parcels {
+                    for event in events {
+                        for &to in *remotes {
+                            let delay = self.inner.latency.sample(&mut net.rng);
+                            net.seq += 1;
+                            out.push(Parcel {
+                                deliver_at: now + delay,
+                                seq: net.seq,
+                                to,
+                                event: event.clone(),
+                            });
+                        }
+                    }
+                }
+                sent = out.len();
+                let tx = net.tx.as_ref().expect("checked above");
+                if tx.send(out).is_ok() {
+                    counters.remote_parcels.fetch_add(sent as u64, Ordering::Relaxed);
+                } else {
+                    sent = 0;
+                }
+            }
+        }
+
+        if local_delivered > 0 {
+            counters.delivered.fetch_add(local_delivered as u64, Ordering::Relaxed);
+        }
+        if dropped > 0 {
+            counters.dropped.fetch_add(dropped, Ordering::Relaxed);
+        }
+        local_delivered + sent
+    }
+
+    /// The owning federation's fan-out counters (bridges bump their
+    /// rx-error / disconnect / tx-drop tallies through this).
+    pub(crate) fn counters(&self) -> &FanoutCounters {
+        &self.inner.counters
+    }
+
     /// Sequences and latency-samples the whole destination batch under one
     /// `net` lock acquisition, then hands it to the network thread as one
     /// message. Destinations ascend, so the per-seed RNG stream is stable.
@@ -869,6 +969,32 @@ mod tests {
             break;
         }
         assert!(validated, "no attempt had a clean publish window in 10 tries");
+    }
+
+    #[test]
+    fn publish_batch_matches_per_event_publish() {
+        let fed = Federation::new(3, Latency::None, 0);
+        let local = fed.handle(NodeId(0)).unwrap().subscribe(Topic(1));
+        let far = fed.handle(NodeId(1)).unwrap().subscribe_many(&[Topic(1), Topic(2)]);
+        let h = fed.handle(NodeId(0)).unwrap();
+        let batch: Vec<(Topic, bytes::Bytes)> = (0..6u8)
+            .map(|i| (if i < 3 { Topic(1) } else { Topic(2) }, bytes::Bytes::from(vec![i])))
+            .collect();
+        let n = h.publish_batch(&batch);
+        assert_eq!(n, 3 + 6, "3 local deliveries on topic 1, 6 parcels to node 1");
+        for i in 0..3u8 {
+            assert_eq!(local.try_recv().unwrap().payload.as_ref(), &[i]);
+        }
+        // The remote mailbox sees the full batch in publish order.
+        for i in 0..6u8 {
+            let e = far.recv_timeout(RECV).unwrap();
+            assert_eq!(e.payload.as_ref(), &[i]);
+            assert_eq!(e.source, NodeId(0));
+        }
+        let stats = fed.stats();
+        assert_eq!(stats.events_published, 6);
+        assert_eq!(stats.remote_parcels, 6);
+        assert_eq!(h.publish_batch(&[]), 0, "empty batch publishes nothing");
     }
 
     #[test]

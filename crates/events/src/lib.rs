@@ -37,8 +37,9 @@ pub mod event;
 pub mod fanout;
 pub mod federation;
 pub mod remote;
+pub mod wire;
 
 pub use event::{topics, Event, NodeId, Topic};
 pub use fanout::{EventReceiver, FederationStats, RecvError, RecvTimeoutError, TryRecvError};
 pub use federation::{ChannelHandle, Federation, Latency, UnknownNodeError};
-pub use remote::BridgeHandle;
+pub use remote::{BridgeCloseReason, BridgeHandle, BridgeState};

@@ -14,16 +14,30 @@
 //!
 //! Loop prevention relies on the gateway node being dedicated: events
 //! whose source is the gateway itself are not forwarded back out, so a
-//! bridged event never echoes. Wire format: 4-byte big-endian length
-//! prefix + JSON (`{topic, payload}`), chosen for debuggability at
-//! control-plane rates.
+//! bridged event never echoes.
 //!
-//! The forwarding side rides the event fast path: all bridged topics feed
-//! **one** gateway mailbox (`subscribe_many`), drained by a single
-//! forwarder thread that coalesces every queued event into one framed
-//! buffer and issues one `write_all` per batch — a burst of *n* parcels
-//! costs one syscall, not *n*. The wire format is unchanged (a batch is
-//! just adjacent frames), so either side of a bridge may batch or not.
+//! The wire format is the versioned binary codec of [`crate::wire`]
+//! (4-byte length prefix, version byte, topic, raw payload bytes); frames
+//! from peers still speaking the legacy JSON format decode transparently.
+//!
+//! Both directions of a bridge are batched. The forwarding side rides the
+//! event fast path: all bridged topics feed **one** gateway mailbox
+//! (`subscribe_many`), drained by a single forwarder thread that coalesces
+//! every queued event into one framed buffer and issues one `write_all`
+//! per batch — a burst of *n* parcels costs one syscall, not *n*. The
+//! reader mirrors it: each socket read feeds a [`wire::FrameDecoder`],
+//! every complete buffered frame is drained at once (payloads as
+//! zero-copy views of the batch buffer), and the whole batch is
+//! republished through **one** locked pass
+//! ([`ChannelHandle::publish_batch`]).
+//!
+//! Lifecycle: a [`BridgeHandle`] exposes its real [`BridgeState`]
+//! (`Connecting` → `Connected` → `Closed { reason }`). Any failure — a
+//! forwarder write error, a peer disconnect, a corrupt frame — tears the
+//! whole link down in both directions (stop flag, `Shutdown::Both`,
+//! shared stream cleared) so no thread is ever left blocked on a half-open
+//! socket, and is accounted in [`crate::FederationStats`]
+//! (`bridge_rx_errors`, `bridge_disconnects`, `bridge_tx_dropped`).
 //!
 //! # Examples
 //!
@@ -50,51 +64,109 @@ use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
+use bytes::Bytes;
 use parking_lot::Mutex;
-use serde::{Deserialize, Serialize};
 
 use crate::event::{Event, NodeId, Topic};
 use crate::fanout::EventReceiver;
 use crate::federation::{ChannelHandle, Federation};
-
-#[derive(Debug, Serialize, Deserialize)]
-struct WireEvent {
-    topic: u32,
-    payload: Vec<u8>,
-}
+use crate::wire::{self, FrameDecoder};
 
 /// Most events coalesced into one framed write (bounds batch latency and
 /// buffer growth under sustained floods).
 const MAX_BATCH: usize = 128;
 
-type SharedStream = Arc<Mutex<Option<TcpStream>>>;
+/// Socket read chunk size for the batching reader.
+const READ_CHUNK: usize = 64 * 1024;
+
+/// Why a bridge link closed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BridgeCloseReason {
+    /// The local side shut the bridge down.
+    Shutdown,
+    /// The peer disconnected (EOF, reset, or a read error).
+    PeerDisconnected,
+    /// Writing to the peer failed; the link was torn down in both
+    /// directions so the reader cannot block on a half-open socket.
+    WriteFailed,
+    /// A corrupt, oversized or undecodable frame arrived; framing is lost,
+    /// so the link closed (counted in `bridge_rx_errors`).
+    CorruptFrame,
+}
+
+/// Observable lifecycle of a bridge link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BridgeState {
+    /// Listening / waiting for the peer to connect.
+    Connecting,
+    /// The peer connection is established and both pumps are running.
+    Connected,
+    /// The link is gone; `reason` records the *first* cause.
+    Closed {
+        /// Why the link closed.
+        reason: BridgeCloseReason,
+    },
+}
+
+/// Shared link state: the stream (for shutdown from any thread) plus the
+/// lifecycle state machine.
+struct LinkState {
+    stream: Option<TcpStream>,
+    state: BridgeState,
+}
+
+type SharedLink = Arc<Mutex<LinkState>>;
+
+/// Tears the link down from either direction: raises the stop flag, shuts
+/// the socket both ways (unblocking a reader parked in `read`), clears the
+/// shared stream so `is_connected()` turns false, and records the first
+/// close reason.
+fn close_link(link: &SharedLink, stop: &AtomicBool, reason: BridgeCloseReason) {
+    stop.store(true, Ordering::SeqCst);
+    let mut l = link.lock();
+    if let Some(stream) = l.stream.take() {
+        let _ = stream.shutdown(std::net::Shutdown::Both);
+    }
+    if !matches!(l.state, BridgeState::Closed { .. }) {
+        l.state = BridgeState::Closed { reason };
+    }
+}
 
 /// A running gateway link; dropping it closes the connection and joins the
 /// forwarding threads.
 pub struct BridgeHandle {
-    stream: SharedStream,
+    link: SharedLink,
     stop: Arc<AtomicBool>,
     threads: Vec<std::thread::JoinHandle<()>>,
 }
 
 impl std::fmt::Debug for BridgeHandle {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let peer = self.stream.lock().as_ref().and_then(|s| s.peer_addr().ok());
-        f.debug_struct("BridgeHandle").field("peer", &peer).finish()
+        let l = self.link.lock();
+        let peer = l.stream.as_ref().and_then(|s| s.peer_addr().ok());
+        f.debug_struct("BridgeHandle").field("state", &l.state).field("peer", &peer).finish()
     }
 }
 
 impl BridgeHandle {
-    /// The peer's socket address, once connected.
+    /// The peer's socket address, while connected.
     #[must_use]
     pub fn peer_addr(&self) -> Option<SocketAddr> {
-        self.stream.lock().as_ref().and_then(|s| s.peer_addr().ok())
+        self.link.lock().stream.as_ref().and_then(|s| s.peer_addr().ok())
     }
 
-    /// Returns true once a peer connection is established.
+    /// True while the link is live: a peer is connected **and** neither
+    /// side has failed. Turns false as soon as the link tears down, even
+    /// if this handle has not been dropped.
     #[must_use]
     pub fn is_connected(&self) -> bool {
-        self.stream.lock().is_some()
+        matches!(self.link.lock().state, BridgeState::Connected)
+    }
+
+    /// The link's current lifecycle state.
+    #[must_use]
+    pub fn state(&self) -> BridgeState {
+        self.link.lock().state
     }
 
     /// Closes the link and waits for the forwarding threads.
@@ -103,10 +175,7 @@ impl BridgeHandle {
     }
 
     fn close(&mut self) {
-        self.stop.store(true, Ordering::SeqCst);
-        if let Some(stream) = self.stream.lock().as_ref() {
-            let _ = stream.shutdown(std::net::Shutdown::Both);
-        }
+        close_link(&self.link, &self.stop, BridgeCloseReason::Shutdown);
         for t in self.threads.drain(..) {
             let _ = t.join();
         }
@@ -127,7 +196,7 @@ impl Drop for BridgeHandle {
 /// # Errors
 ///
 /// I/O errors from binding. A peer never connecting just leaves the bridge
-/// idle until the handle is dropped.
+/// in [`BridgeState::Connecting`] until the handle is dropped.
 pub fn listen(
     federation: &Federation,
     gateway: NodeId,
@@ -142,12 +211,13 @@ pub fn listen(
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e.to_string()))?;
 
     let stop = Arc::new(AtomicBool::new(false));
-    let stream: SharedStream = Arc::new(Mutex::new(None));
+    let link: SharedLink =
+        Arc::new(Mutex::new(LinkState { stream: None, state: BridgeState::Connecting }));
     // Subscribe *now*, on the caller's thread: events published before the
     // peer connects queue up and are forwarded once the link is live.
     let mailbox = handle.subscribe_many(&topics);
     let accept_stop = Arc::clone(&stop);
-    let accept_stream = Arc::clone(&stream);
+    let accept_link = Arc::clone(&link);
     let acceptor = std::thread::Builder::new()
         .name("rtcm-events-accept".into())
         .spawn(move || {
@@ -168,13 +238,15 @@ pub fn listen(
                 return;
             }
             if let Ok(clone) = peer.try_clone() {
-                *accept_stream.lock() = Some(clone);
+                let mut l = accept_link.lock();
+                l.stream = Some(clone);
+                l.state = BridgeState::Connected;
             }
-            run_bridge(&handle, gateway, peer, mailbox, &accept_stop);
+            run_bridge(&handle, gateway, peer, mailbox, &accept_stop, &accept_link);
         })
         .expect("spawn acceptor");
 
-    Ok((local, BridgeHandle { stream, stop, threads: vec![acceptor] }))
+    Ok((local, BridgeHandle { link, stop, threads: vec![acceptor] }))
 }
 
 /// Connects to a listening gateway and bridges `topics` through the local
@@ -198,42 +270,56 @@ pub fn connect(
     // unsubscribed forwarder.
     let mailbox = handle.subscribe_many(&topics);
     let bridge_stream = stream.try_clone()?;
+    let link: SharedLink =
+        Arc::new(Mutex::new(LinkState { stream: Some(stream), state: BridgeState::Connected }));
     let bridge_stop = Arc::clone(&stop);
+    let bridge_link = Arc::clone(&link);
     let thread = std::thread::Builder::new()
         .name("rtcm-events-bridge".into())
-        .spawn(move || run_bridge(&handle, gateway, bridge_stream, mailbox, &bridge_stop))
+        .spawn(move || {
+            run_bridge(&handle, gateway, bridge_stream, mailbox, &bridge_stop, &bridge_link);
+        })
         .expect("spawn bridge");
-    Ok(BridgeHandle { stream: Arc::new(Mutex::new(Some(stream))), stop, threads: vec![thread] })
+    Ok(BridgeHandle { link, stop, threads: vec![thread] })
 }
 
-/// Appends one length-prefixed frame for `event` to `buf` (skipping
-/// gateway-sourced events, which came from the peer and would loop).
-fn append_frame(buf: &mut Vec<u8>, gateway: NodeId, event: &Event) {
+/// Appends one binary frame for `event` to `buf` (skipping gateway-sourced
+/// events, which came from the peer and would loop). Returns the number of
+/// events dropped for being oversized (0 or 1) — never panics.
+fn append_event(buf: &mut Vec<u8>, gateway: NodeId, event: &Event) -> u64 {
     if event.source == gateway {
-        return;
+        return 0;
     }
-    let wire = WireEvent { topic: event.topic.0, payload: event.payload.to_vec() };
-    let frame = serde_json::to_vec(&wire).expect("plain data");
-    let len = u32::try_from(frame.len()).expect("sane frame size");
-    buf.extend_from_slice(&len.to_be_bytes());
-    buf.extend_from_slice(&frame);
+    match wire::append_frame(buf, event.topic, &event.payload) {
+        Ok(()) => 0,
+        // Oversized payload: drop this event and count it; the link (and
+        // the forwarder thread) stays up.
+        Err(_) => 1,
+    }
 }
 
 /// Runs both directions of one bridge: the batching forwarder (local
-/// mailbox → peer, one coalesced write per drained batch) and the reader
-/// loop (peer → local).
+/// mailbox → peer, one coalesced write per drained batch) and the batching
+/// reader (peer → one `publish_batch` per drained frame batch). Any
+/// failure on either side tears the whole link down.
 fn run_bridge(
     handle: &ChannelHandle,
     gateway: NodeId,
     stream: TcpStream,
     mailbox: EventReceiver,
     stop: &Arc<AtomicBool>,
+    link: &SharedLink,
 ) {
     let mut writer = match stream.try_clone() {
         Ok(s) => s,
-        Err(_) => return,
+        Err(_) => {
+            close_link(link, stop, BridgeCloseReason::PeerDisconnected);
+            return;
+        }
     };
     let fwd_stop = Arc::clone(stop);
+    let fwd_link = Arc::clone(link);
+    let fwd_handle = handle.clone();
     let forwarder = std::thread::Builder::new()
         .name("rtcm-events-fwd".into())
         .spawn(move || {
@@ -243,47 +329,79 @@ fn run_bridge(
                     continue;
                 };
                 buf.clear();
-                append_frame(&mut buf, gateway, &event);
+                let mut tx_dropped = append_event(&mut buf, gateway, &event);
                 // Coalesce everything already queued into the same write.
                 let mut batched = 1;
                 while batched < MAX_BATCH {
                     match mailbox.try_recv() {
                         Ok(event) => {
-                            append_frame(&mut buf, gateway, &event);
+                            tx_dropped += append_event(&mut buf, gateway, &event);
                             batched += 1;
                         }
                         Err(_) => break,
                     }
                 }
+                if tx_dropped > 0 {
+                    fwd_handle
+                        .counters()
+                        .bridge_tx_dropped
+                        .fetch_add(tx_dropped, Ordering::Relaxed);
+                }
                 if buf.is_empty() {
-                    continue; // everything was gateway-sourced (no echo)
+                    continue; // all gateway-sourced (no echo) or dropped
                 }
                 if writer.write_all(&buf).is_err() {
+                    // Propagate the failure to the reader too: without
+                    // this, the reader would stay blocked in `read` on a
+                    // half-open link forever.
+                    close_link(&fwd_link, &fwd_stop, BridgeCloseReason::WriteFailed);
                     return;
                 }
             }
         })
         .expect("spawn forwarder");
 
-    // Reader loop: peer → local publish.
+    // Batching reader loop: peer → drained frame batch → one locked
+    // republish pass.
     let mut reader = stream;
-    loop {
-        let mut len_buf = [0u8; 4];
-        if reader.read_exact(&mut len_buf).is_err() {
-            break;
+    let mut decoder = FrameDecoder::new();
+    let mut chunk = vec![0u8; READ_CHUNK];
+    let reason = loop {
+        match reader.read(&mut chunk) {
+            Ok(0) => {
+                break if stop.load(Ordering::SeqCst) {
+                    BridgeCloseReason::Shutdown
+                } else {
+                    BridgeCloseReason::PeerDisconnected
+                };
+            }
+            Ok(n) => {
+                decoder.extend(&chunk[..n]);
+                let drained = decoder.drain();
+                if !drained.frames.is_empty() {
+                    let batch: Vec<(Topic, Bytes)> =
+                        drained.frames.into_iter().map(|f| (f.topic, f.payload)).collect();
+                    handle.publish_batch(&batch);
+                }
+                if drained.fatal.is_some() {
+                    handle.counters().bridge_rx_errors.fetch_add(1, Ordering::Relaxed);
+                    break BridgeCloseReason::CorruptFrame;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                break if stop.load(Ordering::SeqCst) {
+                    BridgeCloseReason::Shutdown
+                } else {
+                    BridgeCloseReason::PeerDisconnected
+                };
+            }
         }
-        let len = u32::from_be_bytes(len_buf) as usize;
-        if len > 16 * 1024 * 1024 {
-            break; // corrupt or hostile frame
-        }
-        let mut frame = vec![0u8; len];
-        if reader.read_exact(&mut frame).is_err() {
-            break;
-        }
-        let Ok(wire) = serde_json::from_slice::<WireEvent>(&frame) else { break };
-        handle.publish(Topic(wire.topic), wire.payload);
-    }
-    stop.store(true, Ordering::SeqCst);
+    };
+    close_link(link, stop, reason);
+    // One disconnect per established link, counted where the link's pumps
+    // end (covers peer loss, write failure, corrupt frames and shutdown).
+    handle.counters().bridge_disconnects.fetch_add(1, Ordering::Relaxed);
     let _ = forwarder.join();
 }
 
@@ -291,7 +409,7 @@ fn run_bridge(
 mod tests {
     use super::*;
     use crate::federation::Latency;
-    use std::time::Duration as StdDuration;
+    use std::time::{Duration as StdDuration, Instant};
 
     const RECV: StdDuration = StdDuration::from_secs(5);
 
@@ -301,6 +419,19 @@ mod tests {
         let (addr, server) = listen(&a, NodeId(0), "127.0.0.1:0", topics.clone()).expect("listen");
         let client = connect(&b, NodeId(0), addr, topics).expect("connect");
         (a, b, server, client)
+    }
+
+    /// Polls `cond` for up to 5 s (the bridge teardown paths are
+    /// asynchronous: reader wakeup + close).
+    fn wait_for(mut cond: impl FnMut() -> bool) -> bool {
+        let deadline = Instant::now() + RECV;
+        while Instant::now() < deadline {
+            if cond() {
+                return true;
+            }
+            std::thread::sleep(StdDuration::from_millis(5));
+        }
+        false
     }
 
     #[test]
@@ -385,5 +516,198 @@ mod tests {
         a.handle(NodeId(1)).unwrap().publish(Topic(2), &b"alive"[..]);
         assert!(rx.try_recv().is_ok());
         drop(b);
+    }
+
+    #[test]
+    fn shutdown_unblocks_an_idle_reader_promptly() {
+        // The reader sits blocked in `read` on an idle link; shutdown must
+        // unblock it (Shutdown::Both) and join within a bounded time, not
+        // hang on the blocked thread.
+        let (_a, _b, server, client) = pair(vec![Topic(1)]);
+        assert!(wait_for(|| client.is_connected() && server.is_connected()));
+        let start = Instant::now();
+        client.shutdown();
+        assert!(start.elapsed() < StdDuration::from_secs(2), "shutdown joined promptly");
+    }
+
+    #[test]
+    fn is_connected_turns_false_after_peer_disconnect() {
+        let (a, _b, server, client) = pair(vec![Topic(1)]);
+        assert!(wait_for(|| server.is_connected()), "link established");
+        assert_eq!(client.state(), BridgeState::Connected);
+
+        // The peer goes away; the old bridge kept reporting `true` here
+        // forever because the shared stream was never cleared.
+        client.shutdown();
+        assert!(wait_for(|| !server.is_connected()), "server notices the disconnect");
+        assert_eq!(
+            server.state(),
+            BridgeState::Closed { reason: BridgeCloseReason::PeerDisconnected }
+        );
+        assert!(wait_for(|| a.stats().bridge_disconnects == 1));
+        assert_eq!(a.stats().bridge_rx_errors, 0, "a clean EOF is not an rx error");
+    }
+
+    #[test]
+    fn listener_without_peer_reports_connecting() {
+        let fed = Federation::new(2, Latency::None, 0);
+        let (_addr, server) = listen(&fed, NodeId(0), "127.0.0.1:0", vec![Topic(1)]).unwrap();
+        assert_eq!(server.state(), BridgeState::Connecting);
+        assert!(!server.is_connected(), "no peer yet");
+    }
+
+    #[test]
+    fn corrupt_frame_closes_the_link_and_is_counted() {
+        let fed = Federation::new(2, Latency::None, 0);
+        let (addr, server) = listen(&fed, NodeId(0), "127.0.0.1:0", vec![Topic(1)]).unwrap();
+        let mut raw = TcpStream::connect(addr).unwrap();
+        assert!(wait_for(|| server.is_connected()));
+
+        // A well-framed body that is neither binary (0x01) nor JSON ('{').
+        let body = [0xEEu8, 1, 2, 3];
+        raw.write_all(&4u32.to_be_bytes()).unwrap();
+        raw.write_all(&body).unwrap();
+
+        assert!(wait_for(|| fed.stats().bridge_rx_errors == 1), "rx error counted");
+        assert!(wait_for(|| !server.is_connected()));
+        assert_eq!(server.state(), BridgeState::Closed { reason: BridgeCloseReason::CorruptFrame });
+        assert_eq!(fed.stats().bridge_disconnects, 1);
+    }
+
+    #[test]
+    fn corrupt_length_prefix_closes_the_link_and_is_counted() {
+        let fed = Federation::new(2, Latency::None, 0);
+        let (addr, server) = listen(&fed, NodeId(0), "127.0.0.1:0", vec![Topic(1)]).unwrap();
+        let mut raw = TcpStream::connect(addr).unwrap();
+        assert!(wait_for(|| server.is_connected()));
+
+        // A hostile length prefix far beyond MAX_FRAME.
+        raw.write_all(&u32::MAX.to_be_bytes()).unwrap();
+
+        assert!(wait_for(|| fed.stats().bridge_rx_errors == 1), "rx error counted");
+        assert!(wait_for(|| !server.is_connected()));
+        assert_eq!(server.state(), BridgeState::Closed { reason: BridgeCloseReason::CorruptFrame });
+    }
+
+    #[test]
+    fn mid_frame_disconnect_is_a_disconnect_not_an_rx_error() {
+        let fed = Federation::new(2, Latency::None, 0);
+        let (addr, server) = listen(&fed, NodeId(0), "127.0.0.1:0", vec![Topic(1)]).unwrap();
+        let rx = fed.handle(NodeId(1)).unwrap().subscribe(Topic(1));
+        let mut raw = TcpStream::connect(addr).unwrap();
+        assert!(wait_for(|| server.is_connected()));
+
+        // Half a frame: the length prefix promises 9 body bytes, only 3
+        // arrive before the socket dies mid-frame.
+        raw.write_all(&9u32.to_be_bytes()).unwrap();
+        raw.write_all(&[wire::WIRE_VERSION, 0, 0]).unwrap();
+        drop(raw);
+
+        assert!(wait_for(|| !server.is_connected()));
+        assert_eq!(
+            server.state(),
+            BridgeState::Closed { reason: BridgeCloseReason::PeerDisconnected }
+        );
+        let stats = fed.stats();
+        assert_eq!(stats.bridge_rx_errors, 0, "a truncated link is not a decode error");
+        assert_eq!(stats.bridge_disconnects, 1);
+        assert!(rx.try_recv().is_err(), "the partial frame never becomes an event");
+    }
+
+    #[test]
+    fn oversized_outbound_payload_is_dropped_not_a_panic() {
+        let (a, b, _s, _c) = pair(vec![Topic(1)]);
+        let on_a = a.handle(NodeId(1)).unwrap().subscribe(Topic(1));
+
+        // Larger than the wire frame limit: the old forwarder died on
+        // `expect("sane frame size")`; now the event is dropped + counted
+        // and the link stays up.
+        let huge = vec![0u8; wire::MAX_FRAME - 4];
+        b.handle(NodeId(2)).unwrap().publish(Topic(1), huge);
+        assert!(wait_for(|| b.stats().bridge_tx_dropped == 1), "oversized drop counted");
+
+        // The forwarder thread survived: a normal event still crosses.
+        b.handle(NodeId(2)).unwrap().publish(Topic(1), &b"still alive"[..]);
+        assert_eq!(on_a.recv_timeout(RECV).unwrap().payload.as_ref(), b"still alive");
+    }
+
+    #[test]
+    fn write_failure_tears_down_the_whole_link() {
+        // The peer accepts, receives data it never reads, then slams the
+        // socket (on Linux: RST). Subsequent writes on our side fail; the
+        // old forwarder returned silently and left the reader blocked in
+        // `read_exact` forever — the bridge must now close completely:
+        // state Closed, is_connected false, and shutdown joins promptly.
+        let fed = Federation::new(2, Latency::None, 0);
+        let raw_listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = raw_listener.local_addr().unwrap();
+        let client = connect(&fed, NodeId(0), addr, vec![Topic(1)]).unwrap();
+        let (peer, _) = raw_listener.accept().unwrap();
+
+        let h = fed.handle(NodeId(1)).unwrap();
+        h.publish(Topic(1), &b"lands in the peer's buffer"[..]);
+        std::thread::sleep(StdDuration::from_millis(50));
+        drop(peer); // unread data → RST
+
+        // Keep publishing until a write trips over the dead socket.
+        assert!(
+            wait_for(|| {
+                h.publish(Topic(1), &b"poke"[..]);
+                !client.is_connected()
+            }),
+            "link fully closed after the write failure"
+        );
+        assert!(matches!(client.state(), BridgeState::Closed { .. }));
+        assert!(wait_for(|| fed.stats().bridge_disconnects == 1));
+
+        let start = Instant::now();
+        client.shutdown();
+        assert!(start.elapsed() < StdDuration::from_secs(2), "no thread left blocked");
+    }
+
+    #[test]
+    fn legacy_json_peer_interoperates() {
+        // A peer still speaking PR 5's JSON wire format: its frames decode
+        // transparently and surface as normal events.
+        let fed = Federation::new(2, Latency::None, 0);
+        let (addr, server) = listen(&fed, NodeId(0), "127.0.0.1:0", vec![Topic(7)]).unwrap();
+        let rx = fed.handle(NodeId(1)).unwrap().subscribe(Topic(7));
+        let mut raw = TcpStream::connect(addr).unwrap();
+        assert!(wait_for(|| server.is_connected()));
+
+        let mut frame = Vec::new();
+        wire::append_frame_json(&mut frame, Topic(7), b"old wire").unwrap();
+        raw.write_all(&frame).unwrap();
+
+        let got = rx.recv_timeout(RECV).unwrap();
+        assert_eq!(got.payload.as_ref(), b"old wire");
+        assert_eq!(got.source, NodeId(0), "published from the gateway");
+    }
+
+    #[test]
+    fn raw_peer_reads_binary_frames() {
+        // The forwarder's outbound bytes are the documented binary format:
+        // a raw socket can decode them with the public wire decoder.
+        let fed = Federation::new(2, Latency::None, 0);
+        let (addr, server) = listen(&fed, NodeId(0), "127.0.0.1:0", vec![Topic(3)]).unwrap();
+        let mut raw = TcpStream::connect(addr).unwrap();
+        assert!(wait_for(|| server.is_connected()));
+
+        fed.handle(NodeId(1)).unwrap().publish(Topic(3), &b"binary out"[..]);
+
+        let mut decoder = FrameDecoder::new();
+        let mut chunk = [0u8; 1024];
+        let frame = loop {
+            let n = raw.read(&mut chunk).unwrap();
+            assert!(n > 0, "peer closed before the frame arrived");
+            decoder.extend(&chunk[..n]);
+            let mut out = decoder.drain();
+            assert!(out.fatal.is_none());
+            if let Some(f) = out.frames.pop() {
+                break f;
+            }
+        };
+        assert_eq!(frame.topic, Topic(3));
+        assert_eq!(frame.payload.as_ref(), b"binary out");
     }
 }

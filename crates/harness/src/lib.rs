@@ -1,0 +1,37 @@
+//! Multi-process cluster harness for rtcm.
+//!
+//! Everything else in the workspace exercises the middleware in-process:
+//! the simulator is single-threaded, the runtime tests run one `System`
+//! per test, and even the bridged-host tests keep both federations inside
+//! one address space. This crate closes the remaining gap to the paper's
+//! deployment model — *separate* middleware processes cooperating over
+//! TCP — and weaponises it: an orchestrator (a normal `cargo test`
+//! integration test) spawns real OS processes running real [`rtcm_rt`]
+//! systems, wires them together through the bridge, and injects faults
+//! while two-phase reconfigurations are in flight.
+//!
+//! The pieces:
+//!
+//! - [`protocol`] — the JSON-line command protocol between the
+//!   orchestrator and `cluster_node` children.
+//! - [`process`] — [`process::NodeProc`], spawning and driving one child.
+//! - [`proxy`] — [`proxy::FaultProxy`], a frame-aware TCP
+//!   man-in-the-middle that drops, delays, reorders, corrupts, and
+//!   truncates wire frames on command.
+//!
+//! The fault campaigns themselves live in `tests/campaigns.rs`; each one
+//! asserts the PR 3/4 safety contract end-to-end across process
+//! boundaries: configuration swaps are all-or-nothing (no host ever
+//! applies a phase the quorum didn't commit) and every abort is accounted
+//! for in `reconfig_abort_reasons`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod process;
+pub mod protocol;
+pub mod proxy;
+
+pub use process::{NodeProc, ProcError};
+pub use protocol::{Command, Reply, READY_PREFIX};
+pub use proxy::{Direction, FaultProxy};

@@ -1,0 +1,298 @@
+//! Multi-process fault campaigns: real OS processes running real rtcm
+//! systems, bridged over localhost TCP, with faults injected while
+//! two-phase reconfigurations are in flight.
+//!
+//! Every campaign asserts the same end-to-end safety contract:
+//!
+//! 1. **No partial swap** — an aborted reconfiguration leaves every
+//!    process on the old configuration, and a member's witnessed commits
+//!    are exactly the swaps the quorum committed (in order).
+//! 2. **Abort accounting** — every abort shows up in the coordinator's
+//!    `reconfig_abort_reasons` with the right reason.
+//!
+//! Campaigns named `quick_*` are the CI smoke arm
+//! (`cargo test -p rtcm-harness quick_`); the rest run in the full suite.
+
+use std::time::{Duration, Instant};
+
+use rtcm_harness::protocol::{Command, Reply};
+use rtcm_harness::proxy::{Direction, FaultProxy};
+use rtcm_harness::NodeProc;
+
+const NODE_BIN: &str = env!("CARGO_BIN_EXE_cluster_node");
+
+/// Coordinator ack deadline: long enough for a healthy bridged ack round
+/// trip (even through a delaying proxy), short enough that abort campaigns
+/// stay fast.
+const ACK_TIMEOUT_MS: &str = "600";
+/// Member fence expiry, for members orphaned mid-swap by a dead link.
+const FENCE_TIMEOUT_MS: &str = "500";
+
+fn coordinator() -> NodeProc {
+    NodeProc::spawn(NODE_BIN, &["coordinator", ACK_TIMEOUT_MS]).expect("coordinator spawns")
+}
+
+fn member() -> NodeProc {
+    NodeProc::spawn(NODE_BIN, &["member", FENCE_TIMEOUT_MS]).expect("member spawns")
+}
+
+/// Opens a fresh gateway port on the coordinator.
+fn listen(coord: &mut NodeProc) -> u16 {
+    coord.expect_ok(&Command::verb("listen")).port.expect("listen returns a port")
+}
+
+/// Points `m` at `addr` (a coordinator gateway or a fault proxy).
+fn connect(m: &mut NodeProc, addr: String) {
+    let mut cmd = Command::verb("connect");
+    cmd.addr = Some(addr);
+    m.expect_ok(&cmd);
+}
+
+/// Registers `m`'s federation as a required voter at the coordinator.
+fn expect_voter(coord: &mut NodeProc, m: &NodeProc) {
+    let mut cmd = Command::verb("expect-voter");
+    cmd.host_id = Some(m.host_id);
+    coord.expect_ok(&cmd);
+}
+
+/// Runs one reconfiguration; returns the raw reply (ok or abort).
+fn swap(coord: &mut NodeProc, target: &str) -> Reply {
+    let mut cmd = Command::verb("swap");
+    cmd.target = Some(target.to_string());
+    coord.request(&cmd).expect("coordinator alive")
+}
+
+/// Runs one reconfiguration that must commit.
+fn swap_ok(coord: &mut NodeProc, target: &str) {
+    let reply = swap(coord, target);
+    assert!(reply.ok, "swap to {target} should commit, got {:?}", reply.error);
+    assert_eq!(reply.label.as_deref(), Some(target));
+}
+
+/// Runs one reconfiguration that must abort with `reason`, without moving
+/// the coordinator off `stays` — the no-partial-swap half of the contract.
+fn swap_aborts(coord: &mut NodeProc, target: &str, reason: &str, stays: &str) {
+    let reply = swap(coord, target);
+    assert!(!reply.ok, "swap to {target} should abort");
+    assert_eq!(reply.error.as_deref(), Some(reason));
+    assert_eq!(reply.label.as_deref(), Some(stays), "no partial application");
+    let services = coord.expect_ok(&Command::verb("services"));
+    assert_eq!(services.label.as_deref(), Some(stays), "config stable after abort");
+}
+
+fn member_report(m: &mut NodeProc) -> Reply {
+    m.expect_ok(&Command::verb("report"))
+}
+
+/// Polls the member until its witnessed commit list equals `want`
+/// (commits cross the bridge after the coordinator's swap returns).
+fn wait_for_commits(m: &mut NodeProc, want: &[&str]) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let commits = member_report(m).commits.expect("member reports commits");
+        if commits == want {
+            return;
+        }
+        assert!(Instant::now() < deadline, "member commits stuck at {commits:?}, want {want:?}");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+/// Campaign 1 — **process kill**. Three processes: a coordinator and two
+/// voting members. Killing one member (SIGKILL, no goodbye) must abort the
+/// in-flight swap at the ack deadline with nothing applied anywhere; after
+/// the dead host is deregistered, swaps flow again.
+#[test]
+fn quick_campaign_process_kill() {
+    let mut coord = coordinator();
+    let mut alice = member();
+    let mut bob = member();
+    for m in [&mut alice, &mut bob] {
+        let port = listen(&mut coord);
+        connect(m, format!("127.0.0.1:{port}"));
+    }
+    expect_voter(&mut coord, &alice);
+    expect_voter(&mut coord, &bob);
+
+    // Healthy baseline: a swap commits across all three processes.
+    swap_ok(&mut coord, "J_J_T");
+    wait_for_commits(&mut alice, &["J_J_T"]);
+    wait_for_commits(&mut bob, &["J_J_T"]);
+
+    // Kill bob mid-cluster; the next swap is one vote short.
+    bob.kill();
+    swap_aborts(&mut coord, "T_T_T", "AckTimeout", "J_J_T");
+
+    // Alice acked the doomed prepare but must never have applied it.
+    let report = member_report(&mut alice);
+    assert_eq!(report.acks, Some(2), "alice voted for both prepares");
+    assert_eq!(report.commits.as_deref(), Some(&["J_J_T".to_string()][..]));
+
+    // Deregister the corpse: quorum shrinks, swaps flow again.
+    let mut cmd = Command::verb("drop-voter");
+    cmd.host_id = Some(bob.host_id);
+    coord.expect_ok(&cmd);
+    swap_ok(&mut coord, "T_T_T");
+    wait_for_commits(&mut alice, &["J_J_T", "T_T_T"]);
+
+    // Jobs still run on the final configuration.
+    let mut submit = Command::verb("submit");
+    submit.count = Some(5);
+    coord.expect_ok(&submit);
+
+    // Abort accounting: exactly one abort, attributed to the ack timeout,
+    // and the kill surfaced as a bridge disconnect.
+    let report = coord.expect_ok(&Command::verb("report")).report.expect("coordinator report");
+    assert_eq!(report.reconfig_abort_reasons.ack_timeout, 1);
+    assert_eq!(report.reconfig_abort_reasons.validation, 0);
+    assert_eq!(report.reconfig_abort_reasons.foreign_coordinator, 0);
+    assert!(report.bridge_disconnects >= 1, "bob's death tore down a bridge");
+    assert_eq!(report.jobs_completed, 5);
+
+    alice.shutdown();
+    coord.shutdown();
+}
+
+/// Campaign 2 — **network partition**. The member is bridged through a
+/// fault proxy that can blackhole frames in both directions while keeping
+/// the TCP connection up (the nastiest partition: indistinguishable from
+/// unbounded delay). A swap during the partition aborts with nothing
+/// applied; healing restores the quorum on the same connection.
+#[test]
+fn quick_campaign_partition() {
+    let mut coord = coordinator();
+    let mut m = member();
+    let port = listen(&mut coord);
+    let proxy = FaultProxy::spawn(format!("127.0.0.1:{port}").parse().unwrap()).unwrap();
+    connect(&mut m, proxy.addr().to_string());
+    expect_voter(&mut coord, &m);
+
+    swap_ok(&mut coord, "J_J_T");
+    wait_for_commits(&mut m, &["J_J_T"]);
+
+    // Partition: the prepare never reaches the member, so it neither
+    // fences nor votes, and the swap aborts at the deadline.
+    proxy.set_partitioned(true);
+    swap_aborts(&mut coord, "T_T_T", "AckTimeout", "J_J_T");
+    let report = member_report(&mut m);
+    assert_eq!(report.acks, Some(1), "partitioned member never saw the prepare");
+    assert_eq!(report.fenced, Some(false));
+    assert_eq!(report.commits.as_deref(), Some(&["J_J_T".to_string()][..]));
+
+    // Heal: same connection, quorum restored.
+    proxy.set_partitioned(false);
+    swap_ok(&mut coord, "T_T_T");
+    wait_for_commits(&mut m, &["J_J_T", "T_T_T"]);
+
+    let report = coord.expect_ok(&Command::verb("report")).report.expect("coordinator report");
+    assert_eq!(report.reconfig_abort_reasons.ack_timeout, 1);
+    assert_eq!(report.bridge_rx_errors, 0, "a partition is silence, not corruption");
+
+    m.shutdown();
+    coord.shutdown();
+    proxy.shutdown();
+}
+
+/// Campaign 3 — **delay and reordering**. Every frame is delayed and
+/// back-to-back frames are swapped, so a commit can arrive *after* the
+/// next swap's prepare. The member's supersede rule keeps it safe: its
+/// witnessed commits must be an ordered subsequence of the committed
+/// configurations, ending at the final one — never a config the quorum
+/// didn't commit, never out of order.
+#[test]
+fn campaign_delay_reorder() {
+    let mut coord = coordinator();
+    let mut m = member();
+    let port = listen(&mut coord);
+    let proxy = FaultProxy::spawn(format!("127.0.0.1:{port}").parse().unwrap()).unwrap();
+    connect(&mut m, proxy.addr().to_string());
+    expect_voter(&mut coord, &m);
+
+    proxy.set_delay_ms(30);
+    proxy.set_reorder(true);
+
+    let targets = ["J_J_T", "T_T_T", "J_N_N"];
+    for target in targets {
+        swap_ok(&mut coord, target); // every swap still commits
+    }
+
+    // The final commit must land at the member eventually.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let commits = loop {
+        let commits = member_report(&mut m).commits.expect("member reports commits");
+        if commits.last().map(String::as_str) == Some("J_N_N") {
+            break commits;
+        }
+        assert!(Instant::now() < deadline, "final commit never crossed: {commits:?}");
+        std::thread::sleep(Duration::from_millis(25));
+    };
+
+    // No-partial-swap under reordering: witnessed commits are an ordered
+    // subsequence of the committed sequence (reordering may hide a commit
+    // behind a newer prepare, but can never invent or transpose one).
+    let mut cursor = targets.iter();
+    for commit in &commits {
+        assert!(
+            cursor.any(|t| t == commit),
+            "member witnessed {commit} out of order or uncommitted: {commits:?}"
+        );
+    }
+
+    let report = coord.expect_ok(&Command::verb("report")).report.expect("coordinator report");
+    assert_eq!(report.reconfig_abort_reasons.ack_timeout, 0, "delay alone must not abort");
+    assert_eq!(report.bridge_rx_errors, 0);
+
+    m.shutdown();
+    coord.shutdown();
+    proxy.shutdown();
+}
+
+/// Campaign 4 — **corrupt frame**. The proxy stomps the version byte of
+/// the member's ack in flight. The coordinator's bridge must count the
+/// corrupt frame, tear the link down (fail-stop, no resync guessing), and
+/// abort the swap at the deadline; a fresh listen/connect recovers.
+#[test]
+fn campaign_corrupt_frame() {
+    let mut coord = coordinator();
+    let mut m = member();
+    let port = listen(&mut coord);
+    let proxy = FaultProxy::spawn(format!("127.0.0.1:{port}").parse().unwrap()).unwrap();
+    connect(&mut m, proxy.addr().to_string());
+    expect_voter(&mut coord, &m);
+
+    swap_ok(&mut coord, "J_J_T");
+    wait_for_commits(&mut m, &["J_J_T"]);
+
+    // The next member→coordinator frame (the ack for the doomed swap) is
+    // corrupted in flight: the coordinator never hears the vote.
+    proxy.corrupt_next(Direction::Up);
+    swap_aborts(&mut coord, "T_T_T", "AckTimeout", "J_J_T");
+
+    // The member did ack — the wire ate it. It must not have applied
+    // anything beyond the committed history.
+    let report = member_report(&mut m);
+    assert_eq!(report.acks, Some(2), "the member voted; the frame was corrupted in flight");
+    assert_eq!(report.commits.as_deref(), Some(&["J_J_T".to_string()][..]));
+
+    // Recovery: the poisoned link is gone on both sides, so re-listen and
+    // re-connect (directly this time), then swap again. The member's stale
+    // fence is superseded by the same coordinator's fresh prepare.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while member_report(&mut m).bridge_disconnects != Some(1) {
+        assert!(Instant::now() < deadline, "member never noticed the dead link");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    let port = listen(&mut coord);
+    connect(&mut m, format!("127.0.0.1:{port}"));
+    swap_ok(&mut coord, "T_T_T");
+    wait_for_commits(&mut m, &["J_J_T", "T_T_T"]);
+
+    let report = coord.expect_ok(&Command::verb("report")).report.expect("coordinator report");
+    assert_eq!(report.bridge_rx_errors, 1, "exactly one corrupt frame seen");
+    assert!(report.bridge_disconnects >= 1, "the poisoned link was torn down");
+    assert_eq!(report.reconfig_abort_reasons.ack_timeout, 1);
+
+    m.shutdown();
+    coord.shutdown();
+    proxy.shutdown();
+}

@@ -131,6 +131,15 @@ pub struct SystemReport {
     pub events_dropped: u64,
     /// Parcels handed to the in-process network for cross-node delivery.
     pub remote_parcels: u64,
+    /// Corrupt or undecodable frames received on this host's TCP bridges
+    /// (each one closes its link).
+    pub bridge_rx_errors: u64,
+    /// TCP bridge links torn down for any reason (peer loss, write
+    /// failure, corrupt frame, or local shutdown).
+    pub bridge_disconnects: u64,
+    /// Outbound events a bridge dropped for exceeding the wire frame
+    /// limit.
+    pub bridge_tx_dropped: u64,
 }
 
 /// Thread-shared accumulator handed to every node.

@@ -659,7 +659,7 @@ impl System {
 
     /// Snapshot of the statistics so far, with the federation's
     /// event-path counters (publishes, fan-out deliveries, backpressure
-    /// drops, remote parcels) merged in.
+    /// drops, remote parcels, bridge errors/disconnects) merged in.
     #[must_use]
     pub fn stats(&self) -> SystemReport {
         self.merged_report()
@@ -679,6 +679,9 @@ impl System {
         report.events_delivered = events.local_deliveries;
         report.events_dropped = events.events_dropped;
         report.remote_parcels = events.remote_parcels;
+        report.bridge_rx_errors = events.bridge_rx_errors;
+        report.bridge_disconnects = events.bridge_disconnects;
+        report.bridge_tx_dropped = events.bridge_tx_dropped;
         report
     }
 

@@ -497,6 +497,37 @@ fn unacked_swap_aborts_without_partial_application() {
     assert_eq!(stats.ir_reports, 0, "IR swap never applied anywhere");
 }
 
+#[test]
+fn bridge_fault_counters_surface_in_the_system_report() {
+    // A corrupt frame on a bridge attached to the system's federation must
+    // be observable from the SystemReport alone (the old reader broke the
+    // loop silently with zero accounting).
+    use rtcm_events::{remote, topics, NodeId};
+    use std::io::Write;
+
+    let system = launch(
+        "workload w\nprocessors 1\ntask t aperiodic deadline=200ms\n  subtask exec=1ms proc=0\n",
+        "J_N_N",
+    );
+    let (addr, server) =
+        remote::listen(system.federation(), NodeId(1), "127.0.0.1:0", vec![topics::RECONFIG])
+            .unwrap();
+    let mut raw = std::net::TcpStream::connect(addr).unwrap();
+    // Well-framed, but the body is neither binary (0x01) nor JSON ('{').
+    raw.write_all(&3u32.to_be_bytes()).unwrap();
+    raw.write_all(&[0xEE, 0xEE, 0xEE]).unwrap();
+
+    let deadline = std::time::Instant::now() + StdDuration::from_secs(5);
+    while system.stats().bridge_rx_errors == 0 && std::time::Instant::now() < deadline {
+        std::thread::sleep(StdDuration::from_millis(5));
+    }
+    assert!(!server.is_connected(), "corrupt frame closed the link");
+    let report = system.shutdown();
+    assert_eq!(report.bridge_rx_errors, 1);
+    assert_eq!(report.bridge_disconnects, 1);
+    assert_eq!(report.bridge_tx_dropped, 0);
+}
+
 /// Bridges RECONFIG out and RECONFIG_ACK back between a system and a
 /// remote federation, returning the remote side and the bridge handles.
 fn bridge_quorum(

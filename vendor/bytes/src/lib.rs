@@ -2,19 +2,27 @@
 //!
 //! Provides [`Bytes`]: a cheaply cloneable, immutable, reference-counted
 //! byte buffer with the subset of the real crate's API that this workspace
-//! uses. Cloning is an `Arc` bump; no slicing views are provided (the
-//! event channel only ever moves whole payloads).
+//! uses. Cloning is an `Arc` bump. Like the real crate, [`Bytes::slice`]
+//! returns a zero-copy *view* into the same backing allocation — the wire
+//! codec relies on this to hand out per-frame payload slices of one
+//! received batch buffer without copying.
 
 #![forbid(unsafe_code)]
 
 use std::borrow::Borrow;
 use std::fmt;
-use std::ops::Deref;
+use std::hash::{Hash, Hasher};
+use std::ops::{Bound, Deref, RangeBounds};
 use std::sync::Arc;
 
-/// A cheaply cloneable immutable byte buffer.
-#[derive(Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct Bytes(Arc<Vec<u8>>);
+/// A cheaply cloneable immutable byte buffer (possibly a sub-view of a
+/// shared backing allocation).
+#[derive(Clone)]
+pub struct Bytes {
+    data: Arc<Vec<u8>>,
+    offset: usize,
+    len: usize,
+}
 
 impl Bytes {
     /// Creates an empty buffer.
@@ -26,7 +34,7 @@ impl Bytes {
     /// Creates a buffer by copying `data`.
     #[must_use]
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Bytes(Arc::new(data.to_vec()))
+        Bytes::from(data.to_vec())
     }
 
     /// Creates a buffer from a static slice (copies; the real crate
@@ -39,25 +47,54 @@ impl Bytes {
     /// Length in bytes.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.0.len()
+        self.len
     }
 
     /// Whether the buffer is empty.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.0.is_empty()
+        self.len == 0
     }
 
     /// The contents as a slice.
     #[must_use]
     pub fn as_slice(&self) -> &[u8] {
-        &self.0
+        &self.data[self.offset..self.offset + self.len]
     }
 
     /// Copies the contents into a fresh `Vec<u8>`.
     #[must_use]
     pub fn to_vec(&self) -> Vec<u8> {
-        self.0.as_ref().clone()
+        self.as_slice().to_vec()
+    }
+
+    /// Returns a zero-copy view of `range` within this buffer: the result
+    /// shares the backing allocation (an `Arc` bump, no byte is copied).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or inverted.
+    #[must_use]
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let start = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len,
+        };
+        assert!(start <= end, "slice start {start} past end {end}");
+        assert!(end <= self.len, "slice end {end} past buffer length {}", self.len);
+        Bytes { data: Arc::clone(&self.data), offset: self.offset + start, len: end - start }
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes { data: Arc::new(Vec::new()), offset: 0, len: 0 }
     }
 }
 
@@ -65,25 +102,26 @@ impl Deref for Bytes {
     type Target = [u8];
 
     fn deref(&self) -> &[u8] {
-        &self.0
+        self.as_slice()
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.0
+        self.as_slice()
     }
 }
 
 impl Borrow<[u8]> for Bytes {
     fn borrow(&self) -> &[u8] {
-        &self.0
+        self.as_slice()
     }
 }
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        Bytes(Arc::new(v))
+        let len = v.len();
+        Bytes { data: Arc::new(v), offset: 0, len }
     }
 }
 
@@ -107,13 +145,42 @@ impl From<&str> for Bytes {
 
 impl From<String> for Bytes {
     fn from(v: String) -> Self {
-        Bytes(Arc::new(v.into_bytes()))
+        Bytes::from(v.into_bytes())
     }
 }
 
 impl FromIterator<u8> for Bytes {
     fn from_iter<I: IntoIterator<Item = u8>>(iter: I) -> Self {
-        Bytes(Arc::new(iter.into_iter().collect()))
+        Bytes::from(iter.into_iter().collect::<Vec<u8>>())
+    }
+}
+
+// Equality, ordering and hashing follow the *contents* of the view, not
+// the backing allocation — two views of different buffers with the same
+// bytes compare equal, exactly like the real crate.
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bytes {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
     }
 }
 
@@ -175,5 +242,41 @@ mod tests {
     fn debug_escapes() {
         let b = Bytes::from(vec![b'a', 0, b'"']);
         assert_eq!(format!("{b:?}"), "b\"a\\x00\\x22\"");
+    }
+
+    #[test]
+    fn slice_is_a_zero_copy_view() {
+        let b = Bytes::from((0u8..32).collect::<Vec<u8>>());
+        let s = b.slice(4..12);
+        assert_eq!(s.as_ref(), &(4u8..12).collect::<Vec<u8>>()[..]);
+        // Same backing allocation: the view's pointer sits inside the
+        // parent's slice.
+        assert_eq!(s.as_slice().as_ptr(), b.as_slice()[4..].as_ptr());
+        // Sub-slicing a view composes offsets.
+        let ss = s.slice(2..=3);
+        assert_eq!(ss.as_ref(), &[6, 7][..]);
+        assert_eq!(s.slice(..).len(), 8);
+        assert!(s.slice(3..3).is_empty());
+    }
+
+    #[test]
+    fn equality_is_content_based_across_views() {
+        let a = Bytes::from(vec![9, 1, 2, 9]).slice(1..3);
+        let b = Bytes::from(vec![1, 2]);
+        assert_eq!(a, b);
+        assert_eq!(a.cmp(&b), std::cmp::Ordering::Equal);
+        use std::collections::hash_map::DefaultHasher;
+        let h = |x: &Bytes| {
+            let mut h = DefaultHasher::new();
+            x.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(h(&a), h(&b));
+    }
+
+    #[test]
+    #[should_panic(expected = "past buffer length")]
+    fn out_of_range_slice_panics() {
+        let _ = Bytes::from(vec![1, 2, 3]).slice(1..5);
     }
 }
