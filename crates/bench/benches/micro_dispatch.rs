@@ -1,0 +1,134 @@
+//! **Micro-benchmark: reactor timer dispatch vs the polling loops it
+//! replaced.**
+//!
+//! The PR-7 reactor rework parks every node/manager thread on one blocking
+//! wait (`min(next wheel deadline, mailbox)`) instead of a fixed-interval
+//! control poll. This bench pins both halves of the claim:
+//!
+//! * **Criterion arms** (`wheel_*`): the wheel's mechanical costs —
+//!   schedule+cancel pairs on a loaded wheel and a full advance over a
+//!   busy horizon — so regressions in the O(1) paths show up without any
+//!   sleeping in the loop.
+//! * **Dispatch section** (written to `BENCH_dispatch.json` at the
+//!   workspace root): end-to-end lateness of real sleep-until-deadline
+//!   dispatch at 1k/10k emulated nodes against a 500 µs polling baseline,
+//!   plus the idle-wakeup rates of both designs (polling ≈ 2000/s/thread,
+//!   reactor = 0).
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, Criterion};
+use rtcm_bench::dispatch::{
+    deadline_schedule, poll_dispatch, polling_idle_rate, reactor_idle_wakeups, wheel_dispatch,
+    LatencyStats, POLL_INTERVAL,
+};
+use rtcm_rt::{TimerWheel, DEFAULT_TICK};
+
+fn bench_wheel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dispatch");
+
+    // Schedule+cancel churn against a standing population: the hot path a
+    // node takes per slice and the manager per prepare.
+    for standing in [64usize, 4096] {
+        let mut wheel: TimerWheel<u64> = TimerWheel::new(DEFAULT_TICK);
+        for i in 0..standing {
+            wheel.schedule_at((i as u64 + 1) * 1_000_000, 0);
+        }
+        let horizon = (standing as u64 + 2) * 1_000_000;
+        group.bench_function(format!("wheel_schedule_cancel_{standing}_standing"), |b| {
+            b.iter(|| {
+                let id = wheel.schedule_at(black_box(horizon), 0);
+                black_box(wheel.cancel(id));
+            });
+        });
+    }
+
+    // A full advance over a busy 10 ms horizon (100 timers): cascade and
+    // slot-drain cost without any sleeping.
+    group.bench_function("wheel_advance_busy_10ms", |b| {
+        b.iter(|| {
+            let mut wheel: TimerWheel<u64> = TimerWheel::new(DEFAULT_TICK);
+            for i in 0..100u64 {
+                wheel.schedule_at(i * 100_000, i);
+            }
+            let mut fired = Vec::with_capacity(100);
+            wheel.advance(black_box(10_000_000), &mut fired);
+            black_box(fired.len())
+        });
+    });
+    group.finish();
+}
+
+fn emit_json() {
+    let quick = std::env::var("RTCM_QUICK").is_ok_and(|v| v != "0");
+    // Best-of-`rounds` per arm: a multi-ms scheduler stall on a shared
+    // runner lands in whichever arm was unlucky and would swamp the
+    // 500 µs quantization effect actually under test.
+    let (fires_per_node, horizon, idle_window, rounds) = if quick {
+        (8usize, Duration::from_millis(200), Duration::from_millis(300), 2usize)
+    } else {
+        (8, Duration::from_millis(400), Duration::from_secs(1), 3)
+    };
+    let mut rows = Vec::new();
+    let mut run = |arm: String, measure: &dyn Fn() -> LatencyStats| {
+        let stats = (0..rounds)
+            .map(|_| measure())
+            .min_by(|a, b| a.p99_us.total_cmp(&b.p99_us))
+            .expect("at least one round");
+        println!(
+            "dispatch/{arm:<24} fired {:>6}  p50 {:>9.1} us  p99 {:>9.1} us  max {:>9.1} us",
+            stats.fired, stats.p50_us, stats.p99_us, stats.max_us
+        );
+        rows.push(serde_json::json!({
+            "arm": arm,
+            "fired": stats.fired,
+            "p50_lateness_us": stats.p50_us,
+            "p99_lateness_us": stats.p99_us,
+            "max_lateness_us": stats.max_us,
+        }));
+    };
+    for nodes in [1_000usize, 10_000] {
+        // Same per-arm sample count (scheduler-stall tails need it), same
+        // horizon: the node count scales timer *density* on the wheel.
+        let fires = (fires_per_node * 1_000) / nodes;
+        let offsets = deadline_schedule(nodes, fires.max(1), horizon, 42);
+        run(format!("wheel_{nodes}_nodes"), &|| wheel_dispatch(&offsets));
+        run(format!("poll_{nodes}_nodes"), &|| poll_dispatch(&offsets, POLL_INTERVAL));
+    }
+
+    let poll_rate = polling_idle_rate(idle_window, POLL_INTERVAL);
+    let reactor_wakeups = reactor_idle_wakeups(idle_window);
+    println!(
+        "dispatch/idle_wakeups        polling {poll_rate:>8.0} wakeups/s/thread  \
+         reactor {reactor_wakeups} wakeups over {idle_window:?}"
+    );
+
+    let doc = serde_json::json!({
+        "bench": "micro_dispatch",
+        "quick": quick,
+        "timers_per_arm": fires_per_node * 1_000,
+        "rounds": rounds,
+        "horizon_ms": horizon.as_millis() as u64,
+        "poll_interval_us": POLL_INTERVAL.as_micros() as u64,
+        "results": rows,
+        "idle": {
+            "window_ms": idle_window.as_millis() as u64,
+            "polling_wakeups_per_sec_per_thread": poll_rate,
+            "reactor_wakeups": reactor_wakeups,
+        },
+    });
+    // CARGO_MANIFEST_DIR = crates/bench → the workspace root is two up.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let path = root.join("BENCH_dispatch.json");
+    match std::fs::write(&path, serde_json::to_string_pretty(&doc).expect("plain data")) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}
+
+criterion_group!(benches, bench_wheel);
+
+fn main() {
+    benches();
+    emit_json();
+}

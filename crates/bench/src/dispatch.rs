@@ -1,0 +1,195 @@
+//! Shared fixture for the `micro_dispatch` bench and its smoke tests:
+//! timer-dispatch latency of the reactor's hierarchical wheel against the
+//! fixed-interval polling loops it replaced, plus the idle-wakeup rate of
+//! both designs.
+//!
+//! Two costs are isolated:
+//!
+//! * **Dispatch lateness** — how far past its deadline each timer actually
+//!   fires. The wheel sleeps until `next_deadline_ns` exactly, so lateness
+//!   is OS sleep overshoot; a polling loop adds up to one whole poll
+//!   period on top.
+//! * **Idle wakeups** — what an idle thread costs. The old node/manager
+//!   loops woke every [`POLL_INTERVAL`] to check a control channel
+//!   (~2000 wakeups/s/thread); a reactor with an empty wheel blocks on its
+//!   mailbox indefinitely, so the measured count over any window is zero.
+
+use std::time::{Duration, Instant};
+
+use rtcm_events::{Federation, Latency, NodeId, Topic};
+use rtcm_rt::{Clock, Reactor, TimerWheel, Wake, DEFAULT_TICK};
+
+/// The control-poll period of the pre-reactor node/manager loops — the
+/// baseline the wheel is measured against.
+pub const POLL_INTERVAL: Duration = Duration::from_micros(500);
+
+/// Lead time between scheduling a batch of timers and the first deadline,
+/// so setup cost never counts as lateness.
+pub const LEAD: Duration = Duration::from_millis(5);
+
+/// Dispatch-lateness distribution over one run (all values microseconds).
+#[derive(Debug, Clone, Copy)]
+pub struct LatencyStats {
+    /// Timers fired (must equal the number scheduled).
+    pub fired: usize,
+    /// Median lateness past the deadline.
+    pub p50_us: f64,
+    /// 99th-percentile lateness past the deadline.
+    pub p99_us: f64,
+    /// Worst lateness past the deadline.
+    pub max_us: f64,
+}
+
+fn stats_from(mut lateness_ns: Vec<f64>) -> LatencyStats {
+    let fired = lateness_ns.len();
+    lateness_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let pct = |p: f64| {
+        if lateness_ns.is_empty() {
+            0.0
+        } else {
+            lateness_ns[((lateness_ns.len() - 1) as f64 * p) as usize] / 1e3
+        }
+    };
+    LatencyStats { fired, p50_us: pct(0.50), p99_us: pct(0.99), max_us: pct(1.0) }
+}
+
+/// Deadline offsets (ns after an arbitrary base) for `nodes` emulated
+/// threads arming `fires_per_node` timers each, spread pseudo-randomly
+/// over `horizon` — the density a 1k/10k-node system's slice boundaries
+/// and fence deadlines produce.
+#[must_use]
+pub fn deadline_schedule(
+    nodes: usize,
+    fires_per_node: usize,
+    horizon: Duration,
+    seed: u64,
+) -> Vec<u64> {
+    let span = horizon.as_nanos() as u64;
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    let mut offsets = Vec::with_capacity(nodes * fires_per_node);
+    for _ in 0..nodes * fires_per_node {
+        // SplitMix64: deterministic, dependency-free spread.
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        offsets.push((z ^ (z >> 31)) % span.max(1));
+    }
+    offsets
+}
+
+/// Fires every offset through a hierarchical [`TimerWheel`], sleeping
+/// until `next_deadline_ns` between batches — the reactor's dispatch
+/// discipline. Lateness per timer is `fire time − deadline`.
+#[must_use]
+pub fn wheel_dispatch(offsets: &[u64]) -> LatencyStats {
+    let clock = Clock::new();
+    let base = clock.now().as_nanos() + LEAD.as_nanos() as u64;
+    let mut wheel: TimerWheel<u64> = TimerWheel::new(DEFAULT_TICK);
+    for &off in offsets {
+        let deadline = base + off;
+        wheel.schedule_at(deadline, deadline);
+    }
+    let mut lateness = Vec::with_capacity(offsets.len());
+    let mut fired: Vec<(rtcm_rt::TimerId, u64)> = Vec::new();
+    while let Some(next) = wheel.next_deadline_ns() {
+        let now = clock.now().as_nanos();
+        if next > now {
+            std::thread::sleep(Duration::from_nanos(next - now));
+        }
+        fired.clear();
+        let now = clock.now().as_nanos();
+        wheel.advance(now, &mut fired);
+        // A cascade-boundary wake fires nothing; lateness only accrues to
+        // real expiries.
+        for &(_, deadline) in &fired {
+            lateness.push(now.saturating_sub(deadline) as f64);
+        }
+    }
+    stats_from(lateness)
+}
+
+/// Fires the same offsets the way the replaced loops did: wake every
+/// `poll`, scan for due deadlines, sleep again. Lateness per timer picks
+/// up up to one whole poll period of quantization.
+#[must_use]
+pub fn poll_dispatch(offsets: &[u64], poll: Duration) -> LatencyStats {
+    let clock = Clock::new();
+    let base = clock.now().as_nanos() + LEAD.as_nanos() as u64;
+    let mut deadlines: Vec<u64> = offsets.iter().map(|&off| base + off).collect();
+    deadlines.sort_unstable();
+    let mut lateness = Vec::with_capacity(deadlines.len());
+    let mut idx = 0;
+    while idx < deadlines.len() {
+        std::thread::sleep(poll);
+        let now = clock.now().as_nanos();
+        while idx < deadlines.len() && deadlines[idx] <= now {
+            lateness.push(now.saturating_sub(deadlines[idx]) as f64);
+            idx += 1;
+        }
+    }
+    stats_from(lateness)
+}
+
+/// Wakeups/s an idle pre-reactor thread burned: block on an empty mailbox
+/// with a `poll`-long timeout, count the timeouts over `window`.
+#[must_use]
+pub fn polling_idle_rate(window: Duration, poll: Duration) -> f64 {
+    let federation = Federation::new(1, Latency::None, 0);
+    let handle = federation.handle(NodeId(0)).expect("node 0 exists");
+    let mailbox = handle.subscribe(Topic(900));
+    let start = Instant::now();
+    let mut wakeups = 0u64;
+    while start.elapsed() < window {
+        if mailbox.recv_timeout(poll).is_err() {
+            wakeups += 1;
+        }
+    }
+    wakeups as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Timer wakeups an idle reactor thread performs over `window`: with an
+/// empty wheel [`Reactor::wait`] blocks on the mailbox indefinitely, so
+/// the count is zero — the thread never runs until the window-closing
+/// event arrives.
+#[must_use]
+pub fn reactor_idle_wakeups(window: Duration) -> u64 {
+    let federation = Federation::new(1, Latency::None, 0);
+    let handle = federation.handle(NodeId(0)).expect("node 0 exists");
+    let mailbox = handle.subscribe(Topic(901));
+    let waiter = std::thread::spawn(move || {
+        let reactor: Reactor<Clock, ()> = Reactor::new(Clock::new(), DEFAULT_TICK);
+        let mut wakeups = 0u64;
+        loop {
+            match reactor.wait(&mailbox) {
+                Wake::Timer => wakeups += 1,
+                Wake::Event(_) | Wake::Closed => return wakeups,
+            }
+        }
+    });
+    std::thread::sleep(window);
+    handle.publish(Topic(901), Vec::new());
+    waiter.join().expect("idle waiter exits on the closing event")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_deterministic_and_in_horizon() {
+        let a = deadline_schedule(16, 2, Duration::from_millis(50), 7);
+        let b = deadline_schedule(16, 2, Duration::from_millis(50), 7);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 32);
+        assert!(a.iter().all(|&off| off < 50_000_000));
+    }
+
+    #[test]
+    fn wheel_dispatch_fires_every_timer() {
+        let offsets = deadline_schedule(4, 2, Duration::from_millis(20), 1);
+        let stats = wheel_dispatch(&offsets);
+        assert_eq!(stats.fired, offsets.len());
+        assert!(stats.p50_us <= stats.p99_us && stats.p99_us <= stats.max_us);
+    }
+}

@@ -14,6 +14,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod dispatch;
 pub mod events;
 pub mod govern;
 pub mod reconfig;

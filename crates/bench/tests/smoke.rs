@@ -9,6 +9,9 @@
 //! mutation sequential under the parallel test runner. The scaling smoke
 //! test reads no environment variables, so it may run in parallel.
 
+use rtcm_bench::dispatch::{
+    deadline_schedule, poll_dispatch, reactor_idle_wakeups, wheel_dispatch,
+};
 use rtcm_bench::events::{fanout_fixture, gateway_fixture, remote_fixture, FANOUT_TOPIC, PAYLOAD};
 use rtcm_bench::govern::{governor_policy, metrics_stream};
 use rtcm_bench::reconfig::{loaded_reconfig_controller, reconfig_fixture};
@@ -222,4 +225,25 @@ fn reconfig_fixture_round_trip_is_lossless_at_quick_sizes() {
             audit.max_cached_drift
         );
     }
+}
+
+/// Smoke coverage of the `micro_dispatch` bench arms at tiny sizes: both
+/// dispatch styles fire every scheduled timer, the wheel's lateness stays
+/// sane (sleep overshoot, not seconds), and an idle reactor performs zero
+/// timer wakeups over a measured window — the counter the full-size bench
+/// reports in `BENCH_dispatch.json`.
+#[test]
+fn dispatch_fixture_fires_everything_and_idles_for_free() {
+    let offsets = deadline_schedule(8, 2, std::time::Duration::from_millis(40), 3);
+
+    let wheel = wheel_dispatch(&offsets);
+    assert_eq!(wheel.fired, offsets.len(), "wheel dispatch must fire every timer");
+    assert!(wheel.p50_us <= wheel.p99_us && wheel.p99_us <= wheel.max_us);
+    assert!(wheel.max_us < 40_000.0, "wheel lateness blew past the whole horizon");
+
+    let poll = poll_dispatch(&offsets, std::time::Duration::from_millis(2));
+    assert_eq!(poll.fired, offsets.len(), "poll dispatch must fire every timer");
+
+    let wakeups = reactor_idle_wakeups(std::time::Duration::from_millis(100));
+    assert_eq!(wakeups, 0, "an idle reactor must not wake on timers");
 }

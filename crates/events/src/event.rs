@@ -92,6 +92,12 @@ pub mod topics {
     /// ignored). Lets the manager park on one wait point instead of
     /// polling its control channel.
     pub const MANAGER_WAKE: Topic = Topic(CONTROL_BASE | 0x0200_0000);
+
+    /// Owner → quorum-member delegate: a stop request was enqueued on the
+    /// member's out-of-band channel — wake its mailbox (payload ignored).
+    /// Lets the delegate park on one wait point (fence deadline or
+    /// reconfiguration traffic) instead of polling its stop channel.
+    pub const QUORUM_CTL: Topic = Topic(CONTROL_BASE | 0x0300_0000);
 }
 
 /// One event in flight.

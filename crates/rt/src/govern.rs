@@ -14,9 +14,14 @@
 //! [`rtcm_core::govern::Governor`]; actuation is the same two-phase
 //! protocol `System::reconfigure` runs, serialized on the same lock, so a
 //! governor and an operator can coexist without racing each other.
+//!
+//! Windows close on **absolute deadlines** (`next += window`): slow
+//! actuation delays at most its own boundary, never the cadence, and any
+//! boundary it overruns entirely is skipped and counted in
+//! [`SystemReport::governor_overruns`](crate::stats::SystemReport::governor_overruns).
 
 use std::sync::Arc;
-use std::time::Duration as StdDuration;
+use std::time::{Duration as StdDuration, Instant};
 
 use crossbeam::channel::{unbounded, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
@@ -106,10 +111,30 @@ pub(crate) fn spawn_governor_thread(
             // system idles (expiry is applied before every read, matching
             // the simulator's per-tick semantics exactly).
             let mut gauges = (1.0, 0.0);
+            // Window boundaries are *absolute* deadlines (`next += window`),
+            // so a slow sense/actuate cycle — a reconfigure can block up to
+            // a full ack timeout — delays one boundary without stretching
+            // every later one. The old relative wait (`recv_timeout(window)`
+            // after the work) accumulated that drift into the WindowSensor's
+            // rate deltas. A cycle that overruns whole boundaries skips
+            // them (counted in `governor_overruns`) rather than firing a
+            // burst of zero-length windows.
+            let mut next = Instant::now() + window;
             loop {
-                match stop_rx.recv_timeout(window) {
+                let wait = next.saturating_duration_since(Instant::now());
+                match stop_rx.recv_timeout(wait) {
                     Ok(()) | Err(RecvTimeoutError::Disconnected) => return,
                     Err(RecvTimeoutError::Timeout) => {}
+                }
+                next += window;
+                let now = Instant::now();
+                let mut overrun = 0u64;
+                while next <= now {
+                    next += window;
+                    overrun += 1;
+                }
+                if overrun > 0 {
+                    stats.with(|r| r.governor_overruns += overrun);
                 }
                 match swap.sense_gauges(window) {
                     Ok(Some(fresh)) => gauges = fresh,

@@ -15,7 +15,12 @@
 //!   "Idle Resetting");
 //! * [`stats`] — shared measurement, including per-operation delays
 //!   (Figure 7's ops 1–8);
-//! * [`clock`] — the shared time axis that makes one-way delays measurable;
+//! * [`clock`] — the shared time axis that makes one-way delays measurable,
+//!   plus the [`clock::TimerDriver`] abstraction that lets wall and manual
+//!   clocks drive the reactor interchangeably;
+//! * [`reactor`] — the event-driven core: a hierarchical timer wheel and
+//!   the single blocking wait on `min(next timer, mailbox)` every runtime
+//!   thread parks on (zero wakeups when idle);
 //! * [`govern`] — the adaptation governor loop (`System::spawn_governor`):
 //!   windowed load sensing driving automatic reconfiguration;
 //! * [`quorum`] — the voting delegate that makes a TCP-bridged federation
@@ -25,6 +30,8 @@
 //! priorities, each node runs a single dispatcher thread executing the
 //! most urgent ready subjob in 200 µs slices — quasi-preemptive
 //! fixed-priority scheduling with bounded priority-inversion (one slice).
+//! Slice boundaries are wheel entries on the reactor, not `thread::sleep`
+//! polls, so an idle node performs no timer wakeups at all.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -36,13 +43,15 @@ pub mod manager;
 pub mod node;
 pub mod proto;
 pub mod quorum;
+pub mod reactor;
 pub mod stats;
 pub mod system;
 
-pub use clock::Clock;
+pub use clock::{Clock, ManualClock, TimerDriver};
 pub use govern::{GovernorEvent, GovernorHandle};
 pub use node::ExecMode;
 pub use proto::ReconfigAbortReason;
 pub use quorum::{QuorumMember, QuorumOptions};
+pub use reactor::{Reactor, TimerId, TimerWheel, Wake, DEFAULT_TICK};
 pub use stats::{ReconfigAbortBreakdown, SharedStats, SystemReport};
 pub use system::{LaunchError, ReconfigReport, ReconfigureError, RtOptions, SubmitError, System};

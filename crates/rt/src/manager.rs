@@ -32,13 +32,14 @@ use rtcm_core::ledger::ContributionKey;
 use rtcm_core::strategy::{AcStrategy, ServiceConfig};
 use rtcm_core::task::{ProcessorId, TaskSet};
 use rtcm_core::time::{Duration, Time};
-use rtcm_events::{topics, ChannelHandle, Event, EventReceiver, RecvTimeoutError};
+use rtcm_events::{topics, ChannelHandle, Event, EventReceiver};
 
 use crate::clock::Clock;
 use crate::proto::{
     self, AcceptMsg, ArriveMsg, IdleResetMsg, ReconfigAbortReason, ReconfigAckMsg, ReconfigMsg,
     ReconfigPhase, ReconfigVote, RejectMsg,
 };
+use crate::reactor::{Reactor, TimerId, Wake, DEFAULT_TICK};
 use crate::stats::SharedStats;
 use crate::system::{ReconfigReport, ReconfigureError};
 
@@ -76,14 +77,6 @@ pub(crate) struct ManagerConfig {
     pub mailbox: EventReceiver,
 }
 
-/// Safety-net park bound for the manager's mailbox wait. Every control
-/// sender (reconfigure requests, gauge probes, shutdown) publishes a
-/// `topics::MANAGER_WAKE` kick after enqueueing, so an idle manager
-/// normally parks the full bound without polling; the timeout only
-/// backstops a kick lost to an unsubscribed window that cannot occur in
-/// the launcher's wiring.
-const CTL_POLL: StdDuration = StdDuration::from_millis(50);
-
 /// Most mailbox events handled between control polls, so a saturating
 /// event flood cannot starve reconfigure or shutdown requests.
 const DRAIN_BATCH: usize = 256;
@@ -97,8 +90,18 @@ static NEXT_COORDINATOR: std::sync::atomic::AtomicU64 = std::sync::atomic::Atomi
 pub(crate) fn run_manager(cfg: ManagerConfig) {
     let coordinator = (u64::from(std::process::id()) << 32)
         | NEXT_COORDINATOR.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-    let mut manager = Manager { cfg, coordinator, epoch: 0 };
+    let reactor = Reactor::new(cfg.clock, DEFAULT_TICK);
+    let mut manager = Manager { cfg, coordinator, epoch: 0, reactor };
     manager.run();
+}
+
+/// Wheel tags for the manager's reactor. The prepare-fence deadline is the
+/// only entry the manager ever schedules; in steady state its wheel is
+/// empty and the thread blocks on the mailbox indefinitely.
+#[derive(Debug, Clone, Copy)]
+enum MgrTimer {
+    /// The prepare phase's ack deadline passed — abort the swap.
+    PrepareDeadline,
 }
 
 struct Manager {
@@ -109,6 +112,8 @@ struct Manager {
     coordinator: u64,
     /// Monotone reconfiguration epoch (acks echo it).
     epoch: u64,
+    /// Timer wheel + single-wait loop (see [`MgrTimer`]).
+    reactor: Reactor<Clock, MgrTimer>,
 }
 
 /// What the manager loop should do after a control-channel poll.
@@ -123,10 +128,13 @@ impl Manager {
             if matches!(self.poll_ctl(), CtlFlow::Exit) {
                 return;
             }
-            // Park on the mailbox (event arrivals wake it immediately),
-            // bounded by the control-poll cadence.
-            match self.cfg.mailbox.recv_timeout(CTL_POLL) {
-                Ok(ev) => {
+            // Park on the mailbox. Every control sender (reconfigure
+            // requests, gauge probes, shutdown) publishes a
+            // `topics::MANAGER_WAKE` kick after enqueueing, so this wait
+            // needs no poll cadence: with an empty wheel it blocks until
+            // something actually happens — zero wakeups while idle.
+            match self.reactor.wait(&self.cfg.mailbox) {
+                Wake::Event(ev) => {
                     self.on_event(&ev);
                     // Drain a *bounded* backlog batch before the next
                     // control poll: a sustained arrival flood must not
@@ -139,8 +147,14 @@ impl Manager {
                         }
                     }
                 }
-                Err(RecvTimeoutError::Timeout) => {}
-                Err(RecvTimeoutError::Disconnected) => return,
+                Wake::Timer => {
+                    // No steady-state wheel entries exist; reap anything
+                    // stale (e.g. a prepare deadline that raced its cancel).
+                    self.cfg.stats.timer_wakeup();
+                    let mut fired = Vec::new();
+                    self.reactor.poll(&mut fired);
+                }
+                Wake::Closed => return,
             }
         }
     }
@@ -215,27 +229,31 @@ impl Manager {
         self.publish_phase(epoch, ReconfigPhase::Prepare, target);
         let expected_local = usize::from(self.cfg.processors);
         let expected = expected_local + remote.len();
-        let deadline = started + self.cfg.ack_timeout;
+        // The ack deadline is a wheel entry, not a poll cadence: the loop
+        // parks on min(deadline, mailbox) and wakes exactly when an ack
+        // arrives, the deadline passes, or a shutdown kick is published.
+        let deadline_ns = self.cfg.clock.now().as_nanos() + self.cfg.ack_timeout.as_nanos() as u64;
+        let fence_timer = self.reactor.schedule_at(deadline_ns, MgrTimer::PrepareDeadline);
+        let mut timed_out = false;
+        let mut fired: Vec<(TimerId, MgrTimer)> = Vec::new();
         let mut local_acked: HashSet<u16> = HashSet::new();
         let mut remote_acked: HashSet<u64> = HashSet::new();
         let mut deferred: Vec<ArriveMsg> = Vec::new();
         let mut nack: Option<ReconfigAbortReason> = None;
-        while local_acked.len() < expected_local || remote_acked.len() < remote.len() {
-            let remaining = deadline.saturating_duration_since(Instant::now());
-            if remaining.is_zero() || nack.is_some() {
-                break;
-            }
+        while (local_acked.len() < expected_local || remote_acked.len() < remote.len())
+            && nack.is_none()
+            && !timed_out
+        {
             match self.cfg.shutdown_rx.try_recv() {
                 Ok(()) | Err(TryRecvError::Disconnected) => {
+                    self.reactor.cancel(fence_timer);
                     let _ = reply.send(Err(ReconfigureError::Closed));
                     return false;
                 }
                 Err(TryRecvError::Empty) => {}
             }
-            // Acks/arrivals — and the shutdown path's wake kick — rouse
-            // the mailbox immediately; the cap is only a backstop.
-            match self.cfg.mailbox.recv_timeout(remaining.min(CTL_POLL)) {
-                Ok(ev) => {
+            match self.reactor.wait(&self.cfg.mailbox) {
+                Wake::Event(ev) => {
                     if ev.topic == topics::RECONFIG_ACK {
                         let ack: ReconfigAckMsg = proto::decode(&ev.payload);
                         if ack.coordinator == self.coordinator && ack.epoch == epoch {
@@ -265,10 +283,20 @@ impl Manager {
                         self.on_reset(&proto::decode(&ev.payload));
                     }
                 }
-                Err(RecvTimeoutError::Timeout) => {}
-                Err(RecvTimeoutError::Disconnected) => break,
+                Wake::Timer => {
+                    // Either the ack deadline or an intermediate cascade
+                    // boundary; only the former ends the wait.
+                    self.cfg.stats.timer_wakeup();
+                    fired.clear();
+                    self.reactor.poll(&mut fired);
+                    if fired.iter().any(|(_, t)| matches!(t, MgrTimer::PrepareDeadline)) {
+                        timed_out = true;
+                    }
+                }
+                Wake::Closed => break,
             }
         }
+        self.reactor.cancel(fence_timer);
 
         let acked = local_acked.len() + remote_acked.len();
         if acked < expected || nack.is_some() {

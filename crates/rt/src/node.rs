@@ -8,6 +8,13 @@
 //! priorities (see DESIGN.md for this substitution). Execution itself is
 //! simulated by sleeping or spinning for the subtask's execution time
 //! ([`ExecMode`]).
+//!
+//! The loop is reactor-driven: in [`ExecMode::Sleep`] a slice boundary is a
+//! timer-wheel entry and the thread parks on `min(slice deadline, mailbox)`
+//! — mid-slice events are enqueued immediately but preemption still only
+//! happens at the boundary. An idle node holds no wheel entries and blocks
+//! on its mailbox indefinitely: **zero wakeups while idle**, where the old
+//! design paid a 500 µs `recv_timeout` poll (~2000 wakeups/s/node).
 
 use std::collections::BinaryHeap;
 use std::sync::Arc;
@@ -19,13 +26,14 @@ use rtcm_core::reset::IdleResetter;
 use rtcm_core::strategy::{AcStrategy, LbStrategy, ServiceConfig};
 use rtcm_core::task::{JobId, ProcessorId, TaskId, TaskSet};
 use rtcm_core::time::{Duration, Time};
-use rtcm_events::{topics, ChannelHandle, Event, EventReceiver, RecvTimeoutError, Topic};
+use rtcm_events::{topics, ChannelHandle, Event, EventReceiver, Topic};
 
 use crate::clock::Clock;
 use crate::proto::{
     self, AcceptMsg, ArriveMsg, IdleResetMsg, InjectMsg, ReconfigAckMsg, ReconfigMsg,
     ReconfigPhase, RejectMsg, TriggerMsg,
 };
+use crate::reactor::{Reactor, TimerId, Wake, DEFAULT_TICK};
 use crate::stats::SharedStats;
 
 /// How subtask execution consumes time.
@@ -44,6 +52,13 @@ pub enum ExecMode {
 enum TeDecision {
     Admitted(Vec<u16>),
     Rejected,
+}
+
+/// Wheel tags for the node's reactor.
+#[derive(Debug, Clone, Copy)]
+enum NodeTimer {
+    /// The current execution slice reached its boundary.
+    SliceEnd,
 }
 
 #[derive(Debug)]
@@ -121,6 +136,19 @@ struct Node {
     /// can never half-apply.
     fence: Option<(u64, u64)>,
     running: bool,
+    /// Timer wheel + single-wait loop. In [`ExecMode::Sleep`] the pending
+    /// slice boundary is the only steady-state entry.
+    reactor: Reactor<Clock, NodeTimer>,
+    /// Wheel entry for the in-flight slice; `Some` exactly while `current`
+    /// holds a subjob mid-slice.
+    slice_timer: Option<TimerId>,
+    /// Wall instant the in-flight slice started (for consumed-time
+    /// compensation on kernels with coarse timers).
+    slice_started: Instant,
+    /// Nominal length of the in-flight slice.
+    slice_len: StdDuration,
+    /// Scratch buffer for fired timers (avoids per-wake allocation).
+    fired: Vec<(TimerId, NodeTimer)>,
 }
 
 impl Node {
@@ -136,23 +164,39 @@ impl Node {
             next_seq: 0,
             fence: None,
             running: true,
+            reactor: Reactor::new(cfg.clock, DEFAULT_TICK),
+            slice_timer: None,
+            slice_started: Instant::now(),
+            slice_len: StdDuration::ZERO,
+            fired: Vec::new(),
             cfg,
         }
     }
 
     fn run(&mut self) {
         while self.running {
+            let mut fired = std::mem::take(&mut self.fired);
+            fired.clear();
+            self.reactor.poll(&mut fired);
+            for (_, timer) in fired.drain(..) {
+                self.on_timer(timer);
+            }
+            self.fired = fired;
             self.drain_messages();
             if !self.running {
                 break;
             }
-            self.maybe_preempt();
-            if self.current.is_none() {
-                self.current = self.ready.pop();
+            self.pump();
+            if !self.running {
+                break;
             }
-            match self.current.take() {
-                Some(run) => self.execute_slice(run),
-                None => self.idle(),
+            match self.reactor.wait(&self.cfg.mailbox) {
+                Wake::Event(ev) => self.dispatch(&ev),
+                Wake::Timer => self.cfg.stats.timer_wakeup(),
+                // Federation gone (launcher dropped without a shutdown
+                // event): nothing can ever arrive again, so stop instead
+                // of spinning.
+                Wake::Closed => self.running = false,
             }
         }
     }
@@ -396,35 +440,93 @@ impl Node {
         }
     }
 
-    fn execute_slice(&mut self, mut run: ReadySubjob) {
-        if !run.remaining.is_zero() {
-            let slice = run.remaining.min(self.cfg.slice);
-            let started = Instant::now();
-            match self.cfg.exec {
-                ExecMode::Sleep => std::thread::sleep(slice),
-                ExecMode::Spin => {
-                    let until = started + slice;
-                    while Instant::now() < until {
-                        std::hint::spin_loop();
+    /// Advances execution until the node either goes mid-slice (Sleep mode:
+    /// a `SliceEnd` wheel entry stands and the thread can park) or runs out
+    /// of ready work. Spin and Noop modes execute inline — a spinning slice
+    /// cannot park, and a no-op one completes instantly — draining the
+    /// mailbox between slices exactly like the boundary discipline.
+    fn pump(&mut self) {
+        if self.slice_timer.is_some() {
+            // Mid-slice: the boundary lives on the wheel; events are only
+            // enqueued until it fires (preemption stays slice-granular).
+            return;
+        }
+        loop {
+            self.maybe_preempt();
+            if self.current.is_none() {
+                self.current = self.ready.pop();
+            }
+            let Some(mut run) = self.current.take() else {
+                self.report_idle();
+                return;
+            };
+            if run.remaining.is_zero() {
+                self.complete(run);
+            } else {
+                let slice = run.remaining.min(self.cfg.slice);
+                match self.cfg.exec {
+                    ExecMode::Sleep => {
+                        // Park until the boundary: the slice becomes a
+                        // wheel entry and run() waits on
+                        // min(boundary, mailbox).
+                        self.slice_started = Instant::now();
+                        self.slice_len = slice;
+                        let deadline = self.cfg.clock.now().as_nanos() + slice.as_nanos() as u64;
+                        self.slice_timer =
+                            Some(self.reactor.schedule_at(deadline, NodeTimer::SliceEnd));
+                        self.current = Some(run);
+                        return;
+                    }
+                    ExecMode::Spin => {
+                        let started = Instant::now();
+                        let until = started + slice;
+                        while Instant::now() < until {
+                            std::hint::spin_loop();
+                        }
+                        // Charge the time that actually passed (see
+                        // finish_slice).
+                        run.remaining = run.remaining.saturating_sub(started.elapsed().max(slice));
+                        if run.remaining.is_zero() {
+                            self.complete(run);
+                        } else {
+                            self.current = Some(run);
+                        }
+                    }
+                    ExecMode::Noop => {
+                        run.remaining = StdDuration::ZERO;
+                        self.complete(run);
                     }
                 }
-                ExecMode::Noop => {}
             }
-            // Charge the subjob for the time that actually passed: on
-            // kernels with coarse timers a 200 µs sleep can take over a
-            // millisecond, and without this compensation total execution
-            // would silently exceed the declared C and break deadlines the
-            // admission test guaranteed.
-            let consumed = match self.cfg.exec {
-                ExecMode::Noop => slice,
-                _ => started.elapsed().max(slice),
-            };
-            run.remaining = run.remaining.saturating_sub(consumed);
+            self.drain_messages();
+            if !self.running {
+                return;
+            }
         }
-        if run.remaining.is_zero() {
-            self.complete(run);
-        } else {
-            self.current = Some(run);
+    }
+
+    /// A `SliceEnd` wheel entry fired: charge the in-flight subjob and
+    /// return to the boundary state.
+    fn on_timer(&mut self, timer: NodeTimer) {
+        match timer {
+            NodeTimer::SliceEnd => {
+                self.slice_timer = None;
+                if let Some(mut run) = self.current.take() {
+                    // Charge the subjob for the time that actually passed:
+                    // on kernels with coarse timers a 200 µs slice can
+                    // overshoot past a millisecond, and without this
+                    // compensation total execution would silently exceed
+                    // the declared C and break deadlines the admission
+                    // test guaranteed.
+                    let consumed = self.slice_started.elapsed().max(self.slice_len);
+                    run.remaining = run.remaining.saturating_sub(consumed);
+                    if run.remaining.is_zero() {
+                        self.complete(run);
+                    } else {
+                        self.current = Some(run);
+                    }
+                }
+            }
         }
     }
 
@@ -459,8 +561,11 @@ impl Node {
         }
     }
 
-    /// Idle: run the idle detector (op 7), then wait briefly for input.
-    fn idle(&mut self) {
+    /// Idle transition: run the idle detector (op 7) once. `on_idle` drains
+    /// every pending completion in one call, so no periodic probe is
+    /// needed — the node then parks on its mailbox with an empty wheel
+    /// until the next event arrives.
+    fn report_idle(&mut self) {
         if let Some(report) = self.resetter.on_idle(self.cfg.clock.now()) {
             let started_ns = self.cfg.clock.now().as_nanos();
             let msg = IdleResetMsg {
@@ -469,13 +574,6 @@ impl Node {
                 started_ns,
             };
             self.cfg.channel.publish(topics::IDLE_RESET, proto::encode(&msg));
-        }
-        match self.cfg.mailbox.recv_timeout(StdDuration::from_micros(500)) {
-            Ok(ev) => self.dispatch(&ev),
-            Err(RecvTimeoutError::Timeout) => {}
-            // Federation gone (launcher dropped without a shutdown event):
-            // nothing can ever arrive again, so stop instead of spinning.
-            Err(RecvTimeoutError::Disconnected) => self.running = false,
         }
     }
 }

@@ -23,6 +23,12 @@
 //! commit/abort was lost drops its stale fence after
 //! [`QuorumOptions::fence_timeout`] so one lost packet can never wedge the
 //! host out of all future quorums.
+//!
+//! The delegate thread is reactor-driven: a standing fence's expiry
+//! deadline is a timer-wheel entry, so recovery happens *at* the deadline
+//! instead of up to a 20 ms poll period late, and an unfenced idle member
+//! blocks on its mailbox without any wakeups. Stop requests publish a
+//! `topics::QUORUM_CTL` kick so the indefinite block stays interruptible.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -32,13 +38,14 @@ use crossbeam::channel::{unbounded, Sender, TryRecvError};
 use parking_lot::Mutex;
 
 use rtcm_core::strategy::ServiceConfig;
-use rtcm_events::{topics, Federation, NodeId, RecvTimeoutError, UnknownNodeError};
+use rtcm_events::{topics, ChannelHandle, Federation, NodeId, UnknownNodeError};
 
 use crate::clock::Clock;
 use crate::proto::{
     self, ReconfigAbortReason, ReconfigAckMsg, ReconfigMsg, ReconfigPhase, ReconfigVote,
     QUORUM_MEMBER_PROC,
 };
+use crate::reactor::{Reactor, TimerId, Wake, DEFAULT_TICK};
 
 /// Tunables for a [`QuorumMember`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -73,6 +80,9 @@ pub struct QuorumMember {
     hold: Arc<AtomicBool>,
     state: Arc<Mutex<MemberState>>,
     stop: Sender<()>,
+    /// Publishes the `topics::QUORUM_CTL` kick that wakes the delegate's
+    /// blocking mailbox wait after a stop request is enqueued.
+    wake: ChannelHandle,
     thread: Option<std::thread::JoinHandle<()>>,
 }
 
@@ -97,8 +107,10 @@ impl QuorumMember {
         options: QuorumOptions,
     ) -> Result<Self, UnknownNodeError> {
         let handle = federation.handle(node)?;
+        let wake = handle.clone();
         let host = federation.host_id();
-        let reconfig_rx = handle.subscribe(topics::RECONFIG);
+        // One merged mailbox: reconfiguration phases plus the stop kick.
+        let mailbox = handle.subscribe_many(&[topics::RECONFIG, topics::QUORUM_CTL]);
         let hold = Arc::new(AtomicBool::new(false));
         let state: Arc<Mutex<MemberState>> = Arc::new(Mutex::new(MemberState::default()));
         let (stop_tx, stop_rx) = unbounded::<()>();
@@ -107,35 +119,71 @@ impl QuorumMember {
         let thread_state = Arc::clone(&state);
         let thread = std::thread::Builder::new()
             .name("rtcm-quorum-member".into())
-            .spawn(move || loop {
-                match stop_rx.try_recv() {
-                    Ok(()) | Err(TryRecvError::Disconnected) => return,
-                    Err(TryRecvError::Empty) => {}
-                }
-                match reconfig_rx.recv_timeout(StdDuration::from_millis(20)) {
-                    Ok(ev) => {
-                        let msg: ReconfigMsg = proto::decode(&ev.payload);
-                        on_phase(
-                            &msg,
-                            host,
-                            &handle,
-                            clock,
-                            &thread_hold,
-                            &thread_state,
-                            options.fence_timeout,
-                        );
+            .spawn(move || {
+                let mut reactor: Reactor<Clock, ()> = Reactor::new(clock, DEFAULT_TICK);
+                // Wheel entry mirroring the standing fence, keyed by
+                // `(coordinator, epoch)` so a superseding prepare reslots
+                // the deadline.
+                let mut fence_timer: Option<(TimerId, (u64, u64))> = None;
+                let mut fired: Vec<(TimerId, ())> = Vec::new();
+                loop {
+                    match stop_rx.try_recv() {
+                        Ok(()) | Err(TryRecvError::Disconnected) => return,
+                        Err(TryRecvError::Empty) => {}
                     }
-                    Err(RecvTimeoutError::Timeout) => {
-                        // Periodic fence-expiry sweep even when no events
-                        // arrive (a lost abort must not wedge the member).
+                    fired.clear();
+                    reactor.poll(&mut fired);
+                    if !fired.is_empty() {
+                        // The fence deadline fired (the only entry this
+                        // wheel ever holds; intermediate cascade wakes fire
+                        // nothing) — drop the stale fence *at* the
+                        // deadline, not up to a poll period later.
+                        fence_timer = None;
                         let mut s = thread_state.lock();
                         expire_fence(&mut s, options.fence_timeout);
                     }
-                    Err(RecvTimeoutError::Disconnected) => return,
+                    // Re-sync the wheel with the current fence.
+                    let fence = thread_state.lock().fence;
+                    match fence {
+                        Some((c, e, raised)) => {
+                            let stale = fence_timer.is_none_or(|(_, key)| key != (c, e));
+                            if stale {
+                                if let Some((id, _)) = fence_timer.take() {
+                                    reactor.cancel(id);
+                                }
+                                let remaining =
+                                    options.fence_timeout.saturating_sub(raised.elapsed());
+                                let id = reactor.schedule_in(remaining, ());
+                                fence_timer = Some((id, (c, e)));
+                            }
+                        }
+                        None => {
+                            if let Some((id, _)) = fence_timer.take() {
+                                reactor.cancel(id);
+                            }
+                        }
+                    }
+                    match reactor.wait(&mailbox) {
+                        Wake::Event(ev) if ev.topic == topics::RECONFIG => {
+                            let msg: ReconfigMsg = proto::decode(&ev.payload);
+                            on_phase(
+                                &msg,
+                                host,
+                                &handle,
+                                clock,
+                                &thread_hold,
+                                &thread_state,
+                                options.fence_timeout,
+                            );
+                        }
+                        // A QUORUM_CTL kick: loop back to the stop check.
+                        Wake::Event(_) | Wake::Timer => {}
+                        Wake::Closed => return,
+                    }
                 }
             })
             .expect("spawn quorum member");
-        Ok(QuorumMember { host, hold, state, stop: stop_tx, thread: Some(thread) })
+        Ok(QuorumMember { host, hold, state, stop: stop_tx, wake, thread: Some(thread) })
     }
 
     /// The host identity this member votes as (its federation's id).
@@ -182,6 +230,10 @@ impl QuorumMember {
 
     fn halt(&mut self) {
         let _ = self.stop.send(());
+        // Kick the mailbox *after* the stop request is visible, so the
+        // delegate's indefinite block wakes and observes it. Other members
+        // sharing the federation just re-check their own stop channel.
+        self.wake.publish(topics::QUORUM_CTL, Vec::new());
         if let Some(t) = self.thread.take() {
             let _ = t.join();
         }

@@ -1,7 +1,7 @@
 //! Shared runtime statistics, including the per-operation delay
 //! accounting behind the paper's Figure 8.
 
-use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -118,6 +118,12 @@ pub struct SystemReport {
     /// Committed swaps initiated by the governor (a subset of
     /// [`SystemReport::reconfig_swaps`]).
     pub governor_swaps: u64,
+    /// Governor windows whose sense+actuate work overran one or more
+    /// absolute window deadlines (each skipped boundary counts once).
+    /// Windows are scheduled on absolute deadlines, so an overrun shifts
+    /// no subsequent boundary — it is counted here instead of silently
+    /// stretching the window like the pre-reactor loop did.
+    pub governor_overruns: u64,
 
     /// Events published through the federation (every protocol message —
     /// arrivals, decisions, triggers, IR reports, reconfig phases,
@@ -140,6 +146,13 @@ pub struct SystemReport {
     /// Outbound events a bridge dropped for exceeding the wire frame
     /// limit.
     pub bridge_tx_dropped: u64,
+
+    /// Timer-deadline wakeups performed by reactor threads (slice
+    /// boundaries, prepare-fence deadlines, intermediate wheel cascades).
+    /// An **idle** system records none: every thread parks on its mailbox
+    /// with an empty wheel, where the polling design paid ~2000
+    /// wakeups/s/node. Pinned by the zero-wakeup runtime test.
+    pub timer_wakeups: u64,
 }
 
 /// Thread-shared accumulator handed to every node.
@@ -147,6 +160,9 @@ pub struct SystemReport {
 pub struct SharedStats {
     report: Mutex<SystemReport>,
     in_flight: AtomicI64,
+    /// Lock-free tally behind [`SystemReport::timer_wakeups`]: bumped on
+    /// every timer wake, so it must not take the report mutex.
+    timer_wakeups: AtomicU64,
 }
 
 impl SharedStats {
@@ -161,10 +177,17 @@ impl SharedStats {
         f(&mut self.report.lock())
     }
 
-    /// Clones the current snapshot.
+    /// Clones the current snapshot (folding in the atomic counters).
     #[must_use]
     pub fn snapshot(&self) -> SystemReport {
-        self.report.lock().clone()
+        let mut report = self.report.lock().clone();
+        report.timer_wakeups = self.timer_wakeups.load(Ordering::Relaxed);
+        report
+    }
+
+    /// A reactor thread woke for a timer deadline.
+    pub fn timer_wakeup(&self) {
+        self.timer_wakeups.fetch_add(1, Ordering::Relaxed);
     }
 
     /// A job entered the system (arrived at a TE).

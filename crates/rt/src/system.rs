@@ -627,8 +627,7 @@ impl System {
         assert!(speed.is_finite() && speed > 0.0, "replay speed must be positive");
         let start = Instant::now();
         for arrival in trace.iter() {
-            let due =
-                StdDuration::from_nanos((arrival.time.as_nanos() as f64 / speed).round() as u64);
+            let due = StdDuration::from_nanos(replay_due_ns(arrival.time.as_nanos(), speed));
             if let Some(wait) = due.checked_sub(start.elapsed()) {
                 std::thread::sleep(wait);
             }
@@ -700,5 +699,57 @@ impl System {
 impl Drop for System {
     fn drop(&mut self) {
         self.stop_threads();
+    }
+}
+
+/// Scaled due time for a replayed arrival: `nanos / speed` in u128 integer
+/// math. The speed factor is held as the rational `num / 1e9`, so every
+/// nanosecond timestamp divides exactly — the old `as f64 / speed` path
+/// lost nanosecond precision above 2^53 ns (~104 days of trace time) and
+/// let long-trace arrival schedules drift.
+fn replay_due_ns(nanos: u64, speed: f64) -> u64 {
+    const SCALE: u128 = 1_000_000_000;
+    // speed > 0 is asserted by the caller; max(1) guards sub-1e-9 factors.
+    let num = ((speed * SCALE as f64).round() as u128).max(1);
+    let due = (u128::from(nanos) * SCALE + num / 2) / num;
+    u64::try_from(due).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::replay_due_ns;
+
+    #[test]
+    fn replay_due_matches_plain_division_at_small_scales() {
+        assert_eq!(replay_due_ns(1_000, 10.0), 100);
+        assert_eq!(replay_due_ns(1_000, 0.5), 2_000);
+        assert_eq!(replay_due_ns(999, 1.0), 999);
+        assert_eq!(replay_due_ns(0, 3.0), 0);
+    }
+
+    #[test]
+    fn replay_due_is_exact_beyond_f64_precision() {
+        // 2^60 + 12345 ns ≈ 36 years of trace time. f64 has a 53-bit
+        // mantissa, so the old float path quantized this to a multiple of
+        // 128 ns; integer math must not.
+        let t = (1u64 << 60) + 12_345;
+        assert_eq!(replay_due_ns(t, 1.0), t);
+        let drifted = (t as f64 / 1.0).round() as u64;
+        assert_ne!(drifted, t, "float path demonstrably drifts at this scale");
+    }
+
+    #[test]
+    fn replay_due_keeps_large_interarrival_gaps_distinct() {
+        // Two arrivals 10 ns apart at a large offset must stay distinct
+        // and ordered after scaling — the float path collapsed them.
+        let base = (1u64 << 59) + 7;
+        let a = replay_due_ns(base, 2.0);
+        let b = replay_due_ns(base + 10, 2.0);
+        assert_eq!(b - a, 5);
+    }
+
+    #[test]
+    fn replay_due_saturates_rather_than_wrapping() {
+        assert_eq!(replay_due_ns(u64::MAX, 1e-9), u64::MAX);
     }
 }

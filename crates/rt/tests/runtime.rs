@@ -884,3 +884,115 @@ fn event_channel_counters_surface_in_the_report() {
     assert_eq!(report.events_dropped, 0, "runtime mailboxes are unbounded");
     assert!(report.remote_parcels > 0, "TE↔AC traffic crosses nodes");
 }
+
+/// The tentpole's headline number: an idle system performs **zero** timer
+/// wakeups. Before the reactor rework every node and the manager woke on
+/// a 500 µs control poll (~2000 wakeups/s/node — ~128k/s for this spec);
+/// now each thread blocks indefinitely on its merged mailbox whenever its
+/// wheel is empty. The counter rides [`SystemReport::timer_wakeups`], so
+/// any regression back toward polling shows up as a nonzero report here.
+#[test]
+fn idle_system_performs_zero_timer_wakeups() {
+    let system = launch(
+        "workload w\nprocessors 64\ntask t aperiodic deadline=500ms\n  subtask exec=1ms proc=0\n",
+        "J_N_N",
+    );
+    // 64 node threads + the manager, all idle for a measured interval.
+    std::thread::sleep(StdDuration::from_millis(300));
+    assert_eq!(system.stats().timer_wakeups, 0, "idle threads must not wake on timers");
+
+    // The system is not wedged: a submitted job still drains normally,
+    // and under Noop execution no slice timers are armed either.
+    system.submit(TaskId(0), 0).unwrap();
+    assert!(system.quiesce(QUIESCE));
+    let report = system.shutdown();
+    assert_eq!(report.jobs_completed, 1);
+    assert_eq!(report.timer_wakeups, 0, "noop execution schedules no slices");
+}
+
+/// The zero-wakeup counter's positive control: in `ExecMode::Sleep` every
+/// dispatcher slice boundary is a timer-wheel entry, so a multi-slice job
+/// must record timer wakeups — proving the counter actually observes the
+/// wheel and the idle test above isn't vacuously green.
+#[test]
+fn sleep_mode_slices_ride_the_timer_wheel() {
+    let deployment = configure_with(
+        &spec(
+            "workload w\nprocessors 1\ntask t aperiodic deadline=500ms\n  subtask exec=5ms proc=0\n",
+        ),
+        "J_N_N".parse().unwrap(),
+    )
+    .unwrap();
+    let system =
+        System::launch(&deployment, RtOptions { exec: ExecMode::Sleep, ..RtOptions::default() })
+            .unwrap();
+    system.submit(TaskId(0), 0).unwrap();
+    assert!(system.quiesce(QUIESCE));
+    let report = system.shutdown();
+    assert_eq!(report.jobs_completed, 1);
+    // 5 ms of execution at the default 200 µs slice is ~25 boundaries.
+    assert!(
+        report.timer_wakeups >= 1,
+        "sleep slices must expire via the wheel, got {}",
+        report.timer_wakeups
+    );
+}
+
+/// A stale fence (prepare whose commit/abort never arrives) now drops *at*
+/// its wheel deadline instead of up to a poll period later — and never
+/// early. Pinned both ways: still fenced at 60% of the timeout, recovered
+/// within a tight grace of it. The old design only re-checked expiry when
+/// reconfiguration traffic or a 20 ms poll tick happened to arrive; with
+/// no further traffic this test would then hang until the poll fired.
+#[test]
+fn stale_fence_recovers_at_the_wheel_deadline() {
+    use rtcm_events::{Federation, Latency, NodeId};
+    use rtcm_rt::proto::{self, ReconfigMsg, ReconfigPhase};
+    use rtcm_rt::{QuorumMember, QuorumOptions};
+
+    let fence_timeout = StdDuration::from_millis(400);
+    let host = Federation::new(2, Latency::None, 7);
+    let member = QuorumMember::attach(&host, NodeId(1), QuorumOptions { fence_timeout }).unwrap();
+
+    // A foreign prepare whose commit will never arrive.
+    let foreign = ReconfigMsg {
+        coordinator: 0xDEAD_BEEF,
+        host: 0xBAD_0057,
+        epoch: 1,
+        phase: ReconfigPhase::Prepare,
+        services: "T_T_T".parse().unwrap(),
+        sent_ns: 0,
+    };
+    host.handle(NodeId(0)).unwrap().publish(rtcm_events::topics::RECONFIG, proto::encode(&foreign));
+
+    let fenced_by = std::time::Instant::now() + StdDuration::from_secs(5);
+    while !member.is_fenced() {
+        assert!(std::time::Instant::now() < fenced_by, "member never fenced");
+        std::thread::sleep(StdDuration::from_millis(1));
+    }
+    let fenced_at = std::time::Instant::now();
+
+    // Never early: the wheel fires on `deadline_ns <= now`, so well short
+    // of the timeout the fence must still stand.
+    std::thread::sleep(fence_timeout.mul_f64(0.6));
+    assert!(member.is_fenced(), "fence dropped before its deadline");
+
+    // At the deadline (plus scheduler grace) the fence is gone — no
+    // further traffic required, no 20 ms poll quantum added.
+    let grace = StdDuration::from_millis(100);
+    while member.is_fenced() {
+        assert!(
+            fenced_at.elapsed() < fence_timeout + grace,
+            "fence outlived its wheel deadline by more than {grace:?}"
+        );
+        std::thread::sleep(StdDuration::from_millis(1));
+    }
+    let held = fenced_at.elapsed();
+    // We first observed the fence at most a poll step after it was raised,
+    // so the measured hold can undershoot the timeout only slightly.
+    assert!(
+        held + StdDuration::from_millis(50) >= fence_timeout,
+        "fence dropped {held:?} after observation — far before its {fence_timeout:?} deadline"
+    );
+    member.shutdown();
+}
