@@ -16,9 +16,11 @@
 //!
 //! Unlike the paper's testbed, all nodes share one clock, so one-way
 //! delays are additionally measured *directly* (reported as extra rows).
-//! Absolute values reflect this machine, not 2002-era Pentiums; the table's
-//! *structure* (re-allocation ≈ one extra hop, IR's AC-side cost tiny, all
-//! delays ≪ 2 ms + network) is the reproduction target.
+//! And unlike the paper's mean/max-only table, every row is backed by the
+//! telemetry plane's log2 histograms, so p50/p90/p99 columns come for
+//! free. Absolute values reflect this machine, not 2002-era Pentiums; the
+//! table's *structure* (re-allocation ≈ one extra hop, IR's AC-side cost
+//! tiny, all delays ≪ 2 ms + network) is the reproduction target.
 //!
 //! `RTCM_QUICK=1` shrinks run time; `RTCM_RT_SECS=n` overrides per-scenario
 //! wall-clock seconds.
@@ -26,10 +28,10 @@
 use std::time::{Duration as StdDuration, Instant};
 
 use rtcm_config::{configure_with, WorkloadSpec};
-use rtcm_core::metrics::DelayStats;
 use rtcm_core::time::Duration;
 use rtcm_events::{Federation, Latency, NodeId, Topic};
 use rtcm_rt::{RtOptions, System, SystemReport};
+use rtcm_telemetry::{Histogram, HistogramSnapshot};
 use rtcm_workload::{ArrivalConfig, ArrivalTrace, RandomWorkload};
 
 fn scenario_seconds() -> u64 {
@@ -41,9 +43,26 @@ fn scenario_seconds() -> u64 {
     })
 }
 
+/// One scenario's outputs: the merged report plus the per-operation
+/// histogram snapshots captured from the telemetry plane before shutdown
+/// (the report's `DelayStats` carry mean/min/max; the percentile columns
+/// need the full bucket distributions).
+struct Scenario {
+    report: SystemReport,
+    total_no_realloc: HistogramSnapshot,
+    total_realloc: HistogramSnapshot,
+    ir_update: HistogramSnapshot,
+    ir_path: HistogramSnapshot,
+    hold: HistogramSnapshot,
+    comm: HistogramSnapshot,
+    lb_plan: HistogramSnapshot,
+    ac_test: HistogramSnapshot,
+    release: HistogramSnapshot,
+}
+
 /// Runs one strategy combination on the runtime for `secs` wall-clock
 /// seconds, replaying a §7.3-style workload in real time.
-fn run_scenario(services: &str, secs: u64, seed: u64) -> SystemReport {
+fn run_scenario(services: &str, secs: u64, seed: u64) -> Scenario {
     // §7.3 workload: like §7.1 but 3 application processors and 1–3
     // subtasks per task. Deadlines are shortened to 250 ms – 2 s so a
     // short wall-clock run still yields enough admission-path samples
@@ -76,12 +95,30 @@ fn run_scenario(services: &str, secs: u64, seed: u64) -> SystemReport {
     let _ = system.quiesce(StdDuration::from_secs(30));
     // Let trailing idle-reset reports drain.
     std::thread::sleep(StdDuration::from_millis(200));
-    system.shutdown()
+    let m = system.telemetry();
+    let (total_no_realloc, total_realloc) =
+        (m.total_no_realloc.snapshot(), m.total_realloc.snapshot());
+    let (ir_update, ir_path) = (m.ir_update.snapshot(), m.ir_path.snapshot());
+    let (hold, comm) = (m.hold.snapshot(), m.comm.snapshot());
+    let (lb_plan, ac_test, release) =
+        (m.lb_plan.snapshot(), m.ac_test.snapshot(), m.release.snapshot());
+    Scenario {
+        report: system.shutdown(),
+        total_no_realloc,
+        total_realloc,
+        ir_update,
+        ir_path,
+        hold,
+        comm,
+        lb_plan,
+        ac_test,
+        release,
+    }
 }
 
 /// The paper's communication-delay measurement: push an event back and
 /// forth 1000 times, then halve the mean/max round trip.
-fn ping_pong(iterations: u32) -> DelayStats {
+fn ping_pong(iterations: u32) -> HistogramSnapshot {
     const PING: Topic = Topic(100);
     const PONG: Topic = Topic(101);
     let fed = Federation::new(
@@ -93,7 +130,7 @@ fn ping_pong(iterations: u32) -> DelayStats {
     let b = fed.handle(NodeId(1)).expect("node 1");
     let pong_rx = a.subscribe(PONG);
     let ping_rx = b.subscribe(PING);
-    let mut stats = DelayStats::new();
+    let stats = Histogram::new();
     for _ in 0..iterations {
         let t0 = Instant::now();
         a.publish(PING, &b"ping"[..]);
@@ -101,20 +138,27 @@ fn ping_pong(iterations: u32) -> DelayStats {
         b.publish(PONG, &b"pong"[..]);
         pong_rx.recv_timeout(StdDuration::from_secs(5)).expect("pong delivered");
         let rtt = t0.elapsed();
-        stats.record(Duration::from(rtt / 2));
+        stats.record((rtt / 2).as_nanos() as u64);
     }
-    stats
+    stats.snapshot()
 }
 
-fn row(label: &str, stats: &DelayStats) {
-    if stats.count() == 0 {
-        println!("{label:<44} {:>8} {:>8}   (no samples)", "-", "-");
+fn row(label: &str, h: &HistogramSnapshot) {
+    let us = |ns: u64| ns / 1_000;
+    if h.count == 0 {
+        println!(
+            "{label:<44} {:>8} {:>8} {:>8} {:>8} {:>8}   (no samples)",
+            "-", "-", "-", "-", "-"
+        );
     } else {
         println!(
-            "{label:<44} {:>8} {:>8}   ({} samples)",
-            stats.mean().as_micros(),
-            stats.max().as_micros(),
-            stats.count()
+            "{label:<44} {:>8.0} {:>8} {:>8} {:>8} {:>8}   ({} samples)",
+            h.mean() / 1_000.0,
+            us(h.quantile(0.50)),
+            us(h.quantile(0.90)),
+            us(h.quantile(0.99)),
+            us(h.max),
+            h.count
         );
     }
 }
@@ -132,7 +176,10 @@ fn main() {
     println!("measuring communication delay: 1000 ping-pongs ...\n");
     let comm = ping_pong(1_000);
 
-    println!("{:<44} {:>8} {:>8}", "row (Figure 7 ops)", "mean", "max");
+    println!(
+        "{:<44} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "row (Figure 7 ops)", "mean", "p50", "p90", "p99", "max"
+    );
     row("AC without LB (1+2+4+2+5)", &no_lb.total_no_realloc);
     row("AC with LB, no re-allocation (1+2+3+2+5)", &with_lb.total_no_realloc);
     row("AC with LB, re-allocation (1+2+3+2+6)", &with_lb.total_realloc);
@@ -151,11 +198,11 @@ fn main() {
 
     println!(
         "\nsanity: completed jobs {} / {} / {}; deadline misses {} / {} / {}",
-        no_lb.jobs_completed,
-        with_lb.jobs_completed,
-        with_ir.jobs_completed,
-        no_lb.deadline_misses,
-        with_lb.deadline_misses,
-        with_ir.deadline_misses,
+        no_lb.report.jobs_completed,
+        with_lb.report.jobs_completed,
+        with_ir.report.jobs_completed,
+        no_lb.report.deadline_misses,
+        with_lb.report.deadline_misses,
+        with_ir.report.deadline_misses,
     );
 }

@@ -38,6 +38,14 @@ impl UtilizationRatio {
         UtilizationRatio::default()
     }
 
+    /// Reassembles an accumulator from externally maintained parts — the
+    /// runtime's lock-free telemetry registry keeps these as atomics and
+    /// folds them back into a ratio at snapshot time.
+    #[must_use]
+    pub fn from_parts(arrived: f64, released: f64, arrived_jobs: u64, released_jobs: u64) -> Self {
+        UtilizationRatio { arrived, released, arrived_jobs, released_jobs }
+    }
+
     /// Records an arriving job of the given utilization weight.
     pub fn record_arrival(&mut self, utilization: f64) {
         self.arrived += utilization;
@@ -135,6 +143,20 @@ impl DelayStats {
     #[must_use]
     pub fn new() -> Self {
         DelayStats { count: 0, total_ns: 0, max: Duration::ZERO, min: Duration::MAX }
+    }
+
+    /// Reassembles an accumulator from externally maintained parts
+    /// (sample count, exact nanosecond sum, exact extremes) — the bridge
+    /// from the telemetry registry's atomic histograms back to the
+    /// report's mean/max/min rows. An empty part set (`count == 0`)
+    /// yields the canonical empty accumulator.
+    #[must_use]
+    pub fn from_parts(count: u64, total_ns: u128, min: Duration, max: Duration) -> Self {
+        if count == 0 {
+            DelayStats::new()
+        } else {
+            DelayStats { count, total_ns, max, min }
+        }
     }
 
     /// Records one sample.

@@ -98,6 +98,12 @@ pub mod topics {
     /// Lets the delegate park on one wait point (fence deadline or
     /// reconfiguration traffic) instead of polling its stop channel.
     pub const QUORUM_CTL: Topic = Topic(CONTROL_BASE | 0x0300_0000);
+
+    /// Owner → governor thread: a stop request was enqueued on the
+    /// governor's out-of-band channel — wake its mailbox (payload
+    /// ignored). The sensing tick itself rides the governor reactor's
+    /// timer wheel, so this is the *only* event its mailbox ever sees.
+    pub const GOVERNOR_CTL: Topic = Topic(CONTROL_BASE | 0x0400_0000);
 }
 
 /// One event in flight.

@@ -662,6 +662,15 @@ impl ChannelHandle {
         &self.inner.counters
     }
 
+    /// Snapshot of the owning federation's event-path counters — the same
+    /// numbers as [`Federation::stats`], reachable from a cloned handle so
+    /// long-lived exporters (e.g. an OAM scrape closure) need not borrow
+    /// the federation itself.
+    #[must_use]
+    pub fn federation_stats(&self) -> FederationStats {
+        self.inner.counters.snapshot()
+    }
+
     /// Sequences and latency-samples the whole destination batch under one
     /// `net` lock acquisition, then hands it to the network thread as one
     /// message. Destinations ascend, so the per-seed RNG stream is stable.

@@ -13,6 +13,7 @@
 //! one stdout line. stdin EOF means exit.
 
 use std::io::{BufRead, Write};
+use std::sync::Arc;
 use std::time::Duration;
 
 use rtcm_config::{configure_with, WorkloadSpec};
@@ -20,6 +21,7 @@ use rtcm_core::task::TaskId;
 use rtcm_events::{remote, topics, BridgeHandle, Federation, Latency, NodeId};
 use rtcm_harness::protocol::{Command, Reply, READY_PREFIX};
 use rtcm_rt::{QuorumMember, QuorumOptions, ReconfigureError, RtOptions, System};
+use rtcm_telemetry::{Exposition, OamRoutes, OamServer};
 
 /// The workload every coordinator runs: small, but real — jobs flow
 /// through admission control while swaps are in flight.
@@ -74,6 +76,7 @@ fn run_coordinator(ack_timeout: Duration) {
     options.reconfig_ack_timeout = ack_timeout;
     let system = System::launch(&deployment, options).expect("system launches");
     let mut bridges: Vec<BridgeHandle> = Vec::new();
+    let mut oam: Option<OamServer> = None;
     emit_ready(system.host_id());
 
     for line in std::io::stdin().lock().lines() {
@@ -167,6 +170,24 @@ fn run_coordinator(ack_timeout: Duration) {
                 reply.report = Some(system.stats());
                 reply
             }
+            // Mount the OAM scrape endpoint (idempotent: repeated commands
+            // reply with the already-bound port).
+            "oam" => match &oam {
+                Some(server) => {
+                    let mut reply = Reply::success();
+                    reply.port = Some(server.addr().port());
+                    reply
+                }
+                None => match system.serve_oam("127.0.0.1:0") {
+                    Ok(server) => {
+                        let mut reply = Reply::success();
+                        reply.port = Some(server.addr().port());
+                        oam = Some(server);
+                        reply
+                    }
+                    Err(e) => Reply::failure(format!("oam: {e}")),
+                },
+            },
             "exit" => {
                 emit(&Reply::success());
                 break;
@@ -175,6 +196,7 @@ fn run_coordinator(ack_timeout: Duration) {
         };
         emit(&reply);
     }
+    drop(oam);
     drop(bridges);
     let _ = system.shutdown();
 }
@@ -183,9 +205,12 @@ fn run_member(fence_timeout: Duration) {
     // A bare 2-node federation: node 0 is the bridge gateway, node 1
     // hosts the quorum member (mirroring the in-process bridged tests).
     let federation = Federation::new(2, Latency::None, 0);
-    let member = QuorumMember::attach(&federation, NodeId(1), QuorumOptions { fence_timeout })
-        .expect("member attaches");
+    let member = Arc::new(
+        QuorumMember::attach(&federation, NodeId(1), QuorumOptions { fence_timeout })
+            .expect("member attaches"),
+    );
     let mut bridges: Vec<BridgeHandle> = Vec::new();
+    let mut oam: Option<OamServer> = None;
     emit_ready(member.host_id());
 
     for line in std::io::stdin().lock().lines() {
@@ -228,6 +253,35 @@ fn run_member(fence_timeout: Duration) {
                 reply.bridge_disconnects = Some(stats.bridge_disconnects);
                 reply
             }
+            // Mount the member's own OAM endpoint: vote counters and
+            // bridge health as an exposition, plus the trace buffer of
+            // foreign reconfiguration phases it witnessed (same swap
+            // trace ids as the coordinator's dump).
+            "oam" => match &oam {
+                Some(server) => {
+                    let mut reply = Reply::success();
+                    reply.port = Some(server.addr().port());
+                    reply
+                }
+                None => {
+                    let channel = federation.handle(NodeId(0)).expect("node 0 exists");
+                    let expo_member = Arc::clone(&member);
+                    let trace = Arc::clone(member.trace());
+                    let routes = OamRoutes {
+                        metrics: Arc::new(move || member_exposition(&expo_member, &channel)),
+                        trace: Arc::new(move || trace.dump_json_lines()),
+                    };
+                    match OamServer::start("127.0.0.1:0", routes) {
+                        Ok(server) => {
+                            let mut reply = Reply::success();
+                            reply.port = Some(server.addr().port());
+                            oam = Some(server);
+                            reply
+                        }
+                        Err(e) => Reply::failure(format!("oam: {e}")),
+                    }
+                }
+            },
             "exit" => {
                 emit(&Reply::success());
                 break;
@@ -236,6 +290,50 @@ fn run_member(fence_timeout: Duration) {
         };
         emit(&reply);
     }
+    drop(oam);
     drop(bridges);
-    member.shutdown();
+    drop(member);
+}
+
+/// The member role's scrape page: quorum vote counters, fence state, and
+/// the bridge-health counters of the federation it represents.
+fn member_exposition(member: &QuorumMember, channel: &rtcm_events::ChannelHandle) -> String {
+    let stats = channel.federation_stats();
+    let mut expo = Exposition::new();
+    expo.info(
+        "rtcm_build_info",
+        "Build and configuration metadata.",
+        &[
+            ("version".into(), env!("CARGO_PKG_VERSION").into()),
+            ("role".into(), "quorum-member".into()),
+            ("host".into(), member.host_id().to_string()),
+        ],
+    );
+    expo.counter("rtcm_member_acks_total", "Foreign prepares acked.", member.ack_count());
+    expo.counter("rtcm_member_nacks_total", "Foreign prepares vetoed.", member.nack_count());
+    expo.counter(
+        "rtcm_member_commits_total",
+        "Foreign commits witnessed.",
+        member.observed_commits().len() as u64,
+    );
+    expo.gauge(
+        "rtcm_member_fenced",
+        "1 while fenced for a pending foreign swap.",
+        if member.is_fenced() { 1.0 } else { 0.0 },
+    );
+    expo.counter("rtcm_events_published_total", "Events published.", stats.events_published);
+    expo.counter(
+        "rtcm_events_delivered_total",
+        "Per-subscriber deliveries.",
+        stats.local_deliveries,
+    );
+    expo.counter("rtcm_remote_parcels_total", "Cross-node parcels.", stats.remote_parcels);
+    expo.counter("rtcm_bridge_rx_errors_total", "Corrupt bridge frames.", stats.bridge_rx_errors);
+    expo.counter("rtcm_bridge_disconnects_total", "Bridge links closed.", stats.bridge_disconnects);
+    expo.counter(
+        "rtcm_bridge_tx_dropped_total",
+        "Outbound events dropped at bridges.",
+        stats.bridge_tx_dropped,
+    );
+    expo.finish()
 }

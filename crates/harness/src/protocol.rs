@@ -22,7 +22,7 @@ pub const READY_PREFIX: &str = "READY ";
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Command {
     /// The verb: `listen`, `connect`, `expect-voter`, `drop-voter`,
-    /// `swap`, `submit`, `hold`, `services`, `report`, `exit`.
+    /// `swap`, `submit`, `hold`, `services`, `report`, `oam`, `exit`.
     pub cmd: String,
     /// `connect`: the address to dial (`127.0.0.1:port`).
     pub addr: Option<String>,
@@ -53,7 +53,8 @@ pub struct Reply {
     pub error: Option<String>,
     /// `READY`: the child federation's host id.
     pub host_id: Option<u64>,
-    /// `listen`: the freshly bound gateway port.
+    /// `listen`: the freshly bound gateway port. `oam`: the freshly bound
+    /// scrape-endpoint port.
     pub port: Option<u16>,
     /// `swap` / `services`: the current `ServiceConfig` label.
     pub label: Option<String>,

@@ -296,3 +296,81 @@ fn campaign_corrupt_frame() {
     coord.shutdown();
     proxy.shutdown();
 }
+
+/// Campaign 5 — **live OAM scrape**. Both processes mount their scrape
+/// endpoints mid-campaign; the orchestrator (standing in for an operator's
+/// Prometheus) scrapes real HTTP over localhost while jobs flow and after
+/// a bridged swap. The exposition must agree with the line-protocol
+/// report, and the two processes' `/trace` dumps must correlate on the
+/// swap's trace id with no shared state beyond the id itself.
+#[test]
+fn quick_campaign_oam_scrape() {
+    fn sample(page: &str, name: &str) -> u64 {
+        page.lines()
+            .find_map(|l| l.strip_prefix(name).and_then(|rest| rest.strip_prefix(' ')))
+            .unwrap_or_else(|| panic!("metric {name} absent"))
+            .parse()
+            .unwrap_or_else(|_| panic!("metric {name} not an integer"))
+    }
+    fn oam_addr(node: &mut NodeProc) -> std::net::SocketAddr {
+        let port = node.expect_ok(&Command::verb("oam")).port.expect("oam returns a port");
+        format!("127.0.0.1:{port}").parse().unwrap()
+    }
+
+    let mut coord = coordinator();
+    let mut m = member();
+    let port = listen(&mut coord);
+    connect(&mut m, format!("127.0.0.1:{port}"));
+    expect_voter(&mut coord, &m);
+
+    // Mounting is idempotent: asking twice returns the same port.
+    let coord_oam = oam_addr(&mut coord);
+    assert_eq!(coord_oam, oam_addr(&mut coord));
+    let member_oam = oam_addr(&mut m);
+
+    swap_ok(&mut coord, "J_J_T");
+    wait_for_commits(&mut m, &["J_J_T"]);
+    let mut submit = Command::verb("submit");
+    submit.count = Some(5);
+    coord.expect_ok(&submit);
+
+    // The exposition and the line-protocol report are two views of the
+    // same registry; quiescent, they must agree exactly.
+    let page = rtcm_telemetry::scrape(coord_oam, "/metrics").expect("coordinator scrape");
+    let report = coord.expect_ok(&Command::verb("report")).report.expect("coordinator report");
+    assert_eq!(sample(&page, "rtcm_jobs_completed_total"), report.jobs_completed);
+    assert_eq!(sample(&page, "rtcm_reconfig_swaps_total"), report.reconfig_swaps);
+    assert_eq!(sample(&page, "rtcm_jobs_in_flight"), 0);
+    assert!(page.contains("rtcm_build_info{"), "build metadata is served");
+
+    // The member serves its own (smaller) exposition.
+    let member_page = rtcm_telemetry::scrape(member_oam, "/metrics").expect("member scrape");
+    assert_eq!(sample(&member_page, "rtcm_member_commits_total"), 1);
+    assert_eq!(sample(&member_page, "rtcm_member_acks_total"), 1);
+
+    // Cross-process trace correlation: read the swap's id off the
+    // coordinator's dump, grep the member's dump for it.
+    let coord_trace = rtcm_telemetry::scrape(coord_oam, "/trace").expect("coordinator trace");
+    let commit_id = coord_trace
+        .lines()
+        .map(|l| serde_json::from_str::<rtcm_telemetry::TraceRecord>(l).expect("valid JSON line"))
+        .find(|r| r.stage == "reconfig_commit")
+        .expect("coordinator traced the commit")
+        .trace;
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let member_trace = rtcm_telemetry::scrape(member_oam, "/trace").expect("member trace");
+        let correlated = member_trace
+            .lines()
+            .map(|l| serde_json::from_str::<rtcm_telemetry::TraceRecord>(l).expect("valid JSON"))
+            .any(|r| r.trace == commit_id && r.stage == "reconfig_commit");
+        if correlated {
+            break;
+        }
+        assert!(Instant::now() < deadline, "member trace never showed the commit id");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+
+    m.shutdown();
+    coord.shutdown();
+}

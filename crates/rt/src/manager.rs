@@ -327,9 +327,9 @@ impl Manager {
         let swap_latency = Duration::from(started.elapsed());
         let jobs_in_flight = self.cfg.stats.in_flight();
         let decisions_deferred = deferred.len() as u64;
+        self.cfg.stats.metrics().reconfig_latency.record(swap_latency.as_nanos());
         self.cfg.stats.with(|r| {
             r.reconfig_swaps += 1;
-            r.reconfig_latency.record(swap_latency);
             r.reconfig_deferred += decisions_deferred;
             r.reconfig_max_inflight = r.reconfig_max_inflight.max(jobs_in_flight);
         });
@@ -350,14 +350,29 @@ impl Manager {
     }
 
     fn publish_phase(&self, epoch: u64, phase: ReconfigPhase, services: ServiceConfig) {
+        let trace = proto::swap_trace(self.coordinator, epoch);
+        let now = self.cfg.clock.now().as_nanos();
         let msg = ReconfigMsg {
             coordinator: self.coordinator,
             host: self.cfg.channel.host_id(),
             epoch,
             phase,
             services,
-            sent_ns: self.cfg.clock.now().as_nanos(),
+            sent_ns: now,
+            trace,
         };
+        let stage = match phase {
+            ReconfigPhase::Prepare => "reconfig_prepare",
+            ReconfigPhase::Commit => "reconfig_commit",
+            ReconfigPhase::Abort => "reconfig_abort",
+        };
+        self.cfg.stats.metrics().trace.record(
+            trace,
+            now,
+            self.cfg.channel.host_id(),
+            stage,
+            format!("epoch {epoch}, target {}", services.label()),
+        );
         self.cfg.channel.publish(topics::RECONFIG, proto::encode(&msg));
     }
 
@@ -371,7 +386,11 @@ impl Manager {
 
     fn on_arrive(&mut self, msg: &ArriveMsg) {
         let now = self.cfg.clock.now();
-        self.cfg.stats.with(|r| r.comm.record(now.elapsed_since(Time::from_nanos(msg.sent_ns))));
+        self.cfg
+            .stats
+            .metrics()
+            .comm
+            .record(now.elapsed_since(Time::from_nanos(msg.sent_ns)).as_nanos());
 
         let Some(task) = self.cfg.tasks.get(msg.job.task) else { return };
         self.cfg.ac.expire(now);
@@ -387,7 +406,7 @@ impl Manager {
         };
         let lb_elapsed = Duration::from(lb_start.elapsed());
         if lb_enabled {
-            self.cfg.stats.with(|r| r.lb_plan.record(lb_elapsed));
+            self.cfg.stats.metrics().lb_plan.record(lb_elapsed.as_nanos());
         }
 
         // Op 4: the admission test against the job's true arrival-based
@@ -396,10 +415,34 @@ impl Manager {
         let decision =
             self.cfg.ac.admit_with(task, msg.job.seq, Time::from_nanos(msg.arrival_ns), assignment);
         let ac_elapsed = Duration::from(ac_start.elapsed());
-        self.cfg.stats.with(|r| r.ac_test.record(ac_elapsed));
+        let metrics = self.cfg.stats.metrics();
+        metrics.ac_test.record(ac_elapsed.as_nanos());
 
+        let host = self.cfg.channel.host_id();
         match decision {
             Ok(Decision::Accept { assignment, newly_admitted }) => {
+                metrics.trace.record(
+                    msg.trace,
+                    self.cfg.clock.now().as_nanos(),
+                    host,
+                    "admission",
+                    format!("{} accepted (fresh test: {newly_admitted})", msg.job),
+                );
+                let reallocated =
+                    assignment.as_slice().iter().zip(task.subtasks()).any(|(c, s)| *c != s.primary);
+                if reallocated {
+                    metrics.trace.record(
+                        msg.trace,
+                        self.cfg.clock.now().as_nanos(),
+                        host,
+                        "reallocation",
+                        format!(
+                            "{} placed {:?}",
+                            msg.job,
+                            assignment.as_slice().iter().map(|p| p.0).collect::<Vec<_>>()
+                        ),
+                    );
+                }
                 let reply = AcceptMsg {
                     job: msg.job,
                     release_proc: assignment.processor(0).0,
@@ -408,24 +451,44 @@ impl Manager {
                     deadline_ns: msg.arrival_ns + task.deadline().as_nanos(),
                     newly_admitted,
                     sent_ns: self.cfg.clock.now().as_nanos(),
+                    trace: msg.trace,
                 };
                 self.cfg.channel.publish(topics::ACCEPT, proto::encode(&reply));
             }
             Ok(Decision::Reject { .. }) => {
                 let task_rejected =
                     task.is_periodic() && self.cfg.ac.config().ac == AcStrategy::PerTask;
-                let reply =
-                    RejectMsg { job: msg.job, arrival_proc: msg.arrival_proc, task_rejected };
+                metrics.trace.record(
+                    msg.trace,
+                    self.cfg.clock.now().as_nanos(),
+                    host,
+                    "admission",
+                    format!("{} rejected (task rejected: {task_rejected})", msg.job),
+                );
+                let reply = RejectMsg {
+                    job: msg.job,
+                    arrival_proc: msg.arrival_proc,
+                    task_rejected,
+                    trace: msg.trace,
+                };
                 self.cfg.channel.publish(topics::REJECT, proto::encode(&reply));
             }
             Err(_duplicate_or_misroute) => {
                 // Duplicate submissions (same task, same sequence) are
                 // caller mistakes; reject the extra copy so the arrival TE
                 // releases its bookkeeping and the system stays live.
+                metrics.trace.record(
+                    msg.trace,
+                    self.cfg.clock.now().as_nanos(),
+                    host,
+                    "admission",
+                    format!("{} rejected (duplicate)", msg.job),
+                );
                 let reply = RejectMsg {
                     job: msg.job,
                     arrival_proc: msg.arrival_proc,
                     task_rejected: false,
+                    trace: msg.trace,
                 };
                 self.cfg.channel.publish(topics::REJECT, proto::encode(&reply));
             }
@@ -443,10 +506,9 @@ impl Manager {
         let update_start = Instant::now();
         self.cfg.ac.apply_idle_reset(ProcessorId(msg.processor), &keys);
         let update = Duration::from(update_start.elapsed());
-        self.cfg.stats.with(|r| {
-            r.ir_update.record(update);
-            r.ir_path.record(now.elapsed_since(Time::from_nanos(msg.started_ns)));
-            r.ir_reports += 1;
-        });
+        let m = self.cfg.stats.metrics();
+        m.ir_update.record(update.as_nanos());
+        m.ir_path.record(now.elapsed_since(Time::from_nanos(msg.started_ns)).as_nanos());
+        m.ir_reports.inc();
     }
 }

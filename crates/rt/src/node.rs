@@ -71,6 +71,7 @@ struct ReadySubjob {
     assignment: Vec<u16>,
     arrival_ns: u64,
     deadline_ns: u64,
+    trace: u64,
 }
 
 impl PartialEq for ReadySubjob {
@@ -242,6 +243,7 @@ impl Node {
                     processor: self.cfg.processor,
                     vote: proto::ReconfigVote::Ack,
                     sent_ns: self.cfg.clock.now().as_nanos(),
+                    trace: msg.trace,
                 };
                 self.cfg.channel.publish(topics::RECONFIG_ACK, proto::encode(&ack));
             }
@@ -288,7 +290,16 @@ impl Node {
             self.cfg.stats.job_out();
             return;
         };
-        self.cfg.stats.with(|r| r.ratio.record_arrival(task.job_utilization()));
+        let m = self.cfg.stats.metrics();
+        m.arrived_utilization.add(task.job_utilization());
+        m.arrived_jobs.inc();
+        m.trace.record(
+            inj.trace,
+            self.cfg.clock.now().as_nanos(),
+            self.cfg.channel.host_id(),
+            "arrival",
+            format!("{} at proc {}", JobId::new(inj.task, inj.seq), self.cfg.processor),
+        );
 
         // While fenced for a pending reconfiguration, the fast path is
         // disabled: every arrival routes through the AC, which defers it
@@ -305,9 +316,17 @@ impl Node {
                     let now = self.cfg.clock.now().as_nanos();
                     let deadline = now + task.deadline().as_nanos();
                     let job = JobId::new(inj.task, inj.seq);
-                    self.cfg.stats.with(|r| r.ratio.record_release(task.job_utilization()));
+                    m.released_utilization.add(task.job_utilization());
+                    m.released_jobs.inc();
+                    m.trace.record(
+                        inj.trace,
+                        now,
+                        self.cfg.channel.host_id(),
+                        "release",
+                        format!("{job} fast path, proc {}", assignment[0]),
+                    );
                     if assignment[0] == self.cfg.processor {
-                        self.enqueue(job, 0, assignment, now, deadline);
+                        self.enqueue(job, 0, assignment, now, deadline, inj.trace);
                     } else {
                         // Release the duplicate on its processor via a
                         // trigger-style handoff.
@@ -318,6 +337,7 @@ impl Node {
                             arrival_ns: now,
                             deadline_ns: deadline,
                             sent_ns: now,
+                            trace: inj.trace,
                         };
                         self.cfg.channel.publish(topics::TRIGGER, proto::encode(&msg));
                     }
@@ -338,10 +358,11 @@ impl Node {
             arrival_proc: self.cfg.processor,
             arrival_ns,
             sent_ns: self.cfg.clock.now().as_nanos(),
+            trace: inj.trace,
         };
         self.cfg.channel.publish(topics::TASK_ARRIVE, proto::encode(&msg));
         let hold = Duration::from(hold_start.elapsed());
-        self.cfg.stats.with(|r| r.hold.record(hold));
+        self.cfg.stats.metrics().hold.record(hold.as_nanos());
     }
 
     /// "Accept" from the AC: the arrival TE learns the decision; the
@@ -364,20 +385,27 @@ impl Node {
         let release_start = Instant::now();
         let now = self.cfg.clock.now();
         let total = now.elapsed_since(Time::from_nanos(msg.arrival_ns));
-        self.cfg.stats.with(|r| {
-            r.ratio.record_release(task.job_utilization());
-            if msg.release_proc == arrival_proc {
-                r.total_no_realloc.record(total);
-            } else {
-                r.total_realloc.record(total);
-            }
-            if msg.assignment.iter().zip(task.subtasks()).any(|(c, s)| *c != s.primary.0) {
-                r.reallocations += 1;
-            }
-        });
-        self.enqueue(msg.job, 0, msg.assignment, msg.arrival_ns, msg.deadline_ns);
+        let m = self.cfg.stats.metrics();
+        m.released_utilization.add(task.job_utilization());
+        m.released_jobs.inc();
+        if msg.release_proc == arrival_proc {
+            m.total_no_realloc.record(total.as_nanos());
+        } else {
+            m.total_realloc.record(total.as_nanos());
+        }
+        if msg.assignment.iter().zip(task.subtasks()).any(|(c, s)| *c != s.primary.0) {
+            m.reallocations.inc();
+        }
+        m.trace.record(
+            msg.trace,
+            now.as_nanos(),
+            self.cfg.channel.host_id(),
+            "release",
+            format!("{} on proc {}", msg.job, msg.release_proc),
+        );
+        self.enqueue(msg.job, 0, msg.assignment, msg.arrival_ns, msg.deadline_ns, msg.trace);
         let release = Duration::from(release_start.elapsed());
-        self.cfg.stats.with(|r| r.release.record(release));
+        self.cfg.stats.metrics().release.record(release.as_nanos());
     }
 
     fn on_reject(&mut self, msg: &RejectMsg) {
@@ -395,7 +423,7 @@ impl Node {
         if msg.assignment.get(subtask).copied() != Some(self.cfg.processor) {
             return;
         }
-        self.enqueue(msg.job, subtask, msg.assignment, msg.arrival_ns, msg.deadline_ns);
+        self.enqueue(msg.job, subtask, msg.assignment, msg.arrival_ns, msg.deadline_ns, msg.trace);
     }
 
     fn enqueue(
@@ -405,6 +433,7 @@ impl Node {
         assignment: Vec<u16>,
         arrival_ns: u64,
         deadline_ns: u64,
+        trace: u64,
     ) {
         let Some(task) = self.cfg.tasks.get(job.task) else { return };
         let exec: StdDuration = task.subtasks()[subtask].execution_time.into();
@@ -424,6 +453,7 @@ impl Node {
             assignment,
             arrival_ns,
             deadline_ns,
+            trace,
         });
     }
 
@@ -540,13 +570,25 @@ impl Node {
         );
         if run.subtask + 1 == task.subtasks().len() {
             let response = now.elapsed_since(Time::from_nanos(run.arrival_ns));
-            self.cfg.stats.with(|r| {
-                r.response.record(response);
-                r.jobs_completed += 1;
-                if now.as_nanos() > run.deadline_ns {
-                    r.deadline_misses += 1;
-                }
-            });
+            let missed = now.as_nanos() > run.deadline_ns;
+            let m = self.cfg.stats.metrics();
+            m.response.record(response.as_nanos());
+            m.jobs_completed.inc();
+            if missed {
+                m.deadline_misses.inc();
+            }
+            m.trace.record(
+                run.trace,
+                now.as_nanos(),
+                self.cfg.channel.host_id(),
+                "completion",
+                format!(
+                    "{} on proc {}, deadline {}",
+                    run.job,
+                    self.cfg.processor,
+                    if missed { "missed" } else { "met" }
+                ),
+            );
             self.cfg.stats.job_out();
         } else {
             let msg = TriggerMsg {
@@ -556,6 +598,7 @@ impl Node {
                 arrival_ns: run.arrival_ns,
                 deadline_ns: run.deadline_ns,
                 sent_ns: now.as_nanos(),
+                trace: run.trace,
             };
             self.cfg.channel.publish(topics::TRIGGER, proto::encode(&msg));
         }

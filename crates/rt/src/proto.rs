@@ -22,6 +22,11 @@ pub struct InjectMsg {
     pub task: TaskId,
     /// Job sequence number.
     pub seq: u64,
+    /// Trace correlation id, minted at submission (`splitmix64` over host,
+    /// task and sequence) and carried through every downstream protocol
+    /// message — including bridged wire frames — so one job's lifecycle
+    /// correlates across hosts in the OAM trace dump.
+    pub trace: u64,
 }
 
 /// TE → AC: a held task awaiting an admission decision (op 1 → op 2).
@@ -35,6 +40,8 @@ pub struct ArriveMsg {
     pub arrival_ns: u64,
     /// When the TE finished holding and published this event (clock ns).
     pub sent_ns: u64,
+    /// Trace correlation id (see [`InjectMsg::trace`]).
+    pub trace: u64,
 }
 
 /// AC → TE: release the job under the given placement.
@@ -55,6 +62,8 @@ pub struct AcceptMsg {
     pub newly_admitted: bool,
     /// When the AC published this event (clock ns).
     pub sent_ns: u64,
+    /// Trace correlation id (see [`InjectMsg::trace`]).
+    pub trace: u64,
 }
 
 /// AC → TE: drop the held job.
@@ -66,6 +75,8 @@ pub struct RejectMsg {
     pub arrival_proc: u16,
     /// True if the whole (periodic, per-task) task is now rejected.
     pub task_rejected: bool,
+    /// Trace correlation id (see [`InjectMsg::trace`]).
+    pub trace: u64,
 }
 
 /// F/I subtask → next subtask component: start the next stage.
@@ -83,6 +94,8 @@ pub struct TriggerMsg {
     pub deadline_ns: u64,
     /// When the previous stage published this event (clock ns).
     pub sent_ns: u64,
+    /// Trace correlation id (see [`InjectMsg::trace`]).
+    pub trace: u64,
 }
 
 /// IR → AC: completed subjobs whose contributions may be removed (op 7).
@@ -174,6 +187,11 @@ pub struct ReconfigMsg {
     pub services: ServiceConfig,
     /// When the AC published this event (clock ns).
     pub sent_ns: u64,
+    /// Trace correlation id for this swap, minted deterministically from
+    /// `(coordinator, epoch)` so every phase of one reconfiguration —
+    /// including phases bridged to remote hosts — correlates in trace
+    /// dumps without any extra wire round-trip.
+    pub trace: u64,
 }
 
 /// Sentinel processor id used by bridged quorum members (which represent a
@@ -202,6 +220,9 @@ pub struct ReconfigAckMsg {
     /// When the voter published this message (clock ns on the voter's
     /// clock).
     pub sent_ns: u64,
+    /// The swap's trace correlation id, echoed from
+    /// [`ReconfigMsg::trace`].
+    pub trace: u64,
 }
 
 /// Serializes a message for the event channel.
@@ -231,13 +252,31 @@ pub fn job(task: u32, seq: u64) -> JobId {
     JobId::new(TaskId(task), seq)
 }
 
+/// Mints a job's trace correlation id: a splitmix64 mix of the host
+/// identity and the `(task, seq)` pair, so ids are deterministic per job
+/// yet never collide across bridged hosts in practice.
+#[must_use]
+pub fn mint_trace(host: u64, task: TaskId, seq: u64) -> u64 {
+    let key = (u64::from(task.0) << 40) ^ seq;
+    rtcm_telemetry::splitmix64(rtcm_telemetry::splitmix64(host) ^ key)
+}
+
+/// Mints a reconfiguration's trace correlation id from the protocol
+/// identity `(coordinator, epoch)`. Deterministic, so a bridged quorum
+/// member derives the same id from the prepare it receives.
+#[must_use]
+pub fn swap_trace(coordinator: u64, epoch: u64) -> u64 {
+    rtcm_telemetry::splitmix64(coordinator ^ rtcm_telemetry::splitmix64(epoch))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn arrive_round_trip() {
-        let msg = ArriveMsg { job: job(3, 7), arrival_proc: 2, arrival_ns: 10, sent_ns: 12 };
+        let msg =
+            ArriveMsg { job: job(3, 7), arrival_proc: 2, arrival_ns: 10, sent_ns: 12, trace: 9 };
         let back: ArriveMsg = decode(&encode(&msg));
         assert_eq!(back, msg);
     }
@@ -252,6 +291,7 @@ mod tests {
             deadline_ns: 500,
             newly_admitted: true,
             sent_ns: 9,
+            trace: 11,
         };
         let back: AcceptMsg = decode(&encode(&msg));
         assert_eq!(back, msg);
@@ -266,6 +306,7 @@ mod tests {
             arrival_ns: 1,
             deadline_ns: 2,
             sent_ns: 3,
+            trace: 4,
         };
         let back: TriggerMsg = decode(&encode(&t));
         assert_eq!(back, t);
@@ -288,6 +329,7 @@ mod tests {
             phase: ReconfigPhase::Prepare,
             services: "T_T_J".parse().unwrap(),
             sent_ns: 99,
+            trace: swap_trace(42, 3),
         };
         let back: ReconfigMsg = decode(&encode(&msg));
         assert_eq!(back, msg);
@@ -299,6 +341,7 @@ mod tests {
             processor: 1,
             vote: ReconfigVote::Ack,
             sent_ns: 120,
+            trace: swap_trace(42, 3),
         };
         let back: ReconfigAckMsg = decode(&encode(&ack));
         assert_eq!(back, ack);
@@ -310,6 +353,7 @@ mod tests {
             processor: QUORUM_MEMBER_PROC,
             vote: ReconfigVote::Nack(ReconfigAbortReason::ForeignCoordinator),
             sent_ns: 130,
+            trace: swap_trace(42, 3),
         };
         let back: ReconfigAckMsg = decode(&encode(&nack));
         assert_eq!(back, nack);

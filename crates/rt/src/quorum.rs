@@ -39,6 +39,7 @@ use parking_lot::Mutex;
 
 use rtcm_core::strategy::ServiceConfig;
 use rtcm_events::{topics, ChannelHandle, Federation, NodeId, UnknownNodeError};
+use rtcm_telemetry::{TraceBuffer, DEFAULT_TRACE_CAPACITY};
 
 use crate::clock::Clock;
 use crate::proto::{
@@ -79,6 +80,7 @@ pub struct QuorumMember {
     host: u64,
     hold: Arc<AtomicBool>,
     state: Arc<Mutex<MemberState>>,
+    trace: Arc<TraceBuffer>,
     stop: Sender<()>,
     /// Publishes the `topics::QUORUM_CTL` kick that wakes the delegate's
     /// blocking mailbox wait after a stop request is enqueued.
@@ -113,10 +115,12 @@ impl QuorumMember {
         let mailbox = handle.subscribe_many(&[topics::RECONFIG, topics::QUORUM_CTL]);
         let hold = Arc::new(AtomicBool::new(false));
         let state: Arc<Mutex<MemberState>> = Arc::new(Mutex::new(MemberState::default()));
+        let trace = Arc::new(TraceBuffer::new(DEFAULT_TRACE_CAPACITY));
         let (stop_tx, stop_rx) = unbounded::<()>();
         let clock = Clock::new();
         let thread_hold = Arc::clone(&hold);
         let thread_state = Arc::clone(&state);
+        let thread_trace = Arc::clone(&trace);
         let thread = std::thread::Builder::new()
             .name("rtcm-quorum-member".into())
             .spawn(move || {
@@ -173,6 +177,7 @@ impl QuorumMember {
                                 clock,
                                 &thread_hold,
                                 &thread_state,
+                                &thread_trace,
                                 options.fence_timeout,
                             );
                         }
@@ -183,7 +188,7 @@ impl QuorumMember {
                 }
             })
             .expect("spawn quorum member");
-        Ok(QuorumMember { host, hold, state, stop: stop_tx, wake, thread: Some(thread) })
+        Ok(QuorumMember { host, hold, state, trace, stop: stop_tx, wake, thread: Some(thread) })
     }
 
     /// The host identity this member votes as (its federation's id).
@@ -223,6 +228,14 @@ impl QuorumMember {
         self.state.lock().fence.is_some()
     }
 
+    /// The member's trace buffer: every foreign reconfiguration phase it
+    /// witnessed, keyed by the coordinator's deterministic swap trace id so
+    /// dumps from both hosts correlate without extra wire traffic.
+    #[must_use]
+    pub fn trace(&self) -> &Arc<TraceBuffer> {
+        &self.trace
+    }
+
     /// Detaches the member, joining its thread.
     pub fn shutdown(mut self) {
         self.halt();
@@ -254,6 +267,7 @@ fn expire_fence(state: &mut MemberState, fence_timeout: StdDuration) {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn on_phase(
     msg: &ReconfigMsg,
     host: u64,
@@ -261,6 +275,7 @@ fn on_phase(
     clock: Clock,
     hold: &AtomicBool,
     state: &Arc<Mutex<MemberState>>,
+    trace: &Arc<TraceBuffer>,
     fence_timeout: StdDuration,
 ) {
     // The member represents this host to *foreign* coordinators only; its
@@ -290,6 +305,18 @@ fn on_phase(
                     ReconfigVote::Ack
                 }
             };
+            trace.record(
+                msg.trace,
+                clock.now().as_nanos(),
+                host,
+                "reconfig_prepare",
+                format!(
+                    "foreign epoch {} from coordinator {}, voted {}",
+                    msg.epoch,
+                    msg.coordinator,
+                    if matches!(vote, ReconfigVote::Ack) { "ack" } else { "nack" }
+                ),
+            );
             let ack = ReconfigAckMsg {
                 coordinator: msg.coordinator,
                 epoch: msg.epoch,
@@ -297,18 +324,33 @@ fn on_phase(
                 processor: QUORUM_MEMBER_PROC,
                 vote,
                 sent_ns: clock.now().as_nanos(),
+                trace: msg.trace,
             };
             handle.publish(topics::RECONFIG_ACK, proto::encode(&ack));
         }
         ReconfigPhase::Commit => {
             if s.fence.is_some_and(|(c, e, _)| (c, e) == (msg.coordinator, msg.epoch)) {
                 s.fence = None;
+                trace.record(
+                    msg.trace,
+                    clock.now().as_nanos(),
+                    host,
+                    "reconfig_commit",
+                    format!("foreign epoch {} committed {}", msg.epoch, msg.services.label()),
+                );
                 s.commits.push(msg.services);
             }
         }
         ReconfigPhase::Abort => {
             if s.fence.is_some_and(|(c, e, _)| (c, e) == (msg.coordinator, msg.epoch)) {
                 s.fence = None;
+                trace.record(
+                    msg.trace,
+                    clock.now().as_nanos(),
+                    host,
+                    "reconfig_abort",
+                    format!("foreign epoch {} aborted", msg.epoch),
+                );
             }
         }
     }

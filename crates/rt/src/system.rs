@@ -19,14 +19,15 @@ use rtcm_core::reconfig::HandoverReport;
 use rtcm_core::strategy::{InvalidConfigError, ServiceConfig};
 use rtcm_core::task::{TaskId, TaskSet};
 use rtcm_core::time::Duration;
-use rtcm_events::{topics, ChannelHandle, Federation, Latency, NodeId};
+use rtcm_events::{topics, ChannelHandle, Federation, FederationStats, Latency, NodeId};
+use rtcm_telemetry::{OamRoutes, OamServer};
 
 use crate::clock::Clock;
 use crate::govern::{spawn_governor_thread, GovernorHandle};
 use crate::manager::{run_manager, ManagerConfig, ManagerCtl};
 use crate::node::{run_node, ExecMode, NodeConfig};
 use crate::proto::{self, ReconfigAbortReason};
-use crate::stats::{SharedStats, SystemReport};
+use crate::stats::{RtMetrics, SharedStats, SystemReport};
 
 /// Runtime options.
 #[derive(Debug, Clone, Copy)]
@@ -276,6 +277,12 @@ impl SwapClient {
     /// Wakes the manager's mailbox after a control-channel send.
     fn kick(&self) {
         let _ = self.wake.publish(topics::MANAGER_WAKE, &b""[..]);
+    }
+
+    /// The channel handle control-plane threads (the governor) subscribe
+    /// and publish their wake kicks on.
+    pub(crate) fn ctl_channel(&self) -> &ChannelHandle {
+        &self.wake
     }
 
     /// Validation (and its abort-reason accounting) lives in exactly one
@@ -591,7 +598,13 @@ impl System {
         // Count the job in *before* handing it to the node thread so that
         // quiesce() cannot observe a spuriously empty system.
         self.stats.job_in();
-        let msg = proto::InjectMsg { task, seq };
+        // One deterministic trace id follows the job through every stage
+        // (arrival, admission, release, completion) on every host.
+        let msg = proto::InjectMsg {
+            task,
+            seq,
+            trace: proto::mint_trace(self.federation.host_id(), task, seq),
+        };
         // Delivered count 0 means the node's mailbox is gone (thread
         // exited): the system is shutting down.
         if handle.publish(topics::inject(proc as u16), proto::encode(&msg)) > 0 {
@@ -642,18 +655,14 @@ impl System {
         self.stats.in_flight()
     }
 
-    /// Waits until no jobs are in flight, polling every millisecond.
-    /// Returns false on timeout.
+    /// Waits until no jobs are in flight. Returns false on timeout.
+    ///
+    /// This blocks on the drained-notification from the last completing
+    /// job (no polling): the caller wakes *at* the completion, not up to a
+    /// poll period later.
     #[must_use]
     pub fn quiesce(&self, timeout: StdDuration) -> bool {
-        let deadline = Instant::now() + timeout;
-        while self.stats.in_flight() > 0 {
-            if Instant::now() >= deadline {
-                return false;
-            }
-            std::thread::sleep(StdDuration::from_millis(1));
-        }
-        true
+        self.stats.wait_quiet(timeout)
     }
 
     /// Snapshot of the statistics so far, with the federation's
@@ -662,6 +671,46 @@ impl System {
     #[must_use]
     pub fn stats(&self) -> SystemReport {
         self.merged_report()
+    }
+
+    /// The live telemetry plane: the lock-free counters, gauges and
+    /// histograms the hot paths record into, plus the job trace buffer.
+    /// Reading them never touches the report mutex.
+    #[must_use]
+    pub fn telemetry(&self) -> &RtMetrics {
+        self.stats.metrics()
+    }
+
+    /// Mounts the OAM scrape endpoint on `addr` (port 0 for an
+    /// OS-assigned port): `GET /metrics` serves the Prometheus-style text
+    /// exposition of the full merged report — registry metrics plus
+    /// federation event-path counters — and `GET /trace` serves the job
+    /// tracer's JSON-lines dump. The endpoint outlives this system
+    /// gracefully: scrapes after shutdown serve the final counters.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from binding `addr`.
+    pub fn serve_oam(&self, addr: impl std::net::ToSocketAddrs) -> std::io::Result<OamServer> {
+        self.stats.metrics().registry().set_build_info(vec![
+            ("version".to_string(), env!("CARGO_PKG_VERSION").to_string()),
+            ("config".to_string(), self.services().label()),
+            ("host".to_string(), self.host_id().to_string()),
+        ]);
+        let stats = Arc::clone(&self.stats);
+        let channel = self.swap.wake.clone();
+        let trace_stats = Arc::clone(&self.stats);
+        OamServer::start(
+            addr,
+            OamRoutes {
+                metrics: Arc::new(move || {
+                    let mut report = stats.snapshot();
+                    fold_federation(&mut report, &channel.federation_stats());
+                    stats.render_exposition(&report)
+                }),
+                trace: Arc::new(move || trace_stats.metrics().trace.dump_json_lines()),
+            },
+        )
     }
 
     /// Stops all node threads and returns the final report.
@@ -673,14 +722,7 @@ impl System {
 
     fn merged_report(&self) -> SystemReport {
         let mut report = self.stats.snapshot();
-        let events = self.federation.stats();
-        report.events_published = events.events_published;
-        report.events_delivered = events.local_deliveries;
-        report.events_dropped = events.events_dropped;
-        report.remote_parcels = events.remote_parcels;
-        report.bridge_rx_errors = events.bridge_rx_errors;
-        report.bridge_disconnects = events.bridge_disconnects;
-        report.bridge_tx_dropped = events.bridge_tx_dropped;
+        fold_federation(&mut report, &self.federation.stats());
         report
     }
 
@@ -700,6 +742,17 @@ impl Drop for System {
     fn drop(&mut self) {
         self.stop_threads();
     }
+}
+
+/// Merges the federation's event-path counters into a report snapshot.
+fn fold_federation(report: &mut SystemReport, events: &FederationStats) {
+    report.events_published = events.events_published;
+    report.events_delivered = events.local_deliveries;
+    report.events_dropped = events.events_dropped;
+    report.remote_parcels = events.remote_parcels;
+    report.bridge_rx_errors = events.bridge_rx_errors;
+    report.bridge_disconnects = events.bridge_disconnects;
+    report.bridge_tx_dropped = events.bridge_tx_dropped;
 }
 
 /// Scaled due time for a replayed arrival: `nanos / speed` in u128 integer

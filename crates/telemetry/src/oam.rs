@@ -1,0 +1,227 @@
+//! Dependency-free OAM scrape endpoint.
+//!
+//! A [`OamServer`] binds a std [`TcpListener`] and serves two routes over
+//! minimal HTTP/1.0:
+//!
+//! * `GET /metrics` — the Prometheus-style text exposition (v0.0.4),
+//!   rendered on demand by the mounted provider closure;
+//! * `GET /trace` — the job tracer's JSON-lines dump.
+//!
+//! Requests are handled serially on one background thread (OAM traffic is
+//! a scraper every few seconds, not user traffic), and the thread blocks
+//! in `accept` — zero wakeups while nobody scrapes, in keeping with the
+//! reactor's no-idle-polling discipline. Shutdown wakes the acceptor
+//! with a loopback connection, so no poll loop is needed for that either.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Renders a route body on demand.
+pub type RouteFn = Arc<dyn Fn() -> String + Send + Sync>;
+
+/// The two OAM routes.
+#[derive(Clone)]
+pub struct OamRoutes {
+    /// `GET /metrics` body (text exposition).
+    pub metrics: RouteFn,
+    /// `GET /trace` body (JSON lines).
+    pub trace: RouteFn,
+}
+
+impl std::fmt::Debug for OamRoutes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OamRoutes").finish_non_exhaustive()
+    }
+}
+
+/// A running OAM endpoint; dropping it (or calling
+/// [`OamServer::shutdown`]) stops the acceptor thread.
+#[derive(Debug)]
+pub struct OamServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl OamServer {
+    /// Binds `addr` (use port 0 for an OS-assigned port) and starts
+    /// serving `routes`.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from binding.
+    pub fn start(addr: impl ToSocketAddrs, routes: OamRoutes) -> std::io::Result<OamServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_stop = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("rtcm-oam".into())
+            .spawn(move || {
+                while !accept_stop.load(Ordering::SeqCst) {
+                    let Ok((stream, _)) = listener.accept() else { break };
+                    if accept_stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    // One misbehaving scraper must not wedge the endpoint.
+                    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+                    let _ = serve_one(stream, &routes);
+                }
+            })
+            .expect("spawn oam");
+        Ok(OamServer { addr: local, stop, thread: Some(thread) })
+    }
+
+    /// The bound address (real port even when started on port 0).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the acceptor and joins its thread.
+    pub fn shutdown(mut self) {
+        self.close();
+    }
+
+    fn close(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake the blocking accept with a throwaway loopback connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for OamServer {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+/// Reads one request head, dispatches on the path, writes one response.
+fn serve_one(mut stream: TcpStream, routes: &OamRoutes) -> std::io::Result<()> {
+    let mut head = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    // Read until the end of the request head; bodies are ignored (GET).
+    while !head.windows(4).any(|w| w == b"\r\n\r\n") {
+        if head.len() > 8192 {
+            return respond(&mut stream, "400 Bad Request", "text/plain", "oversized request\n");
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            break;
+        }
+        head.extend_from_slice(&chunk[..n]);
+    }
+    let request = String::from_utf8_lossy(&head);
+    let mut parts = request.lines().next().unwrap_or("").split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    if method != "GET" {
+        return respond(&mut stream, "405 Method Not Allowed", "text/plain", "GET only\n");
+    }
+    match path.split('?').next().unwrap_or("") {
+        "/metrics" => {
+            let body = (routes.metrics)();
+            respond(&mut stream, "200 OK", "text/plain; version=0.0.4; charset=utf-8", &body)
+        }
+        "/trace" => {
+            let body = (routes.trace)();
+            respond(&mut stream, "200 OK", "application/x-ndjson; charset=utf-8", &body)
+        }
+        "/" => respond(&mut stream, "200 OK", "text/plain", "rtcm OAM: /metrics /trace\n"),
+        _ => respond(&mut stream, "404 Not Found", "text/plain", "unknown route\n"),
+    }
+}
+
+fn respond(
+    stream: &mut TcpStream,
+    status: &str,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Minimal scrape client for tests and the harness: fetches `path` from
+/// an OAM endpoint and returns the response body.
+///
+/// # Errors
+///
+/// I/O errors, or a non-200 status.
+pub fn scrape(addr: impl ToSocketAddrs, path: &str) -> std::io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    let req = format!("GET {path} HTTP/1.0\r\nHost: oam\r\nConnection: close\r\n\r\n");
+    stream.write_all(req.as_bytes())?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let Some((head, body)) = response.split_once("\r\n\r\n") else {
+        return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, "no response head"));
+    };
+    let status = head.lines().next().unwrap_or("");
+    if !status.contains("200") {
+        return Err(std::io::Error::other(format!("scrape {path}: {status}")));
+    }
+    Ok(body.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn routes(metrics: &'static str, trace: &'static str) -> OamRoutes {
+        OamRoutes {
+            metrics: Arc::new(move || metrics.to_string()),
+            trace: Arc::new(move || trace.to_string()),
+        }
+    }
+
+    #[test]
+    fn serves_metrics_and_trace() {
+        let server = OamServer::start("127.0.0.1:0", routes("m 1\n", "{\"t\":1}\n")).unwrap();
+        let addr = server.addr();
+        assert_eq!(scrape(addr, "/metrics").unwrap(), "m 1\n");
+        assert_eq!(scrape(addr, "/trace").unwrap(), "{\"t\":1}\n");
+        assert!(scrape(addr, "/nope").is_err(), "404 is an error");
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_prompt_and_port_is_released() {
+        let server = OamServer::start("127.0.0.1:0", routes("", "")).unwrap();
+        let addr = server.addr();
+        let start = std::time::Instant::now();
+        server.shutdown();
+        assert!(start.elapsed() < Duration::from_secs(2), "no blocked acceptor");
+        // The port can be rebound after shutdown.
+        let again = OamServer::start(addr, routes("", "")).unwrap();
+        again.shutdown();
+    }
+
+    #[test]
+    fn consecutive_scrapes_reflect_live_values() {
+        let n = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let n2 = Arc::clone(&n);
+        let routes = OamRoutes {
+            metrics: Arc::new(move || format!("n {}\n", n2.fetch_add(1, Ordering::SeqCst))),
+            trace: Arc::new(String::new),
+        };
+        let server = OamServer::start("127.0.0.1:0", routes).unwrap();
+        assert_eq!(scrape(server.addr(), "/metrics").unwrap(), "n 0\n");
+        assert_eq!(scrape(server.addr(), "/metrics").unwrap(), "n 1\n");
+        server.shutdown();
+    }
+}

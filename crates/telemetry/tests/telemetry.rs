@@ -1,0 +1,167 @@
+//! Integration tests for the telemetry plane: the golden exposition
+//! format (pinned byte-for-byte — scrapers parse this, so accidental
+//! format drift is a breaking change) and histogram quantile accuracy
+//! against exact reference distributions.
+
+use rtcm_telemetry::{splitmix64, Histogram, Registry};
+
+// ---------------------------------------------------------------------
+// Golden exposition format
+// ---------------------------------------------------------------------
+
+#[test]
+fn golden_exposition_format() {
+    let reg = Registry::new();
+    reg.set_build_info(vec![
+        ("version".to_string(), "0.1.0".to_string()),
+        ("config".to_string(), "J_N_N".to_string()),
+    ]);
+    let jobs = reg.counter("rtcm_jobs_total", "Jobs arrived.");
+    let slack = reg.gauge("rtcm_slack", "AUB headroom.");
+    let delay = reg.histogram("rtcm_delay_ns", "Admission delay.");
+    jobs.add(3);
+    slack.set(0.5);
+    delay.record(0);
+    delay.record(1);
+    delay.record(5);
+
+    let golden = "\
+# HELP rtcm_build_info Build and configuration metadata.
+# TYPE rtcm_build_info gauge
+rtcm_build_info{version=\"0.1.0\",config=\"J_N_N\"} 1
+# HELP rtcm_jobs_total Jobs arrived.
+# TYPE rtcm_jobs_total counter
+rtcm_jobs_total 3
+# HELP rtcm_slack AUB headroom.
+# TYPE rtcm_slack gauge
+rtcm_slack 0.5
+# HELP rtcm_delay_ns Admission delay.
+# TYPE rtcm_delay_ns histogram
+rtcm_delay_ns_bucket{le=\"0\"} 1
+rtcm_delay_ns_bucket{le=\"1\"} 2
+rtcm_delay_ns_bucket{le=\"7\"} 3
+rtcm_delay_ns_bucket{le=\"+Inf\"} 3
+rtcm_delay_ns_sum 6
+rtcm_delay_ns_count 3
+";
+    assert_eq!(reg.render_text(), golden);
+}
+
+#[test]
+fn exposition_is_stable_across_renders() {
+    let reg = Registry::new();
+    let c = reg.counter("rtcm_a_total", "A.");
+    let _g = reg.gauge("rtcm_b", "B.");
+    let first = reg.render_text();
+    assert_eq!(first, reg.render_text(), "rendering is pure");
+    c.inc();
+    assert_ne!(first, reg.render_text(), "rendering reflects live values");
+}
+
+// ---------------------------------------------------------------------
+// Quantile accuracy vs exact reference distributions
+// ---------------------------------------------------------------------
+
+/// Exact quantile of a sorted reference sample at the same rank the
+/// histogram targets (`⌈q·n⌉`, 1-based).
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Asserts the histogram estimate is within the log2-bucket guarantee of
+/// the exact value: both lie in the same power-of-two bucket, so the
+/// ratio is bounded by 2 (and the estimate never leaves `[min, max]`).
+fn assert_within_bucket_resolution(est: u64, exact: u64, what: &str) {
+    let (lo, hi) = (exact / 2, exact.saturating_mul(2).max(1));
+    assert!(
+        (lo..=hi).contains(&est),
+        "{what}: estimate {est} outside [{lo}, {hi}] around exact {exact}"
+    );
+}
+
+fn check_distribution(samples: &[u64], what: &str) {
+    let h = Histogram::new();
+    for &v in samples {
+        h.record(v);
+    }
+    let snap = h.snapshot();
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    assert_eq!(snap.count, samples.len() as u64);
+    assert_eq!(snap.min, sorted[0], "{what}: min is exact");
+    assert_eq!(snap.max, *sorted.last().unwrap(), "{what}: max is exact");
+    assert_eq!(snap.sum, samples.iter().sum::<u64>(), "{what}: sum is exact");
+    for (label, q) in [("p50", 0.50), ("p90", 0.90), ("p99", 0.99), ("p999", 0.999)] {
+        let est = snap.quantile(q);
+        let exact = exact_quantile(&sorted, q);
+        assert_within_bucket_resolution(est, exact, &format!("{what} {label}"));
+        assert!(
+            (snap.min..=snap.max).contains(&est),
+            "{what} {label}: estimate outside observed range"
+        );
+    }
+}
+
+#[test]
+fn quantiles_on_exhaustive_range() {
+    // Every value 1..=4096 exactly once: p50 = 2048, p90 = 3687, ...
+    let samples: Vec<u64> = (1..=4096).collect();
+    check_distribution(&samples, "exhaustive 1..=4096");
+}
+
+#[test]
+fn quantiles_on_constant_distribution_are_exact() {
+    let h = Histogram::new();
+    for _ in 0..1000 {
+        h.record(777);
+    }
+    let snap = h.snapshot();
+    for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+        assert_eq!(snap.quantile(q), 777, "clamping to [min, max] makes constants exact");
+    }
+}
+
+#[test]
+fn quantiles_on_bimodal_distribution() {
+    // 90% fast ops at ~100 ns, 10% slow at ~1 ms: the shape that makes
+    // mean-only reporting lie and histograms earn their keep.
+    let mut samples = vec![100u64; 900];
+    samples.extend(std::iter::repeat_n(1_000_000, 100));
+    check_distribution(&samples, "bimodal 100/1e6");
+}
+
+#[test]
+fn quantiles_on_pseudorandom_heavy_tail() {
+    // Deterministic splitmix64 stream shaped into a heavy tail: mostly
+    // sub-10µs with excursions to ~10ms, like real admission latencies.
+    let samples: Vec<u64> = (0..10_000u64)
+        .map(|i| {
+            let r = splitmix64(i ^ 0x9E37_79B9_7F4A_7C15);
+            let base = 200 + (r % 8_000);
+            if r % 100 < 2 {
+                base * 1_000 // the 2% tail
+            } else {
+                base
+            }
+        })
+        .collect();
+    check_distribution(&samples, "heavy tail");
+}
+
+#[test]
+fn quantile_monotonicity() {
+    let samples: Vec<u64> = (0..5_000u64).map(|i| splitmix64(i) % 1_000_000).collect();
+    let h = Histogram::new();
+    for &v in &samples {
+        h.record(v);
+    }
+    let snap = h.snapshot();
+    let mut last = 0;
+    for step in 0..=100 {
+        let q = f64::from(step) / 100.0;
+        let est = snap.quantile(q);
+        assert!(est >= last, "quantile({q}) = {est} went backwards from {last}");
+        last = est;
+    }
+}

@@ -46,6 +46,10 @@ task hazard-alert aperiodic deadline=250ms
     println!("EDMS: hazard-alert runs at {alert_prio} (most urgent deadline)\n");
 
     let system = System::launch(&deployment, RtOptions::default())?;
+    // A live plant is watched, not stopped: the OAM endpoint serves
+    // Prometheus-style metrics and the job trace for the whole run.
+    let oam = system.serve_oam("127.0.0.1:0")?;
+    println!("telemetry: curl http://{}/metrics  (or /trace)\n", oam.addr());
 
     // Drive two seconds of plant operation: scans every period, plus a
     // burst of hazard alerts when the "valve blocks" at t = 1 s.
@@ -66,17 +70,33 @@ task hazard-alert aperiodic deadline=250ms
             alert_seq += 1;
             println!("t={tick_ms}ms  !! hazard alert #{alert_seq} raised");
         }
+        if tick_ms == 1_400 {
+            // Mid-run scrape, exactly what an operator's dashboard sees.
+            let page = rtcm::telemetry::scrape(oam.addr(), "/metrics")?;
+            let line = |name: &str| {
+                page.lines().find(|l| l.starts_with(name)).unwrap_or("(absent)").to_string()
+            };
+            println!("t={tick_ms}ms  scrape: {}", line("rtcm_jobs_arrived_total"));
+            println!("t={tick_ms}ms  scrape: {}", line("rtcm_jobs_in_flight"));
+        }
         std::thread::sleep(StdDuration::from_millis(100));
     }
 
     assert!(system.quiesce(StdDuration::from_secs(10)), "plant drains");
+    let response = system.telemetry().response.snapshot();
     let report = system.shutdown();
+    oam.shutdown();
 
     println!("\nafter 2 s of operation:");
     println!("  jobs completed:           {}", report.jobs_completed);
     println!("  deadline misses:          {}", report.deadline_misses);
     println!("  mean end-to-end response: {:.2} ms", report.response.mean().as_secs_f64() * 1e3);
     println!("  max  end-to-end response: {:.2} ms", report.response.max().as_secs_f64() * 1e3);
+    println!(
+        "  response percentiles:     p50 {:.2} ms, p99 {:.2} ms",
+        response.quantile(0.50) as f64 / 1e6,
+        response.quantile(0.99) as f64 / 1e6
+    );
     println!(
         "  admission round-trip:     mean {:.2} ms (hold + 2 x comm + test + release)",
         report.total_no_realloc.mean().as_secs_f64() * 1e3

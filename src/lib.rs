@@ -11,6 +11,7 @@
 //! * [`events`] — federated event channel substrate.
 //! * [`rt`] — threaded runtime with wall-clock overhead instrumentation.
 //! * [`config`] — front-end configuration engine and deployment plans.
+//! * [`telemetry`] — lock-free metrics, OAM scrape endpoint, job tracer.
 //!
 //! See `examples/quickstart.rs` for a guided tour, and `DESIGN.md` /
 //! `EXPERIMENTS.md` for the reproduction methodology.
@@ -25,6 +26,7 @@ pub use rtcm_core as core;
 pub use rtcm_events as events;
 pub use rtcm_rt as rt;
 pub use rtcm_sim as sim;
+pub use rtcm_telemetry as telemetry;
 pub use rtcm_workload as workload;
 
 /// Widely used types from across the workspace.
