@@ -18,6 +18,10 @@
 //! - [`proxy`] — [`proxy::FaultProxy`], a frame-aware TCP
 //!   man-in-the-middle that drops, delays, reorders, corrupts, and
 //!   truncates wire frames on command.
+//! - [`schedule`] — [`schedule::ScheduleRunner`], which executes an
+//!   `rtcm-sim` `FaultSchedule` (the federation simulator's campaign
+//!   format) against a real cluster, so one schedule can be cross-checked
+//!   on both substrates.
 //!
 //! The fault campaigns themselves live in `tests/campaigns.rs`; each one
 //! asserts the PR 3/4 safety contract end-to-end across process
@@ -31,7 +35,9 @@
 pub mod process;
 pub mod protocol;
 pub mod proxy;
+pub mod schedule;
 
 pub use process::{NodeProc, ProcError};
 pub use protocol::{Command, Reply, READY_PREFIX};
 pub use proxy::{Direction, FaultProxy};
+pub use schedule::{ScheduleOutcome, ScheduleRunner, SwapOutcome};

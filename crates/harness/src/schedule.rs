@@ -1,0 +1,266 @@
+//! Schedule-driven orchestration: runs an `rtcm-sim` [`FaultSchedule`]
+//! against real OS processes.
+//!
+//! The deterministic federation simulator and this harness consume the
+//! *same* serde schedule format (see `rtcm_sim::fault`): a time-sorted
+//! list of primitive actions. The simulator interprets every action in
+//! virtual time; this runner maps the subset with a physical analogue
+//! onto a real cluster — one coordinator process, N member processes,
+//! each member bridged through its own [`FaultProxy`] so partitions can
+//! be injected per link:
+//!
+//! | action            | physical interpretation                        |
+//! |-------------------|------------------------------------------------|
+//! | `Partition`/`Heal`| blackhole/restore the member's proxy (link to the coordinator) |
+//! | `Crash`           | SIGKILL the member, deregister its vote        |
+//! | `Restart`         | spawn a fresh member on a fresh bridge         |
+//! | `Swap`            | coordinator runs a two-phase reconfiguration   |
+//! | `Hold`            | the member's `hold` verb                       |
+//! | `SkewClock`/`DriftClock` | **skipped** (wall clocks are not injectable) |
+//!
+//! Skipped actions are reported, never silently dropped. Event times are
+//! interpreted on the orchestrator's wall clock; a blocking `swap` may
+//! push later events past their nominal instant, which preserves order —
+//! the property the safety contract cares about.
+
+use std::time::{Duration, Instant};
+
+use rtcm_sim::{FaultAction, FaultSchedule};
+
+use crate::process::NodeProc;
+use crate::protocol::Command;
+use crate::proxy::FaultProxy;
+
+/// The outcome of one `Swap` action.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SwapOutcome {
+    /// Target configuration label.
+    pub target: String,
+    /// `true` when the quorum committed.
+    pub committed: bool,
+    /// Abort reason (e.g. `"AckTimeout"`) when it did not.
+    pub reason: Option<String>,
+}
+
+impl SwapOutcome {
+    /// A compact form for cross-substrate comparison:
+    /// `commit:<label>` or `abort:<reason>`.
+    #[must_use]
+    pub fn key(&self) -> String {
+        if self.committed {
+            format!("commit:{}", self.target)
+        } else {
+            format!("abort:{}", self.reason.as_deref().unwrap_or("?"))
+        }
+    }
+}
+
+/// What a schedule run produced.
+#[derive(Debug, Clone, Default)]
+pub struct ScheduleOutcome {
+    /// One entry per executed `Swap`, in schedule order.
+    pub swaps: Vec<SwapOutcome>,
+    /// Actions with no physical analogue in this topology, skipped.
+    pub skipped: Vec<String>,
+    /// The coordinator's configuration label after the last action.
+    pub final_label: String,
+    /// Each live member's witnessed commit labels, in witness order.
+    pub member_commits: Vec<Vec<String>>,
+}
+
+/// One member's slot in the cluster: its process and the proxy carrying
+/// its bridge. `None` while crashed.
+struct MemberSlot {
+    proc: Option<NodeProc>,
+    proxy: Option<FaultProxy>,
+}
+
+/// A real cluster driven by a [`FaultSchedule`].
+///
+/// Host numbering matches the schedule's: host 0 is the coordinator,
+/// hosts `1..=members` are voting members.
+pub struct ScheduleRunner {
+    node_bin: String,
+    fence_timeout_ms: String,
+    coord: NodeProc,
+    members: Vec<MemberSlot>,
+}
+
+impl ScheduleRunner {
+    /// Launches a coordinator and `members` voting members, each bridged
+    /// through its own fault proxy. `node_bin` is the `cluster_node`
+    /// binary path (`env!("CARGO_BIN_EXE_cluster_node")` in tests);
+    /// `ack_timeout_ms` is the coordinator's prepare deadline and
+    /// `fence_timeout_ms` the members' fence expiry.
+    pub fn launch(
+        node_bin: &str,
+        members: u16,
+        ack_timeout_ms: u64,
+        fence_timeout_ms: u64,
+    ) -> std::io::Result<Self> {
+        let ack = ack_timeout_ms.to_string();
+        let coord = NodeProc::spawn(node_bin, &["coordinator", &ack])
+            .map_err(|e| std::io::Error::other(e.to_string()))?;
+        let mut runner = ScheduleRunner {
+            node_bin: node_bin.to_string(),
+            fence_timeout_ms: fence_timeout_ms.to_string(),
+            coord,
+            members: Vec::new(),
+        };
+        for _ in 0..members {
+            let slot = runner.spawn_member()?;
+            runner.members.push(slot);
+        }
+        Ok(runner)
+    }
+
+    /// Spawns one member, bridges it through a fresh proxy and registers
+    /// its vote at the coordinator.
+    fn spawn_member(&mut self) -> std::io::Result<MemberSlot> {
+        let fence = self.fence_timeout_ms.clone();
+        let mut member = NodeProc::spawn(&self.node_bin, &["member", &fence])
+            .map_err(|e| std::io::Error::other(e.to_string()))?;
+        let port =
+            self.coord.expect_ok(&Command::verb("listen")).port.expect("listen returns a port");
+        let proxy = FaultProxy::spawn(format!("127.0.0.1:{port}").parse().unwrap())?;
+        let mut connect = Command::verb("connect");
+        connect.addr = Some(proxy.addr().to_string());
+        member.expect_ok(&connect);
+        let mut expect = Command::verb("expect-voter");
+        expect.host_id = Some(member.host_id);
+        self.coord.expect_ok(&expect);
+        Ok(MemberSlot { proc: Some(member), proxy: Some(proxy) })
+    }
+
+    /// Executes the schedule (sorted by `at_ms`, wall clock) and collects
+    /// the outcome. Panics on actions that are malformed for this
+    /// topology (an unknown host index); merely-inapplicable actions are
+    /// recorded in [`ScheduleOutcome::skipped`].
+    pub fn run(&mut self, schedule: &FaultSchedule) -> ScheduleOutcome {
+        let mut outcome = ScheduleOutcome::default();
+        let start = Instant::now();
+        for ev in schedule.sorted() {
+            let due = Duration::from_millis(ev.at_ms);
+            let elapsed = start.elapsed();
+            if due > elapsed {
+                std::thread::sleep(due - elapsed);
+            }
+            self.apply(&ev.action, &mut outcome);
+        }
+        outcome.final_label = self
+            .coord
+            .expect_ok(&Command::verb("services"))
+            .label
+            .expect("coordinator reports its label");
+        outcome.member_commits = self.member_commits();
+        outcome
+    }
+
+    /// Each live member's witnessed commit labels right now. Commits
+    /// cross the bridge asynchronously after the coordinator's swap
+    /// returns, so callers comparing against a committed sequence should
+    /// poll this until it settles.
+    pub fn member_commits(&mut self) -> Vec<Vec<String>> {
+        self.members
+            .iter_mut()
+            .filter_map(|slot| slot.proc.as_mut())
+            .map(|m| m.expect_ok(&Command::verb("report")).commits.expect("member reports commits"))
+            .collect()
+    }
+
+    fn member_mut(&mut self, host: u16) -> &mut MemberSlot {
+        assert!(host >= 1, "host 0 is the coordinator");
+        self.members
+            .get_mut(host as usize - 1)
+            .unwrap_or_else(|| panic!("schedule names unknown host {host}"))
+    }
+
+    fn apply(&mut self, action: &FaultAction, outcome: &mut ScheduleOutcome) {
+        match action {
+            FaultAction::Partition { a, b } | FaultAction::Heal { a, b } => {
+                let down = matches!(action, FaultAction::Partition { .. });
+                // The physical topology is a star: only coordinator↔member
+                // links exist, so member↔member partitions have no analogue.
+                let member = match (a, b) {
+                    (0, m) | (m, 0) => *m,
+                    _ => {
+                        outcome.skipped.push(format!("{action:?}: no member-to-member links"));
+                        return;
+                    }
+                };
+                match self.member_mut(member).proxy.as_ref() {
+                    Some(proxy) => proxy.set_partitioned(down),
+                    None => outcome.skipped.push(format!("{action:?}: host {member} is down")),
+                }
+            }
+            FaultAction::Crash { host } => {
+                let slot = self.member_mut(*host);
+                let Some(mut proc) = slot.proc.take() else {
+                    outcome.skipped.push(format!("{action:?}: already down"));
+                    return;
+                };
+                let host_id = proc.host_id;
+                proc.kill();
+                if let Some(proxy) = slot.proxy.take() {
+                    proxy.shutdown();
+                }
+                // Deregister the corpse so later swaps see the quorum the
+                // simulator's restart path converges to.
+                let mut drop = Command::verb("drop-voter");
+                drop.host_id = Some(host_id);
+                self.coord.expect_ok(&drop);
+            }
+            FaultAction::Restart { host } => {
+                if self.member_mut(*host).proc.is_some() {
+                    outcome.skipped.push(format!("{action:?}: already up"));
+                    return;
+                }
+                let slot = self.spawn_member().expect("restart spawns a member");
+                *self.member_mut(*host) = slot;
+            }
+            FaultAction::Swap { host, target } => {
+                if *host != 0 {
+                    outcome
+                        .skipped
+                        .push(format!("{action:?}: only host 0 coordinates in this topology"));
+                    return;
+                }
+                let mut cmd = Command::verb("swap");
+                cmd.target = Some(target.clone());
+                let reply = self.coord.request(&cmd).expect("coordinator alive");
+                outcome.swaps.push(SwapOutcome {
+                    target: target.clone(),
+                    committed: reply.ok,
+                    reason: reply.error,
+                });
+            }
+            FaultAction::Hold { host, value } => {
+                let slot = self.member_mut(*host);
+                match slot.proc.as_mut() {
+                    Some(m) => {
+                        let mut cmd = Command::verb("hold");
+                        cmd.value = Some(*value);
+                        m.expect_ok(&cmd);
+                    }
+                    None => outcome.skipped.push(format!("{action:?}: host is down")),
+                }
+            }
+            FaultAction::SkewClock { .. } | FaultAction::DriftClock { .. } => {
+                outcome.skipped.push(format!("{action:?}: wall clocks are not injectable"));
+            }
+        }
+    }
+
+    /// Tears the cluster down (children exit, proxies stop).
+    pub fn shutdown(mut self) {
+        for slot in &mut self.members {
+            if let Some(m) = slot.proc.take() {
+                m.shutdown();
+            }
+            if let Some(p) = slot.proxy.take() {
+                p.shutdown();
+            }
+        }
+        self.coord.shutdown();
+    }
+}

@@ -17,7 +17,8 @@ use std::time::{Duration, Instant};
 
 use rtcm_harness::protocol::{Command, Reply};
 use rtcm_harness::proxy::{Direction, FaultProxy};
-use rtcm_harness::NodeProc;
+use rtcm_harness::{NodeProc, ScheduleRunner};
+use rtcm_sim::{FaultAction, FaultSchedule};
 
 const NODE_BIN: &str = env!("CARGO_BIN_EXE_cluster_node");
 
@@ -295,6 +296,56 @@ fn campaign_corrupt_frame() {
     m.shutdown();
     coord.shutdown();
     proxy.shutdown();
+}
+
+/// Campaign 6 — **schedule-driven orchestration**. The same serde
+/// `FaultSchedule` format the federation simulator's campaigns consume
+/// drives a real cluster through `ScheduleRunner`: no hand-coded steps,
+/// just a script of primitive actions (shipped as JSON to prove the
+/// serialized form is the interface). Covers the verbs the sim-vs-real
+/// cross-check doesn't: crash (SIGKILL + deregistration) and restart
+/// (fresh process, fresh bridge, re-registered vote).
+#[test]
+fn quick_campaign_scheduled_crash_restart() {
+    let mut schedule = FaultSchedule::new();
+    schedule.push(50, FaultAction::Partition { a: 0, b: 2 });
+    schedule.push(100, FaultAction::Swap { host: 0, target: "J_J_T".to_string() });
+    schedule.push(700, FaultAction::Heal { a: 0, b: 2 });
+    schedule.push(750, FaultAction::Crash { host: 1 });
+    schedule.push(800, FaultAction::Swap { host: 0, target: "J_J_T".to_string() });
+    schedule.push(900, FaultAction::Restart { host: 1 });
+    schedule.push(1000, FaultAction::Swap { host: 0, target: "T_T_T".to_string() });
+    let json = serde_json::to_string(&schedule).expect("schedule serializes");
+    let schedule: FaultSchedule = serde_json::from_str(&json).expect("schedule deserializes");
+
+    let mut cluster = ScheduleRunner::launch(
+        NODE_BIN,
+        2,
+        ACK_TIMEOUT_MS.parse().unwrap(),
+        FENCE_TIMEOUT_MS.parse().unwrap(),
+    )
+    .expect("cluster launches");
+    let outcome = cluster.run(&schedule);
+    cluster.shutdown();
+
+    let verdicts: Vec<String> = outcome.swaps.iter().map(|s| s.key()).collect();
+    assert_eq!(
+        verdicts,
+        vec!["abort:AckTimeout", "commit:J_J_T", "commit:T_T_T"],
+        "skipped: {:?}",
+        outcome.skipped
+    );
+    assert!(outcome.skipped.is_empty(), "every action maps physically: {:?}", outcome.skipped);
+    assert_eq!(outcome.final_label, "T_T_T");
+    // No member ever applied a configuration the quorum didn't commit.
+    for commits in &outcome.member_commits {
+        for label in commits {
+            assert!(
+                ["J_J_T", "T_T_T"].contains(&label.as_str()),
+                "member applied uncommitted config {label}"
+            );
+        }
+    }
 }
 
 /// Campaign 5 — **live OAM scrape**. Both processes mount their scrape

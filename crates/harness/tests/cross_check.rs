@@ -1,0 +1,117 @@
+//! One schedule, two substrates: the same serialized `FaultSchedule` is
+//! executed by the deterministic federation simulator (virtual time,
+//! simulated links) and by the multi-process harness (real processes,
+//! real TCP through fault proxies), and both must reach the same
+//! protocol verdicts:
+//!
+//! * the same swap outcome sequence (abort by silence, then commit),
+//! * the same final configuration everywhere,
+//! * no partial application on either substrate.
+//!
+//! This is the strongest evidence the simulator earns its keep: a
+//! campaign result produced in microseconds of virtual time predicts
+//! what the real cluster does over real sockets.
+
+use rtcm_harness::ScheduleRunner;
+use rtcm_sim::{EpochOutcome, FaultAction, FaultSchedule, FedHostSpec, FedOptions, Federation};
+use rtcm_workload::{ArrivalConfig, ArrivalTrace, RandomWorkload};
+
+const NODE_BIN: &str = env!("CARGO_BIN_EXE_cluster_node");
+
+/// The shared scenario: host 1 is partitioned from the coordinator, a
+/// swap is attempted under the partition (and must abort by silence),
+/// the partition heals, and the swap is retried (and must commit).
+fn scenario() -> FaultSchedule {
+    let mut schedule = FaultSchedule::new();
+    schedule.push(50, FaultAction::Partition { a: 0, b: 1 });
+    schedule.push(100, FaultAction::Swap { host: 0, target: "T_T_T".to_string() });
+    schedule.push(900, FaultAction::Heal { a: 0, b: 1 });
+    schedule.push(1000, FaultAction::Swap { host: 0, target: "T_T_T".to_string() });
+    schedule
+}
+
+/// Normalized swap verdicts from the simulator's epoch records.
+fn sim_keys(outcomes: &[(String, Option<EpochOutcome>)]) -> Vec<String> {
+    outcomes
+        .iter()
+        .map(|(target, o)| match o {
+            Some(EpochOutcome::Committed) => format!("commit:{target}"),
+            Some(EpochOutcome::Aborted(reason)) => format!("abort:{reason:?}"),
+            Some(EpochOutcome::CoordinatorCrashed) => "crashed".to_string(),
+            None => "unresolved".to_string(),
+        })
+        .collect()
+}
+
+#[test]
+fn same_schedule_same_verdicts_on_both_substrates() {
+    // The schedule travels as serialized JSON — both executors consume
+    // the serde format, not an in-memory builder.
+    let json = serde_json::to_string(&scenario()).expect("schedule serializes");
+    let schedule: FaultSchedule = serde_json::from_str(&json).expect("schedule deserializes");
+
+    // Substrate 1: the deterministic federation simulator. Three hosts
+    // (matching the physical cluster: coordinator + two voters), initial
+    // configuration J_N_N like the cluster_node processes.
+    let specs: Vec<FedHostSpec> = (0..3u64)
+        .map(|i| {
+            let workload = RandomWorkload {
+                periodic_tasks: 1,
+                aperiodic_tasks: 1,
+                subtasks: (1, 2),
+                processors: 2,
+                ..RandomWorkload::default()
+            };
+            let tasks = workload.generate(31 + i).expect("workload generates");
+            let config = ArrivalConfig {
+                horizon: rtcm_core::time::Duration::from_millis(600),
+                ..ArrivalConfig::default()
+            };
+            let arrivals = ArrivalTrace::generate(&tasks, &config, 31 + i);
+            FedHostSpec { services: "J_N_N".parse().expect("valid"), tasks, arrivals }
+        })
+        .collect();
+    let opts = FedOptions { seed: 31, ..FedOptions::default() };
+    let sim = Federation::new(specs, &schedule, opts)
+        .expect("federation builds")
+        .run()
+        .expect("federation runs");
+    let sim_verdicts =
+        sim_keys(&sim.epochs.iter().map(|e| (e.target.clone(), e.outcome)).collect::<Vec<_>>());
+    for host in &sim.hosts {
+        assert_eq!(host.final_config, "T_T_T", "sim host {} missed the commit", host.host);
+    }
+
+    // Substrate 2: real processes over real TCP, same schedule.
+    let mut cluster = ScheduleRunner::launch(NODE_BIN, 2, 600, 500).expect("cluster launches");
+    let mut real = cluster.run(&schedule);
+    // Commits cross the bridges asynchronously after the swap returns;
+    // poll until every member has witnessed the final one.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while !real.member_commits.iter().all(|c| c.last().map(String::as_str) == Some("T_T_T")) {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "final commit never reached every member: {:?}",
+            real.member_commits
+        );
+        std::thread::sleep(std::time::Duration::from_millis(25));
+        real.member_commits = cluster.member_commits();
+    }
+    cluster.shutdown();
+    let real_verdicts: Vec<String> = real.swaps.iter().map(|s| s.key()).collect();
+    assert!(real.skipped.is_empty(), "every action has a physical analogue: {:?}", real.skipped);
+
+    // The cross-check: identical verdict sequences, identical final
+    // configuration, no partial application anywhere.
+    assert_eq!(sim_verdicts, vec!["abort:AckTimeout", "commit:T_T_T"]);
+    assert_eq!(real_verdicts, sim_verdicts, "substrates disagree on the protocol outcome");
+    assert_eq!(real.final_label, "T_T_T");
+    for commits in &real.member_commits {
+        // Members may have missed the doomed prepare entirely, but every
+        // commit they witnessed is one the quorum committed.
+        for label in commits {
+            assert_eq!(label, "T_T_T", "member applied an uncommitted config");
+        }
+        assert_eq!(commits.last().map(String::as_str), Some("T_T_T"));
+    }
+}

@@ -24,7 +24,10 @@
 //! * [`govern`] — the adaptation governor loop (`System::spawn_governor`):
 //!   windowed load sensing driving automatic reconfiguration;
 //! * [`quorum`] — the voting delegate that makes a TCP-bridged federation
-//!   a full reconfiguration prepare-quorum member.
+//!   a full reconfiguration prepare-quorum member;
+//! * [`quorum_sm`] — the pure coordinator/member state machines of the
+//!   two-phase swap protocol, shared verbatim with `rtcm-sim`'s
+//!   deterministic federation (time is injected, never read).
 //!
 //! Scheduling substitution (see DESIGN.md): instead of OS real-time
 //! priorities, each node runs a single dispatcher thread executing the
@@ -43,6 +46,7 @@ pub mod manager;
 pub mod node;
 pub mod proto;
 pub mod quorum;
+pub mod quorum_sm;
 pub mod reactor;
 pub mod stats;
 pub mod system;
@@ -52,6 +56,7 @@ pub use govern::{GovernorEvent, GovernorHandle};
 pub use node::ExecMode;
 pub use proto::ReconfigAbortReason;
 pub use quorum::{QuorumMember, QuorumOptions};
+pub use quorum_sm::{CoordinatorSm, Fence, MemberReaction, MemberSm, QuorumStatus};
 pub use reactor::{Reactor, TimerId, TimerWheel, Wake, DEFAULT_TICK};
 pub use stats::{ReconfigAbortBreakdown, SharedStats, SystemReport};
 pub use system::{LaunchError, ReconfigReport, ReconfigureError, RtOptions, SubmitError, System};

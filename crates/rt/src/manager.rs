@@ -37,8 +37,9 @@ use rtcm_events::{topics, ChannelHandle, Event, EventReceiver};
 use crate::clock::Clock;
 use crate::proto::{
     self, AcceptMsg, ArriveMsg, IdleResetMsg, ReconfigAbortReason, ReconfigAckMsg, ReconfigMsg,
-    ReconfigPhase, ReconfigVote, RejectMsg,
+    ReconfigPhase, RejectMsg,
 };
+use crate::quorum_sm::{CoordinatorSm, QuorumStatus};
 use crate::reactor::{Reactor, TimerId, Wake, DEFAULT_TICK};
 use crate::stats::SharedStats;
 use crate::system::{ReconfigReport, ReconfigureError};
@@ -205,7 +206,7 @@ impl Manager {
         target: ServiceConfig,
         reply: &Sender<Result<ReconfigReport, ReconfigureError>>,
     ) -> bool {
-        let started = Instant::now();
+        let started_ns = self.cfg.clock.now().as_nanos();
         if let Err(e) = target.validate() {
             self.cfg
                 .stats
@@ -223,12 +224,18 @@ impl Manager {
         // every registered TCP-bridged federation: bridged hosts are
         // voting members, not observers, and their silence (partition,
         // crash) aborts the swap at the same deadline a silent local node
-        // would.
+        // would. The vote bookkeeping is the pure [`CoordinatorSm`] —
+        // the same machine the federation simulator drives in virtual
+        // time — so this loop only moves messages and timers.
         let remote: HashSet<u64> = self.cfg.remote_voters.lock().clone();
-        let own_host = self.cfg.channel.host_id();
         self.publish_phase(epoch, ReconfigPhase::Prepare, target);
-        let expected_local = usize::from(self.cfg.processors);
-        let expected = expected_local + remote.len();
+        let mut quorum = CoordinatorSm::begin(
+            self.coordinator,
+            epoch,
+            self.cfg.channel.host_id(),
+            self.cfg.processors,
+            remote,
+        );
         // The ack deadline is a wheel entry, not a poll cadence: the loop
         // parks on min(deadline, mailbox) and wakes exactly when an ack
         // arrives, the deadline passes, or a shutdown kick is published.
@@ -236,14 +243,8 @@ impl Manager {
         let fence_timer = self.reactor.schedule_at(deadline_ns, MgrTimer::PrepareDeadline);
         let mut timed_out = false;
         let mut fired: Vec<(TimerId, MgrTimer)> = Vec::new();
-        let mut local_acked: HashSet<u16> = HashSet::new();
-        let mut remote_acked: HashSet<u64> = HashSet::new();
         let mut deferred: Vec<ArriveMsg> = Vec::new();
-        let mut nack: Option<ReconfigAbortReason> = None;
-        while (local_acked.len() < expected_local || remote_acked.len() < remote.len())
-            && nack.is_none()
-            && !timed_out
-        {
+        while matches!(quorum.status(), QuorumStatus::Pending) && !timed_out {
             match self.cfg.shutdown_rx.try_recv() {
                 Ok(()) | Err(TryRecvError::Disconnected) => {
                     self.reactor.cancel(fence_timer);
@@ -256,26 +257,7 @@ impl Manager {
                 Wake::Event(ev) => {
                     if ev.topic == topics::RECONFIG_ACK {
                         let ack: ReconfigAckMsg = proto::decode(&ev.payload);
-                        if ack.coordinator == self.coordinator && ack.epoch == epoch {
-                            match ack.vote {
-                                ReconfigVote::Ack => {
-                                    if ack.host == own_host && ack.processor < self.cfg.processors {
-                                        local_acked.insert(ack.processor);
-                                    } else if remote.contains(&ack.host) {
-                                        remote_acked.insert(ack.host);
-                                    }
-                                }
-                                ReconfigVote::Nack(reason) => {
-                                    // A vetoing quorum member (it is fenced
-                                    // for someone else's swap) fails the
-                                    // prepare immediately — no point waiting
-                                    // out the timeout.
-                                    if ack.host == own_host || remote.contains(&ack.host) {
-                                        nack = Some(reason);
-                                    }
-                                }
-                            }
-                        }
+                        quorum.on_ack(&ack);
                     } else if ev.topic == topics::TASK_ARRIVE {
                         deferred.push(proto::decode(&ev.payload));
                     } else if ev.topic == topics::IDLE_RESET {
@@ -298,12 +280,16 @@ impl Manager {
         }
         self.reactor.cancel(fence_timer);
 
-        let acked = local_acked.len() + remote_acked.len();
-        if acked < expected || nack.is_some() {
+        let (acked, expected) = (quorum.acked(), quorum.expected());
+        let verdict = quorum.status();
+        if !matches!(verdict, QuorumStatus::Satisfied) {
             // Abort: lift the fences, keep the old configuration, decide
             // the deferred arrivals under it. Nothing was applied anywhere,
             // so the rollback is exactly "publish abort".
-            let reason = nack.unwrap_or(ReconfigAbortReason::AckTimeout);
+            let reason = match verdict {
+                QuorumStatus::Vetoed(reason) => reason,
+                _ => ReconfigAbortReason::AckTimeout,
+            };
             let old = self.cfg.ac.config();
             self.publish_phase(epoch, ReconfigPhase::Abort, old);
             self.cfg.stats.with(|r| {
@@ -324,7 +310,8 @@ impl Manager {
             self.cfg.ac.reconfigure(target, now, &self.cfg.tasks).expect("target validated above");
         self.publish_phase(epoch, ReconfigPhase::Commit, target);
 
-        let swap_latency = Duration::from(started.elapsed());
+        let swap_latency =
+            Duration::from_nanos(self.cfg.clock.now().as_nanos().saturating_sub(started_ns));
         let jobs_in_flight = self.cfg.stats.in_flight();
         let decisions_deferred = deferred.len() as u64;
         self.cfg.stats.metrics().reconfig_latency.record(swap_latency.as_nanos());
@@ -343,8 +330,8 @@ impl Manager {
             swap_latency,
             decisions_deferred,
             jobs_in_flight,
-            acked_nodes: expected_local,
-            acked_remote: remote.len(),
+            acked_nodes: usize::from(self.cfg.processors),
+            acked_remote: expected - usize::from(self.cfg.processors),
         }));
         true
     }

@@ -14,15 +14,22 @@
 //!    it acks foreign prepares (fencing itself for exactly one coordinator
 //!    at a time), vetoes prepares that collide with a different
 //!    coordinator's in-flight swap (`ReconfigVote::Nack` with
-//!    [`ReconfigAbortReason::ForeignCoordinator`]), and releases its fence
-//!    on the matching commit/abort.
+//!    [`ForeignCoordinator`](crate::proto::ReconfigAbortReason::ForeignCoordinator)),
+//!    and releases its fence on the matching commit/abort.
 //!
 //! Partition safety is timeout-symmetric: a member that cannot reach the
 //! coordinator simply never acks, and the coordinator aborts at its ack
-//! deadline with [`ReconfigAbortReason::AckTimeout`]; a member whose
+//! deadline with [`AckTimeout`](crate::proto::ReconfigAbortReason::AckTimeout); a member whose
 //! commit/abort was lost drops its stale fence after
 //! [`QuorumOptions::fence_timeout`] so one lost packet can never wedge the
 //! host out of all future quorums.
+//!
+//! The voting/fencing logic itself lives in the pure
+//! [`MemberSm`](crate::quorum_sm::MemberSm) state machine (shared with the
+//! deterministic federation simulator); this module is only the threaded
+//! shell around it. All fence timestamps are read off the member's
+//! [`TimerDriver`] clock — never `Instant` — so the identical machine runs
+//! under a skewed virtual clock in `rtcm-sim`.
 //!
 //! The delegate thread is reactor-driven: a standing fence's expiry
 //! deadline is a timer-wheel entry, so recovery happens *at* the deadline
@@ -32,7 +39,7 @@
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::{Duration as StdDuration, Instant};
+use std::time::Duration as StdDuration;
 
 use crossbeam::channel::{unbounded, Sender, TryRecvError};
 use parking_lot::Mutex;
@@ -41,11 +48,9 @@ use rtcm_core::strategy::ServiceConfig;
 use rtcm_events::{topics, ChannelHandle, Federation, NodeId, UnknownNodeError};
 use rtcm_telemetry::{TraceBuffer, DEFAULT_TRACE_CAPACITY};
 
-use crate::clock::Clock;
-use crate::proto::{
-    self, ReconfigAbortReason, ReconfigAckMsg, ReconfigMsg, ReconfigPhase, ReconfigVote,
-    QUORUM_MEMBER_PROC,
-};
+use crate::clock::{Clock, TimerDriver};
+use crate::proto::{self, ReconfigMsg, ReconfigVote};
+use crate::quorum_sm::{MemberReaction, MemberSm};
 use crate::reactor::{Reactor, TimerId, Wake, DEFAULT_TICK};
 
 /// Tunables for a [`QuorumMember`].
@@ -62,24 +67,13 @@ impl Default for QuorumOptions {
     }
 }
 
-#[derive(Debug, Default)]
-struct MemberState {
-    /// Swap this member is currently fenced for: `(coordinator, epoch)`
-    /// plus when the fence was raised.
-    fence: Option<(u64, u64, Instant)>,
-    /// Configurations whose commits this member witnessed, in order.
-    commits: Vec<ServiceConfig>,
-    acks: u64,
-    nacks: u64,
-}
-
 /// A federation's voting delegate in foreign reconfiguration quorums.
 /// Dropping it stops voting (the coordinator will then abort on timeout —
 /// deregister the host first for a clean departure).
 pub struct QuorumMember {
     host: u64,
     hold: Arc<AtomicBool>,
-    state: Arc<Mutex<MemberState>>,
+    state: Arc<Mutex<MemberSm>>,
     trace: Arc<TraceBuffer>,
     stop: Sender<()>,
     /// Publishes the `topics::QUORUM_CTL` kick that wakes the delegate's
@@ -114,10 +108,11 @@ impl QuorumMember {
         // One merged mailbox: reconfiguration phases plus the stop kick.
         let mailbox = handle.subscribe_many(&[topics::RECONFIG, topics::QUORUM_CTL]);
         let hold = Arc::new(AtomicBool::new(false));
-        let state: Arc<Mutex<MemberState>> = Arc::new(Mutex::new(MemberState::default()));
+        let state: Arc<Mutex<MemberSm>> = Arc::new(Mutex::new(MemberSm::new()));
         let trace = Arc::new(TraceBuffer::new(DEFAULT_TRACE_CAPACITY));
         let (stop_tx, stop_rx) = unbounded::<()>();
         let clock = Clock::new();
+        let fence_timeout_ns = options.fence_timeout.as_nanos() as u64;
         let thread_hold = Arc::clone(&hold);
         let thread_state = Arc::clone(&state);
         let thread_trace = Arc::clone(&trace);
@@ -143,22 +138,21 @@ impl QuorumMember {
                         // nothing) — drop the stale fence *at* the
                         // deadline, not up to a poll period later.
                         fence_timer = None;
-                        let mut s = thread_state.lock();
-                        expire_fence(&mut s, options.fence_timeout);
+                        thread_state.lock().expire_fence(clock.now_ns(), fence_timeout_ns);
                     }
                     // Re-sync the wheel with the current fence.
-                    let fence = thread_state.lock().fence;
+                    let fence = thread_state.lock().fence();
                     match fence {
-                        Some((c, e, raised)) => {
-                            let stale = fence_timer.is_none_or(|(_, key)| key != (c, e));
+                        Some(f) => {
+                            let key = (f.coordinator, f.epoch);
+                            let stale = fence_timer.is_none_or(|(_, k)| k != key);
                             if stale {
                                 if let Some((id, _)) = fence_timer.take() {
                                     reactor.cancel(id);
                                 }
-                                let remaining =
-                                    options.fence_timeout.saturating_sub(raised.elapsed());
-                                let id = reactor.schedule_in(remaining, ());
-                                fence_timer = Some((id, (c, e)));
+                                let deadline_ns = f.raised_ns + fence_timeout_ns;
+                                let id = reactor.schedule_at(deadline_ns, ());
+                                fence_timer = Some((id, key));
                             }
                         }
                         None => {
@@ -170,16 +164,15 @@ impl QuorumMember {
                     match reactor.wait(&mailbox) {
                         Wake::Event(ev) if ev.topic == topics::RECONFIG => {
                             let msg: ReconfigMsg = proto::decode(&ev.payload);
-                            on_phase(
+                            let holding = thread_hold.load(Ordering::SeqCst);
+                            let reaction = thread_state.lock().on_phase(
                                 &msg,
                                 host,
-                                &handle,
-                                clock,
-                                &thread_hold,
-                                &thread_state,
-                                &thread_trace,
-                                options.fence_timeout,
+                                clock.now_ns(),
+                                fence_timeout_ns,
+                                holding,
                             );
+                            react(&msg, host, &handle, clock, &thread_trace, reaction);
                         }
                         // A QUORUM_CTL kick: loop back to the stop check.
                         Wake::Event(_) | Wake::Timer => {}
@@ -207,25 +200,25 @@ impl QuorumMember {
     /// Configurations whose commits this member witnessed, in order.
     #[must_use]
     pub fn observed_commits(&self) -> Vec<ServiceConfig> {
-        self.state.lock().commits.clone()
+        self.state.lock().commits().to_vec()
     }
 
     /// Prepares acked so far.
     #[must_use]
     pub fn ack_count(&self) -> u64 {
-        self.state.lock().acks
+        self.state.lock().acks()
     }
 
     /// Prepares vetoed so far (foreign-coordinator collisions).
     #[must_use]
     pub fn nack_count(&self) -> u64 {
-        self.state.lock().nacks
+        self.state.lock().nacks()
     }
 
     /// True while the member is fenced for a pending foreign swap.
     #[must_use]
     pub fn is_fenced(&self) -> bool {
-        self.state.lock().fence.is_some()
+        self.state.lock().fence().is_some()
     }
 
     /// The member's trace buffer: every foreign reconfiguration phase it
@@ -259,99 +252,50 @@ impl Drop for QuorumMember {
     }
 }
 
-fn expire_fence(state: &mut MemberState, fence_timeout: StdDuration) {
-    if let Some((_, _, raised)) = state.fence {
-        if raised.elapsed() >= fence_timeout {
-            state.fence = None;
-        }
-    }
-}
-
-#[allow(clippy::too_many_arguments)]
-fn on_phase(
+/// Carries a [`MemberReaction`] out into the world: publishes the vote
+/// and records the witnessed phase in the member's trace ring.
+fn react(
     msg: &ReconfigMsg,
     host: u64,
-    handle: &rtcm_events::ChannelHandle,
+    handle: &ChannelHandle,
     clock: Clock,
-    hold: &AtomicBool,
-    state: &Arc<Mutex<MemberState>>,
     trace: &Arc<TraceBuffer>,
-    fence_timeout: StdDuration,
+    reaction: MemberReaction,
 ) {
-    // The member represents this host to *foreign* coordinators only; its
-    // own host's swaps are quorum'd by the local nodes.
-    if msg.host == host {
-        return;
-    }
-    let mut s = state.lock();
-    expire_fence(&mut s, fence_timeout);
-    match msg.phase {
-        ReconfigPhase::Prepare => {
-            if hold.load(Ordering::SeqCst) {
-                return; // partitioned: no fence, no vote
-            }
-            let vote = match s.fence {
-                // Fenced for a different coordinator's live swap: veto.
-                Some((c, _, _)) if c != msg.coordinator => {
-                    s.nacks += 1;
-                    ReconfigVote::Nack(ReconfigAbortReason::ForeignCoordinator)
-                }
-                // Free, or the same coordinator superseding its own epoch
-                // (a coordinator serializes its swaps, so the older one is
-                // dead): fence and ack.
-                _ => {
-                    s.fence = Some((msg.coordinator, msg.epoch, Instant::now()));
-                    s.acks += 1;
-                    ReconfigVote::Ack
-                }
-            };
+    match reaction {
+        MemberReaction::Ignored => {}
+        MemberReaction::Vote(ack) => {
             trace.record(
                 msg.trace,
-                clock.now().as_nanos(),
+                clock.now_ns(),
                 host,
                 "reconfig_prepare",
                 format!(
                     "foreign epoch {} from coordinator {}, voted {}",
                     msg.epoch,
                     msg.coordinator,
-                    if matches!(vote, ReconfigVote::Ack) { "ack" } else { "nack" }
+                    if matches!(ack.vote, ReconfigVote::Ack) { "ack" } else { "nack" }
                 ),
             );
-            let ack = ReconfigAckMsg {
-                coordinator: msg.coordinator,
-                epoch: msg.epoch,
-                host,
-                processor: QUORUM_MEMBER_PROC,
-                vote,
-                sent_ns: clock.now().as_nanos(),
-                trace: msg.trace,
-            };
             handle.publish(topics::RECONFIG_ACK, proto::encode(&ack));
         }
-        ReconfigPhase::Commit => {
-            if s.fence.is_some_and(|(c, e, _)| (c, e) == (msg.coordinator, msg.epoch)) {
-                s.fence = None;
-                trace.record(
-                    msg.trace,
-                    clock.now().as_nanos(),
-                    host,
-                    "reconfig_commit",
-                    format!("foreign epoch {} committed {}", msg.epoch, msg.services.label()),
-                );
-                s.commits.push(msg.services);
-            }
+        MemberReaction::Committed(services) => {
+            trace.record(
+                msg.trace,
+                clock.now_ns(),
+                host,
+                "reconfig_commit",
+                format!("foreign epoch {} committed {}", msg.epoch, services.label()),
+            );
         }
-        ReconfigPhase::Abort => {
-            if s.fence.is_some_and(|(c, e, _)| (c, e) == (msg.coordinator, msg.epoch)) {
-                s.fence = None;
-                trace.record(
-                    msg.trace,
-                    clock.now().as_nanos(),
-                    host,
-                    "reconfig_abort",
-                    format!("foreign epoch {} aborted", msg.epoch),
-                );
-            }
+        MemberReaction::Aborted => {
+            trace.record(
+                msg.trace,
+                clock.now_ns(),
+                host,
+                "reconfig_abort",
+                format!("foreign epoch {} aborted", msg.epoch),
+            );
         }
     }
 }

@@ -1,0 +1,457 @@
+//! Pure state machines of the two-phase reconfiguration quorum protocol.
+//!
+//! The protocol has two roles: the **coordinator** (the manager running a
+//! swap: publish prepare, collect votes, commit or abort) and the
+//! **member** (any voter: fence on a prepare, ack or veto, release the
+//! fence on commit/abort or after a timeout). Both roles used to live
+//! inline in their host threads (`manager.rs`, `quorum.rs`), entangled
+//! with mailboxes, reactors and wall clocks — which made them untestable
+//! without threads and unusable from the deterministic federation
+//! simulator.
+//!
+//! This module is the disentangled core: no I/O, no clocks, no threads.
+//! Time enters exclusively as `now_ns: u64` arguments, so the same
+//! machines run against the wall clock (threaded runtime), a manual
+//! clock (tests) or a per-host *virtual* clock with injected skew
+//! (`rtcm-sim`'s federation). The threaded [`crate::quorum::QuorumMember`]
+//! and the manager's prepare loop delegate here; the simulator drives the
+//! identical transition functions — one protocol, two schedulers.
+
+use std::collections::HashSet;
+
+use rtcm_core::strategy::ServiceConfig;
+
+use crate::proto::{
+    ReconfigAbortReason, ReconfigAckMsg, ReconfigMsg, ReconfigPhase, ReconfigVote,
+    QUORUM_MEMBER_PROC,
+};
+
+/// A member's standing fence: the one swap it is currently committed to
+/// voting for, plus the instant (on the member's own clock) it was raised.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fence {
+    /// The coordinator identity the fence was raised for.
+    pub coordinator: u64,
+    /// That coordinator's epoch.
+    pub epoch: u64,
+    /// When the fence was raised, on the member's clock.
+    pub raised_ns: u64,
+}
+
+/// What a member does in reaction to one protocol message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemberReaction {
+    /// Nothing to send and nothing witnessed (own-host message, held
+    /// message, or a commit/abort for a swap this member is not fenced
+    /// for).
+    Ignored,
+    /// Send this vote back toward the coordinator.
+    Vote(ReconfigAckMsg),
+    /// The fenced swap committed this configuration; the fence is down.
+    Committed(ServiceConfig),
+    /// The fenced swap aborted; the fence is down.
+    Aborted,
+}
+
+/// The member role: fences, votes and commit witnessing.
+///
+/// All methods take the member's *current clock reading*; the machine
+/// never reads time itself (that is the whole point — see the module
+/// docs).
+#[derive(Debug, Default)]
+pub struct MemberSm {
+    fence: Option<Fence>,
+    commits: Vec<ServiceConfig>,
+    acks: u64,
+    nacks: u64,
+}
+
+impl MemberSm {
+    /// A fresh, unfenced member.
+    #[must_use]
+    pub fn new() -> Self {
+        MemberSm::default()
+    }
+
+    /// Drops a fence whose commit/abort never arrived once it has stood
+    /// for `fence_timeout_ns` (lost-packet / partition recovery). Returns
+    /// true if a fence was dropped.
+    pub fn expire_fence(&mut self, now_ns: u64, fence_timeout_ns: u64) -> bool {
+        if let Some(f) = self.fence {
+            if now_ns.saturating_sub(f.raised_ns) >= fence_timeout_ns {
+                self.fence = None;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// One protocol message, observed at `now_ns` on this member's clock.
+    ///
+    /// `host` is the identity this member votes as; messages originating
+    /// from that host are ignored (its own swaps are quorum'd by its local
+    /// processors). While `holding` is true the member simulates a
+    /// partitioned host: prepares are ignored entirely — no fence, no
+    /// vote — so the coordinator aborts at its ack deadline.
+    pub fn on_phase(
+        &mut self,
+        msg: &ReconfigMsg,
+        host: u64,
+        now_ns: u64,
+        fence_timeout_ns: u64,
+        holding: bool,
+    ) -> MemberReaction {
+        if msg.host == host {
+            return MemberReaction::Ignored;
+        }
+        self.expire_fence(now_ns, fence_timeout_ns);
+        match msg.phase {
+            ReconfigPhase::Prepare => {
+                if holding {
+                    return MemberReaction::Ignored;
+                }
+                let vote = match self.fence {
+                    // Fenced for a different coordinator's live swap: veto.
+                    Some(f) if f.coordinator != msg.coordinator => {
+                        self.nacks += 1;
+                        ReconfigVote::Nack(ReconfigAbortReason::ForeignCoordinator)
+                    }
+                    // Free, or the same coordinator superseding its own
+                    // epoch (a coordinator serializes its swaps, so the
+                    // older one is dead): fence and ack.
+                    _ => {
+                        self.fence = Some(Fence {
+                            coordinator: msg.coordinator,
+                            epoch: msg.epoch,
+                            raised_ns: now_ns,
+                        });
+                        self.acks += 1;
+                        ReconfigVote::Ack
+                    }
+                };
+                MemberReaction::Vote(ReconfigAckMsg {
+                    coordinator: msg.coordinator,
+                    epoch: msg.epoch,
+                    host,
+                    processor: QUORUM_MEMBER_PROC,
+                    vote,
+                    sent_ns: now_ns,
+                    trace: msg.trace,
+                })
+            }
+            ReconfigPhase::Commit => {
+                if self.matches_fence(msg) {
+                    self.fence = None;
+                    self.commits.push(msg.services);
+                    MemberReaction::Committed(msg.services)
+                } else {
+                    MemberReaction::Ignored
+                }
+            }
+            ReconfigPhase::Abort => {
+                if self.matches_fence(msg) {
+                    self.fence = None;
+                    MemberReaction::Aborted
+                } else {
+                    MemberReaction::Ignored
+                }
+            }
+        }
+    }
+
+    fn matches_fence(&self, msg: &ReconfigMsg) -> bool {
+        self.fence.is_some_and(|f| (f.coordinator, f.epoch) == (msg.coordinator, msg.epoch))
+    }
+
+    /// The standing fence, if any.
+    #[must_use]
+    pub fn fence(&self) -> Option<Fence> {
+        self.fence
+    }
+
+    /// Configurations whose commits this member witnessed, in order.
+    #[must_use]
+    pub fn commits(&self) -> &[ServiceConfig] {
+        &self.commits
+    }
+
+    /// Prepares acked so far.
+    #[must_use]
+    pub fn acks(&self) -> u64 {
+        self.acks
+    }
+
+    /// Prepares vetoed so far (foreign-coordinator collisions).
+    #[must_use]
+    pub fn nacks(&self) -> u64 {
+        self.nacks
+    }
+}
+
+/// The coordinator's view of one prepare quorum in flight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuorumStatus {
+    /// Votes are still outstanding.
+    Pending,
+    /// Every local processor and every required remote voter acked.
+    Satisfied,
+    /// A voter vetoed; the swap must abort with this reason.
+    Vetoed(ReconfigAbortReason),
+}
+
+/// The coordinator role: one instance per prepare phase, tracking which
+/// local processors and remote voter hosts have acked.
+#[derive(Debug)]
+pub struct CoordinatorSm {
+    coordinator: u64,
+    epoch: u64,
+    own_host: u64,
+    expected_local: u16,
+    remote: HashSet<u64>,
+    local_acked: HashSet<u16>,
+    remote_acked: HashSet<u64>,
+    nack: Option<ReconfigAbortReason>,
+}
+
+impl CoordinatorSm {
+    /// Starts tracking epoch `epoch` of coordinator `coordinator` on host
+    /// `own_host`: the quorum is every local processor `0..expected_local`
+    /// plus every host in `remote`.
+    #[must_use]
+    pub fn begin(
+        coordinator: u64,
+        epoch: u64,
+        own_host: u64,
+        expected_local: u16,
+        remote: HashSet<u64>,
+    ) -> Self {
+        CoordinatorSm {
+            coordinator,
+            epoch,
+            own_host,
+            expected_local,
+            remote,
+            local_acked: HashSet::new(),
+            remote_acked: HashSet::new(),
+            nack: None,
+        }
+    }
+
+    /// Feeds one ack/nack. Votes for other coordinators or epochs, from
+    /// unknown hosts, or from out-of-range processors are ignored — a
+    /// bridged-in foreign reconfiguration can never pre-satisfy a local
+    /// prepare quorum.
+    pub fn on_ack(&mut self, ack: &ReconfigAckMsg) {
+        if ack.coordinator != self.coordinator || ack.epoch != self.epoch {
+            return;
+        }
+        match ack.vote {
+            ReconfigVote::Ack => {
+                if ack.host == self.own_host && ack.processor < self.expected_local {
+                    self.local_acked.insert(ack.processor);
+                } else if self.remote.contains(&ack.host) {
+                    self.remote_acked.insert(ack.host);
+                }
+            }
+            ReconfigVote::Nack(reason) => {
+                // A vetoing quorum member (it is fenced for someone else's
+                // swap) fails the prepare immediately — no point waiting
+                // out the timeout.
+                if ack.host == self.own_host || self.remote.contains(&ack.host) {
+                    self.nack = Some(reason);
+                }
+            }
+        }
+    }
+
+    /// Where the quorum stands.
+    #[must_use]
+    pub fn status(&self) -> QuorumStatus {
+        if let Some(reason) = self.nack {
+            QuorumStatus::Vetoed(reason)
+        } else if self.local_acked.len() >= usize::from(self.expected_local)
+            && self.remote_acked.len() >= self.remote.len()
+        {
+            QuorumStatus::Satisfied
+        } else {
+            QuorumStatus::Pending
+        }
+    }
+
+    /// Votes collected so far (local + remote).
+    #[must_use]
+    pub fn acked(&self) -> usize {
+        self.local_acked.len() + self.remote_acked.len()
+    }
+
+    /// Votes required (local + remote).
+    #[must_use]
+    pub fn expected(&self) -> usize {
+        usize::from(self.expected_local) + self.remote.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::swap_trace;
+
+    fn prepare(coordinator: u64, host: u64, epoch: u64) -> ReconfigMsg {
+        phase_msg(coordinator, host, epoch, ReconfigPhase::Prepare)
+    }
+
+    fn phase_msg(coordinator: u64, host: u64, epoch: u64, phase: ReconfigPhase) -> ReconfigMsg {
+        ReconfigMsg {
+            coordinator,
+            host,
+            epoch,
+            phase,
+            services: "J_J_J".parse().unwrap(),
+            sent_ns: 0,
+            trace: swap_trace(coordinator, epoch),
+        }
+    }
+
+    const TIMEOUT: u64 = 5_000;
+
+    #[test]
+    fn member_fences_acks_and_witnesses_commit() {
+        let mut m = MemberSm::new();
+        let react = m.on_phase(&prepare(9, 1, 1), 2, 100, TIMEOUT, false);
+        let MemberReaction::Vote(ack) = react else { panic!("expected a vote") };
+        assert_eq!(ack.vote, ReconfigVote::Ack);
+        assert_eq!(ack.processor, QUORUM_MEMBER_PROC);
+        assert_eq!(ack.host, 2);
+        assert!(m.fence().is_some());
+        let commit = phase_msg(9, 1, 1, ReconfigPhase::Commit);
+        let react = m.on_phase(&commit, 2, 200, TIMEOUT, false);
+        assert_eq!(react, MemberReaction::Committed(commit.services));
+        assert!(m.fence().is_none());
+        assert_eq!(m.commits().len(), 1);
+        assert_eq!(m.acks(), 1);
+    }
+
+    #[test]
+    fn member_ignores_its_own_hosts_swaps() {
+        let mut m = MemberSm::new();
+        assert_eq!(m.on_phase(&prepare(9, 2, 1), 2, 0, TIMEOUT, false), MemberReaction::Ignored);
+        assert!(m.fence().is_none());
+    }
+
+    #[test]
+    fn member_vetoes_a_foreign_coordinator_collision() {
+        let mut m = MemberSm::new();
+        m.on_phase(&prepare(9, 1, 1), 2, 0, TIMEOUT, false);
+        let react = m.on_phase(&prepare(8, 3, 1), 2, 10, TIMEOUT, false);
+        let MemberReaction::Vote(ack) = react else { panic!("expected a vote") };
+        assert_eq!(ack.vote, ReconfigVote::Nack(ReconfigAbortReason::ForeignCoordinator));
+        assert_eq!(m.nacks(), 1);
+        // The original fence still stands for coordinator 9.
+        assert_eq!(m.fence().unwrap().coordinator, 9);
+    }
+
+    #[test]
+    fn same_coordinator_supersedes_its_own_epoch() {
+        let mut m = MemberSm::new();
+        m.on_phase(&prepare(9, 1, 1), 2, 0, TIMEOUT, false);
+        let react = m.on_phase(&prepare(9, 1, 2), 2, 10, TIMEOUT, false);
+        let MemberReaction::Vote(ack) = react else { panic!("expected a vote") };
+        assert_eq!(ack.vote, ReconfigVote::Ack);
+        assert_eq!(m.fence().unwrap().epoch, 2);
+        // The dead epoch's commit no longer matches the fence.
+        let stale = phase_msg(9, 1, 1, ReconfigPhase::Commit);
+        assert_eq!(m.on_phase(&stale, 2, 20, TIMEOUT, false), MemberReaction::Ignored);
+        assert!(m.fence().is_some());
+    }
+
+    #[test]
+    fn held_member_neither_fences_nor_votes() {
+        let mut m = MemberSm::new();
+        assert_eq!(m.on_phase(&prepare(9, 1, 1), 2, 0, TIMEOUT, true), MemberReaction::Ignored);
+        assert!(m.fence().is_none());
+        assert_eq!(m.acks(), 0);
+    }
+
+    #[test]
+    fn fence_expires_on_the_injected_clock() {
+        let mut m = MemberSm::new();
+        m.on_phase(&prepare(9, 1, 1), 2, 1_000, TIMEOUT, false);
+        assert!(!m.expire_fence(1_000 + TIMEOUT - 1, TIMEOUT));
+        assert!(m.fence().is_some());
+        assert!(m.expire_fence(1_000 + TIMEOUT, TIMEOUT));
+        assert!(m.fence().is_none());
+        // An expired fence means a late abort is a no-op...
+        let abort = phase_msg(9, 1, 1, ReconfigPhase::Abort);
+        assert_eq!(m.on_phase(&abort, 2, 9_000, TIMEOUT, false), MemberReaction::Ignored);
+        // ...and the member is free to ack the next prepare.
+        let react = m.on_phase(&prepare(8, 3, 1), 2, 9_100, TIMEOUT, false);
+        assert!(matches!(react, MemberReaction::Vote(a) if a.vote == ReconfigVote::Ack));
+    }
+
+    #[test]
+    fn aborted_member_releases_without_witnessing() {
+        let mut m = MemberSm::new();
+        m.on_phase(&prepare(9, 1, 1), 2, 0, TIMEOUT, false);
+        let abort = phase_msg(9, 1, 1, ReconfigPhase::Abort);
+        assert_eq!(m.on_phase(&abort, 2, 10, TIMEOUT, false), MemberReaction::Aborted);
+        assert!(m.fence().is_none());
+        assert!(m.commits().is_empty());
+    }
+
+    fn ack(coordinator: u64, epoch: u64, host: u64, processor: u16) -> ReconfigAckMsg {
+        ReconfigAckMsg {
+            coordinator,
+            epoch,
+            host,
+            processor,
+            vote: ReconfigVote::Ack,
+            sent_ns: 0,
+            trace: swap_trace(coordinator, epoch),
+        }
+    }
+
+    #[test]
+    fn coordinator_waits_for_locals_and_remotes() {
+        let remote: HashSet<u64> = [77, 88].into_iter().collect();
+        let mut c = CoordinatorSm::begin(9, 1, 5, 2, remote);
+        assert_eq!(c.status(), QuorumStatus::Pending);
+        assert_eq!(c.expected(), 4);
+        c.on_ack(&ack(9, 1, 5, 0));
+        c.on_ack(&ack(9, 1, 5, 1));
+        c.on_ack(&ack(9, 1, 77, QUORUM_MEMBER_PROC));
+        assert_eq!(c.status(), QuorumStatus::Pending);
+        assert_eq!(c.acked(), 3);
+        c.on_ack(&ack(9, 1, 88, QUORUM_MEMBER_PROC));
+        assert_eq!(c.status(), QuorumStatus::Satisfied);
+    }
+
+    #[test]
+    fn coordinator_ignores_stale_foreign_and_unknown_votes() {
+        let mut c = CoordinatorSm::begin(9, 2, 5, 1, HashSet::new());
+        c.on_ack(&ack(9, 1, 5, 0)); // stale epoch
+        c.on_ack(&ack(8, 2, 5, 0)); // foreign coordinator
+        c.on_ack(&ack(9, 2, 6, QUORUM_MEMBER_PROC)); // unregistered host
+        c.on_ack(&ack(9, 2, 5, 7)); // out-of-range processor
+        assert_eq!(c.status(), QuorumStatus::Pending);
+        assert_eq!(c.acked(), 0);
+        c.on_ack(&ack(9, 2, 5, 0));
+        assert_eq!(c.status(), QuorumStatus::Satisfied);
+    }
+
+    #[test]
+    fn coordinator_veto_fails_fast() {
+        let remote: HashSet<u64> = [77].into_iter().collect();
+        let mut c = CoordinatorSm::begin(9, 1, 5, 1, remote);
+        c.on_ack(&ack(9, 1, 5, 0));
+        let mut veto = ack(9, 1, 77, QUORUM_MEMBER_PROC);
+        veto.vote = ReconfigVote::Nack(ReconfigAbortReason::ForeignCoordinator);
+        c.on_ack(&veto);
+        assert_eq!(c.status(), QuorumStatus::Vetoed(ReconfigAbortReason::ForeignCoordinator));
+        // A nack from a host outside the quorum would have been ignored.
+        let mut c2 = CoordinatorSm::begin(9, 1, 5, 1, HashSet::new());
+        let mut stray = ack(9, 1, 66, QUORUM_MEMBER_PROC);
+        stray.vote = ReconfigVote::Nack(ReconfigAbortReason::ForeignCoordinator);
+        c2.on_ack(&stray);
+        assert_eq!(c2.status(), QuorumStatus::Pending);
+    }
+}

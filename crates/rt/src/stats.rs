@@ -29,7 +29,9 @@ use serde::{Deserialize, Serialize};
 
 use rtcm_core::metrics::{DelayStats, UtilizationRatio};
 use rtcm_core::time::Duration;
-use rtcm_telemetry::{Counter, Exposition, Gauge, Histogram, Registry, TraceBuffer};
+use rtcm_telemetry::{
+    Counter, Exposition, Gauge, Histogram, HistogramSnapshot, Registry, TraceBuffer,
+};
 
 use crate::proto::ReconfigAbortReason;
 
@@ -247,6 +249,13 @@ impl RtMetrics {
     /// the golden exposition test).
     #[must_use]
     pub fn new() -> Self {
+        RtMetrics::with_trace_sampling(1)
+    }
+
+    /// Like [`RtMetrics::new`] but the job tracer keeps only 1-in-N
+    /// traces (per trace id, so jobs keep all stages or none).
+    #[must_use]
+    pub fn with_trace_sampling(sample_every: u64) -> Self {
         let r = Registry::new();
         RtMetrics {
             arrived_jobs: r.counter("rtcm_jobs_arrived_total", "Jobs injected at task effectors."),
@@ -294,7 +303,10 @@ impl RtMetrics {
                 .histogram("rtcm_total_realloc_ns", "Arrival-to-release total with re-allocation."),
             reconfig_latency: r
                 .histogram("rtcm_reconfig_latency_ns", "End-to-end two-phase swap latency."),
-            trace: Arc::new(TraceBuffer::default()),
+            trace: Arc::new(TraceBuffer::sampled(
+                rtcm_telemetry::DEFAULT_TRACE_CAPACITY,
+                sample_every,
+            )),
             registry: Arc::new(r),
         }
     }
@@ -312,14 +324,15 @@ impl RtMetrics {
     }
 }
 
-/// Reconstructs a [`DelayStats`] row from a histogram's exact parts.
-fn delay_from(hist: &Histogram) -> DelayStats {
-    let s = hist.snapshot();
+/// Reconstructs a [`DelayStats`] row from a histogram's exact parts,
+/// refilling the caller's pooled snapshot instead of allocating one.
+fn delay_from(hist: &Histogram, scratch: &mut HistogramSnapshot) -> DelayStats {
+    hist.snapshot_into(scratch);
     DelayStats::from_parts(
-        s.count,
-        u128::from(s.sum),
-        Duration::from_nanos(s.min),
-        Duration::from_nanos(s.max),
+        scratch.count,
+        u128::from(scratch.sum),
+        Duration::from_nanos(scratch.min),
+        Duration::from_nanos(scratch.max),
     )
 }
 
@@ -342,6 +355,16 @@ impl SharedStats {
     #[must_use]
     pub fn new() -> Arc<Self> {
         Arc::new(SharedStats::default())
+    }
+
+    /// Creates an empty accumulator whose job tracer keeps 1-in-N traces
+    /// (see [`RtMetrics::with_trace_sampling`]).
+    #[must_use]
+    pub fn with_trace_sampling(sample_every: u64) -> Arc<Self> {
+        Arc::new(SharedStats {
+            metrics: RtMetrics::with_trace_sampling(sample_every),
+            ..SharedStats::default()
+        })
     }
 
     /// The lock-free telemetry registry (hot-path metric handles, job
@@ -377,17 +400,18 @@ impl SharedStats {
         report.reallocations = m.reallocations.get();
         report.ir_reports = m.ir_reports.get();
         report.timer_wakeups = m.timer_wakeups.get();
-        report.response = delay_from(&m.response);
-        report.hold = delay_from(&m.hold);
-        report.comm = delay_from(&m.comm);
-        report.lb_plan = delay_from(&m.lb_plan);
-        report.ac_test = delay_from(&m.ac_test);
-        report.release = delay_from(&m.release);
-        report.ir_path = delay_from(&m.ir_path);
-        report.ir_update = delay_from(&m.ir_update);
-        report.total_no_realloc = delay_from(&m.total_no_realloc);
-        report.total_realloc = delay_from(&m.total_realloc);
-        report.reconfig_latency = delay_from(&m.reconfig_latency);
+        let mut scratch = HistogramSnapshot::default();
+        report.response = delay_from(&m.response, &mut scratch);
+        report.hold = delay_from(&m.hold, &mut scratch);
+        report.comm = delay_from(&m.comm, &mut scratch);
+        report.lb_plan = delay_from(&m.lb_plan, &mut scratch);
+        report.ac_test = delay_from(&m.ac_test, &mut scratch);
+        report.release = delay_from(&m.release, &mut scratch);
+        report.ir_path = delay_from(&m.ir_path, &mut scratch);
+        report.ir_update = delay_from(&m.ir_update, &mut scratch);
+        report.total_no_realloc = delay_from(&m.total_no_realloc, &mut scratch);
+        report.total_realloc = delay_from(&m.total_realloc, &mut scratch);
+        report.reconfig_latency = delay_from(&m.reconfig_latency, &mut scratch);
         report
     }
 
@@ -556,6 +580,11 @@ impl SharedStats {
             "Trace records evicted from the bounded ring.",
             self.metrics.trace.dropped(),
         );
+        e.counter(
+            "rtcm_trace_records_sampled_out_total",
+            "Trace records discarded by the 1-in-N trace sampler.",
+            self.metrics.trace.sampled_out(),
+        );
         e.finish()
     }
 }
@@ -564,6 +593,13 @@ impl SharedStats {
 mod tests {
     use super::*;
     use rtcm_core::time::Duration;
+
+    #[test]
+    fn trace_sampling_knob_reaches_the_tracer() {
+        let stats = SharedStats::with_trace_sampling(8);
+        assert_eq!(stats.metrics().trace.sample_every(), 8);
+        assert_eq!(SharedStats::new().metrics().trace.sample_every(), 1);
+    }
 
     #[test]
     fn metrics_fold_into_snapshot() {

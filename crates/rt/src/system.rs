@@ -44,6 +44,10 @@ pub struct RtOptions {
     /// How long a reconfiguration's prepare phase waits for node acks
     /// before aborting the swap (see [`System::reconfigure`]).
     pub reconfig_ack_timeout: StdDuration,
+    /// Keep 1-in-N job traces in the bounded tracer (1 = trace every
+    /// job). Sampling is per trace id, so a sampled job keeps all of its
+    /// lifecycle stages and an unsampled one records nothing.
+    pub trace_sample_every: u64,
 }
 
 impl Default for RtOptions {
@@ -57,6 +61,7 @@ impl Default for RtOptions {
             slice: StdDuration::from_micros(200),
             seed: 0,
             reconfig_ack_timeout: StdDuration::from_secs(2),
+            trace_sample_every: 1,
         }
     }
 }
@@ -330,7 +335,7 @@ impl System {
             .map_err(LaunchError::InvalidConfig)?;
 
         let clock = Clock::new();
-        let stats = SharedStats::new();
+        let stats = SharedStats::with_trace_sampling(options.trace_sample_every);
         // Node 0 is the task manager; app processor p is node p + 1.
         let federation = Federation::new(procs + 1, options.latency, options.seed);
 

@@ -1,0 +1,38 @@
+//! Deterministic federated cluster simulation.
+//!
+//! The single-host simulator ([`crate::simulation`]) reproduces the
+//! paper's §7 experiments on one virtual host. This module federates it:
+//! **M simulated hosts**, each with its own admission controller, service
+//! configuration, per-host *virtual clock* (injectable skew and drift) and
+//! quorum role, advanced by **one** global discrete-event loop. Bridge
+//! links between hosts carry the threaded runtime's own reconfiguration
+//! wire messages ([`rtcm_rt::proto`]) with latency, jitter, loss, reorder
+//! and partition schedules — so the two-phase swap protocol runs over an
+//! adversarial network whose every misfortune is a seeded draw.
+//!
+//! The protocol logic is **not** re-implemented: hosts drive the identical
+//! [`rtcm_rt::quorum_sm::MemberSm`] / [`rtcm_rt::quorum_sm::CoordinatorSm`]
+//! state machines the threaded runtime uses, with time injected from the
+//! per-host virtual clocks. What the threaded harness can only probe with
+//! real processes, real TCP and real milliseconds, this module sweeps
+//! across hundreds of seeds per second — a thousand-host failure campaign
+//! is just a bigger seed range.
+//!
+//! * [`clock`] — per-host virtual clocks: `local = anchor + (1 + drift) ·
+//!   Δglobal`, with mid-run skew steps and drift-rate changes;
+//! * [`link`] — per-direction bridge links (latency/jitter/loss/reorder,
+//!   up/down state);
+//! * [`fault`] — the serde-backed [`fault::FaultSchedule`]: the *same*
+//!   schedule format drives this simulator and the multi-process harness
+//!   orchestrator (`rtcm-harness`);
+//! * [`federation`] — the M-host event loop itself;
+//! * [`campaign`] — seeded campaign runner: executes a fault schedule,
+//!   checks the protocol invariants (no partial swap, abort-reason
+//!   accounting, loss-freedom) and emits a byte-for-byte reproducible
+//!   event trace.
+
+pub mod campaign;
+pub mod clock;
+pub mod fault;
+pub mod federation;
+pub mod link;

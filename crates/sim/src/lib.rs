@@ -34,9 +34,15 @@
 #![forbid(unsafe_code)]
 
 pub mod cpu;
+pub mod fed;
 pub mod overhead;
 pub mod simulation;
 
+pub use fed::campaign::{Campaign, CampaignOutcome, CampaignSummary};
+pub use fed::fault::{FaultAction, FaultEvent, FaultSchedule};
+pub use fed::federation::{
+    EpochOutcome, EpochRecord, FedError, FedHostSpec, FedOptions, FedReport, Federation, HostReport,
+};
 pub use overhead::{DelayModel, OverheadModel};
 pub use simulation::{
     simulate, simulate_distributed, simulate_governed, simulate_governed_recorded,

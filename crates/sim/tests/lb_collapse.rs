@@ -1,0 +1,122 @@
+//! Mechanism evidence for the per-job load-balancing collapse.
+//!
+//! `tests/pipeline.rs::per_job_lb_collapse_stays_pinned` pins the
+//! *symptom*: on the imbalanced workload, `J_T_J` admits a fraction of
+//! the utilization `J_T_T` admits (seed 2: ~0.17 vs ~0.90). This test
+//! pins the *mechanism* by replaying the identical arrival trace through
+//! a bare [`AdmissionController`] under both configurations and looking
+//! at per-task accept counts and placement churn:
+//!
+//! * Per-task LB proposes each task's placement once and reuses it for
+//!   every job, so the dominant task (task 1, u≈0.73, 103 jobs) stacks
+//!   its contributions on one pinned replica set and keeps passing the
+//!   AUB test. Tasks that would collide with it are rejected outright —
+//!   fewer tasks get in, but the admitted utilization is high.
+//! * Per-job LB re-proposes against live synthetic utilization on every
+//!   arrival. Light tasks scatter across 2–4 distinct replica sets,
+//!   leaving a thin film of standing contribution on *every* processor.
+//!   The heavy task needs simultaneous headroom on three processors and
+//!   almost never finds it: more tasks admit *some* jobs, but the
+//!   utilization-weighted acceptance ratio collapses.
+//!
+//! See DESIGN.md § "The per-job load-balancing collapse" for the full
+//! writeup; the numbers asserted here are its evidence trace.
+
+use rtcm_core::admission::{AdmissionController, Decision};
+use rtcm_core::task::TaskSet;
+use rtcm_core::time::Duration;
+use rtcm_workload::{ArrivalConfig, ArrivalTrace, ImbalancedWorkload};
+use std::collections::HashSet;
+
+/// Per-task replay outcome: accepted jobs, rejected jobs, and the set of
+/// distinct placements (replica-set choices) the accepted jobs used.
+struct TaskOutcome {
+    accepted: u64,
+    rejected: u64,
+    placements: HashSet<Vec<u16>>,
+}
+
+fn replay(label: &str, tasks: &TaskSet, trace: &ArrivalTrace) -> Vec<TaskOutcome> {
+    let mut ac = AdmissionController::new(label.parse().unwrap(), tasks.processor_count()).unwrap();
+    let mut out: Vec<TaskOutcome> = tasks
+        .iter()
+        .map(|_| TaskOutcome { accepted: 0, rejected: 0, placements: HashSet::new() })
+        .collect();
+    for a in trace.iter() {
+        let task = tasks.get(a.task).unwrap();
+        let idx = tasks.iter().position(|t| t.id() == a.task).unwrap();
+        match ac.handle_arrival(task, a.seq, a.time).unwrap() {
+            Decision::Accept { assignment, .. } => {
+                out[idx].accepted += 1;
+                out[idx].placements.insert(assignment.as_slice().iter().map(|p| p.0).collect());
+            }
+            Decision::Reject { .. } => out[idx].rejected += 1,
+        }
+    }
+    out
+}
+
+/// Fraction of offered utilization that was admitted, weighting each job
+/// by its task's chain utilization (Σ C_i / D).
+fn weighted_acceptance(tasks: &TaskSet, outcomes: &[TaskOutcome]) -> f64 {
+    let util: Vec<f64> = tasks
+        .iter()
+        .map(|t| {
+            t.subtasks()
+                .iter()
+                .map(|s| s.execution_time.as_secs_f64() / t.deadline().as_secs_f64())
+                .sum()
+        })
+        .collect();
+    let admitted: f64 = outcomes.iter().zip(&util).map(|(o, u)| o.accepted as f64 * u).sum();
+    let offered: f64 =
+        outcomes.iter().zip(&util).map(|(o, u)| (o.accepted + o.rejected) as f64 * u).sum();
+    admitted / offered
+}
+
+#[test]
+fn per_job_lb_scatters_placements_and_starves_the_heavy_task() {
+    // The exact workload and seed the pipeline regression pins.
+    let tasks = ImbalancedWorkload::default().generate(2).unwrap();
+    let cfg = ArrivalConfig { horizon: Duration::from_secs(120), ..ArrivalConfig::default() };
+    let trace = ArrivalTrace::generate(&tasks, &cfg, 2);
+
+    let pinned = replay("J_T_T", &tasks, &trace);
+    let churned = replay("J_T_J", &tasks, &trace);
+
+    // Task 1 dominates the offered load: chain utilization ~0.73 with a
+    // ~1.16 s period, i.e. 103 of the 189 arrivals.
+    assert_eq!(pinned[1].accepted + pinned[1].rejected, 103);
+
+    // Per-task LB: every admitted task keeps exactly one placement for
+    // the whole run, and the heavy task is admitted wholesale.
+    for (i, o) in pinned.iter().enumerate() {
+        assert!(o.placements.len() <= 1, "J_T_T task {i} churned placements: {:?}", o.placements);
+    }
+    assert_eq!(pinned[1].accepted, 103, "J_T_T must admit every heavy-task job");
+    assert_eq!(pinned[1].placements.len(), 1);
+
+    // Per-job LB: placements churn — at least one task is spread across
+    // three or more distinct replica sets — and the heavy task starves.
+    let max_churn = churned.iter().map(|o| o.placements.len()).max().unwrap();
+    assert!(max_churn >= 3, "expected per-job placement scatter, max was {max_churn}");
+    assert!(
+        churned[1].accepted <= 5,
+        "heavy task should starve under J_T_J, admitted {}",
+        churned[1].accepted
+    );
+
+    // Per-job LB admits *more distinct tasks* (the light ones slip in
+    // everywhere) yet collapses the utilization-weighted acceptance.
+    let tasks_in_pinned = pinned.iter().filter(|o| o.accepted > 0).count();
+    let tasks_in_churned = churned.iter().filter(|o| o.accepted > 0).count();
+    assert!(
+        tasks_in_churned > tasks_in_pinned,
+        "scatter admits more tasks ({tasks_in_churned}) than pinning ({tasks_in_pinned})"
+    );
+
+    let wa_pinned = weighted_acceptance(&tasks, &pinned);
+    let wa_churned = weighted_acceptance(&tasks, &churned);
+    assert!(wa_pinned > 0.85, "J_T_T weighted acceptance {wa_pinned:.3}");
+    assert!(wa_churned < 0.30, "J_T_J weighted acceptance {wa_churned:.3}");
+}

@@ -112,11 +112,17 @@ impl Registry {
             expo.info("rtcm_build_info", "Build and configuration metadata.", &info);
         }
         let entries = self.entries.lock().expect("registry poisoned");
+        // One pooled snapshot serves every histogram in the pass: the
+        // bucket Vec is allocated once and refilled per entry.
+        let mut snap = HistogramSnapshot::default();
         for e in entries.iter() {
             match &e.handle {
                 Handle::Counter(c) => expo.counter(&e.name, &e.help, c.get()),
                 Handle::Gauge(g) => expo.gauge(&e.name, &e.help, g.get()),
-                Handle::Histogram(h) => expo.histogram(&e.name, &e.help, &h.snapshot()),
+                Handle::Histogram(h) => {
+                    h.snapshot_into(&mut snap);
+                    expo.histogram(&e.name, &e.help, &snap);
+                }
             }
         }
     }

@@ -171,21 +171,27 @@ impl Histogram {
     /// in-flight sample — fine for observability).
     #[must_use]
     pub fn snapshot(&self) -> HistogramSnapshot {
-        let buckets: Vec<u64> = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
-        let count = buckets.iter().sum();
+        let mut snap = HistogramSnapshot::default();
+        self.snapshot_into(&mut snap);
+        snap
+    }
+
+    /// Fills `out` with a snapshot, reusing its bucket storage. Scrape
+    /// loops render dozens of histograms per pass — one pooled snapshot
+    /// makes the whole pass allocation-free after the first histogram.
+    pub fn snapshot_into(&self, out: &mut HistogramSnapshot) {
+        out.buckets.clear();
+        out.buckets.extend(self.buckets.iter().map(|b| b.load(Ordering::Relaxed)));
+        out.count = out.buckets.iter().sum();
+        out.sum = self.sum.load(Ordering::Relaxed);
         let min = self.min.load(Ordering::Relaxed);
-        HistogramSnapshot {
-            buckets,
-            count,
-            sum: self.sum.load(Ordering::Relaxed),
-            min: if count == 0 { 0 } else { min },
-            max: self.max.load(Ordering::Relaxed),
-        }
+        out.min = if out.count == 0 { 0 } else { min };
+        out.max = self.max.load(Ordering::Relaxed);
     }
 }
 
 /// A point-in-time copy of a [`Histogram`], with quantile estimation.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct HistogramSnapshot {
     /// Per-bucket sample counts (see [`bucket_index`]).
     pub buckets: Vec<u64>,
@@ -359,6 +365,24 @@ mod tests {
         assert_eq!(s.min, 10);
         assert_eq!(s.max, 1000);
         assert!((s.mean() - 265.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snapshot_into_reuses_storage_and_matches_snapshot() {
+        let h = Histogram::new();
+        for v in [5u64, 9, 500] {
+            h.record(v);
+        }
+        let mut pooled = HistogramSnapshot::default();
+        h.snapshot_into(&mut pooled);
+        assert_eq!(pooled, h.snapshot());
+        let cap = pooled.buckets.capacity();
+        let ptr = pooled.buckets.as_ptr();
+        h.record(7);
+        h.snapshot_into(&mut pooled);
+        assert_eq!(pooled.count, 4);
+        assert_eq!(pooled.buckets.capacity(), cap);
+        assert_eq!(pooled.buckets.as_ptr(), ptr, "refill must not reallocate");
     }
 
     #[test]
