@@ -1,0 +1,205 @@
+//! **Sharded-admission-plane scaling: shard count vs. decision makespan.**
+//!
+//! The sharded plane's claim is structural: arrivals whose candidate
+//! placements stay inside one processor group admit against that group's
+//! shard controller alone — no cross-shard lock, no system-wide rescan —
+//! so a host with S shards can decide S single-homed arrivals
+//! concurrently. This bench pins that claim with a **critical-path
+//! (makespan) metric** suited to the single-core CI machine:
+//!
+//! * The workload is [`SHARD_BENCH_BLOCKS`] disjoint per-block arrival
+//!   streams over a 64-processor host; blocks nest inside shard groups at
+//!   every measured layout (1/2/4/8 shards), so every stream is
+//!   single-homed.
+//! * Each stream is driven to completion *sequentially* and timed on its
+//!   own. Because single-homed streams on different shards share no
+//!   mutable state (verified structurally: zero cross decisions, zero
+//!   summary refreshes), a shard's wall time is the sum of its own
+//!   streams, and the arm's makespan is the maximum over shards — what an
+//!   S-core host would pay.
+//! * The flat single-core aggregate (sum over all streams) is reported
+//!   alongside, so the table never pretends one core got faster.
+//!
+//! Every arm must decide **identically**: accept counts are asserted
+//! equal across all shard layouts and the monolithic baseline (the
+//! step-level equivalence bar lives in
+//! `crates/core/tests/differential_sharded.rs`).
+//!
+//! Output: `BENCH_admission.json` at the workspace root with per-arm
+//! makespan/flat/throughput rows and the ≥3× speedup bar at 4 shards.
+
+use std::time::Instant;
+
+use rtcm_bench::scaling::{
+    shard_block_tasks, SHARD_BENCH_BLOCKS, SHARD_BENCH_PROCS, SHARD_BENCH_TASKS_PER_BLOCK,
+};
+use rtcm_core::admission::AdmissionController;
+use rtcm_core::shard::ShardedAdmissionController;
+use rtcm_core::strategy::ServiceConfig;
+use rtcm_core::task::TaskSpec;
+use rtcm_core::time::{Duration, Time};
+
+/// One measured arm: per-block stream times plus decision totals.
+struct ArmRun {
+    block_ns: Vec<u64>,
+    accepts: u64,
+    decisions: u64,
+}
+
+/// Virtual arrival spacing: one arrival per stream per millisecond, on a
+/// globally monotone clock (stream `b` occupies its own window), so lazy
+/// expiry behaves identically under every layout.
+fn arrival_time(block: usize, k: usize, per_block: usize) -> Time {
+    Time::ZERO + Duration::from_millis((block * per_block + k) as u64)
+}
+
+/// Drives every block stream through `decide`, timing each block.
+fn run_streams(
+    per_block: usize,
+    tasks: &[Vec<TaskSpec>],
+    mut decide: impl FnMut(&TaskSpec, u64, Time) -> bool,
+) -> ArmRun {
+    let mut run =
+        ArmRun { block_ns: Vec::with_capacity(SHARD_BENCH_BLOCKS), accepts: 0, decisions: 0 };
+    for (block, specs) in tasks.iter().enumerate() {
+        let start = Instant::now();
+        for k in 0..per_block {
+            let task = &specs[k % SHARD_BENCH_TASKS_PER_BLOCK];
+            let seq = (k / SHARD_BENCH_TASKS_PER_BLOCK) as u64;
+            let now = arrival_time(block, k, per_block);
+            if decide(task, seq, now) {
+                run.accepts += 1;
+            }
+            run.decisions += 1;
+        }
+        run.block_ns.push(start.elapsed().as_nanos() as u64);
+    }
+    run
+}
+
+/// Makespan under `shards`: blocks map onto shards contiguously
+/// (`8 / shards` blocks each); a shard's time is the sum of its blocks,
+/// the makespan the maximum over shards.
+fn makespan_ns(block_ns: &[u64], shards: usize) -> u64 {
+    let per_shard = SHARD_BENCH_BLOCKS / shards;
+    (0..shards)
+        .map(|s| block_ns[s * per_shard..(s + 1) * per_shard].iter().sum())
+        .max()
+        .unwrap_or(0)
+}
+
+fn main() {
+    let quick = std::env::var("RTCM_QUICK").is_ok_and(|v| v != "0");
+    let per_block = if quick { 12_500 } else { 125_000 };
+    let total = per_block * SHARD_BENCH_BLOCKS;
+    let min_speedup = if quick { 2.5 } else { 3.0 };
+    let cfg: ServiceConfig = "J_N_N".parse().expect("valid label");
+    let tasks: Vec<Vec<TaskSpec>> = (0..SHARD_BENCH_BLOCKS).map(shard_block_tasks).collect();
+
+    let mut rows = Vec::new();
+    let mut throughput_by_shards = std::collections::HashMap::new();
+    let mut accepts_seen: Option<u64> = None;
+
+    // Monolithic baseline: one controller, one lock domain — its makespan
+    // is the flat total regardless of how blocks are grouped.
+    let mut mono = AdmissionController::new(cfg, SHARD_BENCH_PROCS).expect("valid config");
+    let mono_run = run_streams(per_block, &tasks, |task, seq, now| {
+        mono.handle_arrival(task, seq, now).expect("unique jobs").is_accept()
+    });
+    let mono_flat: u64 = mono_run.block_ns.iter().sum();
+    accepts_seen = accepts_seen.or(Some(mono_run.accepts));
+    println!(
+        "admission_scaling/monolithic  flat {:>7.1} ms  makespan {:>7.1} ms  {:>9.0} dec/s  \
+         ({} accepts / {} decisions)",
+        mono_flat as f64 / 1e6,
+        mono_flat as f64 / 1e6,
+        mono_run.decisions as f64 / (mono_flat as f64 / 1e9),
+        mono_run.accepts,
+        mono_run.decisions,
+    );
+    rows.push(serde_json::json!({
+        "arm": "monolithic",
+        "shards": null,
+        "decisions": mono_run.decisions,
+        "accepts": mono_run.accepts,
+        "flat_ns": mono_flat,
+        "makespan_ns": mono_flat,
+        "throughput_per_s": mono_run.decisions as f64 / (mono_flat as f64 / 1e9),
+        "block_ns": mono_run.block_ns,
+    }));
+
+    for shards in [1usize, 2, 4, 8] {
+        let plane =
+            ShardedAdmissionController::new(cfg, SHARD_BENCH_PROCS, shards).expect("valid config");
+        let run = run_streams(per_block, &tasks, |task, seq, now| {
+            plane.handle_arrival(task, seq, now).expect("unique jobs").is_accept()
+        });
+        let stats = plane.plane_stats();
+        assert_eq!(
+            stats.cross_decisions, 0,
+            "{shards} shards: single-homed streams must never go cross-shard"
+        );
+        assert_eq!(
+            stats.summary_refreshes, 0,
+            "{shards} shards: no stream ever violates, so summaries answer every check"
+        );
+        assert_eq!(
+            Some(run.accepts),
+            accepts_seen,
+            "{shards} shards: decisions diverged from the monolithic baseline"
+        );
+        let flat: u64 = run.block_ns.iter().sum();
+        let makespan = makespan_ns(&run.block_ns, shards);
+        let throughput = run.decisions as f64 / (makespan as f64 / 1e9);
+        println!(
+            "admission_scaling/shards_{shards}    flat {:>7.1} ms  makespan {:>7.1} ms  {:>9.0} dec/s",
+            flat as f64 / 1e6,
+            makespan as f64 / 1e6,
+            throughput,
+        );
+        throughput_by_shards.insert(shards, throughput);
+        rows.push(serde_json::json!({
+            "arm": format!("shards_{shards}"),
+            "shards": shards,
+            "decisions": run.decisions,
+            "accepts": run.accepts,
+            "flat_ns": flat,
+            "makespan_ns": makespan,
+            "throughput_per_s": throughput,
+            "block_ns": run.block_ns,
+        }));
+    }
+
+    // The scaling bar: 4 shards must clear ≥3× (full mode; 2.5× quick)
+    // the 1-shard layout's critical-path throughput. The speedup is
+    // structural — disjoint shards share nothing on the fast path — so a
+    // miss means the fast path started synchronizing.
+    let speedup = throughput_by_shards[&4] / throughput_by_shards[&1];
+    println!(
+        "admission_scaling/speedup_4v1 {speedup:.2}x (bar: {min_speedup:.1}x, {total} decisions)"
+    );
+    assert!(
+        speedup >= min_speedup,
+        "4-shard makespan speedup {speedup:.2}x below the {min_speedup:.1}x bar"
+    );
+
+    let doc = serde_json::json!({
+        "bench": "admission_scaling",
+        "quick": quick,
+        "processors": SHARD_BENCH_PROCS,
+        "blocks": SHARD_BENCH_BLOCKS,
+        "decisions_total": total,
+        "metric": "critical-path makespan over per-shard stream times \
+                   (single-core measurement; flat_ns is the one-core aggregate)",
+        "bars": { "shards_4_vs_1_min_speedup": min_speedup },
+        "speedup_4v1": speedup,
+        "results": rows,
+    });
+    // CARGO_MANIFEST_DIR = crates/bench → the workspace root is two up.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let path = root.join("BENCH_admission.json");
+    match std::fs::write(&path, serde_json::to_string_pretty(&doc).expect("plain data")) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}

@@ -383,13 +383,28 @@ impl UtilizationLedger {
     /// sums) must reconcile it against the corrected totals; see
     /// `AdmissionController::reconcile`.
     pub fn recompute_totals(&mut self) -> f64 {
+        self.recompute_totals_detailed().0
+    }
+
+    /// [`UtilizationLedger::recompute_totals`] with attribution: also
+    /// returns *which* processor received the largest correction (`None`
+    /// when no correction was applied anywhere). The sharded admission
+    /// plane folds per-shard ledgers through this so a single noisy shard
+    /// is identified by processor index instead of disappearing into one
+    /// global residual.
+    pub fn recompute_totals_detailed(&mut self) -> (f64, Option<ProcessorId>) {
         let mut max_drift = 0.0f64;
-        for proc in &mut self.procs {
+        let mut worst = None;
+        for (idx, proc) in self.procs.iter_mut().enumerate() {
             let fresh: f64 = proc.entries.values().map(|e| e.utilization).sum();
-            max_drift = max_drift.max((proc.total - fresh).abs());
+            let drift = (proc.total - fresh).abs();
+            if drift > max_drift {
+                max_drift = drift;
+                worst = Some(ProcessorId(idx as u16));
+            }
             proc.total = fresh;
         }
-        max_drift
+        (max_drift, worst)
     }
 }
 
@@ -643,6 +658,26 @@ mod tests {
             l.live_expiries
         );
         assert_eq!(l.next_expiry(), Some(at(1_000_000)));
+    }
+
+    #[test]
+    fn recompute_totals_identifies_the_noisy_processor() {
+        // Perturb one processor's running total directly: the detailed
+        // recompute must both correct it and name that processor, so a
+        // sharded plane can point at the one noisy shard.
+        let mut l = UtilizationLedger::new(4);
+        for p in 0..4u16 {
+            l.add(ProcessorId(p), key(u32::from(p), 0, 0), 0.25, Lifetime::Reserved).unwrap();
+        }
+        l.procs[2].total += 1e-7;
+        let (drift, worst) = l.recompute_totals_detailed();
+        assert!((drift - 1e-7).abs() < 1e-12, "corrected drift {drift}");
+        assert_eq!(worst, Some(ProcessorId(2)));
+        assert!((l.utilization(ProcessorId(2)) - 0.25).abs() < 1e-12);
+        // A clean ledger reports no attribution.
+        let (drift, worst) = l.recompute_totals_detailed();
+        assert_eq!(drift, 0.0);
+        assert_eq!(worst, None);
     }
 
     #[test]

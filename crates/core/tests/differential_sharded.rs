@@ -1,0 +1,248 @@
+//! Differential testing of the sharded admission plane against the
+//! monolithic brute-force oracle.
+//!
+//! PR 10 partitions the admission controller into per-processor-group
+//! shards behind a two-level AUB sum tree
+//! (`rtcm_core::shard::ShardedAdmissionController`). The claim is strict
+//! behavioral equivalence: for any trace of {arrival, expiry, idle-reset,
+//! withdraw, remote-commit, mid-trace `ServiceConfig` swap} operations,
+//! the sharded plane decides exactly as a single monolithic
+//! `AdmissionMode::BruteForce` controller would — same `Decision` per
+//! arrival, same freed utilization per reset, same `HandoverReport` per
+//! swap, same final ledger to 1e-9.
+//!
+//! The corpus mirrors `differential.rs`: 256 deterministic proptest cases
+//! per property, replayed under every valid starting `ServiceConfig`.
+//! The swap-heavy property additionally runs a one-processor-per-shard
+//! layout where *every* multi-candidate placement is forced through the
+//! cross-shard reservation path.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use rtcm_core::admission::{AdmissionController, AdmissionMode, Decision};
+use rtcm_core::balance::Assignment;
+use rtcm_core::ledger::ContributionKey;
+use rtcm_core::shard::ShardedAdmissionController;
+use rtcm_core::strategy::ServiceConfig;
+use rtcm_core::task::{JobId, ProcessorId, TaskBuilder, TaskId, TaskSet, TaskSpec};
+use rtcm_core::time::{Duration, Time};
+
+const PROCS: u16 = 4;
+
+/// One raw trace step; interpreted by [`run_trace`].
+type RawOp = (u8, u64, u32, u32);
+
+/// Strategy: a small single- or multi-stage task over `PROCS` processors.
+/// Candidate sets straddle shard boundaries freely, so traces mix
+/// single-homed fast-path arrivals with cross-shard reservations.
+fn arb_task(id: u32) -> impl Strategy<Value = TaskSpec> {
+    let deadline_ms = 30u64..300;
+    let stages = vec((1u64..30, 0..PROCS, 0..PROCS), 1..4);
+    (deadline_ms, stages, any::<bool>()).prop_map(move |(deadline, stages, periodic)| {
+        let deadline = Duration::from_millis(deadline);
+        let total: u64 = stages.iter().map(|(e, _, _)| *e).sum();
+        let scale = (deadline.as_millis() / 2).max(1);
+        let mut builder = if periodic {
+            TaskBuilder::periodic(TaskId(id), deadline)
+        } else {
+            TaskBuilder::aperiodic(TaskId(id)).deadline(deadline)
+        };
+        for (exec, primary, replica) in &stages {
+            let exec_ms = (exec * scale / total.max(1)).max(1);
+            builder = builder.subtask(
+                Duration::from_millis(exec_ms),
+                ProcessorId(*primary),
+                [ProcessorId(*replica)],
+            );
+        }
+        builder.build().expect("generated tasks are valid")
+    })
+}
+
+fn arb_tasks(n: usize) -> impl Strategy<Value = Vec<TaskSpec>> {
+    #[allow(clippy::cast_possible_truncation)]
+    (0..n as u32).map(arb_task).collect::<Vec<_>>().prop_map(|tasks| tasks)
+}
+
+/// Replays one trace through a sharded plane and a monolithic brute-force
+/// controller, asserting step-by-step agreement. Returns the number of
+/// admission decisions compared.
+fn run_trace(config: ServiceConfig, shards: usize, tasks: &[TaskSpec], ops: &[RawOp]) -> usize {
+    let procs = usize::from(PROCS);
+    let sharded =
+        ShardedAdmissionController::with_mode(config, procs, shards, AdmissionMode::Incremental)
+            .expect("valid config");
+    let mut brute = AdmissionController::with_mode(config, procs, AdmissionMode::BruteForce)
+        .expect("valid config");
+    let task_set = TaskSet::from_tasks(tasks.to_vec()).expect("generated ids are unique");
+
+    let mut now = Time::ZERO;
+    let mut seqs = vec![0u64; tasks.len()];
+    let mut admitted: Vec<(JobId, Assignment)> = Vec::new();
+    let mut decisions = 0usize;
+
+    for (step, &(kind, dt, x, y)) in ops.iter().enumerate() {
+        now = now.saturating_add(Duration::from_millis(dt % 40));
+        let t_idx = (x as usize) % tasks.len();
+        let task = &tasks[t_idx];
+        match kind % 9 {
+            0..=3 => {
+                let seq = seqs[t_idx];
+                seqs[t_idx] += 1;
+                let a = sharded.handle_arrival(task, seq, now);
+                let b = brute.handle_arrival(task, seq, now);
+                assert_eq!(a, b, "{config}/{shards}s: step {step} diverged for {}", task.id());
+                decisions += 1;
+                if let Ok(Decision::Accept { assignment, .. }) = a {
+                    admitted.push((JobId::new(task.id(), seq), assignment));
+                }
+            }
+            4 => {
+                sharded.expire(now);
+                brute.expire(now);
+            }
+            5 => {
+                if !admitted.is_empty() {
+                    let (job, plan) = &admitted[(y as usize) % admitted.len()];
+                    let subtask = (x as usize) % plan.len();
+                    let key = ContributionKey::new(*job, subtask);
+                    let processor = plan.processor(subtask);
+                    let fa = sharded.apply_idle_reset(processor, &[key]);
+                    let fb = brute.apply_idle_reset(processor, &[key]);
+                    assert_eq!(
+                        fa.to_bits(),
+                        fb.to_bits(),
+                        "{config}/{shards}s: step {step} freed different utilization"
+                    );
+                }
+            }
+            6 => {
+                sharded.withdraw_task(task.id());
+                brute.withdraw_task(task.id());
+            }
+            7 => {
+                let seq = seqs[t_idx];
+                seqs[t_idx] += 1;
+                let plan = Assignment::primaries(task);
+                sharded.apply_remote_commit(task, seq, now, &plan).expect("primaries are valid");
+                brute.apply_remote_commit(task, seq, now, &plan).expect("primaries are valid");
+            }
+            8 => {
+                let valid = ServiceConfig::all_valid();
+                let target = valid[(y as usize) % valid.len()];
+                let ra = sharded.reconfigure(target, now, &task_set).expect("valid targets");
+                let rb = brute.reconfigure(target, now, &task_set).expect("valid targets");
+                assert_eq!(ra, rb, "{config}/{shards}s: step {step} handover diverged");
+                assert_eq!(sharded.config(), target);
+            }
+            _ => unreachable!(),
+        }
+
+        if step % 16 == 15 {
+            for audit in sharded.audit() {
+                assert!(
+                    audit.audit.is_consistent(1e-9),
+                    "{config}/{shards}s: shard {} caches drifted {} at step {step}",
+                    audit.shard,
+                    audit.audit.max_cached_drift
+                );
+                assert!(
+                    audit.summary_coherent,
+                    "{config}/{shards}s: shard {} published a stale summary at step {step}",
+                    audit.shard
+                );
+            }
+            assert_eq!(
+                sharded.system_schedulable(),
+                brute.system_schedulable_brute(),
+                "{config}/{shards}s: oracle views diverged at step {step}"
+            );
+        }
+    }
+
+    // Final-state agreement.
+    let ua = sharded.utilizations();
+    let ub = brute.ledger().utilizations();
+    for (p, (a, b)) in ua.iter().zip(&ub).enumerate() {
+        assert!((a - b).abs() <= 1e-9, "{config}/{shards}s: P{p} utilization {a} vs {b}");
+    }
+    assert_eq!(sharded.current_entries(), brute.current_entries(), "{config}/{shards}s");
+    assert_eq!(sharded.reserved_tasks(), brute.reserved_tasks(), "{config}/{shards}s");
+    let (sa, sb) = (sharded.stats(), brute.stats());
+    assert_eq!(
+        (sa.tested, sa.admitted, sa.rejected, sa.pass_throughs, sa.reset_reports),
+        (sb.tested, sb.admitted, sb.rejected, sb.pass_throughs, sb.reset_reports),
+        "{config}/{shards}s"
+    );
+    assert!((sa.reset_utilization - sb.reset_utilization).abs() <= 1e-9, "{config}/{shards}s");
+
+    // Shard reconciliation finds no drift anywhere, per shard.
+    for drift in sharded.reconcile() {
+        assert!(
+            drift.drift.max_drift <= 1e-9,
+            "{config}/{shards}s: shard {} drifted {}",
+            drift.shard,
+            drift.drift.max_drift
+        );
+    }
+    decisions
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The headline property: the two-shard plane is decision-equal to the
+    /// monolithic brute-force oracle under every valid strategy
+    /// combination, across the full operation mix.
+    #[test]
+    fn sharded_and_monolithic_agree(
+        tasks in arb_tasks(6),
+        ops in vec((any::<u8>(), 0u64..40, any::<u32>(), any::<u32>()), 10..48),
+    ) {
+        for config in ServiceConfig::all_valid() {
+            let decisions = run_trace(config, 2, &tasks, &ops);
+            let arrivals = ops.iter().filter(|(k, ..)| k % 9 <= 3).count();
+            prop_assert_eq!(decisions, arrivals);
+        }
+    }
+
+    /// Swap-heavy traces under a one-processor-per-shard layout: every
+    /// multi-candidate placement takes the cross-shard reservation path,
+    /// and every third step reconfigures — reservations migrate between
+    /// the cross registry and shard registries repeatedly.
+    #[test]
+    fn cross_heavy_swaps_agree(
+        tasks in arb_tasks(4),
+        ops in vec((0u8..8, 0u64..20, any::<u32>(), any::<u32>()), 24..64),
+    ) {
+        let ops: Vec<RawOp> =
+            ops.iter().map(|&(k, dt, x, y)| (if k % 3 == 0 { 8 } else { k }, dt, x, y)).collect();
+        for config in [
+            "T_T_T".parse::<ServiceConfig>().unwrap(),
+            "J_N_N".parse::<ServiceConfig>().unwrap(),
+            "J_J_J".parse::<ServiceConfig>().unwrap(),
+        ] {
+            run_trace(config, 4, &tasks, &ops);
+        }
+    }
+
+    /// Reset-heavy traces at two shards: contribution keys removed by idle
+    /// resets must route to the owning shard or the cross registry exactly
+    /// as the monolithic by-job lookup would.
+    #[test]
+    fn reset_heavy_sharded_traces_agree(
+        tasks in arb_tasks(4),
+        ops in vec((0u8..8, 0u64..10, any::<u32>(), any::<u32>()), 24..64),
+    ) {
+        let ops: Vec<RawOp> =
+            ops.iter().map(|&(k, dt, x, y)| (if k % 2 == 0 { 5 } else { k }, dt, x, y)).collect();
+        for config in [
+            "J_J_J".parse::<ServiceConfig>().unwrap(),
+            "J_T_T".parse::<ServiceConfig>().unwrap(),
+            "T_T_N".parse::<ServiceConfig>().unwrap(),
+        ] {
+            run_trace(config, 2, &tasks, &ops);
+        }
+    }
+}

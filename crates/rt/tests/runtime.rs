@@ -1043,6 +1043,18 @@ fn oam_scrape_matches_the_report_snapshot() {
     assert_eq!(metric(&page, "rtcm_response_ns_count"), report.response.count());
     assert_eq!(metric(&page, "rtcm_jobs_in_flight"), 0);
 
+    // Per-shard admission counters: the default single-shard layout keeps
+    // every decision on the local fast path.
+    assert!(page.contains("# TYPE rtcm_admission_shard_local_total counter"));
+    assert_eq!(metric(&page, "rtcm_admission_shard_local_total"), report.admission_shard_local);
+    assert_eq!(metric(&page, "rtcm_admission_cross_shard_total"), report.admission_cross_shard);
+    assert_eq!(
+        metric(&page, "rtcm_admission_summary_refreshes_total"),
+        report.admission_summary_refreshes
+    );
+    assert_eq!(report.admission_shard_local, 10, "every decision is single-homed");
+    assert_eq!(report.admission_cross_shard, 0);
+
     // The trace route serves one JSON object per line, covering the runs.
     let trace = rtcm_telemetry::scrape(oam.addr(), "/trace").unwrap();
     assert!(trace.lines().count() >= 10, "at least one record per job");
@@ -1050,6 +1062,35 @@ fn oam_scrape_matches_the_report_snapshot() {
 
     oam.shutdown();
     let _ = system.shutdown();
+}
+
+#[test]
+fn sharded_admission_plane_splits_local_and_cross_decisions() {
+    let deployment = configure_with(
+        &spec(
+            "workload w\nprocessors 4\n\
+             task left aperiodic deadline=500ms\n  subtask exec=1ms proc=0\n\
+             task right aperiodic deadline=500ms\n  subtask exec=1ms proc=2\n\
+             task wide aperiodic deadline=500ms\n  subtask exec=1ms proc=0\n  subtask exec=1ms proc=3\n",
+        ),
+        "J_N_N".parse().expect("valid combo"),
+    )
+    .unwrap();
+    let options = RtOptions { admission_shards: 2, ..RtOptions::fast() };
+    let system = System::launch(&deployment, options).unwrap();
+
+    for seq in 0..4 {
+        system.submit(TaskId(0), seq).unwrap();
+        system.submit(TaskId(1), seq).unwrap();
+        system.submit(TaskId(2), seq).unwrap();
+    }
+    assert!(system.quiesce(QUIESCE));
+    let report = system.shutdown();
+    assert_eq!(report.jobs_completed, 12);
+    // `left` and `right` stay inside one processor group each; `wide`
+    // spans both shards and must take the cross-shard reservation path.
+    assert_eq!(report.admission_shard_local, 8, "single-group tasks decide locally");
+    assert_eq!(report.admission_cross_shard, 4, "spanning tasks go cross-shard");
 }
 
 #[test]

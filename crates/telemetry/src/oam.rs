@@ -48,12 +48,45 @@ pub struct OamServer {
 
 impl OamServer {
     /// Binds `addr` (use port 0 for an OS-assigned port) and starts
-    /// serving `routes`.
+    /// serving `routes`. The endpoint is loopback-only: non-local bind
+    /// addresses are refused — use [`OamServer::start_with`] with an
+    /// explicit opt-in to expose the endpoint beyond the host.
     ///
     /// # Errors
     ///
-    /// I/O errors from binding.
+    /// I/O errors from binding, or a non-loopback `addr`.
     pub fn start(addr: impl ToSocketAddrs, routes: OamRoutes) -> std::io::Result<OamServer> {
+        Self::start_with(addr, routes, false)
+    }
+
+    /// Like [`OamServer::start`], but with the loopback gate explicit:
+    /// `allow_non_local = true` permits binding a non-loopback address
+    /// (e.g. `0.0.0.0`), exposing unauthenticated metrics and traces to
+    /// the network. Keep it `false` unless the deployment really scrapes
+    /// from another host.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from binding, or a non-loopback `addr` without the
+    /// opt-in.
+    pub fn start_with(
+        addr: impl ToSocketAddrs,
+        routes: OamRoutes,
+        allow_non_local: bool,
+    ) -> std::io::Result<OamServer> {
+        let mut candidates = addr.to_socket_addrs()?;
+        let addr = candidates
+            .next()
+            .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidInput, "no address"))?;
+        if !allow_non_local && !addr.ip().is_loopback() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::PermissionDenied,
+                format!(
+                    "refusing non-local OAM bind {addr}: the endpoint is unauthenticated; \
+                     pass allow_non_local = true to expose it beyond loopback"
+                ),
+            ));
+        }
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -209,6 +242,23 @@ mod tests {
         // The port can be rebound after shutdown.
         let again = OamServer::start(addr, routes("", "")).unwrap();
         again.shutdown();
+    }
+
+    #[test]
+    fn non_local_bind_is_refused_by_default() {
+        let err = OamServer::start("0.0.0.0:0", routes("", "")).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::PermissionDenied);
+
+        // Loopback is unaffected.
+        let server = OamServer::start("127.0.0.1:0", routes("ok\n", "")).unwrap();
+        assert_eq!(scrape(server.addr(), "/metrics").unwrap(), "ok\n");
+        server.shutdown();
+
+        // The explicit opt-in permits a wildcard bind.
+        let server = OamServer::start_with("0.0.0.0:0", routes("wide\n", ""), true).unwrap();
+        let port = server.addr().port();
+        assert_eq!(scrape(("127.0.0.1", port), "/metrics").unwrap(), "wide\n");
+        server.shutdown();
     }
 
     #[test]
