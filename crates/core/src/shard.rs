@@ -337,9 +337,16 @@ pub struct ShardedAdmissionController {
     shards: Vec<ShardCell>,
     cross: Mutex<CrossState>,
     /// Mirror of `cross.live`, readable without the cross lock. A stale
-    /// non-zero read costs one uncontended lock; a stale zero is
-    /// impossible in the quiescent states the fast path observes (the
-    /// mirror is updated while the cross lock is held).
+    /// non-zero read costs one uncontended lock. A stale *zero* is
+    /// possible in exactly one window — between an unlocked read and the
+    /// reader's own shard-lock acquisition, a concurrent cross commit can
+    /// complete — so every fast path that skipped the cross lock on a
+    /// zero read MUST re-read the mirror after acquiring its shard lock
+    /// and fall back if it became non-zero. That re-check is sufficient:
+    /// every operation that *registers* a cross entry publishes the
+    /// mirror while holding all shard locks, so once any shard lock is
+    /// held the mirror cannot go zero→non-zero underneath it (lock-free
+    /// concurrent updates only ever *remove* entries via expiry).
     cross_live: AtomicUsize,
     /// Max `now` (ns) over every operation that expires in the monolithic
     /// controller; every shard is expired to this floor when locked.
@@ -587,79 +594,97 @@ impl ShardedAdmissionController {
         forced: Option<Assignment>,
     ) -> Result<Decision, AdmissionError> {
         // Cross entries touching the home group must be re-evaluated under
-        // the candidate's tentative load; hold the cross lock through the
-        // decision so the row set cannot shift underneath it.
-        let mut cross_guard = None;
-        let rows: Vec<Vec<ProcessorId>> = if self.cross_live.load(Ordering::Acquire) > 0 {
-            let mut cross = lock(&self.cross);
-            cross.expire(self.floor());
-            self.cross_live.store(cross.live, Ordering::Release);
-            let rows = cross.rows();
-            cross_guard = Some(cross);
-            rows
-        } else {
-            Vec::new()
-        };
+        // the candidate's tentative load; when any are live, hold the
+        // cross lock through the decision so the row set cannot shift
+        // underneath it. A zero mirror read lets the common case skip the
+        // cross lock entirely, but it is only *validated* under the home
+        // shard lock below: a concurrent cross commit (which takes every
+        // shard lock) can complete between the unlocked read and the home
+        // acquisition. On that race the decision restarts with the cross
+        // lock held — at most once, since holding the cross lock stops
+        // further cross commits.
+        let mut take_cross = self.cross_live.load(Ordering::Acquire) > 0;
+        loop {
+            let mut cross_guard = None;
+            let rows: Vec<Vec<ProcessorId>> = if take_cross {
+                let mut cross = lock(&self.cross);
+                cross.expire(self.floor());
+                self.cross_live.store(cross.live, Ordering::Release);
+                let rows = cross.rows();
+                cross_guard = Some(cross);
+                rows
+            } else {
+                Vec::new()
+            };
 
-        // Foreign shards the guard needs live state from: any shard whose
-        // published violating count is non-zero (may be stale — refresh
-        // decides), and any shard a cross row's visit lands in.
-        let mut needed: BTreeSet<usize> = BTreeSet::new();
-        for (s, cell) in self.shards.iter().enumerate() {
-            if s != home && cell.published.violating.load(Ordering::Relaxed) > 0 {
-                needed.insert(s);
-            }
-        }
-        for visits in &rows {
-            for p in visits {
-                let s = self.layout.shard_of(*p);
-                if s != home {
+            // Foreign shards the guard needs live state from: any shard
+            // whose published violating count is non-zero (may be stale —
+            // refresh decides), and any shard a cross row's visit lands in.
+            let mut needed: BTreeSet<usize> = BTreeSet::new();
+            for (s, cell) in self.shards.iter().enumerate() {
+                if s != home && cell.published.violating.load(Ordering::Relaxed) > 0 {
                     needed.insert(s);
                 }
             }
-        }
-
-        let mut others_ok = true;
-        let mut foreign = vec![0.0f64; self.layout.processor_count()];
-        for &s in &needed {
-            let guard = self.shard_guard(s);
-            self.summary_refreshes.fetch_add(1, Ordering::Relaxed);
-            if guard.violating_entries() > 0 {
-                others_ok = false;
+            for visits in &rows {
+                for p in visits {
+                    let s = self.layout.shard_of(*p);
+                    if s != home {
+                        needed.insert(s);
+                    }
+                }
             }
-            for p in self.layout.group(s) {
-                foreign[p] = guard.ledger().utilization(ProcessorId(p as u16));
+
+            let mut others_ok = true;
+            let mut foreign = vec![0.0f64; self.layout.processor_count()];
+            for &s in &needed {
+                let guard = self.shard_guard(s);
+                self.summary_refreshes.fetch_add(1, Ordering::Relaxed);
+                if guard.violating_entries() > 0 {
+                    others_ok = false;
+                }
+                for p in self.layout.group(s) {
+                    foreign[p] = guard.ledger().utilization(ProcessorId(p as u16));
+                }
+                self.publish(s, &guard);
             }
-            self.publish(s, &guard);
+
+            let layout = self.layout;
+            let guard_needed = !others_ok || !rows.is_empty();
+            let extra = move |ctl: &AdmissionController| -> bool {
+                others_ok
+                    && rows.iter().all(|visits| {
+                        bound_lhs(visits.iter().map(|p| {
+                            if layout.shard_of(*p) == home {
+                                ctl.ledger().utilization(*p)
+                            } else {
+                                foreign[p.index()]
+                            }
+                        })) <= 1.0 + BOUND_EPSILON
+                    })
+            };
+
+            let mut ctl = self.shard_guard(home);
+            if cross_guard.is_none() && self.cross_live.load(Ordering::Acquire) > 0 {
+                // A cross entry committed in the unguarded window; its
+                // rows are not folded into this decision. Restart with
+                // the cross lock held (see the `cross_live` field doc).
+                drop(ctl);
+                take_cross = true;
+                continue;
+            }
+            let extra_ref: Option<&dyn Fn(&AdmissionController) -> bool> =
+                if guard_needed { Some(&extra) } else { None };
+            let result = match forced {
+                None => ctl.handle_arrival_ext(task, seq, now, extra_ref),
+                Some(assignment) => ctl.admit_with_ext(task, seq, now, assignment, extra_ref),
+            };
+            self.publish(home, &ctl);
+            drop(ctl);
+            drop(cross_guard);
+            self.local_decisions.fetch_add(1, Ordering::Relaxed);
+            return result;
         }
-
-        let layout = self.layout;
-        let guard_needed = !others_ok || !rows.is_empty();
-        let extra = move |ctl: &AdmissionController| -> bool {
-            others_ok
-                && rows.iter().all(|visits| {
-                    bound_lhs(visits.iter().map(|p| {
-                        if layout.shard_of(*p) == home {
-                            ctl.ledger().utilization(*p)
-                        } else {
-                            foreign[p.index()]
-                        }
-                    })) <= 1.0 + BOUND_EPSILON
-                })
-        };
-
-        let mut ctl = self.shard_guard(home);
-        let extra_ref: Option<&dyn Fn(&AdmissionController) -> bool> =
-            if guard_needed { Some(&extra) } else { None };
-        let result = match forced {
-            None => ctl.handle_arrival_ext(task, seq, now, extra_ref),
-            Some(assignment) => ctl.admit_with_ext(task, seq, now, assignment, extra_ref),
-        };
-        self.publish(home, &ctl);
-        drop(ctl);
-        drop(cross_guard);
-        self.local_decisions.fetch_add(1, Ordering::Relaxed);
-        result
     }
 
     /// The cross path: full-order lock, then an exact transcription of the
@@ -671,7 +696,13 @@ impl ShardedAdmissionController {
         now: Time,
         forced: Option<Assignment>,
     ) -> Result<Decision, AdmissionError> {
-        let config = self.config();
+        // Hold the config lock across the whole decision (config ≺ cross
+        // ≺ shards, matching `reconfigure`'s order): a reconfigure
+        // committing between a config snapshot and `full_lock()` would
+        // otherwise apply the old config's reservation/LB semantics to
+        // post-handover shard state.
+        let config_guard = lock(&self.config);
+        let config = *config_guard;
         let (mut cross, mut guards) = self.full_lock();
         if let Some(assignment) = &forced {
             if !assignment.is_valid_for(task) {
@@ -1028,9 +1059,17 @@ impl ShardedAdmissionController {
         let shard = self.layout.shard_of(processor);
         if self.cross_live.load(Ordering::Acquire) == 0 {
             let mut guard = self.shard_guard(shard);
-            let freed = guard.apply_idle_reset(processor, keys);
-            self.publish(shard, &guard);
-            return freed;
+            // Validate the zero read under the shard lock (see the
+            // `cross_live` field doc): a cross commit completing in the
+            // unguarded window would otherwise have this report remove a
+            // cross-registered key shard-locally, leaving the cross
+            // entry's outstanding count permanently over-counted.
+            if self.cross_live.load(Ordering::Acquire) == 0 {
+                let freed = guard.apply_idle_reset(processor, keys);
+                self.publish(shard, &guard);
+                return freed;
+            }
+            // Release and fall through to the cross path (cross ≺ shards).
         }
 
         let mut cross = lock(&self.cross);
@@ -1705,6 +1744,46 @@ mod tests {
         // Reconciliation republishes: summaries remain coherent.
         for audit in sharded.audit() {
             assert!(audit.summary_coherent);
+        }
+    }
+
+    /// Concurrent single-homed and spanning arrivals on `&self` — the
+    /// regression surface for the fast path's cross-mirror TOCTOU: a
+    /// cross entry committing between the unlocked `cross_live` read and
+    /// the home-shard lock must not let a local decision admit past an
+    /// AUB row's bound. Decision outcomes are nondeterministic under the
+    /// storm; the admitted *state* must satisfy every row regardless.
+    #[test]
+    fn concurrent_local_and_cross_storm_never_over_admits() {
+        let cfg = config("J_J_J");
+        let sharded = ShardedAdmissionController::new(cfg, 4, 2).expect("valid");
+        std::thread::scope(|scope| {
+            let plane = &sharded;
+            for block in 0..2u16 {
+                scope.spawn(move || {
+                    for seq in 0..200u64 {
+                        let task = homed_task(u32::from(block), block, 35);
+                        plane.handle_arrival(&task, seq, Time::ZERO).expect("unique jobs");
+                    }
+                });
+            }
+            scope.spawn(move || {
+                for seq in 0..200u64 {
+                    let task = spanning_task(9, 35);
+                    plane.handle_arrival(&task, seq, Time::ZERO).expect("unique jobs");
+                }
+            });
+        });
+        assert!(
+            sharded.system_schedulable(),
+            "an admitted state must satisfy every AUB row under any interleaving"
+        );
+        for audit in sharded.audit() {
+            assert!(audit.audit.is_consistent(1e-9), "shard {} cached sums drifted", audit.shard);
+            assert!(audit.summary_coherent, "shard {} summary stale at quiescence", audit.shard);
+        }
+        for drift in sharded.reconcile() {
+            assert!(drift.drift.max_drift <= 1e-9, "shard {} ledger drifted", drift.shard);
         }
     }
 

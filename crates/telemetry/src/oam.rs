@@ -65,29 +65,49 @@ impl OamServer {
     /// the network. Keep it `false` unless the deployment really scrapes
     /// from another host.
     ///
+    /// Every resolved candidate address is tried in turn (matching
+    /// [`TcpListener::bind`]'s each-in-turn semantics, with the loopback
+    /// gate applied per candidate), so a hostname like `localhost` that
+    /// resolves to `::1` first still falls back to `127.0.0.1` on an
+    /// IPv6-less host.
+    ///
     /// # Errors
     ///
-    /// I/O errors from binding, or a non-loopback `addr` without the
-    /// opt-in.
+    /// The last bind error if no candidate could be bound, or
+    /// [`PermissionDenied`](std::io::ErrorKind::PermissionDenied) if the
+    /// remaining candidates were all non-loopback without the opt-in.
     pub fn start_with(
         addr: impl ToSocketAddrs,
         routes: OamRoutes,
         allow_non_local: bool,
     ) -> std::io::Result<OamServer> {
-        let mut candidates = addr.to_socket_addrs()?;
-        let addr = candidates
-            .next()
-            .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidInput, "no address"))?;
-        if !allow_non_local && !addr.ip().is_loopback() {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::PermissionDenied,
-                format!(
-                    "refusing non-local OAM bind {addr}: the endpoint is unauthenticated; \
-                     pass allow_non_local = true to expose it beyond loopback"
-                ),
-            ));
+        let mut listener = None;
+        let mut last_err = None;
+        for candidate in addr.to_socket_addrs()? {
+            if !allow_non_local && !candidate.ip().is_loopback() {
+                last_err = Some(std::io::Error::new(
+                    std::io::ErrorKind::PermissionDenied,
+                    format!(
+                        "refusing non-local OAM bind {candidate}: the endpoint is \
+                         unauthenticated; pass allow_non_local = true to expose it \
+                         beyond loopback"
+                    ),
+                ));
+                continue;
+            }
+            match TcpListener::bind(candidate) {
+                Ok(bound) => {
+                    listener = Some(bound);
+                    break;
+                }
+                Err(err) => last_err = Some(err),
+            }
         }
-        let listener = TcpListener::bind(addr)?;
+        let Some(listener) = listener else {
+            return Err(last_err.unwrap_or_else(|| {
+                std::io::Error::new(std::io::ErrorKind::InvalidInput, "no address")
+            }));
+        };
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let accept_stop = Arc::clone(&stop);
@@ -258,6 +278,17 @@ mod tests {
         let server = OamServer::start_with("0.0.0.0:0", routes("wide\n", ""), true).unwrap();
         let port = server.addr().port();
         assert_eq!(scrape(("127.0.0.1", port), "/metrics").unwrap(), "wide\n");
+        server.shutdown();
+    }
+
+    #[test]
+    fn hostname_binds_across_all_resolved_candidates() {
+        // `localhost` may resolve to `::1` first; the bind must fall
+        // back across candidates instead of failing on the first one
+        // (e.g. on an IPv6-less host).
+        let server = OamServer::start("localhost:0", routes("lo\n", "")).unwrap();
+        assert!(server.addr().ip().is_loopback());
+        assert_eq!(scrape(server.addr(), "/metrics").unwrap(), "lo\n");
         server.shutdown();
     }
 
